@@ -1,0 +1,250 @@
+//! The threshold + timeout rule engine.
+//!
+//! "The detection of pathological jobs is based on simple rules for the
+//! resource utilization metrics using thresholds and timeouts" — a rule
+//! fires when a metric stays on the wrong side of a threshold for longer
+//! than a timeout (Fig. 4: DP FP rate *and* memory bandwidth below their
+//! thresholds for more than 10 minutes).
+//!
+//! Rules evaluate over [`TimeSeries`]; compound rules combine the violation
+//! windows of several metrics by intersection (AND) — the Fig. 4 shape.
+
+use crate::series::TimeSeries;
+use lms_util::Timestamp;
+use std::time::Duration;
+
+/// Direction of a threshold comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOp {
+    /// Condition holds while `value < threshold`.
+    Below,
+    /// Condition holds while `value > threshold`.
+    Above,
+}
+
+/// One threshold+timeout rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Comparison direction.
+    pub op: RuleOp,
+    /// The threshold.
+    pub threshold: f64,
+    /// Minimum continuous violation length before the rule fires.
+    pub timeout: Duration,
+}
+
+/// A continuous interval in which a rule's condition held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Interval start (first violating sample).
+    pub start: Timestamp,
+    /// Interval end (last violating sample).
+    pub end: Timestamp,
+}
+
+impl Violation {
+    /// Interval length.
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Intersection with another interval, if non-empty.
+    pub fn intersect(&self, other: &Violation) -> Option<Violation> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Violation { start, end })
+    }
+}
+
+impl Rule {
+    /// A `metric < threshold for ≥ timeout` rule.
+    pub fn below(name: &str, threshold: f64, timeout: Duration) -> Self {
+        Rule { name: name.to_string(), op: RuleOp::Below, threshold, timeout }
+    }
+
+    /// A `metric > threshold for ≥ timeout` rule.
+    pub fn above(name: &str, threshold: f64, timeout: Duration) -> Self {
+        Rule { name: name.to_string(), op: RuleOp::Above, threshold, timeout }
+    }
+
+    /// True when one sample violates the threshold.
+    #[inline]
+    pub fn violates(&self, value: f64) -> bool {
+        match self.op {
+            RuleOp::Below => value < self.threshold,
+            RuleOp::Above => value > self.threshold,
+        }
+    }
+
+    /// All continuous violation windows in `series` (before applying the
+    /// timeout filter).
+    pub fn windows(&self, series: &TimeSeries) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut open: Option<Violation> = None;
+        for &(ts, v) in &series.points {
+            if self.violates(v) {
+                match &mut open {
+                    Some(w) => w.end = ts,
+                    None => open = Some(Violation { start: ts, end: ts }),
+                }
+            } else if let Some(w) = open.take() {
+                out.push(w);
+            }
+        }
+        if let Some(w) = open {
+            out.push(w);
+        }
+        out
+    }
+
+    /// The violation windows lasting at least the rule's timeout.
+    pub fn evaluate(&self, series: &TimeSeries) -> Vec<Violation> {
+        self.windows(series).into_iter().filter(|w| w.duration() >= self.timeout).collect()
+    }
+}
+
+/// Evaluates the AND of several rules over their respective series: the
+/// intersected windows that satisfy **every** rule simultaneously for at
+/// least `timeout` (the Fig. 4 compound condition).
+pub fn evaluate_all(
+    rules_and_series: &[(&Rule, &TimeSeries)],
+    timeout: Duration,
+) -> Vec<Violation> {
+    let mut iter = rules_and_series.iter();
+    let Some((first_rule, first_series)) = iter.next() else { return Vec::new() };
+    let mut current = first_rule.windows(first_series);
+    for (rule, series) in iter {
+        let windows = rule.windows(series);
+        let mut next = Vec::new();
+        for a in &current {
+            for b in &windows {
+                if let Some(i) = a.intersect(b) {
+                    next.push(i);
+                }
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            return Vec::new();
+        }
+    }
+    current.retain(|w| w.duration() >= timeout);
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[(i64, f64)]) -> TimeSeries {
+        TimeSeries {
+            points: values.iter().map(|&(s, v)| (Timestamp::from_secs(s), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn below_rule_windows() {
+        let rule = Rule::below("low fp", 10.0, Duration::from_secs(100));
+        // Violating 0..300 (samples every 60s), clean 360, violating 420..480.
+        let s = series(&[
+            (0, 1.0),
+            (60, 2.0),
+            (120, 3.0),
+            (180, 1.0),
+            (240, 0.5),
+            (300, 2.0),
+            (360, 50.0),
+            (420, 1.0),
+            (480, 1.0),
+        ]);
+        let wins = rule.windows(&s);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0].start, Timestamp::from_secs(0));
+        assert_eq!(wins[0].end, Timestamp::from_secs(300));
+        assert_eq!(wins[1].duration(), Duration::from_secs(60));
+        // Timeout filter keeps only the long one.
+        let fired = rule.evaluate(&s);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].duration(), Duration::from_secs(300));
+    }
+
+    #[test]
+    fn above_rule() {
+        let rule = Rule::above("mem high", 0.9, Duration::from_secs(10));
+        let s = series(&[(0, 0.95), (10, 0.99), (20, 0.5)]);
+        let fired = rule.evaluate(&s);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].end, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn no_violation_no_windows() {
+        let rule = Rule::below("x", 1.0, Duration::ZERO);
+        assert!(rule.evaluate(&series(&[(0, 5.0), (10, 2.0)])).is_empty());
+        assert!(rule.evaluate(&TimeSeries::default()).is_empty());
+    }
+
+    #[test]
+    fn violation_running_to_the_end_is_reported() {
+        let rule = Rule::below("x", 1.0, Duration::from_secs(50));
+        let s = series(&[(0, 5.0), (60, 0.1), (120, 0.1), (180, 0.2)]);
+        let fired = rule.evaluate(&s);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].start, Timestamp::from_secs(60));
+        assert_eq!(fired[0].end, Timestamp::from_secs(180));
+    }
+
+    #[test]
+    fn fig4_compound_and_condition() {
+        // FP rate and memory bandwidth, samples every minute over an hour.
+        // Both low in minutes 20..35 → one 15-minute compound violation
+        // (> 10-minute timeout). FP alone is also low in 40..45 but
+        // bandwidth is fine there → no violation.
+        let fp: Vec<(i64, f64)> = (0..60)
+            .map(|m| {
+                let low = (20..=35).contains(&m) || (40..=45).contains(&m);
+                (m * 60, if low { 5.0 } else { 2000.0 })
+            })
+            .collect();
+        let bw: Vec<(i64, f64)> = (0..60)
+            .map(|m| {
+                let low = (18..=35).contains(&m);
+                (m * 60, if low { 50.0 } else { 30_000.0 })
+            })
+            .collect();
+        let fp_rule = Rule::below("DP FP rate", 100.0, Duration::from_secs(600));
+        let bw_rule = Rule::below("memory bandwidth", 1000.0, Duration::from_secs(600));
+        let fp_series = series(&fp);
+        let bw_series = series(&bw);
+        let found = evaluate_all(
+            &[(&fp_rule, &fp_series), (&bw_rule, &bw_series)],
+            Duration::from_secs(600),
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].start, Timestamp::from_secs(20 * 60));
+        assert_eq!(found[0].end, Timestamp::from_secs(35 * 60));
+        assert_eq!(found[0].duration(), Duration::from_secs(900));
+    }
+
+    #[test]
+    fn compound_without_overlap_is_empty() {
+        let a = series(&[(0, 0.0), (100, 0.0), (200, 9.0)]);
+        let b = series(&[(0, 9.0), (100, 9.0), (200, 0.0)]);
+        let rule = Rule::below("x", 1.0, Duration::ZERO);
+        assert!(evaluate_all(&[(&rule, &a), (&rule, &b)], Duration::ZERO).is_empty());
+        assert!(evaluate_all(&[], Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn intersect_math() {
+        let a = Violation { start: Timestamp::from_secs(10), end: Timestamp::from_secs(20) };
+        let b = Violation { start: Timestamp::from_secs(15), end: Timestamp::from_secs(30) };
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.start, Timestamp::from_secs(15));
+        assert_eq!(i.end, Timestamp::from_secs(20));
+        let c = Violation { start: Timestamp::from_secs(21), end: Timestamp::from_secs(22) };
+        assert!(a.intersect(&c).is_none());
+    }
+}

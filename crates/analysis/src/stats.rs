@@ -1,0 +1,160 @@
+//! Descriptive statistics used across the analysis layer.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes summary statistics; empty input yields the default (zeros).
+pub fn summarize(values: &[f64]) -> Summary {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Summary::default();
+    }
+    let n = finite.len() as f64;
+    let mean = finite.iter().sum::<f64>() / n;
+    let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    Summary {
+        count: finite.len(),
+        mean,
+        stddev: var.sqrt(),
+        min: finite.iter().copied().fold(f64::INFINITY, f64::min),
+        max: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// The `q`-th percentile (0–100) by linear interpolation. Returns `None`
+/// on an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let pos = q * (finite.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(finite[lo] + (finite[hi] - finite[lo]) * frac)
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0, "bad histogram range");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() || v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let i = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[i.min(n - 1)] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// `(bin center, count)` pairs — dashboard histogram panels plot these.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_skips_non_finite_and_handles_empty() {
+        let s = summarize(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 25.0), Some(2.0));
+        assert_eq!(percentile(&v, 10.0), Some(1.4));
+        assert_eq!(percentile(&[], 50.0), None);
+        // Out-of-range q clamps.
+        assert_eq!(percentile(&v, 150.0), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 5.5, 9.99, -1.0, 10.0, f64::NAN] {
+            h.add(v);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow, 2); // -1.0 and NaN
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 5);
+        let centers = h.centers();
+        assert_eq!(centers[0], (1.0, 2));
+        assert_eq!(centers[4], (9.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram range")]
+    fn histogram_rejects_degenerate_range() {
+        Histogram::new(5.0, 5.0, 4);
+    }
+}

@@ -1,0 +1,19 @@
+//! # lms-apps
+//!
+//! Proxy applications and workload profiles for the LMS reproduction.
+//!
+//! - [`minimd`] — a real Lennard-Jones molecular-dynamics proxy app in the
+//!   spirit of Mantevo's miniMD: FCC lattice, cell-list neighbor search,
+//!   velocity-Verlet integration, multi-threaded force computation, and
+//!   thermodynamic output (temperature, pressure, energy). Instrumented
+//!   with `libusermetric` it regenerates the paper's Fig. 3.
+//! - [`profiles`] — maps named application profiles (what a job "runs") to
+//!   the HPM simulator's workload models and the sysmon activity models,
+//!   so the cluster simulation can drive both simulators consistently from
+//!   one job description.
+
+pub mod minimd;
+pub mod profiles;
+
+pub use minimd::{MiniMd, MiniMdConfig, Thermo};
+pub use profiles::AppProfile;

@@ -1,0 +1,161 @@
+//! Application profiles: one job description driving both simulators.
+//!
+//! A cluster-simulation job "runs" some application; the profile maps that
+//! choice consistently onto (a) the HPM simulator's per-thread workload
+//! model and (b) the sysmon activity model, so hardware counters and
+//! system metrics tell the same story — the property the paper's analysis
+//! relies on when it combines both data sources (Sec. V).
+
+use lms_hpm::simulate::{compute_with_break, EventRates, WorkloadModel, WorkloadPhase};
+use lms_sysmon::NodeActivity;
+use lms_topology::Topology;
+use std::time::Duration;
+
+/// What a simulated job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppProfile {
+    /// DGEMM-like compute-bound solver (near-peak FLOP/s).
+    Dgemm,
+    /// STREAM-like memory-bound kernel (near-peak bandwidth).
+    Stream,
+    /// A typical balanced solver (the miniMD-style workload).
+    MiniMd,
+    /// A job that sits idle (the pathological case of Sec. V).
+    IdleJob,
+    /// Computes, stalls for `gap` mid-run, resumes (paper Fig. 4).
+    ComputeWithBreak {
+        /// Busy time before the stall.
+        busy: Duration,
+        /// Stall length.
+        gap: Duration,
+    },
+    /// Checkpoint-heavy: alternates compute with I/O bursts.
+    CheckpointHeavy,
+}
+
+impl AppProfile {
+    /// Parses a profile name (job scripts reference them by string).
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "dgemm" => AppProfile::Dgemm,
+            "stream" => AppProfile::Stream,
+            "minimd" => AppProfile::MiniMd,
+            "idle" => AppProfile::IdleJob,
+            "checkpoint" => AppProfile::CheckpointHeavy,
+            _ => return None,
+        })
+    }
+
+    /// The HPM workload model for one hardware thread of this job.
+    pub fn hpm_model(&self, topo: &Topology) -> WorkloadModel {
+        match self {
+            AppProfile::Dgemm => WorkloadModel::constant(EventRates::compute_bound(topo)),
+            AppProfile::Stream => WorkloadModel::constant(EventRates::memory_bound(topo)),
+            AppProfile::MiniMd => WorkloadModel::constant(EventRates::balanced(topo)),
+            AppProfile::IdleJob => WorkloadModel::constant(EventRates::idle()),
+            AppProfile::ComputeWithBreak { busy, gap } => compute_with_break(topo, *busy, *gap),
+            AppProfile::CheckpointHeavy => WorkloadModel::sequence(vec![
+                WorkloadPhase {
+                    duration: Some(Duration::from_secs(120)),
+                    rates: EventRates::balanced(topo),
+                },
+                WorkloadPhase {
+                    duration: Some(Duration::from_secs(30)),
+                    rates: EventRates {
+                        // I/O phase: little compute, some memory traffic.
+                        dram_read_bytes: 0.5e9,
+                        dram_write_bytes: 1.5e9,
+                        ..EventRates::idle()
+                    },
+                },
+            ])
+            .looped(),
+        }
+    }
+
+    /// The sysmon activity for a node fully allocated to this job.
+    /// For phased profiles this is the activity at time `at` into the job.
+    pub fn activity(&self, ncpu: u32, at: Duration) -> NodeActivity {
+        match self {
+            AppProfile::Dgemm | AppProfile::MiniMd => NodeActivity::busy_compute(ncpu),
+            AppProfile::Stream => NodeActivity {
+                cpu_iowait: 0.0,
+                ..NodeActivity::busy_compute(ncpu)
+            },
+            AppProfile::IdleJob => NodeActivity::idle(),
+            AppProfile::ComputeWithBreak { busy, gap } => {
+                if at >= *busy && at < *busy + *gap {
+                    NodeActivity::idle()
+                } else {
+                    NodeActivity::busy_compute(ncpu)
+                }
+            }
+            AppProfile::CheckpointHeavy => {
+                let cycle = Duration::from_secs(150);
+                let into = Duration::from_nanos((at.as_nanos() % cycle.as_nanos()) as u64);
+                if into < Duration::from_secs(120) {
+                    NodeActivity::busy_compute(ncpu)
+                } else {
+                    NodeActivity::busy_io(ncpu)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::preset_desktop_4c()
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AppProfile::parse("dgemm"), Some(AppProfile::Dgemm));
+        assert_eq!(AppProfile::parse("stream"), Some(AppProfile::Stream));
+        assert_eq!(AppProfile::parse("minimd"), Some(AppProfile::MiniMd));
+        assert_eq!(AppProfile::parse("idle"), Some(AppProfile::IdleJob));
+        assert_eq!(AppProfile::parse("checkpoint"), Some(AppProfile::CheckpointHeavy));
+        assert_eq!(AppProfile::parse("quake3"), None);
+    }
+
+    #[test]
+    fn hpm_models_are_distinct() {
+        let t = topo();
+        let dgemm = AppProfile::Dgemm.hpm_model(&t).rates_at(Duration::ZERO);
+        let stream = AppProfile::Stream.hpm_model(&t).rates_at(Duration::ZERO);
+        let idle = AppProfile::IdleJob.hpm_model(&t).rates_at(Duration::ZERO);
+        assert!(dgemm.dp_avx > 10.0 * stream.dp_avx);
+        assert!(stream.dram_read_bytes > 3.0 * dgemm.dram_read_bytes);
+        assert_eq!(idle.dp_avx, 0.0);
+    }
+
+    #[test]
+    fn break_profile_switches_phases() {
+        let t = topo();
+        let p = AppProfile::ComputeWithBreak {
+            busy: Duration::from_secs(100),
+            gap: Duration::from_secs(50),
+        };
+        let m = p.hpm_model(&t);
+        assert!(m.rates_at(Duration::from_secs(50)).dp_avx > 0.0);
+        assert_eq!(m.rates_at(Duration::from_secs(120)).dp_avx, 0.0);
+        assert!(m.rates_at(Duration::from_secs(200)).dp_avx > 0.0);
+        // Sysmon view agrees.
+        assert_eq!(p.activity(4, Duration::from_secs(120)), NodeActivity::idle());
+        assert_ne!(p.activity(4, Duration::from_secs(50)), NodeActivity::idle());
+    }
+
+    #[test]
+    fn checkpoint_profile_cycles() {
+        let p = AppProfile::CheckpointHeavy;
+        let busy = p.activity(4, Duration::from_secs(60));
+        let io = p.activity(4, Duration::from_secs(130));
+        assert!(busy.cpu_user > io.cpu_user);
+        assert!(io.disk_write_bytes > busy.disk_write_bytes);
+        // Wraps after 150s.
+        assert_eq!(p.activity(4, Duration::from_secs(210)), busy);
+    }
+}

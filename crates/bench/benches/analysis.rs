@@ -1,0 +1,132 @@
+//! Claim C6 — "online analysis detects pathological jobs": rule-engine
+//! window extraction, the compound Fig. 4 evaluation, decision-tree
+//! classification throughput, and the full job evaluation against a
+//! populated database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_analysis::evaluation::{JobEvaluation, NodePeaks};
+use lms_analysis::pathology::PathologyDetector;
+use lms_analysis::patterns::{classify, PerfSignature};
+use lms_analysis::rules::{evaluate_all, Rule};
+use lms_analysis::TimeSeries;
+use lms_influx::Influx;
+use lms_util::{Clock, Timestamp};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A day of 1-minute samples with periodic dips.
+fn series(n: usize) -> TimeSeries {
+    TimeSeries {
+        points: (0..n)
+            .map(|i| {
+                let dip = (i / 60) % 4 == 3; // every 4th hour is low
+                (Timestamp::from_secs(i as i64 * 60), if dip { 5.0 } else { 2000.0 })
+            })
+            .collect(),
+    }
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/rules");
+    for n in [60usize, 1440] {
+        let s = series(n);
+        let rule = Rule::below("low fp", 100.0, Duration::from_secs(600));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("single", n), &s, |b, s| {
+            b.iter(|| black_box(rule.evaluate(black_box(s)).len()))
+        });
+        let s2 = series(n);
+        let rule2 = Rule::below("low bw", 100.0, Duration::from_secs(600));
+        group.bench_with_input(BenchmarkId::new("compound_and", n), &(s, s2), |b, (a, bseries)| {
+            b.iter(|| {
+                black_box(
+                    evaluate_all(&[(&rule, a), (&rule2, bseries)], Duration::from_secs(600))
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/pattern_tree");
+    group.throughput(Throughput::Elements(1));
+    let signatures: Vec<PerfSignature> = (0..64)
+        .map(|i| PerfSignature {
+            flops_frac: (i % 10) as f64 / 10.0,
+            membw_frac: (i % 7) as f64 / 7.0,
+            ipc: (i % 4) as f64,
+            vectorization: (i % 3) as f64 / 3.0,
+            branch_misp_ratio: (i % 5) as f64 / 50.0,
+            stall_frac: (i % 6) as f64 / 6.0,
+            imbalance: (i % 8) as f64 / 8.0,
+            cpu_busy: 0.1 + (i % 9) as f64 / 10.0,
+        })
+        .collect();
+    group.bench_function("classify", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % signatures.len();
+            black_box(classify(black_box(&signatures[i])))
+        })
+    });
+    group.finish();
+}
+
+/// A database with a 60-minute 4-node job at 1-minute resolution.
+fn job_database() -> (Influx, Vec<String>) {
+    let ix = Influx::new(Clock::simulated(Timestamp::from_secs(4000)));
+    let hosts: Vec<String> = (1..=4).map(|i| format!("h{i}")).collect();
+    let mut batch = String::new();
+    for minute in 0..60i64 {
+        let ts = minute * 60 * 1_000_000_000;
+        for host in &hosts {
+            let dip = host == "h3" && (20..38).contains(&minute);
+            let (fp, bw, busy) = if dip { (5.0, 50.0, 0.02) } else { (2500.0, 28_000.0, 0.95) };
+            batch.push_str(&format!(
+                "hpm_flops_dp,hostname={host} dp_mflop_s={fp},ipc=2.0,vectorization_ratio=90 {ts}\n\
+                 hpm_mem,hostname={host} memory_bandwidth_mbytes_s={bw} {ts}\n\
+                 cpu_total,hostname={host} busy={busy} {ts}\n\
+                 memory,hostname={host} used_frac=0.5 {ts}\n\
+                 load,hostname={host} load1=7.5 {ts}\n\
+                 network,hostname={host} rx_bytes_per_s=1e6,tx_bytes_per_s=1e6 {ts}\n\
+                 disk,hostname={host} read_bytes_per_s=1e4,write_bytes_per_s=1e5 {ts}\n"
+            ));
+        }
+    }
+    ix.write_lines("lms", &batch, Default::default()).unwrap();
+    (ix, hosts)
+}
+
+fn bench_job_analysis(c: &mut Criterion) {
+    let (ix, hosts) = job_database();
+    let mut group = c.benchmark_group("analysis/job");
+    group.sample_size(20);
+    let start = Timestamp::from_secs(0);
+    let end = Timestamp::from_secs(3600);
+
+    group.bench_function("pathology_detect", |b| {
+        let detector = PathologyDetector::new("lms");
+        b.iter_with_setup(
+            || ix.clone(),
+            |mut src| black_box(detector.detect(&mut src, &hosts, start, end).unwrap().len()),
+        )
+    });
+    group.bench_function("full_evaluation_fig2", |b| {
+        let peaks = NodePeaks { flops_mflops: 350_000.0, membw_mbytes: 84_000.0 };
+        b.iter_with_setup(
+            || ix.clone(),
+            |mut src| {
+                let ev =
+                    JobEvaluation::evaluate(&mut src, "lms", "42", &hosts, start, end, peaks)
+                        .unwrap();
+                black_box(ev.render_table().len())
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules, bench_decision_tree, bench_job_analysis);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation — series-index/tag-store hashing: the Fx-style hasher in
+//! `lms-util` vs the standard library's SipHash, on the key shapes the
+//! hot maps actually see (hostnames, series keys).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_util::hash::FxHashMap;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn hostnames(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("node{i:04}")).collect()
+}
+
+fn series_keys(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("cpu_total,hostname=node{:04},jobid={},user=user{}", i, 1000 + i, i % 40))
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/lookup");
+    for (label, keys) in [("hostname", hostnames(1024)), ("series_key", series_keys(1024))] {
+        let fx: FxHashMap<String, usize> =
+            keys.iter().cloned().enumerate().map(|(i, k)| (k, i)).collect();
+        let sip: HashMap<String, usize> =
+            keys.iter().cloned().enumerate().map(|(i, k)| (k, i)).collect();
+        group.throughput(Throughput::Elements(keys.len() as u64));
+        group.bench_with_input(BenchmarkId::new("fx", label), &keys, |b, keys| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for k in keys {
+                    acc += fx[black_box(k.as_str())];
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("siphash", label), &keys, |b, keys| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for k in keys {
+                    acc += sip[black_box(k.as_str())];
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/build_1024");
+    let keys = series_keys(1024);
+    group.bench_function("fx", |b| {
+        b.iter(|| {
+            let m: FxHashMap<&str, usize> =
+                keys.iter().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
+            black_box(m.len())
+        })
+    });
+    group.bench_function("siphash", |b| {
+        b.iter(|| {
+            let m: HashMap<&str, usize> =
+                keys.iter().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
+            black_box(m.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_build);
+criterion_main!(benches);

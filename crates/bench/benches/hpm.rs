@@ -1,0 +1,113 @@
+//! Claim C7 — "HPM performance groups abstract portability": group file
+//! parsing, formula evaluation, counter allocation, simulator integration
+//! steps, and a full measure-read-derive cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_hpm::counters::allocate;
+use lms_hpm::events::EventCatalog;
+use lms_hpm::formula::Formula;
+use lms_hpm::groups::{builtin, builtin_text, PerfGroup};
+use lms_hpm::perfmon::Perfmon;
+use lms_hpm::simulate::{Simulator, WorkloadPreset};
+use lms_topology::Topology;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_group_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpm/group_parse");
+    let catalog = EventCatalog::default_arch();
+    let text = builtin_text("FLOPS_DP").unwrap();
+    group.bench_function("flops_dp_file", |b| {
+        b.iter(|| black_box(PerfGroup::parse("FLOPS_DP", black_box(text), &catalog).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_formula(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpm/formula");
+    let f = Formula::parse("1.0E-06*(PMC0+PMC1*2.0+PMC2*4.0)/time").unwrap();
+    let resolve = |name: &str| -> Option<f64> {
+        Some(match name {
+            "PMC0" => 1.0e9,
+            "PMC1" => 2.0e9,
+            "PMC2" => 8.0e9,
+            "time" => 1.0,
+            _ => return None,
+        })
+    };
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("eval_flops_dp", |b| b.iter(|| black_box(f.eval(&resolve).unwrap())));
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            black_box(Formula::parse(black_box("1.0E-06*(PMC0+PMC1*2.0+PMC2*4.0)/time")).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpm/allocate");
+    let catalog = EventCatalog::default_arch();
+    let events = [
+        "INSTR_RETIRED_ANY",
+        "CPU_CLK_UNHALTED_CORE",
+        "FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE",
+        "L1D_REPLACEMENT",
+        "CAS_COUNT_RD",
+        "PWR_PKG_ENERGY",
+    ];
+    group.bench_function("six_events", |b| {
+        b.iter(|| black_box(allocate(black_box(&events), &catalog).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpm/simulator");
+    let topo = Topology::preset_dual_socket_10c(); // 40 hw threads
+    group.throughput(Throughput::Elements(topo.num_hw_threads() as u64));
+    group.bench_function("advance_1s_40threads", |b| {
+        let mut sim = Simulator::new(&topo, 5);
+        sim.assign(0..topo.num_cores(), WorkloadPreset::Balanced.model(&topo));
+        b.iter(|| {
+            sim.advance(Duration::from_secs(1));
+            black_box(sim.elapsed())
+        })
+    });
+    group.finish();
+}
+
+fn bench_measurement_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpm/measure");
+    let topo = Topology::preset_dual_socket_10c();
+    for group_name in ["FLOPS_DP", "MEM", "ENERGY"] {
+        group.bench_with_input(
+            BenchmarkId::new("start_read_derive", group_name),
+            &group_name,
+            |b, name| {
+                let mut sim = Simulator::new(&topo, 5);
+                sim.assign(0..topo.num_cores(), WorkloadPreset::Balanced.model(&topo));
+                let mut pm = Perfmon::new(topo.clone());
+                pm.add_group(builtin(name, &topo).unwrap()).unwrap();
+                b.iter(|| {
+                    pm.start(&sim);
+                    sim.advance(Duration::from_millis(100));
+                    let m = pm.stop_and_read(&sim).unwrap();
+                    let metric = m.metric_names().next().unwrap().to_string();
+                    black_box(m.metric_aggregate(&metric).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_parsing,
+    bench_formula,
+    bench_allocation,
+    bench_simulator,
+    bench_measurement_cycle
+);
+criterion_main!(benches);

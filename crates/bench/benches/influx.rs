@@ -1,0 +1,98 @@
+//! Claim C3 — "the DB handles per-node metric streams": ingest throughput
+//! vs series cardinality, and range/aggregate/window query latency over a
+//! populated database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_influx::Influx;
+use lms_lineproto::{BatchBuilder, Point};
+use lms_util::{Clock, Timestamp};
+use std::hint::black_box;
+
+fn ingest_batch(hosts: usize, lines_per_host: usize, t0: i64) -> String {
+    let mut b = BatchBuilder::new();
+    for h in 0..hosts {
+        for i in 0..lines_per_host {
+            let mut p = Point::new("cpu_total");
+            p.add_tag("hostname", format!("node{h:04}"))
+                .add_field("busy", 0.5 + (i as f64) * 0.001)
+                .set_timestamp(t0 + (i as i64) * 1_000_000_000);
+            b.push(&p);
+        }
+    }
+    b.take()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("influx/ingest");
+    group.sample_size(20);
+    for hosts in [4usize, 64, 512] {
+        let lines = 2048 / hosts;
+        let batch = ingest_batch(hosts, lines, 0);
+        group.throughput(Throughput::Elements((hosts * lines) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("series", hosts),
+            &batch,
+            |b, batch| {
+                b.iter_with_setup(
+                    || Influx::new(Clock::simulated(Timestamp::from_secs(1))),
+                    |ix| {
+                        let out = ix.write_lines("lms", black_box(batch), Default::default());
+                        black_box(out.unwrap().written)
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A database with one hour of 1-second samples for 16 hosts.
+fn populated() -> Influx {
+    let ix = Influx::new(Clock::simulated(Timestamp::from_secs(7200)));
+    for chunk in 0..36 {
+        let batch = ingest_batch(16, 100, chunk * 100 * 1_000_000_000);
+        ix.write_lines("lms", &batch, Default::default()).unwrap();
+    }
+    ix
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ix = populated();
+    let mut group = c.benchmark_group("influx/query");
+    let cases = [
+        ("raw_range", "SELECT busy FROM cpu_total WHERE hostname = 'node0003' AND time >= 600000000000 AND time < 1200000000000"),
+        ("aggregate_host", "SELECT mean(busy) FROM cpu_total WHERE hostname = 'node0003'"),
+        ("aggregate_all", "SELECT mean(busy), max(busy) FROM cpu_total"),
+        ("windowed", "SELECT mean(busy) FROM cpu_total WHERE hostname = 'node0003' AND time >= 0 AND time < 3600000000000 GROUP BY time(1m)"),
+        ("group_by_tag", "SELECT mean(busy) FROM cpu_total GROUP BY hostname"),
+        ("windowed_by_tag", "SELECT mean(busy) FROM cpu_total WHERE time >= 0 AND time < 3600000000000 GROUP BY time(5m), hostname"),
+    ];
+    for (name, q) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = ix.query("lms", black_box(q)).unwrap();
+                black_box(r.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_retention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("influx/retention");
+    group.sample_size(20);
+    group.bench_function("enforce_half", |b| {
+        b.iter_with_setup(
+            || {
+                let ix = populated();
+                ix.set_retention("lms", Some(std::time::Duration::from_secs(1800)));
+                ix
+            },
+            |ix| black_box(ix.enforce_retention()),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_query, bench_retention);
+criterion_main!(benches);

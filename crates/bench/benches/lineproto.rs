@@ -1,0 +1,88 @@
+//! Claim C1 — "batched transmission / human-readable protocol is cheap":
+//! line-protocol serialize and parse throughput as a function of batch
+//! size, plus the zero-copy parse fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_lineproto::{parse_batch, parse_line, BatchBuilder, Point};
+use std::hint::black_box;
+
+fn typical_point(i: usize) -> Point {
+    let mut p = Point::new("cpu_total");
+    p.add_tag("hostname", format!("node{:03}", i % 64))
+        .add_field("user", 0.82)
+        .add_field("system", 0.03)
+        .add_field("idle", 0.12)
+        .add_field("iowait", 0.03)
+        .add_field("busy", 0.88)
+        .set_timestamp(1_501_804_800_000_000_000 + i as i64);
+    p
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineproto/serialize");
+    for batch_size in [1usize, 10, 100, 1000] {
+        let points: Vec<Point> = (0..batch_size).map(typical_point).collect();
+        group.throughput(Throughput::Elements(batch_size as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &points,
+            |b, points| {
+                let mut builder = BatchBuilder::with_capacity(batch_size * 96);
+                b.iter(|| {
+                    builder.clear();
+                    for p in points {
+                        builder.push(p);
+                    }
+                    black_box(builder.byte_len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineproto/parse");
+    for batch_size in [1usize, 10, 100, 1000] {
+        let mut builder = BatchBuilder::new();
+        for i in 0..batch_size {
+            builder.push(&typical_point(i));
+        }
+        let text = builder.take();
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch_size), &text, |b, text| {
+            b.iter(|| {
+                let outcome = parse_batch(black_box(text));
+                black_box(outcome.lines.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_single_line_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineproto/line");
+    // Zero-copy: no escapes anywhere.
+    let clean = typical_point(7).to_line();
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| black_box(parse_line(black_box(&clean)).unwrap().tags.len()))
+    });
+    // Escaped: forces owned unescaping.
+    let mut escaped_point = Point::new("my measurement");
+    escaped_point
+        .add_tag("host name", "node with spaces")
+        .add_field("the value", 1.0)
+        .set_timestamp(1);
+    let escaped = escaped_point.to_line();
+    group.bench_function("escaped", |b| {
+        b.iter(|| black_box(parse_line(black_box(&escaped)).unwrap().tags.len()))
+    });
+    // Parse + convert to owned point (the router's enrichment path).
+    group.bench_function("to_point", |b| {
+        b.iter(|| black_box(parse_line(black_box(&clean)).unwrap().to_point()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_parse, bench_parse_single_line_paths);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation — miniMD thread scaling and monitoring overhead: steps/s of
+//! the proxy app across thread counts, and the cost of libusermetric
+//! instrumentation relative to an uninstrumented run (the paper's "low
+//! overhead" concern applied to application-level monitoring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_apps::{MiniMd, MiniMdConfig};
+use lms_usermetric::{UserMetric, UserMetricConfig};
+use lms_util::{Clock, Timestamp};
+use std::hint::black_box;
+
+fn config(threads: usize) -> MiniMdConfig {
+    MiniMdConfig { nx: 8, ny: 8, nz: 8, threads, ..Default::default() } // 2048 atoms
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimd/steps");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let mut md = MiniMd::new(config(t));
+            b.iter(|| {
+                for _ in 0..10 {
+                    md.step();
+                }
+                black_box(md.steps_done())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitoring_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimd/monitoring");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(20));
+
+    group.bench_function("uninstrumented", |b| {
+        let mut md = MiniMd::new(config(2));
+        b.iter(|| black_box(md.run(20, 0, None).temperature))
+    });
+    group.bench_function("instrumented_every_10", |b| {
+        let mut md = MiniMd::new(config(2));
+        let um = UserMetric::to_null(
+            UserMetricConfig::default(),
+            Clock::simulated(Timestamp::from_secs(1)),
+        );
+        b.iter(|| black_box(md.run(20, 10, Some(&um)).temperature))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_monitoring_overhead);
+criterion_main!(benches);

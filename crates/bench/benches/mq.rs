@@ -1,0 +1,109 @@
+//! Claim C5 — "ZeroMQ publishing enables stream analysis": publish cost
+//! with 0/1/4 subscribers, topic-filtering cost, and the high-water-mark
+//! ablation (drop behaviour under a stalled subscriber).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_mq::{Publisher, Subscriber};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PAYLOAD: &[u8] = b"cpu_total,hostname=node042,jobid=1000 busy=0.93 1501804800000000000";
+
+/// A subscriber that drains everything in a background thread.
+fn draining_subscriber(addr: std::net::SocketAddr, topic: &str) -> (std::thread::JoinHandle<u64>, Arc<AtomicBool>) {
+    let mut sub = Subscriber::connect(addr).unwrap();
+    sub.subscribe(topic).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::spawn(move || {
+        let mut received = 0u64;
+        while !stop2.load(Ordering::Acquire) {
+            match sub.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(_)) => received += 1,
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+        received
+    });
+    (handle, stop)
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mq/publish");
+    group.throughput(Throughput::Elements(1));
+
+    // No subscribers: pure encode + fan-out scan.
+    {
+        let publisher = Publisher::bind("127.0.0.1:0").unwrap();
+        group.bench_function("subscribers_0", |b| {
+            b.iter(|| publisher.publish(black_box("metrics.cpu_total"), black_box(PAYLOAD)))
+        });
+    }
+    for nsubs in [1usize, 4] {
+        let publisher = Publisher::bind("127.0.0.1:0").unwrap();
+        let mut drains = Vec::new();
+        for _ in 0..nsubs {
+            drains.push(draining_subscriber(publisher.addr(), "metrics."));
+        }
+        publisher.wait_for_subscribers(nsubs, Duration::from_secs(5)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("subscribers", nsubs),
+            &nsubs,
+            |b, _| {
+                b.iter(|| {
+                    publisher.publish(black_box("metrics.cpu_total"), black_box(PAYLOAD))
+                })
+            },
+        );
+        for (handle, stop) in drains {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    }
+    // Filtered out: subscriber exists but the topic never matches.
+    {
+        let publisher = Publisher::bind("127.0.0.1:0").unwrap();
+        let (handle, stop) = draining_subscriber(publisher.addr(), "signals.");
+        publisher.wait_for_subscribers(1, Duration::from_secs(5)).unwrap();
+        group.bench_function("filtered_out", |b| {
+            b.iter(|| publisher.publish(black_box("metrics.cpu_total"), black_box(PAYLOAD)))
+        });
+        stop.store(true, Ordering::Release);
+        let _ = handle.join();
+    }
+    group.finish();
+}
+
+fn bench_hwm_ablation(c: &mut Criterion) {
+    // A stalled subscriber with varying high-water marks: how much does a
+    // 10k-message flood cost, and how many deliveries drop?
+    let mut group = c.benchmark_group("mq/hwm_flood");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    for hwm in [16usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("hwm", hwm), &hwm, |b, &hwm| {
+            b.iter_with_setup(
+                || {
+                    let publisher = Publisher::bind_with_hwm("127.0.0.1:0", hwm).unwrap();
+                    let mut sub = Subscriber::connect(publisher.addr()).unwrap();
+                    sub.subscribe("").unwrap();
+                    publisher.wait_for_subscribers(1, Duration::from_secs(5)).unwrap();
+                    (publisher, sub) // sub never drained: stalls immediately
+                },
+                |(publisher, _sub)| {
+                    for _ in 0..10_000 {
+                        publisher.publish("t", PAYLOAD);
+                    }
+                    black_box(publisher.stats().dropped)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_hwm_ablation);
+criterion_main!(benches);

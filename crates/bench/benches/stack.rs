@@ -1,0 +1,65 @@
+//! E2E — whole-stack ingest: one collection tick (agents → router → DB
+//! over real TCP) as node count grows, plus the dashboard-generation and
+//! admin-view costs on a populated stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_apps::AppProfile;
+use lms_core::{LmsStack, StackConfig};
+use lms_topology::Topology;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(nodes: usize) -> StackConfig {
+    StackConfig { nodes, topology: Topology::preset_desktop_4c(), ..Default::default() }
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack/tick");
+    group.sample_size(10);
+    for nodes in [2usize, 8, 16] {
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &nodes| {
+            let mut stack = LmsStack::start(config(nodes)).unwrap();
+            stack.submit_job(
+                "bench",
+                "load",
+                nodes,
+                Duration::from_secs(1 << 20),
+                AppProfile::MiniMd,
+            );
+            // Prime the pipeline (first HPM collect returns nothing).
+            stack.tick(Duration::from_secs(60));
+            b.iter(|| {
+                stack.tick(Duration::from_secs(60));
+                black_box(stack.stats().ticks)
+            });
+            stack.flush();
+        });
+    }
+    group.finish();
+}
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack/views");
+    group.sample_size(10);
+    let mut stack = LmsStack::start(config(4)).unwrap();
+    let job = stack.submit_job("anna", "x", 4, Duration::from_secs(1 << 20), AppProfile::MiniMd);
+    stack.run_for(Duration::from_secs(30 * 60), Duration::from_secs(60));
+
+    group.bench_function("job_dashboard_generate", |b| {
+        b.iter(|| black_box(stack.job_dashboard(job).unwrap().rows.len()))
+    });
+    group.bench_function("job_dashboard_render", |b| {
+        b.iter(|| black_box(stack.render_job_dashboard(job).unwrap().len()))
+    });
+    group.bench_function("evaluate_job_fig2", |b| {
+        b.iter(|| black_box(stack.evaluate_job(job).unwrap().nodes.len()))
+    });
+    group.bench_function("admin_view", |b| {
+        b.iter(|| black_box(stack.admin_view().unwrap().jobs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tick, bench_views);
+criterion_main!(benches);

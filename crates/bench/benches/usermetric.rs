@@ -1,0 +1,85 @@
+//! Claim C4 — "libusermetric is lightweight": the record() hot path, and
+//! the batching ablation (flush every message vs batch of N), which is the
+//! design decision the paper motivates with "buffers and sends batched
+//! messages".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_usermetric::{UserMetric, UserMetricConfig};
+use lms_util::{Clock, Timestamp};
+use std::hint::black_box;
+
+fn clock() -> Clock {
+    Clock::simulated(Timestamp::from_secs(1))
+}
+
+fn bench_record_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("usermetric/record");
+    // Null sink isolates client-side cost (buffering + serialization).
+    let um = UserMetric::to_null(
+        UserMetricConfig { flush_lines: usize::MAX, ..Default::default() },
+        clock(),
+    );
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("metric", |b| {
+        b.iter(|| um.metric(black_box("pressure"), black_box(1.713)))
+    });
+    group.bench_function("metric_with_tags", |b| {
+        b.iter(|| um.metric_with_tags(black_box("pressure"), 1.713, &[("tid", "3")]))
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| um.event(black_box("phase"), black_box("checkpoint written")))
+    });
+    let with_defaults = UserMetric::to_null(
+        UserMetricConfig {
+            default_tags: vec![
+                ("jobid".into(), "1000".into()),
+                ("user".into(), "alice".into()),
+                ("rank".into(), "17".into()),
+            ],
+            flush_lines: usize::MAX,
+            ..Default::default()
+        },
+        clock(),
+    );
+    group.bench_function("metric_3_default_tags", |b| {
+        b.iter(|| with_defaults.metric(black_box("pressure"), black_box(1.713)))
+    });
+    group.finish();
+}
+
+fn bench_batching_ablation(c: &mut Criterion) {
+    // Over a real HTTP hop: flushing every message vs batching N messages.
+    use lms_http::{Response, Server};
+    let server = Server::bind("127.0.0.1:0", 16, |_req| Response::no_content()).unwrap();
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("usermetric/batching");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(100));
+    for flush_lines in [1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("flush_every", flush_lines),
+            &flush_lines,
+            |b, &flush_lines| {
+                let um = UserMetric::to_http(
+                    UserMetricConfig { flush_lines, ..Default::default() },
+                    clock(),
+                    addr,
+                    "lms",
+                )
+                .unwrap();
+                b.iter(|| {
+                    for i in 0..100 {
+                        um.metric("m", i as f64);
+                    }
+                    um.flush();
+                });
+            },
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_record_hot_path, bench_batching_ablation);
+criterion_main!(benches);

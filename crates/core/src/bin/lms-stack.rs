@@ -1,0 +1,126 @@
+//! `lms-stack` — run a demonstration deployment of the whole stack.
+//!
+//! ```text
+//! lms-stack [--config <file.ini>] [--minutes <n>] [--jobs <spec>,...]
+//! ```
+//!
+//! `--jobs` takes comma-separated `user:app:nodes:minutes` entries where
+//! `app` is one of `dgemm`, `stream`, `minimd`, `idle`, `checkpoint`.
+//! Without `--jobs`, a default mixed workload is used. Prints the admin
+//! view and each job's evaluation at the end, plus the webviewer address
+//! usable while the simulation runs.
+
+use lms_apps::AppProfile;
+use lms_core::{LmsStack, StackConfig};
+use lms_util::{Error, Result};
+use std::time::Duration;
+
+struct JobRequest {
+    user: String,
+    app: AppProfile,
+    app_name: String,
+    nodes: usize,
+    minutes: u64,
+}
+
+fn parse_jobs(spec: &str) -> Result<Vec<JobRequest>> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        if parts.len() != 4 {
+            return Err(Error::config(format!(
+                "job `{entry}`: expected user:app:nodes:minutes"
+            )));
+        }
+        let app = AppProfile::parse(parts[1])
+            .ok_or_else(|| Error::config(format!("unknown app `{}`", parts[1])))?;
+        out.push(JobRequest {
+            user: parts[0].to_string(),
+            app,
+            app_name: parts[1].to_string(),
+            nodes: parts[2].parse().map_err(|_| Error::config("bad node count"))?,
+            minutes: parts[3].parse().map_err(|_| Error::config("bad minutes"))?,
+        });
+    }
+    Ok(out)
+}
+
+fn default_jobs() -> Vec<JobRequest> {
+    parse_jobs("anna:dgemm:2:25,bert:stream:1:20,carl:idle:1:30").expect("valid default")
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = StackConfig::default();
+    let mut minutes = 30u64;
+    let mut jobs = default_jobs();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => {
+                let path = it.next().ok_or_else(|| Error::config("--config needs a file"))?;
+                let text = std::fs::read_to_string(path)?;
+                config = StackConfig::from_ini(&text)?;
+            }
+            "--minutes" => {
+                minutes = it
+                    .next()
+                    .ok_or_else(|| Error::config("--minutes needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --minutes"))?;
+            }
+            "--jobs" => {
+                jobs = parse_jobs(
+                    it.next().ok_or_else(|| Error::config("--jobs needs a spec"))?,
+                )?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lms-stack [--config file.ini] [--minutes n] [--jobs user:app:nodes:minutes,...]"
+                );
+                return Ok(());
+            }
+            other => return Err(Error::config(format!("unknown argument `{other}`"))),
+        }
+    }
+
+    let mut stack = LmsStack::start(config)?;
+    let viewer = stack.start_viewer_server()?;
+    println!("database : http://{}", stack.db_addr());
+    println!("router   : http://{}", stack.router_addr());
+    println!("webviewer: http://{}  (GET /jobs /admin /dashboard?job= /render?job=)", viewer);
+
+    let mut ids = Vec::new();
+    for j in &jobs {
+        let id = stack.submit_job(
+            &j.user,
+            &j.app_name,
+            j.nodes,
+            Duration::from_secs(j.minutes * 60),
+            j.app,
+        );
+        println!("submitted job {id}: {}:{} × {} nodes × {} min", j.user, j.app_name, j.nodes, j.minutes);
+        ids.push(id);
+    }
+
+    println!("\nsimulating {minutes} virtual minutes…");
+    stack.run_for(Duration::from_secs(minutes * 60), Duration::from_secs(60));
+
+    println!("\n{}", stack.admin_view()?.text);
+    for id in ids {
+        println!("{}", stack.evaluate_job(id)?.render_table());
+    }
+    let stats = stack.stats();
+    println!(
+        "stats: {} lines routed, {} enriched, {} db points, {} series",
+        stats.router.lines_in, stats.router.lines_enriched, stats.db_points, stats.db_series
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("lms-stack: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # lms-core
+//!
+//! The **LIKWID Monitoring Stack** itself: wiring of all components into
+//! the architecture of the paper's Fig. 1.
+//!
+//! ```text
+//!  host agents ──HTTP──▶ metrics router ──HTTP──▶ InfluxDB-compatible DB
+//!  (sysmon + HPM)         │      ▲                      ▲
+//!                         │      └── job signals        │ queries
+//!                         ▼          (scheduler)        │
+//!                     MQ publisher                viewer agent → dashboards
+//!                     (stream analyzers)          admin view, evaluation
+//! ```
+//!
+//! [`LmsStack`] assembles the whole pipeline in one process over real TCP
+//! sockets and a simulated cluster: every node has a hardware-counter
+//! simulator (`lms-hpm`), a simulated procfs (`lms-sysmon`), a host agent,
+//! and an HPM collector; a batch scheduler (`lms-jobsched`) allocates jobs
+//! and fires start/end signals at the router; the router tags and forwards
+//! into the embedded database; the viewer agent generates dashboards.
+//! Virtual time lets an hour-long job run in milliseconds.
+//!
+//! ```no_run
+//! use lms_core::{LmsStack, StackConfig};
+//! use lms_apps::AppProfile;
+//! use std::time::Duration;
+//!
+//! let mut stack = LmsStack::start(StackConfig::default()).unwrap();
+//! let job = stack.submit_job("alice", "md-run", 2, Duration::from_secs(1800),
+//!     AppProfile::MiniMd);
+//! stack.run_for(Duration::from_secs(1800), Duration::from_secs(60));
+//! println!("{}", stack.render_job_dashboard(job).unwrap());
+//! ```
+
+pub mod stack;
+
+pub use stack::{LmsStack, StackConfig, StackStats};

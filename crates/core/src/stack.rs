@@ -1,0 +1,798 @@
+//! [`LmsStack`]: the in-process deployment of the full monitoring stack.
+
+use lms_analysis::evaluation::{JobEvaluation, NodePeaks};
+use lms_apps::AppProfile;
+use lms_dashboard::render::RenderOptions;
+use lms_dashboard::server::SourceFactory;
+use lms_dashboard::{
+    AdminView, Dashboard, JobDirectory, JobInfo, TemplateStore, ViewerAgent, ViewerServer,
+};
+use lms_influx::QuerySource;
+use parking_lot::RwLock;
+use lms_hpm::collector::HpmCollector;
+use lms_hpm::simulate::Simulator;
+use lms_http::HttpClient;
+use lms_influx::{Influx, InfluxServer};
+use lms_jobsched::{HttpSignaler, JobId, JobSpec, JobState, Scheduler};
+use lms_lineproto::BatchBuilder;
+use lms_mq::Publisher;
+use lms_router::{Router, RouterConfig, RouterServer, RouterStats};
+use lms_sysmon::{HostAgent, SimProc};
+use lms_topology::Topology;
+use lms_util::{Clock, Error, FxHashMap, Result, Timestamp};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a stack deployment.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Number of compute nodes to simulate (named `h1`, `h2`, …).
+    pub nodes: usize,
+    /// Node hardware model.
+    pub topology: Topology,
+    /// HPM performance groups the node collectors rotate through.
+    pub hpm_groups: Vec<String>,
+    /// Duplicate tagged metrics into per-user databases.
+    pub per_user: bool,
+    /// Publish metrics/signals on the message queue.
+    pub publish: bool,
+    /// Database retention window (None = keep everything).
+    pub retention: Option<Duration>,
+    /// Virtual start time.
+    pub start_time: Timestamp,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            nodes: 4,
+            topology: Topology::preset_dual_socket_10c(),
+            hpm_groups: vec!["FLOPS_DP".into(), "MEM".into()],
+            per_user: false,
+            publish: false,
+            retention: None,
+            // The paper's arXiv date makes a recognizable epoch in plots.
+            start_time: Timestamp::from_secs(1_501_804_800),
+            seed: 42,
+        }
+    }
+}
+
+impl StackConfig {
+    /// Loads a configuration from INI text (the deployment format every
+    /// LMS daemon uses; see `lms-util::config`):
+    ///
+    /// ```ini
+    /// [cluster]
+    /// nodes = 8
+    /// topology = dual_socket_10c   ; or desktop_4c
+    /// seed = 7
+    ///
+    /// [monitoring]
+    /// hpm_groups = FLOPS_DP, MEM, ENERGY
+    /// per_user = yes
+    /// publish = on
+    /// retention_hours = 48
+    /// ```
+    pub fn from_ini(text: &str) -> Result<Self> {
+        let ini = lms_util::config::Config::parse(text)?;
+        let mut config = StackConfig::default();
+        if let Some(n) = ini.get_i64("cluster", "nodes")? {
+            if n < 1 {
+                return Err(Error::config("cluster.nodes must be >= 1"));
+            }
+            config.nodes = n as usize;
+        }
+        match ini.get_or("cluster", "topology", "dual_socket_10c") {
+            "dual_socket_10c" => config.topology = Topology::preset_dual_socket_10c(),
+            "desktop_4c" => config.topology = Topology::preset_desktop_4c(),
+            other => {
+                return Err(Error::config(format!("unknown topology preset `{other}`")))
+            }
+        }
+        if let Some(seed) = ini.get_i64("cluster", "seed")? {
+            config.seed = seed as u64;
+        }
+        let groups = ini.get_list("monitoring", "hpm_groups");
+        if !groups.is_empty() {
+            for g in &groups {
+                if lms_hpm::groups::builtin_text(g).is_none() {
+                    return Err(Error::config(format!("unknown performance group `{g}`")));
+                }
+            }
+            config.hpm_groups = groups;
+        }
+        if let Some(v) = ini.get_bool("monitoring", "per_user")? {
+            config.per_user = v;
+        }
+        if let Some(v) = ini.get_bool("monitoring", "publish")? {
+            config.publish = v;
+        }
+        if let Some(h) = ini.get_i64("monitoring", "retention_hours")? {
+            if h < 1 {
+                return Err(Error::config("retention_hours must be >= 1"));
+            }
+            config.retention = Some(Duration::from_secs(h as u64 * 3600));
+        }
+        Ok(config)
+    }
+}
+
+/// Aggregate statistics of a running stack.
+#[derive(Debug, Clone)]
+pub struct StackStats {
+    /// Router counters.
+    pub router: RouterStats,
+    /// Points stored in the global database.
+    pub db_points: usize,
+    /// Series in the global database.
+    pub db_series: usize,
+    /// Completed ticks.
+    pub ticks: u64,
+}
+
+/// One simulated compute node.
+struct NodeSim {
+    hostname: String,
+    sim: Simulator,
+    proc_fs: SimProc,
+    agent: HostAgent,
+    hpm: HpmCollector,
+    /// Connection used to POST HPM batches to the router.
+    hpm_client: HttpClient,
+}
+
+/// The assembled monitoring stack.
+pub struct LmsStack {
+    config: StackConfig,
+    clock: Clock,
+    influx: Influx,
+    influx_server: Option<InfluxServer>,
+    router: Arc<Router>,
+    router_server: Option<RouterServer>,
+    publisher_addr: Option<SocketAddr>,
+    scheduler: Scheduler,
+    nodes: Vec<NodeSim>,
+    /// JobId → (profile, virtual start) for workload reconciliation.
+    active: FxHashMap<JobId, (AppProfile, Timestamp)>,
+    profiles: FxHashMap<JobId, AppProfile>,
+    ticks: u64,
+    /// Job snapshot shared with the webviewer (refreshed every tick).
+    directory: Arc<SnapshotDirectory>,
+    viewer_server: Option<ViewerServer>,
+}
+
+/// A [`JobDirectory`] backed by a per-tick snapshot of the scheduler.
+#[derive(Default)]
+struct SnapshotDirectory {
+    jobs: RwLock<Vec<JobInfo>>,
+}
+
+impl JobDirectory for SnapshotDirectory {
+    fn running_jobs(&self) -> Vec<JobInfo> {
+        self.jobs.read().iter().filter(|j| j.end.is_none()).cloned().collect()
+    }
+
+    fn job(&self, jobid: &str) -> Option<JobInfo> {
+        self.jobs.read().iter().find(|j| j.jobid == jobid).cloned()
+    }
+}
+
+impl LmsStack {
+    /// Starts every component and wires them together.
+    pub fn start(config: StackConfig) -> Result<Self> {
+        let clock = Clock::simulated(config.start_time);
+
+        // Database.
+        let influx = Influx::new(clock.clone());
+        influx.create_database("lms");
+        if let Some(retention) = config.retention {
+            influx.set_retention("lms", Some(retention));
+        }
+        let influx_server = InfluxServer::start("127.0.0.1:0", influx.clone())?;
+
+        // Optional MQ publisher for stream analyzers.
+        let (publisher, publisher_addr) = if config.publish {
+            let p = Publisher::bind("127.0.0.1:0")?;
+            let addr = p.addr();
+            (Some(p), Some(addr))
+        } else {
+            (None, None)
+        };
+
+        // Router.
+        let router_config = RouterConfig {
+            global_db: "lms".into(),
+            per_user: config.per_user,
+            ..Default::default()
+        };
+        let router = Arc::new(Router::new(
+            influx_server.addr(),
+            router_config,
+            clock.clone(),
+            publisher,
+        ));
+        let router_server = RouterServer::start("127.0.0.1:0", router.clone())?;
+        let router_addr = router_server.addr();
+
+        // Scheduler with signal hook into the router.
+        let hostnames: Vec<String> = (1..=config.nodes).map(|i| format!("h{i}")).collect();
+        let mut scheduler = Scheduler::new(hostnames.clone(), clock.clone());
+        scheduler.add_hook(Box::new(HttpSignaler::new(router_addr)?));
+
+        // Compute nodes.
+        let ncpu = config.topology.num_hw_threads();
+        let mem_kb = 64 * 1024 * 1024; // 64 GiB nodes
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for (i, hostname) in hostnames.iter().enumerate() {
+            let sim = Simulator::new(&config.topology, config.seed.wrapping_add(i as u64));
+            let proc_fs = SimProc::new(ncpu, mem_kb, config.seed.wrapping_add(1000 + i as u64));
+            let mut agent =
+                HostAgent::new(hostname.clone(), clock.clone()).with_standard_collectors();
+            agent.send_to(router_addr, "lms")?;
+            let mut hpm = HpmCollector::new(config.topology.clone(), hostname.clone(), clock.clone());
+            for group in &config.hpm_groups {
+                hpm.add_group(group)?;
+            }
+            nodes.push(NodeSim {
+                hostname: hostname.clone(),
+                sim,
+                proc_fs,
+                agent,
+                hpm,
+                hpm_client: HttpClient::connect(router_addr)?,
+            });
+        }
+
+        Ok(LmsStack {
+            config,
+            clock,
+            influx,
+            influx_server: Some(influx_server),
+            router,
+            router_server: Some(router_server),
+            publisher_addr,
+            scheduler,
+            nodes,
+            active: FxHashMap::default(),
+            profiles: FxHashMap::default(),
+            ticks: 0,
+            directory: Arc::new(SnapshotDirectory::default()),
+            viewer_server: None,
+        })
+    }
+
+    /// Starts the Webviewer (Fig. 1's "Webviewer" box) serving dashboards
+    /// for this stack over HTTP; returns its address. Idempotent.
+    pub fn start_viewer_server(&mut self) -> Result<SocketAddr> {
+        if let Some(vs) = &self.viewer_server {
+            return Ok(vs.addr());
+        }
+        let agent = Arc::new(self.viewer());
+        let influx = self.influx.clone();
+        let factory: SourceFactory =
+            Arc::new(move || Box::new(influx.clone()) as Box<dyn QuerySource + Send>);
+        let server = ViewerServer::start(
+            "127.0.0.1:0",
+            agent,
+            factory,
+            self.directory.clone(),
+            self.clock.clone(),
+        )?;
+        let addr = server.addr();
+        self.viewer_server = Some(server);
+        self.refresh_directory();
+        Ok(addr)
+    }
+
+    /// Refreshes the webviewer's job snapshot from the scheduler.
+    fn refresh_directory(&self) {
+        let jobs: Vec<JobInfo> = self
+            .scheduler
+            .jobs()
+            .iter()
+            .filter_map(|job| {
+                let (start, end) = match job.state {
+                    JobState::Running { started } => (started, None),
+                    JobState::Completed { started, ended } => (started, Some(ended)),
+                    _ => return None,
+                };
+                Some(JobInfo {
+                    jobid: job.id.to_string(),
+                    user: job.spec.user.clone(),
+                    hosts: job.hosts().to_vec(),
+                    start,
+                    end,
+                })
+            })
+            .collect();
+        *self.directory.jobs.write() = jobs;
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The embedded database handle (also reachable over HTTP at
+    /// [`db_addr`](Self::db_addr)).
+    pub fn influx(&self) -> &Influx {
+        &self.influx
+    }
+
+    /// Database server address.
+    pub fn db_addr(&self) -> SocketAddr {
+        self.influx_server.as_ref().expect("running").addr()
+    }
+
+    /// Router server address (agents and `umetric` POST here).
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router_server.as_ref().expect("running").addr()
+    }
+
+    /// MQ publisher address when `publish` is on.
+    pub fn publisher_addr(&self) -> Option<SocketAddr> {
+        self.publisher_addr
+    }
+
+    /// The router (admin views, stats).
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// The node topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// Submits a job running `profile` on `nodes` nodes.
+    pub fn submit_job(
+        &mut self,
+        user: &str,
+        name: &str,
+        nodes: usize,
+        walltime: Duration,
+        profile: AppProfile,
+    ) -> JobId {
+        let spec = JobSpec::new(user, name, nodes, walltime);
+        let id = self.scheduler.submit(spec);
+        self.profiles.insert(id, profile);
+        id
+    }
+
+    /// Advances the whole stack by `dt` of virtual time: simulators
+    /// integrate, the scheduler allocates/completes (firing signals),
+    /// agents collect and POST, the database ingests.
+    pub fn tick(&mut self, dt: Duration) {
+        self.clock.advance(dt);
+        self.scheduler.tick();
+        self.reconcile_workloads();
+        self.refresh_directory();
+
+        for node in &mut self.nodes {
+            node.sim.advance(dt);
+            node.proc_fs.advance(dt);
+        }
+        for node in &mut self.nodes {
+            node.agent.tick(&node.proc_fs);
+            if let Ok(points) = node.hpm.collect(&node.sim) {
+                if !points.is_empty() {
+                    let mut batch = BatchBuilder::with_capacity(512);
+                    for p in &points {
+                        batch.push(p);
+                    }
+                    let _ = node.hpm_client.post_text("/write?db=lms", batch.as_str());
+                }
+            }
+        }
+        self.ticks += 1;
+        // Retention sweep once per simulated hour (cheap; see bench influx).
+        if self.config.retention.is_some() && self.ticks % 60 == 0 {
+            self.influx.enforce_retention();
+        }
+    }
+
+    /// Runs the stack for `total` virtual time in `step` increments,
+    /// flushing the router pipeline at the end.
+    pub fn run_for(&mut self, total: Duration, step: Duration) {
+        let mut remaining = total;
+        while remaining > Duration::ZERO {
+            let dt = step.min(remaining);
+            self.tick(dt);
+            remaining -= dt;
+        }
+        self.flush();
+    }
+
+    /// Waits for queued router→DB deliveries to drain.
+    pub fn flush(&self) -> bool {
+        self.router.flush(Duration::from_secs(10))
+    }
+
+    /// Applies job starts/ends to the node simulators.
+    fn reconcile_workloads(&mut self) {
+        let now = self.clock.now();
+        // Newly running jobs.
+        let running: Vec<(JobId, Vec<String>, Timestamp)> = self
+            .scheduler
+            .running()
+            .map(|j| {
+                let started = match j.state {
+                    JobState::Running { started } => started,
+                    _ => unreachable!("running() filters"),
+                };
+                (j.id, j.hosts().to_vec(), started)
+            })
+            .collect();
+        for (id, hosts, started) in &running {
+            if !self.active.contains_key(id) {
+                let profile = self.profiles.get(id).copied().unwrap_or(AppProfile::MiniMd);
+                for node in &mut self.nodes {
+                    if hosts.contains(&node.hostname) {
+                        let model = profile.hpm_model(node.sim.topology());
+                        // HPC jobs run one worker per physical core; SMT
+                        // siblings stay idle (assigning them too would
+                        // double-count the node's compute capability).
+                        node.sim.assign(node.sim.topology().primary_threads(), model);
+                    }
+                }
+                self.active.insert(*id, (profile, *started));
+            }
+        }
+        // Ended jobs.
+        let running_ids: Vec<JobId> = running.iter().map(|(id, _, _)| *id).collect();
+        let ended: Vec<JobId> =
+            self.active.keys().copied().filter(|id| !running_ids.contains(id)).collect();
+        for id in ended {
+            self.active.remove(&id);
+            if let Some(job) = self.scheduler.job(id) {
+                let hosts = job.hosts().to_vec();
+                for node in &mut self.nodes {
+                    if hosts.contains(&node.hostname) {
+                        let threads: Vec<u32> =
+                            (0..node.sim.topology().num_hw_threads()).collect();
+                        node.sim.clear(threads);
+                        node.proc_fs.set_activity(lms_sysmon::NodeActivity::idle());
+                    }
+                }
+            }
+        }
+        // Phased sysmon activity for the jobs still running.
+        let ncpu = self.config.topology.num_hw_threads();
+        for (id, (profile, started)) in &self.active {
+            let at = now.since(*started);
+            if let Some(job) = self.scheduler.job(*id) {
+                let hosts = job.hosts();
+                for node in &mut self.nodes {
+                    if hosts.contains(&node.hostname) {
+                        node.proc_fs.set_activity(profile.activity(ncpu, at));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Job information in the viewer's shape.
+    pub fn job_info(&self, id: JobId) -> Result<JobInfo> {
+        let job = self
+            .scheduler
+            .job(id)
+            .ok_or_else(|| Error::not_found(format!("job {id}")))?;
+        let (start, end) = match job.state {
+            JobState::Running { started } => (started, None),
+            JobState::Completed { started, ended } => (started, Some(ended)),
+            _ => (job.submitted, None),
+        };
+        Ok(JobInfo {
+            jobid: id.to_string(),
+            user: job.spec.user.clone(),
+            hosts: job.hosts().to_vec(),
+            start,
+            end,
+        })
+    }
+
+    fn peaks(&self) -> NodePeaks {
+        NodePeaks {
+            flops_mflops: self.config.topology.peak_flops_dp() / 1e6,
+            membw_mbytes: self.config.topology.peak_mem_bw() / 1e6,
+        }
+    }
+
+    /// A viewer agent bound to this stack's database.
+    pub fn viewer(&self) -> ViewerAgent {
+        ViewerAgent::new("lms", TemplateStore::builtin(), self.peaks())
+    }
+
+    /// Generates a job's dashboard (template-driven, Sec. III-D).
+    pub fn job_dashboard(&mut self, id: JobId) -> Result<Dashboard> {
+        let info = self.job_info(id)?;
+        let now = self.clock.now();
+        let viewer = self.viewer();
+        viewer.job_dashboard(&mut self.influx.clone(), &info, now)
+    }
+
+    /// Renders a job's dashboard to text (headless Grafana).
+    pub fn render_job_dashboard(&mut self, id: JobId) -> Result<String> {
+        let dashboard = self.job_dashboard(id)?;
+        let viewer = self.viewer();
+        viewer.render_dashboard(&mut self.influx.clone(), &dashboard, RenderOptions::default())
+    }
+
+    /// Runs the online evaluation of a job (the Fig. 2 header data).
+    pub fn evaluate_job(&mut self, id: JobId) -> Result<JobEvaluation> {
+        let info = self.job_info(id)?;
+        let end = info.end.unwrap_or_else(|| self.clock.now());
+        JobEvaluation::evaluate(
+            &mut self.influx.clone(),
+            "lms",
+            &info.jobid,
+            &info.hosts,
+            info.start,
+            end,
+            self.peaks(),
+        )
+    }
+
+    /// Builds the statistical usage report over all completed jobs — the
+    /// paper's "statistical foundation about application specific system
+    /// usage" for operations and procurement.
+    pub fn usage_report(&mut self) -> Result<lms_analysis::UsageReport> {
+        let completed: Vec<lms_analysis::CompletedJob> = self
+            .scheduler
+            .jobs()
+            .iter()
+            .filter_map(|job| match job.state {
+                JobState::Completed { started, ended } => Some(lms_analysis::CompletedJob {
+                    jobid: job.id.to_string(),
+                    user: job.spec.user.clone(),
+                    app: job.spec.name.clone(),
+                    hosts: job.hosts().to_vec(),
+                    start: started,
+                    end: ended,
+                }),
+                _ => None,
+            })
+            .collect();
+        lms_analysis::UsageReport::build(
+            &mut self.influx.clone(),
+            "lms",
+            &completed,
+            self.peaks(),
+        )
+    }
+
+    /// The admin overview of currently running jobs.
+    pub fn admin_view(&mut self) -> Result<AdminView> {
+        let ids: Vec<JobId> = self.scheduler.running().map(|j| j.id).collect();
+        let jobs: Vec<JobInfo> =
+            ids.iter().map(|&id| self.job_info(id)).collect::<Result<_>>()?;
+        let now = self.clock.now();
+        let viewer = self.viewer();
+        viewer.admin_view(&mut self.influx.clone(), &jobs, now)
+    }
+
+    /// Direct access to the scheduler (inspection in tests/examples).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StackStats {
+        StackStats {
+            router: self.router.stats(),
+            db_points: self.influx.point_count("lms"),
+            db_series: self.influx.series_count("lms"),
+            ticks: self.ticks,
+        }
+    }
+}
+
+impl Drop for LmsStack {
+    fn drop(&mut self) {
+        if let Some(s) = self.viewer_server.take() {
+            s.shutdown();
+        }
+        if let Some(s) = self.router_server.take() {
+            s.shutdown();
+        }
+        if let Some(s) = self.influx_server.take() {
+            s.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> StackConfig {
+        StackConfig {
+            nodes: 2,
+            topology: Topology::preset_desktop_4c(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stack_boots_and_ingests_system_metrics() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        stack.run_for(Duration::from_secs(300), Duration::from_secs(60));
+        let stats = stack.stats();
+        assert!(stats.db_points > 50, "{stats:?}");
+        assert_eq!(stats.ticks, 5);
+        assert_eq!(stats.router.lines_rejected, 0);
+        // System measurements present.
+        let r = stack.influx().query("lms", "SHOW MEASUREMENTS").unwrap();
+        let names: Vec<&str> =
+            r.series[0].values.iter().map(|v| v[0].as_str().unwrap()).collect();
+        for expected in ["cpu_total", "memory", "load", "hpm_flops_dp", "hpm_mem"] {
+            assert!(names.contains(&expected), "{expected} missing from {names:?}");
+        }
+    }
+
+    #[test]
+    fn job_lifecycle_tags_metrics_and_emits_events() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        let job = stack.submit_job(
+            "alice",
+            "md",
+            2,
+            Duration::from_secs(600),
+            AppProfile::Dgemm,
+        );
+        stack.run_for(Duration::from_secs(900), Duration::from_secs(60));
+
+        // Job completed after 600s.
+        assert!(stack.scheduler().job(job).unwrap().state.is_completed());
+        // Tagged metrics exist in the job window.
+        let q = format!("SELECT count(busy) FROM cpu_total WHERE jobid = '{job}'");
+        let r = stack.influx().query("lms", &q).unwrap();
+        assert!(
+            r.series[0].values[0][1].as_i64().unwrap() > 5,
+            "tagged cpu samples missing"
+        );
+        // Start/end annotation events recorded.
+        let q = format!("SELECT count(text) FROM events WHERE jobid = '{job}'");
+        let r = stack.influx().query("lms", &q).unwrap();
+        assert_eq!(r.series[0].values[0][1].as_i64().unwrap(), 4); // 2 hosts × start+end
+    }
+
+    #[test]
+    fn hpm_counters_reflect_the_job_profile() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        let job = stack.submit_job(
+            "bob",
+            "gemm",
+            1,
+            Duration::from_secs(1200),
+            AppProfile::Dgemm,
+        );
+        stack.run_for(Duration::from_secs(600), Duration::from_secs(60));
+        let info = stack.job_info(job).unwrap();
+        let host = &info.hosts[0];
+        let q = format!(
+            "SELECT mean(dp_mflop_s) FROM hpm_flops_dp WHERE hostname = '{host}'"
+        );
+        let r = stack.influx().query("lms", &q).unwrap();
+        let mflops = r.series[0].values[0][1].as_f64().unwrap();
+        // Desktop preset peak = 3.5 GHz × 8 × 4 cores = 112 GFLOP/s;
+        // compute-bound ≈ 70% ≈ 78 GFLOP/s = 78000 MFLOP/s.
+        assert!(mflops > 40_000.0, "dgemm flop rate {mflops}");
+    }
+
+    #[test]
+    fn dashboard_and_evaluation_generate() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        let job =
+            stack.submit_job("carol", "app", 2, Duration::from_secs(1200), AppProfile::MiniMd);
+        stack.run_for(Duration::from_secs(600), Duration::from_secs(60));
+
+        let ev = stack.evaluate_job(job).unwrap();
+        assert_eq!(ev.nodes.len(), 2);
+        assert!(ev.nodes[0].cpu_busy > 0.5, "{:?}", ev.nodes[0]);
+
+        let dashboard = stack.job_dashboard(job).unwrap();
+        assert!(dashboard.rows.len() >= 4, "{:?}", dashboard.rows.len());
+        let text = stack.render_job_dashboard(job).unwrap();
+        assert!(text.contains("DP FLOP rate h1"));
+
+        let admin = stack.admin_view().unwrap();
+        assert_eq!(admin.jobs, 1);
+        assert!(admin.text.contains("carol"));
+    }
+
+    #[test]
+    fn per_user_duplication_through_the_stack() {
+        let mut config = small_config();
+        config.per_user = true;
+        let mut stack = LmsStack::start(config).unwrap();
+        stack.submit_job("dave", "x", 1, Duration::from_secs(600), AppProfile::Stream);
+        stack.run_for(Duration::from_secs(300), Duration::from_secs(60));
+        assert!(stack.influx().point_count("user_dave") > 0);
+    }
+
+    #[test]
+    fn usage_report_over_completed_jobs() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        stack.submit_job("anna", "gemm", 1, Duration::from_secs(600), AppProfile::Dgemm);
+        stack.submit_job("bert", "idler", 1, Duration::from_secs(600), AppProfile::IdleJob);
+        stack.run_for(Duration::from_secs(900), Duration::from_secs(60));
+
+        let report = stack.usage_report().unwrap();
+        assert_eq!(report.by_user.len(), 2);
+        // 2 jobs × 1 node × 10 min ≈ 0.33 node-hours.
+        assert!((report.total_node_hours - 1.0 / 3.0).abs() < 0.02, "{}", report.total_node_hours);
+        let anna = &report.by_user.iter().find(|(u, _)| u == "anna").unwrap().1;
+        let bert = &report.by_user.iter().find(|(u, _)| u == "bert").unwrap().1;
+        assert!(anna.mean_flops_frac > 0.3, "{}", anna.mean_flops_frac);
+        assert_eq!(bert.dominant_pattern(), Some("Idle"));
+        assert!(report.render().contains("by application"));
+    }
+
+    #[test]
+    fn config_from_ini() {
+        let config = StackConfig::from_ini(
+            "[cluster]\nnodes = 8\ntopology = desktop_4c\nseed = 7\n\
+             [monitoring]\nhpm_groups = FLOPS_DP, MEM, ENERGY\nper_user = yes\n\
+             publish = on\nretention_hours = 48\n",
+        )
+        .unwrap();
+        assert_eq!(config.nodes, 8);
+        assert_eq!(config.topology.name(), "desktop-1s4c2t");
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.hpm_groups, vec!["FLOPS_DP", "MEM", "ENERGY"]);
+        assert!(config.per_user && config.publish);
+        assert_eq!(config.retention, Some(Duration::from_secs(48 * 3600)));
+        // Defaults when empty.
+        let d = StackConfig::from_ini("").unwrap();
+        assert_eq!(d.nodes, 4);
+        // Validation.
+        assert!(StackConfig::from_ini("[cluster]\nnodes = 0\n").is_err());
+        assert!(StackConfig::from_ini("[cluster]\ntopology = cray_xc40\n").is_err());
+        assert!(StackConfig::from_ini("[monitoring]\nhpm_groups = NOPE\n").is_err());
+        assert!(StackConfig::from_ini("[monitoring]\nretention_hours = 0\n").is_err());
+    }
+
+    #[test]
+    fn viewer_server_serves_dashboards_over_http() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        let addr = stack.start_viewer_server().unwrap();
+        let job =
+            stack.submit_job("eve", "web", 1, Duration::from_secs(1200), AppProfile::Dgemm);
+        stack.run_for(Duration::from_secs(300), Duration::from_secs(60));
+
+        let mut c = lms_http::HttpClient::connect(addr).unwrap();
+        // /jobs lists the running job.
+        let jobs = lms_util::Json::parse(&c.get("/jobs").unwrap().body_str()).unwrap();
+        assert_eq!(jobs.idx(0).unwrap().get("user").unwrap().as_str(), Some("eve"));
+        // /dashboard returns valid dashboard JSON for it.
+        let r = c.get(&format!("/dashboard?job={job}")).unwrap();
+        assert_eq!(r.status, 200);
+        let d = lms_dashboard::Dashboard::from_json(
+            &lms_util::Json::parse(&r.body_str()).unwrap(),
+        )
+        .unwrap();
+        assert!(d.title.contains(&job.to_string()));
+        // /render produces charts; /admin shows the job.
+        assert!(c.get(&format!("/render?job={job}")).unwrap().body_str().contains('*'));
+        assert!(c.get("/admin").unwrap().body_str().contains("eve"));
+        // Idempotent start.
+        assert_eq!(stack.start_viewer_server().unwrap(), addr);
+    }
+
+    #[test]
+    fn retention_enforced_via_stack_clock() {
+        let mut config = small_config();
+        config.retention = Some(Duration::from_secs(120));
+        let mut stack = LmsStack::start(config).unwrap();
+        stack.run_for(Duration::from_secs(600), Duration::from_secs(60));
+        let before = stack.influx().point_count("lms");
+        let evicted = stack.influx().enforce_retention();
+        assert!(evicted > 0);
+        assert!(stack.influx().point_count("lms") < before);
+    }
+}

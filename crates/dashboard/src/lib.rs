@@ -1,0 +1,32 @@
+//! # lms-dashboard
+//!
+//! The web-visualization layer of the LMS reproduction — a Grafana
+//! substitute plus the paper's **Dashboard Agent** (Sec. III-D).
+//!
+//! "Grafana is not configured manually but we developed a Grafana Agent
+//! that generates the dashboards out of templates, based on available
+//! databases and the metrics in them. … The dashboard, row and panel
+//! templates are combined to a full dashboard and some settings are
+//! adjusted for the current job. As a header, analysis results of the job
+//! are presented …. The main view for administrators contains all
+//! currently running jobs."
+//!
+//! - [`model`] — the dashboard/row/panel/target object model with a
+//!   Grafana-style JSON representation,
+//! - [`templates`] — the template store and `$variable` instantiation,
+//! - [`viewer`] — the Viewer Agent: metric discovery, template selection,
+//!   dashboard composition per job, plus the admin overview,
+//! - [`render`] — a headless ASCII renderer that draws panels (time-series
+//!   charts with event annotations as dashed lines) from live query data —
+//!   this is what regenerates the paper's Figs. 2–4 in a terminal.
+
+pub mod model;
+pub mod render;
+pub mod server;
+pub mod templates;
+pub mod viewer;
+
+pub use model::{Dashboard, Panel, PanelKind, Row, Target};
+pub use templates::TemplateStore;
+pub use server::{JobDirectory, ViewerServer};
+pub use viewer::{AdminView, JobInfo, ViewerAgent};

@@ -1,0 +1,236 @@
+//! The counter register file and event→register allocation.
+//!
+//! Real PMUs have a small number of programmable counters per hardware
+//! thread (plus fixed-function counters hardwired to specific events, and
+//! per-socket uncore/energy counters). LIKWID's job — and this module's —
+//! is to map a requested event set onto compatible free registers, or report
+//! that the set does not fit (the reason LIKWID groups are sized the way
+//! they are).
+
+use crate::events::{Event, EventCatalog};
+use lms_util::{Error, Result};
+
+/// The register classes of the simulated PMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterClass {
+    /// Fixed-function core counters `FIXC0..FIXC2`. Each is hardwired to
+    /// one specific event (instructions, core cycles, reference cycles).
+    Fixed,
+    /// General-purpose core counters `PMC0..PMC3` (any `Pmc` event).
+    Pmc,
+    /// Uncore memory-controller counters `MBOX0C0..MBOX0C3` (per socket).
+    Uncore,
+    /// Energy status registers `PWR0..PWR1` (per socket, monotonic Joules).
+    Energy,
+}
+
+impl CounterClass {
+    /// Number of registers of this class (per thread for core classes,
+    /// per socket for uncore/energy).
+    pub fn capacity(self) -> usize {
+        match self {
+            CounterClass::Fixed => 3,
+            CounterClass::Pmc => 4,
+            CounterClass::Uncore => 4,
+            CounterClass::Energy => 2,
+        }
+    }
+
+    /// Register name prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            CounterClass::Fixed => "FIXC",
+            CounterClass::Pmc => "PMC",
+            CounterClass::Uncore => "MBOX0C",
+            CounterClass::Energy => "PWR",
+        }
+    }
+
+    /// True when one instance exists per socket rather than per thread.
+    pub fn is_socket_scope(self) -> bool {
+        matches!(self, CounterClass::Uncore | CounterClass::Energy)
+    }
+}
+
+/// A concrete register: class + slot, e.g. `PMC2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId {
+    /// Register class.
+    pub class: CounterClass,
+    /// Slot within the class, `0..class.capacity()`.
+    pub slot: u8,
+}
+
+impl CounterId {
+    /// Parses a register name like `PMC0`, `FIXC2`, `MBOX0C1`, `PWR1`.
+    pub fn parse(name: &str) -> Result<Self> {
+        for class in
+            [CounterClass::Uncore, CounterClass::Fixed, CounterClass::Pmc, CounterClass::Energy]
+        {
+            // Uncore first: "MBOX0C1" must not be claimed by a shorter prefix.
+            if let Some(rest) = name.strip_prefix(class.prefix()) {
+                let slot: u8 = rest
+                    .parse()
+                    .map_err(|_| Error::protocol(format!("bad counter name `{name}`")))?;
+                if (slot as usize) >= class.capacity() {
+                    return Err(Error::invalid(format!(
+                        "counter `{name}` out of range (class has {})",
+                        class.capacity()
+                    )));
+                }
+                return Ok(CounterId { class, slot });
+            }
+        }
+        Err(Error::protocol(format!("unknown counter `{name}`")))
+    }
+}
+
+impl std::fmt::Display for CounterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.slot)
+    }
+}
+
+/// Fixed-function wiring: which event each FIXC slot counts.
+pub const FIXED_WIRING: [&str; 3] =
+    ["INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE", "CPU_CLK_UNHALTED_REF"];
+
+/// An event assigned to a register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Event name (points into the catalog).
+    pub event: &'static str,
+    /// The register counting it.
+    pub counter: CounterId,
+}
+
+/// Allocates a set of events onto the register file.
+///
+/// Fixed-class events go to their hardwired slot; each other class hands out
+/// slots in order. Duplicate events are rejected (LIKWID would too — the
+/// same event never needs two registers).
+pub fn allocate(events: &[&str], catalog: &EventCatalog) -> Result<Vec<Assignment>> {
+    let mut assignments = Vec::with_capacity(events.len());
+    let mut next_slot = [0usize; 3]; // Pmc, Uncore, Energy
+    for &name in events {
+        if assignments.iter().any(|a: &Assignment| a.event == name) {
+            return Err(Error::invalid(format!("event `{name}` requested twice")));
+        }
+        let event: &Event = catalog
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("event `{name}` not in catalog")))?;
+        let counter = match event.class {
+            CounterClass::Fixed => {
+                let slot = FIXED_WIRING
+                    .iter()
+                    .position(|&w| w == name)
+                    .ok_or_else(|| Error::invalid(format!("no fixed slot wired for `{name}`")))?;
+                CounterId { class: CounterClass::Fixed, slot: slot as u8 }
+            }
+            class => {
+                let idx = match class {
+                    CounterClass::Pmc => 0,
+                    CounterClass::Uncore => 1,
+                    CounterClass::Energy => 2,
+                    CounterClass::Fixed => unreachable!(),
+                };
+                let slot = next_slot[idx];
+                if slot >= class.capacity() {
+                    return Err(Error::invalid(format!(
+                        "event set needs more than {} {:?} counters",
+                        class.capacity(),
+                        class
+                    )));
+                }
+                next_slot[idx] += 1;
+                CounterId { class, slot: slot as u8 }
+            }
+        };
+        assignments.push(Assignment { event: event.name, counter });
+    }
+    Ok(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_name_round_trip() {
+        for name in ["FIXC0", "FIXC2", "PMC0", "PMC3", "MBOX0C1", "PWR0", "PWR1"] {
+            let c = CounterId::parse(name).unwrap();
+            assert_eq!(c.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn counter_name_errors() {
+        assert!(CounterId::parse("PMC4").is_err()); // only 4 PMCs (0..3)
+        assert!(CounterId::parse("FIXC3").is_err());
+        assert!(CounterId::parse("XYZ0").is_err());
+        assert!(CounterId::parse("PMC").is_err());
+        assert!(CounterId::parse("PWR2").is_err());
+    }
+
+    #[test]
+    fn allocation_respects_fixed_wiring() {
+        let cat = EventCatalog::default_arch();
+        let a = allocate(&["CPU_CLK_UNHALTED_CORE", "INSTR_RETIRED_ANY"], &cat).unwrap();
+        assert_eq!(a[0].counter.to_string(), "FIXC1");
+        assert_eq!(a[1].counter.to_string(), "FIXC0");
+    }
+
+    #[test]
+    fn allocation_hands_out_pmc_slots_in_order() {
+        let cat = EventCatalog::default_arch();
+        let a = allocate(
+            &["L1D_REPLACEMENT", "L2_LINES_IN_ALL", "BR_INST_RETIRED_ALL_BRANCHES"],
+            &cat,
+        )
+        .unwrap();
+        let regs: Vec<_> = a.iter().map(|x| x.counter.to_string()).collect();
+        assert_eq!(regs, vec!["PMC0", "PMC1", "PMC2"]);
+    }
+
+    #[test]
+    fn allocation_mixes_classes_independently() {
+        let cat = EventCatalog::default_arch();
+        let a = allocate(
+            &["INSTR_RETIRED_ANY", "L1D_REPLACEMENT", "CAS_COUNT_RD", "PWR_PKG_ENERGY", "CAS_COUNT_WR"],
+            &cat,
+        )
+        .unwrap();
+        let regs: Vec<_> = a.iter().map(|x| x.counter.to_string()).collect();
+        assert_eq!(regs, vec!["FIXC0", "PMC0", "MBOX0C0", "PWR0", "MBOX0C1"]);
+    }
+
+    #[test]
+    fn allocation_overflow_detected() {
+        let cat = EventCatalog::default_arch();
+        // 5 PMC events > 4 PMC registers.
+        let too_many = [
+            "L1D_REPLACEMENT",
+            "L1D_M_EVICT",
+            "L2_LINES_IN_ALL",
+            "L2_TRANS_L2_WB",
+            "BR_INST_RETIRED_ALL_BRANCHES",
+        ];
+        let err = allocate(&too_many, &cat).unwrap_err();
+        assert!(err.to_string().contains("more than 4"));
+    }
+
+    #[test]
+    fn allocation_rejects_duplicates_and_unknown() {
+        let cat = EventCatalog::default_arch();
+        assert!(allocate(&["L1D_REPLACEMENT", "L1D_REPLACEMENT"], &cat).is_err());
+        assert!(allocate(&["MADE_UP_EVENT"], &cat).is_err());
+    }
+
+    #[test]
+    fn socket_scope_classes() {
+        assert!(CounterClass::Uncore.is_socket_scope());
+        assert!(CounterClass::Energy.is_socket_scope());
+        assert!(!CounterClass::Fixed.is_socket_scope());
+        assert!(!CounterClass::Pmc.is_socket_scope());
+    }
+}

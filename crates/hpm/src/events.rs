@@ -1,0 +1,165 @@
+//! Per-architecture hardware event catalogs.
+//!
+//! Events are identified by the LIKWID-style upper-case names used in group
+//! files (`INSTR_RETIRED_ANY`, `CAS_COUNT_RD`, ...). Each event belongs to a
+//! *counter class* that constrains which registers can count it — the same
+//! constraint structure real PMUs have and the reason LIKWID needs an
+//! allocator at all.
+
+use crate::counters::CounterClass;
+use lms_util::FxHashMap;
+
+/// One countable hardware event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// LIKWID-style name, e.g. `FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE`.
+    pub name: &'static str,
+    /// Which register class can count this event.
+    pub class: CounterClass,
+    /// Human-readable description for `likwid-perfctr -e` style listings.
+    pub description: &'static str,
+}
+
+/// The event catalog of one (simulated) micro-architecture.
+#[derive(Debug, Clone)]
+pub struct EventCatalog {
+    arch: &'static str,
+    events: Vec<Event>,
+    by_name: FxHashMap<&'static str, usize>,
+}
+
+impl EventCatalog {
+    /// The catalog for the default simulated architecture (an Ivy-Bridge-EP
+    /// flavoured superset that also carries the SKX-style FP_ARITH events so
+    /// the FLOPS groups work unmodified).
+    pub fn default_arch() -> Self {
+        Self::build("sim-ep", DEFAULT_EVENTS)
+    }
+
+    fn build(arch: &'static str, list: &[Event]) -> Self {
+        let mut by_name = FxHashMap::default();
+        for (i, e) in list.iter().enumerate() {
+            let prev = by_name.insert(e.name, i);
+            debug_assert!(prev.is_none(), "duplicate event {}", e.name);
+        }
+        EventCatalog { arch, events: list.to_vec(), by_name }
+    }
+
+    /// Architecture label.
+    pub fn arch(&self) -> &'static str {
+        self.arch
+    }
+
+    /// Looks an event up by name.
+    pub fn get(&self, name: &str) -> Option<&Event> {
+        self.by_name.get(name).map(|&i| &self.events[i])
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Stable dense index of an event (used by the simulator's count
+    /// matrices).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of events in the catalog.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the catalog is empty (never true for built-in catalogs).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+macro_rules! ev {
+    ($name:ident, $class:ident, $desc:expr) => {
+        Event { name: stringify!($name), class: CounterClass::$class, description: $desc }
+    };
+}
+
+/// The default simulated event list.
+///
+/// Core (fixed + PMC) events model the thread-local pipeline; Uncore events
+/// model the per-socket memory controller; Energy events model RAPL.
+pub const DEFAULT_EVENTS: &[Event] = &[
+    // --- fixed-function core counters ---
+    ev!(INSTR_RETIRED_ANY, Fixed, "Retired instructions"),
+    ev!(CPU_CLK_UNHALTED_CORE, Fixed, "Core clock cycles (unhalted)"),
+    ev!(CPU_CLK_UNHALTED_REF, Fixed, "Reference clock cycles (unhalted)"),
+    // --- general-purpose (PMC) core events ---
+    ev!(FP_ARITH_INST_RETIRED_SCALAR_DOUBLE, Pmc, "Scalar DP FP µops"),
+    ev!(FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE, Pmc, "128-bit packed DP FP µops"),
+    ev!(FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE, Pmc, "256-bit packed DP FP µops"),
+    ev!(FP_ARITH_INST_RETIRED_SCALAR_SINGLE, Pmc, "Scalar SP FP µops"),
+    ev!(FP_ARITH_INST_RETIRED_128B_PACKED_SINGLE, Pmc, "128-bit packed SP FP µops"),
+    ev!(FP_ARITH_INST_RETIRED_256B_PACKED_SINGLE, Pmc, "256-bit packed SP FP µops"),
+    ev!(L1D_REPLACEMENT, Pmc, "L1D cache lines replaced (loads from L2)"),
+    ev!(L1D_M_EVICT, Pmc, "L1D modified lines evicted (stores to L2)"),
+    ev!(L2_LINES_IN_ALL, Pmc, "Cache lines brought into L2"),
+    ev!(L2_TRANS_L2_WB, Pmc, "L2 writebacks to L3"),
+    ev!(L2_RQSTS_MISS, Pmc, "L2 requests that missed"),
+    ev!(ICACHE_MISSES, Pmc, "Instruction cache misses"),
+    ev!(BR_INST_RETIRED_ALL_BRANCHES, Pmc, "Retired branch instructions"),
+    ev!(BR_MISP_RETIRED_ALL_BRANCHES, Pmc, "Mispredicted branch instructions"),
+    ev!(MEM_INST_RETIRED_ALL_LOADS, Pmc, "Retired load instructions"),
+    ev!(MEM_INST_RETIRED_ALL_STORES, Pmc, "Retired store instructions"),
+    ev!(DTLB_LOAD_MISSES_WALK_COMPLETED, Pmc, "DTLB load misses causing page walks"),
+    ev!(DTLB_STORE_MISSES_WALK_COMPLETED, Pmc, "DTLB store misses causing page walks"),
+    ev!(UOPS_EXECUTED_THREAD, Pmc, "µops executed by this thread"),
+    ev!(CYCLE_ACTIVITY_STALLS_TOTAL, Pmc, "Cycles with no µop executed"),
+    // --- uncore (per-socket memory controller) ---
+    ev!(CAS_COUNT_RD, Uncore, "DRAM read CAS commands (x64 bytes)"),
+    ev!(CAS_COUNT_WR, Uncore, "DRAM write CAS commands (x64 bytes)"),
+    // --- RAPL energy (per socket) ---
+    ev!(PWR_PKG_ENERGY, Energy, "Package energy (Joules)"),
+    ev!(PWR_DRAM_ENERGY, Energy, "DRAM energy (Joules)"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup() {
+        let cat = EventCatalog::default_arch();
+        assert_eq!(cat.arch(), "sim-ep");
+        assert!(!cat.is_empty());
+        let e = cat.get("INSTR_RETIRED_ANY").unwrap();
+        assert_eq!(e.class, CounterClass::Fixed);
+        assert!(cat.get("NO_SUCH_EVENT").is_none());
+    }
+
+    #[test]
+    fn indexes_are_dense_and_stable() {
+        let cat = EventCatalog::default_arch();
+        for (i, e) in cat.events().iter().enumerate() {
+            assert_eq!(cat.index_of(e.name), Some(i));
+        }
+        assert_eq!(cat.len(), DEFAULT_EVENTS.len());
+    }
+
+    #[test]
+    fn classes_cover_all_domains() {
+        let cat = EventCatalog::default_arch();
+        let has = |c: CounterClass| cat.events().iter().any(|e| e.class == c);
+        assert!(has(CounterClass::Fixed));
+        assert!(has(CounterClass::Pmc));
+        assert!(has(CounterClass::Uncore));
+        assert!(has(CounterClass::Energy));
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let cat = EventCatalog::default_arch();
+        let mut names: Vec<_> = cat.events().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len());
+    }
+}

@@ -1,0 +1,493 @@
+//! The derived-metric formula engine.
+//!
+//! LIKWID performance groups define derived metrics as arithmetic formulas
+//! over counter names and the pseudo-variables `time` (measurement duration
+//! in seconds) and `inverseClock` (1 / nominal clock). Example from the real
+//! `FLOPS_DP` group:
+//!
+//! ```text
+//! 1.0E-06*(PMC0*2.0+PMC1*4.0+PMC2)/time
+//! ```
+//!
+//! This module parses such formulas into a small AST once (at group load
+//! time) and evaluates them per measurement with IEEE semantics — division
+//! by zero yields ±inf/NaN, which the analysis layer treats as "no data".
+//!
+//! Grammar (precedence climbing):
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := unary (('*' | '/') unary)*
+//! unary  := '-' unary | primary
+//! primary:= NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+//!
+//! Supported functions: `min`, `max` (used by some LIKWID groups).
+
+use lms_util::{Error, Result};
+
+/// A parsed formula.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formula {
+    source: String,
+    ast: Node,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Num(f64),
+    Var(String),
+    Neg(Box<Node>),
+    Add(Box<Node>, Box<Node>),
+    Sub(Box<Node>, Box<Node>),
+    Mul(Box<Node>, Box<Node>),
+    Div(Box<Node>, Box<Node>),
+    Min(Box<Node>, Box<Node>),
+    Max(Box<Node>, Box<Node>),
+}
+
+/// Resolves variable names during evaluation.
+pub trait VarResolver {
+    /// The value of `name`, or `None` if unknown.
+    fn resolve(&self, name: &str) -> Option<f64>;
+}
+
+impl<F: Fn(&str) -> Option<f64>> VarResolver for F {
+    fn resolve(&self, name: &str) -> Option<f64> {
+        self(name)
+    }
+}
+
+impl Formula {
+    /// Parses a formula. Errors carry the offending position.
+    pub fn parse(src: &str) -> Result<Self> {
+        let tokens = tokenize(src)?;
+        let mut p = Parser { tokens: &tokens, pos: 0, src };
+        let ast = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(Error::protocol(format!(
+                "formula `{src}`: unexpected trailing input at token {}",
+                p.pos
+            )));
+        }
+        Ok(Formula { source: src.to_string(), ast })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// All variable names referenced, in first-use order (deduplicated).
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(n: &'a Node, out: &mut Vec<&'a str>) {
+            match n {
+                Node::Var(v) => {
+                    if !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+                Node::Num(_) => {}
+                Node::Neg(a) => walk(a, out),
+                Node::Add(a, b)
+                | Node::Sub(a, b)
+                | Node::Mul(a, b)
+                | Node::Div(a, b)
+                | Node::Min(a, b)
+                | Node::Max(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        walk(&self.ast, &mut out);
+        out
+    }
+
+    /// Evaluates with the given variable resolver. Unknown variables are an
+    /// error (a group referencing a counter it did not program is a bug).
+    pub fn eval(&self, vars: &dyn VarResolver) -> Result<f64> {
+        fn go(n: &Node, vars: &dyn VarResolver) -> Result<f64> {
+            Ok(match n {
+                Node::Num(v) => *v,
+                Node::Var(name) => vars
+                    .resolve(name)
+                    .ok_or_else(|| Error::not_found(format!("formula variable `{name}`")))?,
+                Node::Neg(a) => -go(a, vars)?,
+                Node::Add(a, b) => go(a, vars)? + go(b, vars)?,
+                Node::Sub(a, b) => go(a, vars)? - go(b, vars)?,
+                Node::Mul(a, b) => go(a, vars)? * go(b, vars)?,
+                Node::Div(a, b) => go(a, vars)? / go(b, vars)?,
+                Node::Min(a, b) => go(a, vars)?.min(go(b, vars)?),
+                Node::Max(a, b) => go(a, vars)?.max(go(b, vars)?),
+            })
+        }
+        go(&self.ast, vars)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '.') {
+                    i += 1;
+                }
+                // scientific notation: 1.0E-06, 2e9
+                if i < bytes.len() && matches!(bytes[i] as char, 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && matches!(bytes[j] as char, '+' | '-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| Error::protocol(format!("bad number `{text}` in formula")))?;
+                out.push(Token::Num(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(Error::protocol(format!(
+                    "formula `{src}`: unexpected character `{other}` at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        match self.next().cloned() {
+            Some(got) if got == *t => Ok(()),
+            other => Err(Error::protocol(format!(
+                "formula `{}`: expected {t:?}, found {other:?}",
+                self.src
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Node> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    lhs = Node::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    lhs = Node::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Node> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    lhs = Node::Mul(Box::new(lhs), Box::new(self.unary()?));
+                }
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    lhs = Node::Div(Box::new(lhs), Box::new(self.unary()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Node> {
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.pos += 1;
+            return Ok(Node::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Node> {
+        match self.next().cloned() {
+            Some(Token::Num(v)) => Ok(Node::Num(v)),
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.pos += 1;
+                    let a = self.expr()?;
+                    self.expect(&Token::Comma)?;
+                    let b = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    match name.as_str() {
+                        "min" => Ok(Node::Min(Box::new(a), Box::new(b))),
+                        "max" => Ok(Node::Max(Box::new(a), Box::new(b))),
+                        other => {
+                            Err(Error::protocol(format!("unknown formula function `{other}`")))
+                        }
+                    }
+                } else {
+                    Ok(Node::Var(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(Error::protocol(format!(
+                "formula `{}`: expected value, found {other:?}",
+                self.src
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_util::FxHashMap;
+
+    fn eval(src: &str, vars: &[(&str, f64)]) -> f64 {
+        let map: FxHashMap<String, f64> =
+            vars.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        Formula::parse(src)
+            .unwrap()
+            .eval(&|name: &str| map.get(name).copied())
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("1+2*3", &[]), 7.0);
+        assert_eq!(eval("(1+2)*3", &[]), 9.0);
+        assert_eq!(eval("2-3-4", &[]), -5.0); // left associative
+        assert_eq!(eval("16/4/2", &[]), 2.0);
+        assert_eq!(eval("-2*-3", &[]), 6.0);
+        assert_eq!(eval("--5", &[]), 5.0);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(eval("1.0E-06", &[]), 1.0e-6);
+        assert_eq!(eval("2e9", &[]), 2.0e9);
+        assert_eq!(eval("1.5E+3", &[]), 1500.0);
+    }
+
+    #[test]
+    fn real_likwid_flops_dp_formula() {
+        // DP MFLOP/s = 1E-6*(scalar + 2*sse + 4*avx)/time
+        let v = eval(
+            "1.0E-06*(PMC0+PMC1*2.0+PMC2*4.0)/time",
+            &[("PMC0", 1e9), ("PMC1", 1e9), ("PMC2", 1e9), ("time", 2.0)],
+        );
+        assert!((v - 3500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_likwid_membw_formula() {
+        // MByte/s = 1E-6*(RD+WR)*64/time
+        let v = eval(
+            "1.0E-06*(MBOX0C0+MBOX0C1)*64.0/time",
+            &[("MBOX0C0", 1e8), ("MBOX0C1", 5e7), ("time", 1.0)],
+        );
+        assert!((v - 9600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_functions() {
+        assert_eq!(eval("min(3,5)", &[]), 3.0);
+        assert_eq!(eval("max(3,5)", &[]), 5.0);
+        assert_eq!(eval("max(1+1,min(10,4))", &[]), 4.0);
+    }
+
+    #[test]
+    fn variables_listing() {
+        let f = Formula::parse("1.0E-06*(PMC0+PMC1*2.0+PMC0)/time").unwrap();
+        assert_eq!(f.variables(), vec!["PMC0", "PMC1", "time"]);
+        assert_eq!(f.source(), "1.0E-06*(PMC0+PMC1*2.0+PMC0)/time");
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let f = Formula::parse("FIXC0/time").unwrap();
+        assert!(f.eval(&|_: &str| None).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_is_ieee() {
+        assert!(eval("1/0", &[]).is_infinite());
+        assert!(eval("0/0", &[]).is_nan());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "1+", "(1", "1)", "min(1)", "foo(1,2)", "1 2", "1..5", "a$b"] {
+            assert!(Formula::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(eval("  1 +\t2 ", &[]), 3.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A reference "interpreter": build random expression trees, render
+        /// them to text, parse with the engine, and compare evaluations.
+        #[derive(Debug, Clone)]
+        enum RefExpr {
+            Num(f64),
+            Var(usize),
+            Add(Box<RefExpr>, Box<RefExpr>),
+            Sub(Box<RefExpr>, Box<RefExpr>),
+            Mul(Box<RefExpr>, Box<RefExpr>),
+        }
+
+        impl RefExpr {
+            fn render(&self) -> String {
+                match self {
+                    RefExpr::Num(v) => format!("{v:?}"),
+                    RefExpr::Var(i) => format!("V{i}"),
+                    RefExpr::Add(a, b) => format!("({}+{})", a.render(), b.render()),
+                    RefExpr::Sub(a, b) => format!("({}-{})", a.render(), b.render()),
+                    RefExpr::Mul(a, b) => format!("({}*{})", a.render(), b.render()),
+                }
+            }
+
+            fn eval(&self, vars: &[f64]) -> f64 {
+                match self {
+                    RefExpr::Num(v) => *v,
+                    RefExpr::Var(i) => vars[*i],
+                    RefExpr::Add(a, b) => a.eval(vars) + b.eval(vars),
+                    RefExpr::Sub(a, b) => a.eval(vars) - b.eval(vars),
+                    RefExpr::Mul(a, b) => a.eval(vars) * b.eval(vars),
+                }
+            }
+        }
+
+        fn expr_strategy() -> impl Strategy<Value = RefExpr> {
+            let leaf = prop_oneof![
+                (-1.0e3..1.0e3f64).prop_map(RefExpr::Num),
+                (0usize..4).prop_map(RefExpr::Var),
+            ];
+            leaf.prop_recursive(4, 32, 2, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| RefExpr::Add(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| RefExpr::Sub(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner)
+                        .prop_map(|(a, b)| RefExpr::Mul(Box::new(a), Box::new(b))),
+                ]
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn engine_matches_reference(
+                e in expr_strategy(),
+                vars in proptest::collection::vec(-100.0..100.0f64, 4),
+            ) {
+                let text = e.render();
+                let f = Formula::parse(&text).unwrap();
+                let got = f
+                    .eval(&|name: &str| {
+                        name.strip_prefix('V')
+                            .and_then(|i| i.parse::<usize>().ok())
+                            .map(|i| vars[i])
+                    })
+                    .unwrap();
+                let want = e.eval(&vars);
+                if want.is_finite() {
+                    let tol = 1e-9_f64.max(want.abs() * 1e-12);
+                    prop_assert!((got - want).abs() <= tol, "{text}: {got} != {want}");
+                }
+            }
+        }
+    }
+}

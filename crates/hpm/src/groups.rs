@@ -1,0 +1,590 @@
+//! Performance groups: named event sets + derived-metric formulas.
+//!
+//! Performance groups are LIKWID's portability abstraction and the reason
+//! the paper's stack can say "measure FLOPS_DP" without caring which CPU it
+//! runs on. A group file names the events, binds them to counter registers,
+//! and defines derived metrics whose formulas reference the registers plus
+//! the pseudo-variables `time` and `inverseClock`.
+//!
+//! This module parses LIKWID's group file format verbatim:
+//!
+//! ```text
+//! SHORT Double Precision MFLOP/s
+//!
+//! EVENTSET
+//! FIXC0 INSTR_RETIRED_ANY
+//! PMC0  FP_ARITH_INST_RETIRED_SCALAR_DOUBLE
+//!
+//! METRICS
+//! Runtime (RDTSC) [s] time
+//! DP [MFLOP/s] 1.0E-06*(PMC0)/time
+//!
+//! LONG
+//! Free-text documentation…
+//! ```
+//!
+//! In a metric line, the formula is the **last** whitespace-separated token;
+//! everything before it (including the `[unit]`) is the metric name — the
+//! same convention the real group files use.
+
+use crate::counters::{CounterClass, CounterId, FIXED_WIRING};
+use crate::events::EventCatalog;
+use crate::formula::Formula;
+use lms_topology::Topology;
+use lms_util::{Error, Result};
+
+/// One derived metric of a group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Display name including the unit, e.g. `DP [MFLOP/s]`.
+    pub name: String,
+    /// The parsed formula.
+    pub formula: Formula,
+}
+
+/// A performance group: event→counter bindings plus derived metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfGroup {
+    name: String,
+    short: String,
+    long: String,
+    events: Vec<(CounterId, String)>,
+    metrics: Vec<Metric>,
+}
+
+impl PerfGroup {
+    /// Parses a group file. `name` is the group's identifier (for real
+    /// LIKWID it is the file stem, e.g. `FLOPS_DP`).
+    pub fn parse(name: &str, text: &str, catalog: &EventCatalog) -> Result<Self> {
+        #[derive(PartialEq)]
+        enum Section {
+            Preamble,
+            EventSet,
+            Metrics,
+            Long,
+        }
+        let mut section = Section::Preamble;
+        let mut short = String::new();
+        let mut long = String::new();
+        let mut events: Vec<(CounterId, String)> = Vec::new();
+        let mut metrics = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            // LONG section is verbatim text; anything else skips blanks/comments.
+            if section != Section::Long && (line.is_empty() || line.starts_with('#')) {
+                continue;
+            }
+            match line {
+                "EVENTSET" => {
+                    section = Section::EventSet;
+                    continue;
+                }
+                "METRICS" => {
+                    section = Section::Metrics;
+                    continue;
+                }
+                "LONG" => {
+                    section = Section::Long;
+                    continue;
+                }
+                _ => {}
+            }
+            match section {
+                Section::Preamble => {
+                    if let Some(rest) = line.strip_prefix("SHORT") {
+                        short = rest.trim().to_string();
+                    } else {
+                        return Err(Error::protocol(format!(
+                            "group {name} line {}: expected SHORT/EVENTSET, got `{line}`",
+                            lineno + 1
+                        )));
+                    }
+                }
+                Section::EventSet => {
+                    let (counter, event) = line.split_once(char::is_whitespace).ok_or_else(
+                        || {
+                            Error::protocol(format!(
+                                "group {name} line {}: expected `COUNTER EVENT`",
+                                lineno + 1
+                            ))
+                        },
+                    )?;
+                    let counter = CounterId::parse(counter)?;
+                    let event = event.trim().to_string();
+                    let ev = catalog.get(&event).ok_or_else(|| {
+                        Error::not_found(format!("group {name}: unknown event `{event}`"))
+                    })?;
+                    if ev.class != counter.class {
+                        return Err(Error::invalid(format!(
+                            "group {name}: event `{event}` ({:?}) cannot be counted on {counter}",
+                            ev.class
+                        )));
+                    }
+                    if ev.class == CounterClass::Fixed
+                        && FIXED_WIRING[counter.slot as usize] != event
+                    {
+                        return Err(Error::invalid(format!(
+                            "group {name}: {counter} is hardwired to {}, not `{event}`",
+                            FIXED_WIRING[counter.slot as usize]
+                        )));
+                    }
+                    if events.iter().any(|(c, _)| *c == counter) {
+                        return Err(Error::invalid(format!(
+                            "group {name}: counter {counter} bound twice"
+                        )));
+                    }
+                    events.push((counter, event));
+                }
+                Section::Metrics => {
+                    let formula_start = line.rfind(char::is_whitespace).ok_or_else(|| {
+                        Error::protocol(format!(
+                            "group {name} line {}: metric needs a name and a formula",
+                            lineno + 1
+                        ))
+                    })?;
+                    let metric_name = line[..formula_start].trim().to_string();
+                    let formula = Formula::parse(line[formula_start..].trim())?;
+                    metrics.push(Metric { name: metric_name, formula });
+                }
+                Section::Long => {
+                    long.push_str(raw);
+                    long.push('\n');
+                }
+            }
+        }
+
+        if events.is_empty() {
+            return Err(Error::invalid(format!("group {name}: empty EVENTSET")));
+        }
+
+        let group = PerfGroup {
+            name: name.to_string(),
+            short,
+            long: long.trim_end().to_string(),
+            events,
+            metrics,
+        };
+        group.validate()?;
+        Ok(group)
+    }
+
+    /// Checks every metric formula only references bound counters or the
+    /// pseudo-variables.
+    fn validate(&self) -> Result<()> {
+        for m in &self.metrics {
+            for var in m.formula.variables() {
+                let known = var == "time"
+                    || var == "inverseClock"
+                    || self.events.iter().any(|(c, _)| c.to_string() == var);
+                if !known {
+                    return Err(Error::invalid(format!(
+                        "group {}: metric `{}` references unbound variable `{var}`",
+                        self.name, m.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Group identifier, e.g. `FLOPS_DP`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description.
+    pub fn short(&self) -> &str {
+        &self.short
+    }
+
+    /// Long free-text documentation.
+    pub fn long(&self) -> &str {
+        &self.long
+    }
+
+    /// The counter→event bindings, in file order.
+    pub fn events(&self) -> &[(CounterId, String)] {
+        &self.events
+    }
+
+    /// The derived metrics, in file order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Looks up a metric by exact display name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// Names of all built-in groups.
+pub const BUILTIN_GROUPS: &[&str] = &[
+    "FLOPS_DP", "FLOPS_SP", "MEM", "L2", "L3", "CLOCK", "ENERGY", "BRANCH", "DATA", "TLB_DATA",
+    "CYCLE_STALLS",
+];
+
+/// Loads a built-in group by name against the default catalog.
+///
+/// The `topo` parameter is unused today (all built-ins are valid for the
+/// simulated architecture) but kept so sites with multiple node types can
+/// resolve per-architecture variants the way real LIKWID does.
+pub fn builtin(name: &str, _topo: &Topology) -> Result<PerfGroup> {
+    let text = builtin_text(name)
+        .ok_or_else(|| Error::not_found(format!("performance group `{name}`")))?;
+    PerfGroup::parse(name, text, &EventCatalog::default_arch())
+}
+
+/// The group-file text of a built-in group (exposed for tests and docs).
+pub fn builtin_text(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "FLOPS_DP" => FLOPS_DP,
+        "FLOPS_SP" => FLOPS_SP,
+        "MEM" => MEM,
+        "L2" => L2,
+        "L3" => L3,
+        "CLOCK" => CLOCK,
+        "ENERGY" => ENERGY,
+        "BRANCH" => BRANCH,
+        "DATA" => DATA,
+        "TLB_DATA" => TLB_DATA,
+        "CYCLE_STALLS" => CYCLE_STALLS,
+        _ => return None,
+    })
+}
+
+const FLOPS_DP: &str = "\
+SHORT Double precision FLOP rate
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 FP_ARITH_INST_RETIRED_SCALAR_DOUBLE
+PMC1 FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE
+PMC2 FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE
+
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+IPC FIXC0/FIXC1
+DP [MFLOP/s] 1.0E-06*(PMC0+PMC1*2.0+PMC2*4.0)/time
+AVX DP [MFLOP/s] 1.0E-06*(PMC2*4.0)/time
+Packed [MUOPS/s] 1.0E-06*(PMC1+PMC2)/time
+Scalar [MUOPS/s] 1.0E-06*PMC0/time
+Vectorization ratio [%] 100.0*(PMC1+PMC2)/(PMC0+PMC1+PMC2)
+
+LONG
+Double-precision FLOP rates decomposed by vector width. The DP [MFLOP/s]
+metric weights 128-bit packed uops by 2 and 256-bit packed uops by 4.
+";
+
+const FLOPS_SP: &str = "\
+SHORT Single precision FLOP rate
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 FP_ARITH_INST_RETIRED_SCALAR_SINGLE
+PMC1 FP_ARITH_INST_RETIRED_128B_PACKED_SINGLE
+PMC2 FP_ARITH_INST_RETIRED_256B_PACKED_SINGLE
+
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+SP [MFLOP/s] 1.0E-06*(PMC0+PMC1*4.0+PMC2*8.0)/time
+Vectorization ratio [%] 100.0*(PMC1+PMC2)/(PMC0+PMC1+PMC2)
+
+LONG
+Single-precision FLOP rates decomposed by vector width.
+";
+
+const MEM: &str = "\
+SHORT Main memory bandwidth
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+MBOX0C0 CAS_COUNT_RD
+MBOX0C1 CAS_COUNT_WR
+
+METRICS
+Runtime (RDTSC) [s] time
+Memory read bandwidth [MBytes/s] 1.0E-06*MBOX0C0*64.0/time
+Memory write bandwidth [MBytes/s] 1.0E-06*MBOX0C1*64.0/time
+Memory bandwidth [MBytes/s] 1.0E-06*(MBOX0C0+MBOX0C1)*64.0/time
+Memory data volume [GBytes] 1.0E-09*(MBOX0C0+MBOX0C1)*64.0
+
+LONG
+DRAM traffic measured at the memory controller via CAS command counts;
+each CAS command transfers one 64-byte cache line.
+";
+
+const L2: &str = "\
+SHORT L2 cache bandwidth
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 L1D_REPLACEMENT
+PMC1 L1D_M_EVICT
+
+METRICS
+Runtime (RDTSC) [s] time
+L2D load bandwidth [MBytes/s] 1.0E-06*PMC0*64.0/time
+L2D evict bandwidth [MBytes/s] 1.0E-06*PMC1*64.0/time
+L2 bandwidth [MBytes/s] 1.0E-06*(PMC0+PMC1)*64.0/time
+L2 data volume [GBytes] 1.0E-09*(PMC0+PMC1)*64.0
+
+LONG
+Traffic between L1 and L2: L1D replacements (loads) and modified evicts
+(stores), 64 bytes each.
+";
+
+const L3: &str = "\
+SHORT L3 cache bandwidth
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 L2_LINES_IN_ALL
+PMC1 L2_TRANS_L2_WB
+
+METRICS
+Runtime (RDTSC) [s] time
+L3 load bandwidth [MBytes/s] 1.0E-06*PMC0*64.0/time
+L3 evict bandwidth [MBytes/s] 1.0E-06*PMC1*64.0/time
+L3 bandwidth [MBytes/s] 1.0E-06*(PMC0+PMC1)*64.0/time
+
+LONG
+Traffic between L2 and L3: lines brought into L2 and L2 writebacks.
+";
+
+const CLOCK: &str = "\
+SHORT Cycles and clock frequency
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+IPC FIXC0/FIXC1
+Instructions [M] 1.0E-06*FIXC0
+
+LONG
+Basic cycle accounting: effective clock, CPI/IPC.
+";
+
+const ENERGY: &str = "\
+SHORT Power and energy (RAPL)
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PWR0 PWR_PKG_ENERGY
+PWR1 PWR_DRAM_ENERGY
+
+METRICS
+Runtime (RDTSC) [s] time
+Energy [J] PWR0
+Power [W] PWR0/time
+Energy DRAM [J] PWR1
+Power DRAM [W] PWR1/time
+
+LONG
+RAPL package and DRAM energy; power is the average over the interval.
+";
+
+const BRANCH: &str = "\
+SHORT Branch prediction
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 BR_INST_RETIRED_ALL_BRANCHES
+PMC1 BR_MISP_RETIRED_ALL_BRANCHES
+
+METRICS
+Runtime (RDTSC) [s] time
+Branch rate PMC0/FIXC0
+Branch misprediction rate PMC1/FIXC0
+Branch misprediction ratio PMC1/PMC0
+Instructions per branch FIXC0/PMC0
+
+LONG
+Branch frequency and misprediction behaviour.
+";
+
+const DATA: &str = "\
+SHORT Load/store mix
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 MEM_INST_RETIRED_ALL_LOADS
+PMC1 MEM_INST_RETIRED_ALL_STORES
+
+METRICS
+Runtime (RDTSC) [s] time
+Load to store ratio PMC0/PMC1
+Load rate [MUOPS/s] 1.0E-06*PMC0/time
+Store rate [MUOPS/s] 1.0E-06*PMC1/time
+
+LONG
+Retired load/store instruction mix.
+";
+
+const TLB_DATA: &str = "\
+SHORT Data TLB miss rate
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 DTLB_LOAD_MISSES_WALK_COMPLETED
+PMC1 DTLB_STORE_MISSES_WALK_COMPLETED
+
+METRICS
+Runtime (RDTSC) [s] time
+L1 DTLB load misses PMC0
+L1 DTLB load miss rate PMC0/FIXC0
+L1 DTLB store misses PMC1
+L1 DTLB store miss rate PMC1/FIXC0
+
+LONG
+Completed page walks caused by data TLB misses.
+";
+
+const CYCLE_STALLS: &str = "\
+SHORT Cycle activity / stalls
+
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 CYCLE_ACTIVITY_STALLS_TOTAL
+PMC1 UOPS_EXECUTED_THREAD
+
+METRICS
+Runtime (RDTSC) [s] time
+Total execution stalls PMC0
+Stall rate [%] 100.0*PMC0/FIXC1
+Uops per cycle PMC1/FIXC1
+
+LONG
+Fraction of cycles in which no uop executed.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::preset_desktop_4c()
+    }
+
+    #[test]
+    fn all_builtins_parse_and_validate() {
+        for name in BUILTIN_GROUPS {
+            let g = builtin(name, &topo()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(g.name(), *name);
+            assert!(!g.short().is_empty(), "{name} missing SHORT");
+            assert!(!g.long().is_empty(), "{name} missing LONG");
+            assert!(!g.metrics().is_empty(), "{name} has no metrics");
+        }
+    }
+
+    #[test]
+    fn unknown_builtin() {
+        assert!(builtin("NOPE", &topo()).is_err());
+        assert!(builtin_text("NOPE").is_none());
+    }
+
+    #[test]
+    fn flops_dp_structure() {
+        let g = builtin("FLOPS_DP", &topo()).unwrap();
+        assert_eq!(g.events().len(), 6);
+        let m = g.metric("DP [MFLOP/s]").unwrap();
+        assert!(m.formula.variables().contains(&"PMC2"));
+        assert!(g.metric("No Such Metric").is_none());
+    }
+
+    #[test]
+    fn metric_name_can_contain_spaces_and_unit() {
+        let g = builtin("MEM", &topo()).unwrap();
+        assert!(g.metric("Memory read bandwidth [MBytes/s]").is_some());
+        assert!(g.metric("Memory data volume [GBytes]").is_some());
+    }
+
+    #[test]
+    fn rejects_event_on_wrong_class() {
+        let cat = EventCatalog::default_arch();
+        let text = "SHORT x\nEVENTSET\nPMC0 CAS_COUNT_RD\nMETRICS\nm PMC0\n";
+        let err = PerfGroup::parse("X", text, &cat).unwrap_err();
+        assert!(err.to_string().contains("cannot be counted"));
+    }
+
+    #[test]
+    fn rejects_wrong_fixed_slot() {
+        let cat = EventCatalog::default_arch();
+        let text = "SHORT x\nEVENTSET\nFIXC0 CPU_CLK_UNHALTED_CORE\nMETRICS\nm FIXC0\n";
+        let err = PerfGroup::parse("X", text, &cat).unwrap_err();
+        assert!(err.to_string().contains("hardwired"));
+    }
+
+    #[test]
+    fn rejects_double_bound_counter() {
+        let cat = EventCatalog::default_arch();
+        let text =
+            "SHORT x\nEVENTSET\nPMC0 L1D_REPLACEMENT\nPMC0 L1D_M_EVICT\nMETRICS\nm PMC0\n";
+        assert!(PerfGroup::parse("X", text, &cat).is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_formula_variable() {
+        let cat = EventCatalog::default_arch();
+        let text = "SHORT x\nEVENTSET\nPMC0 L1D_REPLACEMENT\nMETRICS\nbad PMC3/time\n";
+        let err = PerfGroup::parse("X", text, &cat).unwrap_err();
+        assert!(err.to_string().contains("unbound variable"));
+    }
+
+    #[test]
+    fn rejects_unknown_event_and_empty_eventset() {
+        let cat = EventCatalog::default_arch();
+        assert!(PerfGroup::parse("X", "SHORT x\nEVENTSET\nPMC0 NOT_AN_EVENT\n", &cat).is_err());
+        assert!(PerfGroup::parse("X", "SHORT x\nMETRICS\nm time\n", &cat).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let cat = EventCatalog::default_arch();
+        let text = "\
+# a comment
+SHORT test group
+
+EVENTSET
+# fixed counters
+FIXC0 INSTR_RETIRED_ANY
+
+METRICS
+runtime time
+";
+        let g = PerfGroup::parse("T", text, &cat).unwrap();
+        assert_eq!(g.events().len(), 1);
+        assert_eq!(g.metrics().len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # lms-hpm
+//!
+//! A LIKWID-like **hardware performance monitoring** (HPM) substrate.
+//!
+//! The paper's stack builds on the LIKWID tools library: portable access to
+//! hardware performance counters through *performance groups* — named event
+//! sets plus formulas for derived metrics (IPC, DP MFLOP/s, memory
+//! bandwidth, energy, ...). Real MSR/perf access is a hardware gate in this
+//! environment, so this crate reproduces the *abstraction* exactly and swaps
+//! the bottom layer for a workload-driven simulator:
+//!
+//! - [`events`] — per-architecture event catalogs (instructions, cycles,
+//!   FP µops by vector width, cache line traffic, uncore CAS counts, RAPL
+//!   energy),
+//! - [`counters`] — the counter register file (fixed, general-purpose,
+//!   uncore, energy) and the allocation of events onto compatible registers,
+//! - [`formula`] — the arithmetic expression engine for derived metrics,
+//! - [`groups`] — performance groups, including a parser for LIKWID's group
+//!   file format and built-in groups (`FLOPS_DP`, `MEM`, `L2`, `L3`,
+//!   `CLOCK`, `ENERGY`, `BRANCH`, `DATA`, `TLB_DATA`, `FLOPS_SP`),
+//! - [`perfmon`] — the measurement session: set up a group, start/stop/read,
+//!   derive metrics per hardware thread and aggregated,
+//! - [`simulate`] — the counter simulator: phase-based workload models emit
+//!   plausible event counts over virtual time,
+//! - [`collector`] — turns periodic group measurements into line-protocol
+//!   points for the monitoring stack.
+//!
+//! ```
+//! use lms_topology::Topology;
+//! use lms_hpm::{groups, perfmon::Perfmon, simulate::{Simulator, WorkloadPreset}};
+//! use std::time::Duration;
+//!
+//! let topo = Topology::preset_desktop_4c();
+//! let group = groups::builtin("FLOPS_DP", &topo).unwrap();
+//! let mut sim = Simulator::new(&topo, 42);
+//! sim.assign(0..4, WorkloadPreset::ComputeBound.model(&topo));
+//!
+//! let mut pm = Perfmon::new(topo.clone());
+//! pm.add_group(group).unwrap();
+//! pm.start(&sim);
+//! sim.advance(Duration::from_secs(1));
+//! let m = pm.stop_and_read(&sim).unwrap();
+//! let flops = m.metric_aggregate("DP [MFLOP/s]").unwrap();
+//! assert!(flops > 0.0);
+//! ```
+
+pub mod collector;
+pub mod counters;
+pub mod events;
+pub mod formula;
+pub mod groups;
+pub mod perfmon;
+pub mod simulate;
+
+pub use counters::{CounterClass, CounterId};
+pub use events::{Event, EventCatalog};
+pub use groups::PerfGroup;
+pub use perfmon::{Measurement, Perfmon};
+pub use simulate::{Simulator, WorkloadModel, WorkloadPhase, WorkloadPreset};

@@ -1,0 +1,142 @@
+//! A persistent-connection HTTP client.
+//!
+//! Holds one TCP connection to a fixed peer and reuses it across requests
+//! (keep-alive); reconnects transparently once if the connection went away
+//! between requests. All LMS senders (host agents, the router's forwarder,
+//! libusermetric) push batches through this client.
+
+use crate::message::{Request, Response};
+use lms_util::{Error, Result};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// HTTP client bound to one server address.
+pub struct HttpClient {
+    addr: SocketAddr,
+    conn: Option<Conn>,
+    timeout: Duration,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl HttpClient {
+    /// Resolves `addr` and creates a client (connects lazily).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| Error::config("address resolved to nothing"))?;
+        Ok(HttpClient { addr, conn: None, timeout: Duration::from_secs(10) })
+    }
+
+    /// Sets the per-request I/O timeout (default 10 s).
+    pub fn set_timeout(&mut self, t: Duration) {
+        self.timeout = t;
+        self.conn = None; // apply on next connect
+    }
+
+    /// The peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            let reader = BufReader::new(stream.try_clone()?);
+            let writer = BufWriter::new(stream);
+            self.conn = Some(Conn { reader, writer });
+        }
+        Ok(self.conn.as_mut().expect("just set"))
+    }
+
+    fn try_once(&mut self, req: &Request) -> Result<Response> {
+        let conn = self.ensure_conn()?;
+        req.write_to(&mut conn.writer, None)?;
+        conn.writer.flush()?;
+        Response::read_from(&mut conn.reader)
+    }
+
+    /// Sends a request, reusing the connection; retries once on a broken
+    /// connection (server restarted / idle-closed).
+    pub fn send(&mut self, req: &Request) -> Result<Response> {
+        match self.try_once(req) {
+            Ok(r) => Ok(r),
+            Err(Error::Io(_)) | Err(Error::Protocol(_)) => {
+                self.conn = None;
+                let retry = self.try_once(req);
+                if retry.is_err() {
+                    self.conn = None; // leave no half-broken connection behind
+                }
+                retry
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `GET path` (path may include a query string).
+    pub fn get(&mut self, target: &str) -> Result<Response> {
+        self.send(&Request::new("GET", target))
+    }
+
+    /// `POST path` with a raw body.
+    pub fn post(&mut self, target: &str, body: &[u8]) -> Result<Response> {
+        let mut req = Request::new("POST", target);
+        req.body = body.to_vec();
+        self.send(&req)
+    }
+
+    /// `POST path` with a text body (the line-protocol fast path).
+    pub fn post_text(&mut self, target: &str, body: &str) -> Result<Response> {
+        self.post(target, body.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn reconnects_after_server_restart_on_same_port() {
+        let server = Server::bind("127.0.0.1:0", 1, |_| Response::text(200, "one")).unwrap();
+        let addr = server.addr();
+        let mut c = HttpClient::connect(addr).unwrap();
+        assert_eq!(c.get("/").unwrap().body_str(), "one");
+        server.shutdown();
+        // Same port, new server.
+        let server2 = Server::bind(addr, 1, |_| Response::text(200, "two")).unwrap();
+        assert_eq!(c.get("/").unwrap().body_str(), "two");
+        server2.shutdown();
+    }
+
+    #[test]
+    fn error_when_nothing_listens() {
+        // Bind and immediately shut down to get a dead port.
+        let server = Server::bind("127.0.0.1:0", 1, |_| Response::no_content()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        let mut c = HttpClient::connect(addr).unwrap();
+        c.set_timeout(Duration::from_millis(300));
+        assert!(c.get("/").is_err());
+    }
+
+    #[test]
+    fn post_body_round_trip() {
+        let server = Server::bind("127.0.0.1:0", 1, |req| {
+            Response::text(200, format!("{}:{}", req.path, req.body.len()))
+        })
+        .unwrap();
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        let r = c.post("/write?db=lms", &vec![b'x'; 10_000]).unwrap();
+        assert_eq!(r.body_str(), "/write:10000");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,259 @@
+//! A thread-per-connection HTTP server.
+//!
+//! LMS servers hold many long-lived keep-alive connections (every host
+//! agent, HPM collector, signaler and forwarder keeps one open), so a
+//! fixed worker pool would starve new connections once all workers sit in
+//! keep-alive loops. Each accepted connection therefore gets its own
+//! thread; `max_connections` bounds the total. Connection threads poll the
+//! stop flag every 200 ms while idle, so shutdown completes promptly.
+//! Designed for the trusted-cluster-network setting of the paper: no TLS.
+
+use crate::message::{Request, Response};
+use lms_util::Result;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The request handler type: pure function from request to response.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running HTTP server. Dropping it (or calling [`shutdown`](Self::shutdown))
+/// stops the acceptor and waits for connection threads to drain.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port). `max_connections`
+    /// bounds concurrent connections (minimum 16; excess connects are
+    /// accepted and immediately closed).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        max_connections: usize,
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let handler: Handler = Arc::new(handler);
+        let cap = max_connections.max(16);
+
+        let acceptor = {
+            let stop = stop.clone();
+            let active = active.clone();
+            std::thread::Builder::new()
+                .name("lms-http-acceptor".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        if active.load(Ordering::Acquire) >= cap {
+                            drop(stream); // over capacity: refuse politely
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        active.fetch_add(1, Ordering::AcqRel);
+                        let handler = handler.clone();
+                        let stop = stop.clone();
+                        let conn_active = active.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name("lms-http-conn".into())
+                            .spawn(move || {
+                                serve_connection(stream, &handler, &stop);
+                                conn_active.fetch_sub(1, Ordering::AcqRel);
+                            });
+                        if spawned.is_err() {
+                            active.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                })
+                .expect("spawn http acceptor")
+        };
+
+        Ok(Server { addr: local, stop, active, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of open connections.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting and waits (bounded) for connections to drain.
+    pub fn shutdown(mut self) {
+        self.stop_internal();
+    }
+
+    fn stop_internal(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connection threads notice the stop flag within their 200 ms idle
+        // poll; wait up to ~2 s for them (in-flight requests finish first).
+        for _ in 0..100 {
+            if self.active.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_internal();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool) {
+    use std::io::BufRead as _;
+    // Short idle timeout so keep-alive connections re-check the stop flag
+    // periodically. Once a request starts arriving we switch to a generous
+    // timeout — a timeout in the middle of parsing would corrupt the stream.
+    let idle = Some(std::time::Duration::from_millis(200));
+    let busy = Some(std::time::Duration::from_secs(30));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Idle wait: peek without consuming until data arrives or EOF.
+        let _ = reader.get_ref().set_read_timeout(idle);
+        match reader.fill_buf() {
+            Ok([]) => return, // clean close
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let _ = reader.get_ref().set_read_timeout(busy);
+        match Request::read_from(&mut reader) {
+            Ok(Some(req)) => {
+                let close = req.wants_close();
+                let resp = handler(req);
+                if resp.write_to(&mut writer).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                let _ = Response::bad_request("malformed request").write_to(&mut writer);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let server = Server::bind("127.0.0.1:0", 16, |req| {
+            Response::text(200, format!("{} {}", req.method, req.path))
+        })
+        .unwrap();
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        let r = c.get("/x").unwrap();
+        assert_eq!(r.body_str(), "GET /x");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_across_requests() {
+        let server =
+            Server::bind("127.0.0.1:0", 16, |req| Response::text(200, req.path)).unwrap();
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        for i in 0..10 {
+            let r = c.get(&format!("/req{i}")).unwrap();
+            assert_eq!(r.body_str(), format!("/req{i}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Server::bind("127.0.0.1:0", 32, |req| {
+            Response::text(200, req.body_str().into_owned())
+        })
+        .unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = HttpClient::connect(addr).unwrap();
+                    for i in 0..25 {
+                        let body = format!("t{t}-{i}");
+                        let r = c.post("/echo", body.as_bytes()).unwrap();
+                        assert_eq!(r.body_str(), body);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn more_keepalive_connections_than_any_pool_size() {
+        // The regression this design exists for: many idle keep-alive
+        // clients must not starve a newcomer.
+        let server = Server::bind("127.0.0.1:0", 64, |_| Response::no_content()).unwrap();
+        let addr = server.addr();
+        let mut idle_clients: Vec<HttpClient> = (0..10)
+            .map(|_| {
+                let mut c = HttpClient::connect(addr).unwrap();
+                assert_eq!(c.get("/warm").unwrap().status, 204);
+                c // keeps its connection open
+            })
+            .collect();
+        let mut newcomer = HttpClient::connect(addr).unwrap();
+        assert_eq!(newcomer.get("/new").unwrap().status, 204);
+        // Idle clients still work afterwards.
+        assert_eq!(idle_clients[0].get("/again").unwrap().status, 204);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        use std::io::{Read, Write};
+        let server = Server::bind("127.0.0.1:0", 16, |_| Response::no_content()).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,75 @@
+//! `lms-influxd` — the time-series database as a standalone daemon.
+//!
+//! ```text
+//! lms-influxd [--listen 127.0.0.1:8086] [--db lms]... [--retention-hours N]
+//! ```
+//!
+//! Serves the InfluxDB-compatible `/ping`, `/write` and `/query` endpoints
+//! until interrupted. Any existing collector that can speak to InfluxDB
+//! can point at it (the paper's integration premise).
+
+use lms_influx::{Influx, InfluxServer};
+use lms_util::{Clock, Error, Result};
+use std::time::Duration;
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:8086".to_string();
+    let mut databases: Vec<String> = Vec::new();
+    let mut retention: Option<Duration> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = it.next().ok_or_else(|| Error::config("--listen needs an address"))?.clone()
+            }
+            "--db" => databases
+                .push(it.next().ok_or_else(|| Error::config("--db needs a name"))?.clone()),
+            "--retention-hours" => {
+                let h: u64 = it
+                    .next()
+                    .ok_or_else(|| Error::config("--retention-hours needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --retention-hours"))?;
+                retention = Some(Duration::from_secs(h * 3600));
+            }
+            "--help" | "-h" => {
+                println!("usage: lms-influxd [--listen addr:port] [--db name]... [--retention-hours N]");
+                return Ok(());
+            }
+            other => return Err(Error::config(format!("unknown argument `{other}`"))),
+        }
+    }
+
+    let influx = Influx::new(Clock::system());
+    if databases.is_empty() {
+        databases.push("lms".to_string());
+    }
+    for db in &databases {
+        influx.create_database(db);
+        if retention.is_some() {
+            influx.set_retention(db, retention);
+        }
+    }
+    let server = InfluxServer::start(listen.as_str(), influx.clone())?;
+    println!("lms-influxd listening on http://{}", server.addr());
+    println!("databases: {:?}", influx.database_names());
+
+    // Retention sweep loop; runs until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+        if retention.is_some() {
+            let evicted = influx.enforce_retention();
+            if evicted > 0 {
+                println!("retention: evicted {evicted} points");
+            }
+        }
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("lms-influxd: {e}");
+        std::process::exit(1);
+    }
+}

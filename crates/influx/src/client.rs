@@ -1,0 +1,124 @@
+//! A typed client for the InfluxDB-compatible API.
+//!
+//! Used by the router's forwarder, the dashboard agent's data source and
+//! the analysis layer — all of which are then equally happy to talk to a
+//! real InfluxDB (the point of mimicking its API, per the paper).
+
+use crate::exec::QueryResult;
+use lms_http::HttpClient;
+use lms_lineproto::Precision;
+use lms_util::{Json, Result};
+use std::net::ToSocketAddrs;
+
+/// Client for one database server.
+pub struct InfluxClient {
+    http: HttpClient,
+}
+
+impl InfluxClient {
+    /// Connects (lazily) to a server address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        Ok(InfluxClient { http: HttpClient::connect(addr)? })
+    }
+
+    /// Health check: `GET /ping`.
+    pub fn ping(&mut self) -> Result<()> {
+        self.http.get("/ping")?.into_result().map(drop)
+    }
+
+    /// Writes a line-protocol batch with nanosecond timestamps.
+    pub fn write(&mut self, db: &str, batch: &str) -> Result<()> {
+        self.write_with_precision(db, batch, Precision::Nanoseconds)
+    }
+
+    /// Writes a batch with explicit precision.
+    pub fn write_with_precision(
+        &mut self,
+        db: &str,
+        batch: &str,
+        precision: Precision,
+    ) -> Result<()> {
+        let target = format!(
+            "/write?db={}&precision={}",
+            lms_http::url::percent_encode(db),
+            precision.as_str()
+        );
+        self.http.post_text(&target, batch)?.into_result().map(drop)
+    }
+
+    /// Runs a query and parses the result.
+    pub fn query(&mut self, db: &str, q: &str) -> Result<QueryResult> {
+        let target = format!(
+            "/query?db={}&q={}",
+            lms_http::url::percent_encode(db),
+            lms_http::url::percent_encode(q)
+        );
+        let resp = self.http.get(&target)?;
+        // 400 responses carry {"error": ...}; surface as Remote errors.
+        let json = Json::parse(&resp.body_str())?;
+        QueryResult::from_json(&json)
+    }
+
+    /// Creates a database.
+    pub fn create_database(&mut self, name: &str) -> Result<()> {
+        let target = format!(
+            "/query?q={}",
+            lms_http::url::percent_encode(&format!("CREATE DATABASE {name}"))
+        );
+        self.http.post(&target, b"")?.into_result().map(drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Influx;
+    use crate::server::InfluxServer;
+    use lms_util::{Clock, Timestamp};
+
+    fn start() -> (InfluxServer, InfluxClient) {
+        let influx = Influx::new(Clock::simulated(Timestamp::from_secs(1000)));
+        let server = InfluxServer::start("127.0.0.1:0", influx).unwrap();
+        let client = InfluxClient::connect(server.addr()).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn end_to_end_typed_api() {
+        let (server, mut c) = start();
+        c.ping().unwrap();
+        c.write("lms", "cpu,hostname=h1 value=1 100\ncpu,hostname=h1 value=3 200").unwrap();
+        let r = c.query("lms", "SELECT mean(value) FROM cpu").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(2.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn precision_and_create_database() {
+        let (server, mut c) = start();
+        c.create_database("udb").unwrap();
+        c.write_with_precision("udb", "m v=5 42", Precision::Seconds).unwrap();
+        let r = c.query("udb", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][0].as_i64(), Some(42_000_000_000));
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_error_surfaces() {
+        let (server, mut c) = start();
+        let err = c.query("missing_db", "SELECT v FROM m").unwrap_err();
+        assert!(err.to_string().contains("missing_db"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn special_characters_in_query_survive_encoding() {
+        let (server, mut c) = start();
+        c.write("lms", "cpu,hostname=node-01 value=7 1").unwrap();
+        let r = c
+            .query("lms", "SELECT mean(\"value\") FROM \"cpu\" WHERE \"hostname\" = 'node-01'")
+            .unwrap();
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(7.0));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,377 @@
+//! Databases and the embedded [`Influx`] handle.
+//!
+//! A [`Database`] owns the series of one logical database (the paper's
+//! global database, plus optional per-user databases created by the
+//! router's duplication feature). [`Influx`] bundles multiple databases
+//! behind one thread-safe handle — the same object backs the embedded API
+//! and the HTTP server.
+
+use crate::exec::{self, QueryResult};
+use crate::query::Statement;
+use crate::storage::Series;
+use lms_lineproto::{parse_batch, Precision};
+use lms_util::{Clock, Error, FxHashMap, Result};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options for a write request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// Precision of timestamps in the batch (default nanoseconds).
+    pub precision: Precision,
+}
+
+/// Outcome of writing a batch: how many points landed, how many lines were
+/// rejected (with the first error kept for reporting).
+#[derive(Debug, Default)]
+pub struct WriteOutcome {
+    /// Accepted points.
+    pub written: usize,
+    /// Rejected lines.
+    pub rejected: usize,
+    /// First rejection, if any (line number, message).
+    pub first_error: Option<(usize, String)>,
+}
+
+/// One logical database.
+#[derive(Debug, Default)]
+pub struct Database {
+    series: FxHashMap<String, Series>,
+    /// measurement → series keys (for query fan-out).
+    measurements: FxHashMap<String, Vec<String>>,
+    retention: Option<Duration>,
+}
+
+impl Database {
+    /// An empty database with no retention limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the retention window (points older than `now - retention` are
+    /// dropped by [`enforce_retention`](Self::enforce_retention)).
+    pub fn set_retention(&mut self, retention: Option<Duration>) {
+        self.retention = retention;
+    }
+
+    /// Writes one already-parsed point.
+    pub fn write_point(&mut self, point: &lms_lineproto::Point, default_ts: i64) {
+        let key = point.series_key();
+        let ts = point.timestamp().unwrap_or(default_ts);
+        if !self.series.contains_key(&key) {
+            self.measurements
+                .entry(point.measurement().to_string())
+                .or_default()
+                .push(key.clone());
+            self.series.insert(key.clone(), Series::new(point.measurement(), point.tags()));
+        }
+        let series = self.series.get_mut(&key).expect("just inserted");
+        for (field, value) in point.fields() {
+            series.insert(field, ts, value.clone());
+        }
+    }
+
+    /// All series of a measurement.
+    pub fn series_of(&self, measurement: &str) -> Vec<&Series> {
+        self.measurements
+            .get(measurement)
+            .into_iter()
+            .flatten()
+            .filter_map(|k| self.series.get(k))
+            .collect()
+    }
+
+    /// All measurement names, sorted.
+    pub fn measurement_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.measurements.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Total series count.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total stored points.
+    pub fn point_count(&self) -> usize {
+        self.series.values().map(Series::point_count).sum()
+    }
+
+    /// Applies the retention policy relative to `now_ns`; returns evicted
+    /// point count. Emptied series and measurements are garbage-collected.
+    pub fn enforce_retention(&mut self, now_ns: i64) -> usize {
+        let Some(retention) = self.retention else { return 0 };
+        let cutoff = now_ns.saturating_sub(retention.as_nanos().min(i64::MAX as u128) as i64);
+        let mut evicted = 0;
+        self.series.retain(|_, s| {
+            evicted += s.evict_before(cutoff);
+            !s.is_empty()
+        });
+        let series = &self.series;
+        self.measurements.retain(|_, keys| {
+            keys.retain(|k| series.contains_key(k));
+            !keys.is_empty()
+        });
+        evicted
+    }
+}
+
+struct Inner {
+    databases: FxHashMap<String, Database>,
+    /// Create databases on first write (convenience for a self-contained
+    /// stack; real InfluxDB requires CREATE DATABASE).
+    auto_create: bool,
+}
+
+/// Thread-safe embedded handle to the whole storage.
+#[derive(Clone)]
+pub struct Influx {
+    inner: Arc<RwLock<Inner>>,
+    clock: Clock,
+}
+
+impl Influx {
+    /// Creates an empty storage with auto-create enabled.
+    pub fn new(clock: Clock) -> Self {
+        Influx {
+            inner: Arc::new(RwLock::new(Inner {
+                databases: FxHashMap::default(),
+                auto_create: true,
+            })),
+            clock,
+        }
+    }
+
+    /// Disables database auto-creation (writes to unknown databases then
+    /// fail like real InfluxDB).
+    pub fn set_auto_create(&self, enabled: bool) {
+        self.inner.write().auto_create = enabled;
+    }
+
+    /// Creates a database (idempotent).
+    pub fn create_database(&self, name: &str) {
+        self.inner.write().databases.entry(name.to_string()).or_default();
+    }
+
+    /// Sets the retention window of a database (creating it if needed).
+    pub fn set_retention(&self, db: &str, retention: Option<Duration>) {
+        let mut inner = self.inner.write();
+        inner.databases.entry(db.to_string()).or_default().set_retention(retention);
+    }
+
+    /// Names of all databases, sorted.
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().databases.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The clock used for server-assigned timestamps.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Writes a line-protocol batch. Malformed lines are counted and
+    /// skipped, not fatal (the paper's stack must survive a misbehaving
+    /// collector). Fails only when the database does not exist and
+    /// auto-create is off.
+    pub fn write_lines(&self, db: &str, batch: &str, opts: WriteOptions) -> Result<WriteOutcome> {
+        let parsed = parse_batch(batch);
+        let default_ts = self.clock.now().nanos();
+        let mut inner = self.inner.write();
+        if !inner.databases.contains_key(db) {
+            if inner.auto_create {
+                inner.databases.insert(db.to_string(), Database::default());
+            } else {
+                return Err(Error::not_found(format!("database `{db}`")));
+            }
+        }
+        let database = inner.databases.get_mut(db).expect("ensured above");
+        let mut outcome = WriteOutcome {
+            written: 0,
+            rejected: parsed.errors.len(),
+            first_error: parsed
+                .errors
+                .first()
+                .map(|(line, e)| (*line, e.to_string())),
+        };
+        for line in &parsed.lines {
+            let mut point = line.to_point();
+            let ts = point.timestamp().map(|t| opts.precision.to_nanos(t)).unwrap_or(default_ts);
+            point.set_timestamp(ts);
+            database.write_point(&point, default_ts);
+            outcome.written += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Runs a query statement string against a database.
+    pub fn query(&self, db: &str, q: &str) -> Result<QueryResult> {
+        let stmt = Statement::parse(q)?;
+        match stmt {
+            Statement::CreateDatabase(name) => {
+                self.create_database(&name);
+                Ok(QueryResult::empty())
+            }
+            Statement::ShowDatabases => Ok(QueryResult {
+                series: vec![crate::exec::ResultSeries {
+                    name: "databases".into(),
+                    tags: Vec::new(),
+                    columns: vec!["name".into()],
+                    values: self
+                        .database_names()
+                        .into_iter()
+                        .map(|n| vec![lms_util::Json::str(n)])
+                        .collect(),
+                }],
+            }),
+            other => {
+                let now = self.clock.now().nanos();
+                let inner = self.inner.read();
+                let database = inner
+                    .databases
+                    .get(db)
+                    .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
+                exec::execute(&other, database, now)
+            }
+        }
+    }
+
+    /// Applies retention across all databases; returns evicted point count.
+    pub fn enforce_retention(&self) -> usize {
+        let now = self.clock.now().nanos();
+        let mut inner = self.inner.write();
+        inner.databases.values_mut().map(|d| d.enforce_retention(now)).sum()
+    }
+
+    /// Point count in one database (0 when absent).
+    pub fn point_count(&self, db: &str) -> usize {
+        self.inner.read().databases.get(db).map(Database::point_count).unwrap_or(0)
+    }
+
+    /// Series count in one database (0 when absent).
+    pub fn series_count(&self, db: &str) -> usize {
+        self.inner.read().databases.get(db).map(Database::series_count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_util::Timestamp;
+
+    fn influx() -> Influx {
+        Influx::new(Clock::simulated(Timestamp::from_secs(1000)))
+    }
+
+    #[test]
+    fn write_and_count() {
+        let ix = influx();
+        let out = ix
+            .write_lines("lms", "cpu,hostname=h1 value=1 1\ncpu,hostname=h2 value=2 2", Default::default())
+            .unwrap();
+        assert_eq!(out.written, 2);
+        assert_eq!(out.rejected, 0);
+        assert_eq!(ix.series_count("lms"), 2);
+        assert_eq!(ix.point_count("lms"), 2);
+    }
+
+    #[test]
+    fn malformed_lines_counted_not_fatal() {
+        let ix = influx();
+        let out = ix
+            .write_lines("lms", "good v=1 1\nbad line here\ngood v=2 2", Default::default())
+            .unwrap();
+        assert_eq!(out.written, 2);
+        assert_eq!(out.rejected, 1);
+        let (line, msg) = out.first_error.unwrap();
+        assert_eq!(line, 2);
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn missing_timestamp_gets_server_time() {
+        let ix = influx();
+        ix.write_lines("lms", "cpu value=1", Default::default()).unwrap();
+        let r = ix.query("lms", "SELECT value FROM cpu").unwrap();
+        let ts = r.series[0].values[0][0].as_i64().unwrap();
+        assert_eq!(ts, Timestamp::from_secs(1000).nanos());
+    }
+
+    #[test]
+    fn precision_scaling_applies() {
+        let ix = influx();
+        ix.write_lines(
+            "lms",
+            "cpu value=1 1000",
+            WriteOptions { precision: Precision::Seconds },
+        )
+        .unwrap();
+        let r = ix.query("lms", "SELECT value FROM cpu").unwrap();
+        assert_eq!(r.series[0].values[0][0].as_i64().unwrap(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn auto_create_toggle() {
+        let ix = influx();
+        ix.set_auto_create(false);
+        assert!(ix.write_lines("nope", "m v=1 1", Default::default()).is_err());
+        ix.create_database("nope");
+        assert!(ix.write_lines("nope", "m v=1 1", Default::default()).is_ok());
+        assert_eq!(ix.database_names(), vec!["nope"]);
+    }
+
+    #[test]
+    fn create_database_via_query() {
+        let ix = influx();
+        ix.set_auto_create(false);
+        ix.query("", "CREATE DATABASE userdb").unwrap();
+        assert!(ix.database_names().contains(&"userdb".to_string()));
+    }
+
+    #[test]
+    fn show_databases() {
+        let ix = influx();
+        ix.create_database("lms");
+        ix.create_database("user_alice");
+        let r = ix.query("", "SHOW DATABASES").unwrap();
+        let names: Vec<&str> =
+            r.series[0].values.iter().map(|v| v[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["lms", "user_alice"]);
+    }
+
+    #[test]
+    fn retention_evicts_old_points() {
+        let ix = influx();
+        ix.set_retention("lms", Some(Duration::from_secs(100)));
+        // now = 1000s; points at 850s (stale) and 950s (fresh)
+        ix.write_lines("lms", "m v=1 850000000000\nm v=2 950000000000", Default::default())
+            .unwrap();
+        assert_eq!(ix.point_count("lms"), 2);
+        let evicted = ix.enforce_retention();
+        assert_eq!(evicted, 1);
+        assert_eq!(ix.point_count("lms"), 1);
+    }
+
+    #[test]
+    fn retention_gc_removes_empty_series() {
+        let ix = influx();
+        ix.set_retention("lms", Some(Duration::from_secs(10)));
+        ix.write_lines("lms", "old v=1 1", Default::default()).unwrap();
+        ix.enforce_retention();
+        assert_eq!(ix.series_count("lms"), 0);
+        let r = ix.query("lms", "SHOW MEASUREMENTS").unwrap();
+        assert!(r.series.is_empty() || r.series[0].values.is_empty());
+    }
+
+    #[test]
+    fn duplicate_point_overwrites() {
+        let ix = influx();
+        ix.write_lines("lms", "m,host=a v=1 5\nm,host=a v=2 5", Default::default()).unwrap();
+        assert_eq!(ix.point_count("lms"), 1);
+        let r = ix.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_f64().unwrap(), 2.0);
+    }
+}

@@ -1,0 +1,724 @@
+//! Query execution over [`Database`] storage, with InfluxDB-shaped results.
+
+use crate::db::Database;
+use crate::query::{AggFunc, Condition, Fill, Projection, Select, Statement};
+use crate::storage::Series;
+use lms_lineproto::FieldValue;
+use lms_util::{Error, Json, Result};
+use std::collections::BTreeMap;
+
+/// One result series (matches InfluxDB's JSON `series` element).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSeries {
+    /// Measurement (or meta-result name like `measurements`).
+    pub name: String,
+    /// Group-by tag values, sorted by key.
+    pub tags: Vec<(String, String)>,
+    /// Column names; first is always `time` for data queries.
+    pub columns: Vec<String>,
+    /// Row-major values.
+    pub values: Vec<Vec<Json>>,
+}
+
+/// A full query result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Result series (one per group).
+    pub series: Vec<ResultSeries>,
+}
+
+impl QueryResult {
+    /// An empty result.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Renders the InfluxDB `/query` response JSON.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut obj = vec![("name".to_string(), Json::str(&s.name))];
+                if !s.tags.is_empty() {
+                    obj.push((
+                        "tags".to_string(),
+                        Json::Obj(
+                            s.tags
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::str(v)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                obj.push((
+                    "columns".to_string(),
+                    Json::arr(s.columns.iter().map(Json::str)),
+                ));
+                obj.push((
+                    "values".to_string(),
+                    Json::arr(s.values.iter().map(|row| Json::arr(row.iter().cloned()))),
+                ));
+                Json::Obj(obj)
+            })
+            .collect::<Vec<_>>();
+        Json::obj([(
+            "results",
+            Json::arr([Json::obj([
+                ("statement_id", Json::from(0i64)),
+                ("series", Json::Arr(series)),
+            ])]),
+        )])
+    }
+
+    /// Parses the InfluxDB `/query` response JSON (client side). Also
+    /// surfaces `{"error": "..."}` responses as errors.
+    pub fn from_json(json: &Json) -> Result<QueryResult> {
+        if let Some(err) = json.get("error").and_then(Json::as_str) {
+            return Err(Error::Remote { status: 400, message: err.to_string() });
+        }
+        let mut out = QueryResult::empty();
+        let results = json
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| Error::protocol("query response missing `results`"))?;
+        for result in results {
+            if let Some(err) = result.get("error").and_then(Json::as_str) {
+                return Err(Error::Remote { status: 400, message: err.to_string() });
+            }
+            let Some(series) = result.get("series").and_then(Json::as_arr) else {
+                continue;
+            };
+            for s in series {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let mut tags: Vec<(String, String)> = s
+                    .get("tags")
+                    .and_then(Json::as_obj)
+                    .map(|o| {
+                        o.iter()
+                            .map(|(k, v)| {
+                                (k.clone(), v.as_str().unwrap_or_default().to_string())
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                tags.sort();
+                let columns = s
+                    .get("columns")
+                    .and_then(Json::as_arr)
+                    .map(|a| {
+                        a.iter().map(|c| c.as_str().unwrap_or_default().to_string()).collect()
+                    })
+                    .unwrap_or_default();
+                let values = s
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .map(|rows| {
+                        rows.iter()
+                            .map(|r| r.as_arr().map(<[Json]>::to_vec).unwrap_or_default())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                out.series.push(ResultSeries { name, tags, columns, values });
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn json_of(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::Float(f) => Json::Num(*f),
+        FieldValue::Integer(i) => Json::Int(*i),
+        FieldValue::Boolean(b) => Json::Bool(*b),
+        FieldValue::Text(s) => Json::str(s.as_str()),
+    }
+}
+
+/// Executes a statement against one database. `now_ns` anchors `now()`.
+pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResult> {
+    match stmt {
+        Statement::Select(sel) => select(sel, db, now_ns),
+        Statement::ShowMeasurements => {
+            let values: Vec<Vec<Json>> =
+                db.measurement_names().into_iter().map(|m| vec![Json::str(m)]).collect();
+            Ok(QueryResult {
+                series: vec![ResultSeries {
+                    name: "measurements".into(),
+                    tags: Vec::new(),
+                    columns: vec!["name".into()],
+                    values,
+                }],
+            })
+        }
+        Statement::ShowTagValues { measurement, key } => {
+            let mut values: Vec<String> = db
+                .series_of(measurement)
+                .iter()
+                .filter_map(|s| s.tag(key))
+                .map(str::to_string)
+                .collect();
+            values.sort_unstable();
+            values.dedup();
+            Ok(QueryResult {
+                series: vec![ResultSeries {
+                    name: measurement.clone(),
+                    tags: Vec::new(),
+                    columns: vec!["key".into(), "value".into()],
+                    values: values
+                        .into_iter()
+                        .map(|v| vec![Json::str(key.as_str()), Json::str(v)])
+                        .collect(),
+                }],
+            })
+        }
+        Statement::ShowFieldKeys { measurement } => {
+            let mut fields: Vec<&str> =
+                db.series_of(measurement).iter().flat_map(|s| s.field_names()).collect();
+            fields.sort_unstable();
+            fields.dedup();
+            Ok(QueryResult {
+                series: vec![ResultSeries {
+                    name: measurement.clone(),
+                    tags: Vec::new(),
+                    columns: vec!["fieldKey".into()],
+                    values: fields.into_iter().map(|f| vec![Json::str(f)]).collect(),
+                }],
+            })
+        }
+        // Storage-level statements are handled by `Influx::query` before
+        // execution reaches a single database.
+        Statement::CreateDatabase(_) | Statement::ShowDatabases => Ok(QueryResult::empty()),
+    }
+}
+
+/// The resolved time range `[start, end)` of a SELECT.
+fn time_range(sel: &Select, now_ns: i64) -> (i64, i64) {
+    let mut start = i64::MIN;
+    let mut end = i64::MAX;
+    for c in &sel.conditions {
+        match c {
+            Condition::TimeGe(v) => start = start.max(v.resolve(now_ns)),
+            Condition::TimeGt(v) => start = start.max(v.resolve(now_ns).saturating_add(1)),
+            Condition::TimeLe(v) => end = end.min(v.resolve(now_ns).saturating_add(1)),
+            Condition::TimeLt(v) => end = end.min(v.resolve(now_ns)),
+            _ => {}
+        }
+    }
+    (start, end)
+}
+
+fn series_matches(series: &Series, sel: &Select) -> bool {
+    sel.conditions.iter().all(|c| match c {
+        Condition::TagEq(k, v) => series.tag(k) == Some(v.as_str()),
+        Condition::TagNe(k, v) => series.tag(k) != Some(v.as_str()),
+        _ => true,
+    })
+}
+
+fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
+    let (start, end) = time_range(sel, now_ns);
+    if start >= end {
+        return Ok(QueryResult::empty());
+    }
+    let matching: Vec<&Series> = db
+        .series_of(&sel.measurement)
+        .into_iter()
+        .filter(|s| series_matches(s, sel))
+        .collect();
+    if matching.is_empty() {
+        return Ok(QueryResult::empty());
+    }
+
+    // Group series by the values of the GROUP BY tags.
+    let mut groups: BTreeMap<Vec<(String, String)>, Vec<&Series>> = BTreeMap::new();
+    for s in matching {
+        let key: Vec<(String, String)> = sel
+            .group_tags
+            .iter()
+            .map(|t| (t.clone(), s.tag(t).unwrap_or("").to_string()))
+            .collect();
+        groups.entry(key).or_default().push(s);
+    }
+
+    let has_agg = sel.projections.iter().any(|p| matches!(p, Projection::Agg(..)));
+    let all_agg = sel.projections.iter().all(|p| matches!(p, Projection::Agg(..)));
+    if has_agg && !all_agg {
+        return Err(Error::invalid(
+            "query: cannot mix aggregated and raw projections",
+        ));
+    }
+    if sel.group_time.is_some() && !all_agg {
+        return Err(Error::invalid("query: GROUP BY time requires aggregations"));
+    }
+
+    let mut out = QueryResult::empty();
+    for (tags, group) in groups {
+        let mut rs = if all_agg {
+            aggregate_group(sel, &group, start, end, now_ns)
+        } else {
+            raw_group(sel, &group, start, end)
+        };
+        if rs.values.is_empty() && !sel.group_tags.is_empty() {
+            continue; // groups emptied by the time range vanish
+        }
+        if sel.order_desc {
+            rs.values.reverse();
+        }
+        if let Some(limit) = sel.limit {
+            rs.values.truncate(limit);
+        }
+        rs.tags = tags;
+        out.series.push(rs);
+    }
+    // A completely empty ungrouped result: drop the series entirely.
+    out.series.retain(|s| !s.values.is_empty());
+    Ok(out)
+}
+
+/// Raw projection: merge rows across the group's series by timestamp.
+fn raw_group(sel: &Select, group: &[&Series], start: i64, end: i64) -> ResultSeries {
+    let fields: Vec<&str> = sel
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Field(f) => f.as_str(),
+            Projection::Agg(..) => unreachable!("checked by caller"),
+        })
+        .collect();
+    // Rows keyed by (time, source series): fields of the same point merge
+    // into one row; distinct series at the same instant stay distinct rows
+    // (InfluxDB emits duplicate-timestamp rows too).
+    let mut rows: BTreeMap<(i64, usize), Vec<Json>> = BTreeMap::new();
+    for (si, series) in group.iter().enumerate() {
+        for (fi, field) in fields.iter().enumerate() {
+            let Some(col) = series.field(field) else { continue };
+            for (ts, value) in col.range(start, end) {
+                let row = rows
+                    .entry((*ts, si))
+                    .or_insert_with(|| vec![Json::Null; fields.len()]);
+                row[fi] = json_of(value);
+            }
+        }
+    }
+    let mut columns = vec!["time".to_string()];
+    columns.extend(fields.iter().map(|f| f.to_string()));
+    ResultSeries {
+        name: sel.measurement.clone(),
+        tags: Vec::new(),
+        columns,
+        values: rows
+            .into_iter()
+            .map(|((ts, _), mut vals)| {
+                let mut row = Vec::with_capacity(vals.len() + 1);
+                row.push(Json::Int(ts));
+                row.append(&mut vals);
+                row
+            })
+            .collect(),
+    }
+}
+
+/// Aggregated projection, optionally windowed by `GROUP BY time(w)`.
+fn aggregate_group(
+    sel: &Select,
+    group: &[&Series],
+    start: i64,
+    end: i64,
+    now_ns: i64,
+) -> ResultSeries {
+    struct AggSpec {
+        func: AggFunc,
+        field: String,
+    }
+    let specs: Vec<AggSpec> = sel
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Agg(func, field) => AggSpec { func: *func, field: field.clone() },
+            Projection::Field(_) => unreachable!("checked by caller"),
+        })
+        .collect();
+
+    let mut columns = vec!["time".to_string()];
+    columns.extend(specs.iter().map(|s| s.func.column_name().to_string()));
+
+    let values = match sel.group_time {
+        None => {
+            // Single bucket over the whole range.
+            let row_time = if start == i64::MIN { 0 } else { start };
+            let mut row = vec![Json::Int(row_time)];
+            let mut any = false;
+            for spec in &specs {
+                let agg = aggregate_points(group, &spec.field, start, end, spec.func);
+                if !agg.is_null() {
+                    any = true;
+                }
+                row.push(agg);
+            }
+            if any {
+                vec![row]
+            } else {
+                Vec::new()
+            }
+        }
+        Some(window) => {
+            // Window boundaries are aligned to the epoch (InfluxDB default).
+            let range_start = if start == i64::MIN {
+                // Unbounded start with windows: clamp to data start.
+                group
+                    .iter()
+                    .flat_map(|s| {
+                        specs.iter().filter_map(|sp| {
+                            s.field(&sp.field).and_then(|c| c.all().first()).map(|&(t, _)| t)
+                        })
+                    })
+                    .min()
+                    .unwrap_or(0)
+            } else {
+                start
+            };
+            let range_end = if end == i64::MAX {
+                group
+                    .iter()
+                    .flat_map(|s| {
+                        specs.iter().filter_map(|sp| {
+                            s.field(&sp.field).and_then(|c| c.all().last()).map(|&(t, _)| t)
+                        })
+                    })
+                    .max()
+                    .map(|t| t.saturating_add(1))
+                    .unwrap_or(0)
+            } else {
+                end.min(now_ns.saturating_add(1).max(start))
+            };
+            let mut rows = Vec::new();
+            let mut w_start = range_start.div_euclid(window) * window;
+            while w_start < range_end {
+                let w_end = w_start.saturating_add(window);
+                let lo = w_start.max(start);
+                let hi = w_end.min(end);
+                let mut row = vec![Json::Int(w_start)];
+                let mut any = false;
+                for spec in &specs {
+                    let agg = aggregate_points(group, &spec.field, lo, hi, spec.func);
+                    if !agg.is_null() {
+                        any = true;
+                    }
+                    row.push(agg);
+                }
+                match (any, sel.fill) {
+                    (true, _) => rows.push(row),
+                    (false, Fill::Null) => rows.push(row),
+                    (false, Fill::Zero) => {
+                        let n = row.len();
+                        let mut zero_row = vec![row[0].clone()];
+                        zero_row.extend(std::iter::repeat_n(Json::Int(0), n - 1));
+                        rows.push(zero_row);
+                    }
+                    (false, Fill::None) => {}
+                }
+                w_start = w_end;
+            }
+            rows
+        }
+    };
+
+    ResultSeries { name: sel.measurement.clone(), tags: Vec::new(), columns, values }
+}
+
+/// Computes one aggregate over the group's points of `field` in `[lo, hi)`.
+fn aggregate_points(
+    group: &[&Series],
+    field: &str,
+    lo: i64,
+    hi: i64,
+    func: AggFunc,
+) -> Json {
+    // first/last need timestamps; numeric aggs need values.
+    let mut count: u64 = 0;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut first: Option<(i64, &FieldValue)> = None;
+    let mut last: Option<(i64, &FieldValue)> = None;
+
+    for series in group {
+        let Some(col) = series.field(field) else { continue };
+        for (ts, value) in col.range(lo, hi) {
+            count += 1;
+            if first.is_none() || *ts < first.unwrap().0 {
+                first = Some((*ts, value));
+            }
+            if last.is_none() || *ts >= last.unwrap().0 {
+                last = Some((*ts, value));
+            }
+            if let Some(v) = value.as_f64() {
+                sum += v;
+                sum_sq += v * v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+    }
+
+    if count == 0 {
+        return Json::Null;
+    }
+    let numeric = min.is_finite();
+    match func {
+        AggFunc::Count => Json::Int(count as i64),
+        AggFunc::First => first.map(|(_, v)| json_of(v)).unwrap_or(Json::Null),
+        AggFunc::Last => last.map(|(_, v)| json_of(v)).unwrap_or(Json::Null),
+        AggFunc::Mean if numeric => Json::Num(sum / count as f64),
+        AggFunc::Sum if numeric => Json::Num(sum),
+        AggFunc::Min if numeric => Json::Num(min),
+        AggFunc::Max if numeric => Json::Num(max),
+        AggFunc::Stddev if numeric => {
+            let n = count as f64;
+            let var = (sum_sq / n - (sum / n) * (sum / n)).max(0.0);
+            Json::Num(var.sqrt())
+        }
+        _ => Json::Null, // numeric agg over non-numeric values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Influx;
+    use lms_util::{Clock, Timestamp};
+
+    /// now = 1000s. Two hosts, 10 points each at 1s spacing starting t=900s.
+    fn fixture() -> Influx {
+        let ix = Influx::new(Clock::simulated(Timestamp::from_secs(1000)));
+        let mut batch = String::new();
+        for host in ["h1", "h2"] {
+            for i in 0..10i64 {
+                let ts = (900 + i) * 1_000_000_000;
+                let v = if host == "h1" { i as f64 } else { 100.0 + i as f64 };
+                batch.push_str(&format!("cpu,hostname={host} value={v},flag={}i {ts}\n", i % 2));
+            }
+        }
+        batch.push_str("events,hostname=h1 text=\"job start\" 900000000000\n");
+        ix.write_lines("lms", &batch, Default::default()).unwrap();
+        ix
+    }
+
+    fn q(ix: &Influx, text: &str) -> QueryResult {
+        ix.query("lms", text).unwrap()
+    }
+
+    #[test]
+    fn raw_select_all_points() {
+        let r = q(&fixture(), "SELECT value FROM cpu WHERE hostname = 'h1'");
+        assert_eq!(r.series.len(), 1);
+        let s = &r.series[0];
+        assert_eq!(s.columns, vec!["time", "value"]);
+        assert_eq!(s.values.len(), 10);
+        assert_eq!(s.values[0][0].as_i64(), Some(900_000_000_000));
+        assert_eq!(s.values[0][1].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn raw_select_multiple_fields_aligned() {
+        let r = q(&fixture(), "SELECT value, flag FROM cpu WHERE hostname = 'h2' LIMIT 2");
+        let s = &r.series[0];
+        assert_eq!(s.columns, vec!["time", "value", "flag"]);
+        assert_eq!(s.values.len(), 2);
+        assert_eq!(s.values[0][1].as_f64(), Some(100.0));
+        assert_eq!(s.values[0][2].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn time_range_filters() {
+        let r = q(
+            &fixture(),
+            "SELECT value FROM cpu WHERE hostname = 'h1' AND time >= 905000000000 AND time < 908000000000",
+        );
+        assert_eq!(r.series[0].values.len(), 3);
+    }
+
+    #[test]
+    fn relative_time_now_minus() {
+        // now = 1000s; last point at 909s; window 95s back = from 905s.
+        let r = q(
+            &fixture(),
+            "SELECT value FROM cpu WHERE hostname = 'h1' AND time >= now() - 95s",
+        );
+        assert_eq!(r.series[0].values.len(), 5); // 905..909
+    }
+
+    #[test]
+    fn aggregate_whole_range() {
+        let r = q(&fixture(), "SELECT mean(value), max(value), count(value) FROM cpu WHERE hostname = 'h1'");
+        let row = &r.series[0].values[0];
+        assert_eq!(r.series[0].columns, vec!["time", "mean", "max", "count"]);
+        assert_eq!(row[1].as_f64(), Some(4.5));
+        assert_eq!(row[2].as_f64(), Some(9.0));
+        assert_eq!(row[3].as_i64(), Some(10));
+    }
+
+    #[test]
+    fn aggregate_merges_series_without_group_by() {
+        let r = q(&fixture(), "SELECT mean(value) FROM cpu");
+        // (0..9 mean 4.5) and (100..109 mean 104.5) merged = 54.5
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(54.5));
+    }
+
+    #[test]
+    fn group_by_tag_splits_series() {
+        let r = q(&fixture(), "SELECT mean(value) FROM cpu GROUP BY hostname");
+        assert_eq!(r.series.len(), 2);
+        let by_tag: Vec<(&str, f64)> = r
+            .series
+            .iter()
+            .map(|s| (s.tags[0].1.as_str(), s.values[0][1].as_f64().unwrap()))
+            .collect();
+        assert_eq!(by_tag, vec![("h1", 4.5), ("h2", 104.5)]);
+    }
+
+    #[test]
+    fn group_by_time_windows() {
+        let r = q(
+            &fixture(),
+            "SELECT sum(value) FROM cpu WHERE hostname = 'h1' AND time >= 900000000000 AND time < 910000000000 GROUP BY time(5s)",
+        );
+        let s = &r.series[0];
+        assert_eq!(s.values.len(), 2);
+        assert_eq!(s.values[0][0].as_i64(), Some(900_000_000_000));
+        assert_eq!(s.values[0][1].as_f64(), Some(0.0 + 1.0 + 2.0 + 3.0 + 4.0));
+        assert_eq!(s.values[1][1].as_f64(), Some(5.0 + 6.0 + 7.0 + 8.0 + 9.0));
+    }
+
+    #[test]
+    fn group_by_time_and_tag() {
+        let r = q(
+            &fixture(),
+            "SELECT mean(value) FROM cpu WHERE time >= 900000000000 AND time < 910000000000 GROUP BY time(5s), hostname",
+        );
+        assert_eq!(r.series.len(), 2);
+        assert!(r.series.iter().all(|s| s.values.len() == 2));
+    }
+
+    #[test]
+    fn fill_policies() {
+        // Points only in the first 10s of a 20s range.
+        let r = q(
+            &fixture(),
+            "SELECT mean(value) FROM cpu WHERE hostname = 'h1' AND time >= 900000000000 AND time < 920000000000 GROUP BY time(5s) FILL(none)",
+        );
+        assert_eq!(r.series[0].values.len(), 2);
+        let r = q(
+            &fixture(),
+            "SELECT mean(value) FROM cpu WHERE hostname = 'h1' AND time >= 900000000000 AND time < 920000000000 GROUP BY time(5s) FILL(null)",
+        );
+        assert_eq!(r.series[0].values.len(), 4);
+        assert!(r.series[0].values[3][1].is_null());
+        let r = q(
+            &fixture(),
+            "SELECT mean(value) FROM cpu WHERE hostname = 'h1' AND time >= 900000000000 AND time < 920000000000 GROUP BY time(5s) FILL(0)",
+        );
+        assert_eq!(r.series[0].values[3][1].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn order_desc_and_limit() {
+        let r = q(
+            &fixture(),
+            "SELECT value FROM cpu WHERE hostname = 'h1' ORDER BY time DESC LIMIT 3",
+        );
+        let times: Vec<i64> = r.series[0].values.iter().map(|v| v[0].as_i64().unwrap()).collect();
+        assert_eq!(times, vec![909_000_000_000, 908_000_000_000, 907_000_000_000]);
+    }
+
+    #[test]
+    fn first_and_last() {
+        let r = q(&fixture(), "SELECT first(value), last(value) FROM cpu WHERE hostname = 'h1'");
+        let row = &r.series[0].values[0];
+        assert_eq!(row[1].as_f64(), Some(0.0));
+        assert_eq!(row[2].as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn stddev() {
+        let r = q(&fixture(), "SELECT stddev(value) FROM cpu WHERE hostname = 'h1'");
+        let sd = r.series[0].values[0][1].as_f64().unwrap();
+        // population stddev of 0..9 = sqrt(8.25) ≈ 2.8723
+        assert!((sd - 2.8722813232690143).abs() < 1e-9);
+    }
+
+    #[test]
+    fn string_events_queryable() {
+        let r = q(&fixture(), "SELECT text FROM events");
+        assert_eq!(r.series[0].values[0][1].as_str(), Some("job start"));
+        // count works on strings; mean yields null → empty result row.
+        let r = q(&fixture(), "SELECT count(text) FROM events");
+        assert_eq!(r.series[0].values[0][1].as_i64(), Some(1));
+        let r = q(&fixture(), "SELECT mean(text) FROM events");
+        assert!(r.series.is_empty());
+    }
+
+    #[test]
+    fn tag_ne_condition() {
+        let r = q(&fixture(), "SELECT mean(value) FROM cpu WHERE hostname != 'h2'");
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(4.5));
+    }
+
+    #[test]
+    fn unknown_measurement_is_empty_not_error() {
+        let r = q(&fixture(), "SELECT value FROM nothing_here");
+        assert!(r.series.is_empty());
+    }
+
+    #[test]
+    fn empty_time_range_is_empty() {
+        let r = q(&fixture(), "SELECT value FROM cpu WHERE time >= 200 AND time < 100");
+        assert!(r.series.is_empty());
+    }
+
+    #[test]
+    fn mixing_raw_and_agg_rejected() {
+        let ix = fixture();
+        assert!(ix.query("lms", "SELECT value, mean(value) FROM cpu").is_err());
+        assert!(ix.query("lms", "SELECT value FROM cpu GROUP BY time(5s)").is_err());
+    }
+
+    #[test]
+    fn show_meta_queries() {
+        let ix = fixture();
+        let r = q(&ix, "SHOW MEASUREMENTS");
+        let names: Vec<&str> =
+            r.series[0].values.iter().map(|v| v[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["cpu", "events"]);
+        let r = q(&ix, "SHOW TAG VALUES FROM cpu WITH KEY = hostname");
+        let hosts: Vec<&str> =
+            r.series[0].values.iter().map(|v| v[1].as_str().unwrap()).collect();
+        assert_eq!(hosts, vec!["h1", "h2"]);
+        let r = q(&ix, "SHOW FIELD KEYS FROM cpu");
+        let fields: Vec<&str> =
+            r.series[0].values.iter().map(|v| v[0].as_str().unwrap()).collect();
+        assert_eq!(fields, vec!["flag", "value"]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = q(&fixture(), "SELECT mean(value) FROM cpu GROUP BY hostname");
+        let json = r.to_json();
+        let back = QueryResult::from_json(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_surfaces_errors() {
+        let j = Json::parse(r#"{"error":"database not found"}"#).unwrap();
+        assert!(QueryResult::from_json(&j).is_err());
+        let j = Json::parse(r#"{"results":[{"statement_id":0,"error":"boom"}]}"#).unwrap();
+        assert!(QueryResult::from_json(&j).is_err());
+    }
+}

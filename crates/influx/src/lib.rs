@@ -1,0 +1,170 @@
+//! # lms-influx
+//!
+//! An embedded time-series database with an **InfluxDB-compatible HTTP
+//! API** — the storage back-end of the LMS reproduction.
+//!
+//! The paper chooses InfluxDB because it "can handle floating-point data as
+//! well as strings as input values representing metrics and events". LMS
+//! uses a small slice of it: line-protocol writes, and range/aggregate
+//! queries for dashboards and analysis. This crate implements that slice:
+//!
+//! - [`storage`] — series (measurement + tag set) holding per-field,
+//!   time-sorted columns of typed values,
+//! - [`db`] — databases with optional retention, and the [`Influx`] embedded
+//!   handle (thread-safe, usable without any server),
+//! - [`query`] — an InfluxQL-subset parser: `SELECT` with aggregations,
+//!   time-range and tag predicates, `GROUP BY time(...)` and tags, `ORDER BY
+//!   time DESC`, `LIMIT`, plus `SHOW MEASUREMENTS` / `SHOW TAG VALUES` /
+//!   `SHOW FIELD KEYS` / `CREATE DATABASE`,
+//! - [`exec`] — query execution and InfluxDB-shaped JSON results,
+//! - [`server`] — `/ping`, `/write`, `/query` endpoints over `lms-http`,
+//! - [`client`] — a typed client for the same API (used by the router,
+//!   dashboard agent and analysis).
+//!
+//! ```
+//! use lms_influx::Influx;
+//! use lms_util::{Clock, Timestamp};
+//!
+//! let influx = Influx::new(Clock::simulated(Timestamp::from_secs(100)));
+//! influx.write_lines("lms", "cpu,hostname=h1 value=0.5 99000000000", Default::default()).unwrap();
+//! influx.write_lines("lms", "cpu,hostname=h1 value=0.7 100000000000", Default::default()).unwrap();
+//!
+//! let result = influx.query("lms", "SELECT mean(value) FROM cpu").unwrap();
+//! let mean = result.series[0].values[0][1].as_f64().unwrap();
+//! assert!((mean - 0.6).abs() < 1e-12);
+//! ```
+
+pub mod client;
+pub mod db;
+pub mod exec;
+pub mod query;
+pub mod server;
+pub mod storage;
+
+pub use client::InfluxClient;
+pub use db::{Database, Influx, WriteOptions};
+pub use exec::{QueryResult, ResultSeries};
+pub use query::Statement;
+pub use server::InfluxServer;
+
+/// Anything that can answer InfluxQL queries: the embedded [`Influx`]
+/// handle (in-process stack) or an [`InfluxClient`] (remote database).
+/// The analysis layer and the dashboard agent are generic over this, so
+/// they work unchanged against a real InfluxDB.
+pub trait QuerySource {
+    /// Runs a query against a database.
+    fn query_source(&mut self, db: &str, q: &str) -> lms_util::Result<QueryResult>;
+}
+
+impl QuerySource for Influx {
+    fn query_source(&mut self, db: &str, q: &str) -> lms_util::Result<QueryResult> {
+        self.query(db, q)
+    }
+}
+
+impl QuerySource for InfluxClient {
+    fn query_source(&mut self, db: &str, q: &str) -> lms_util::Result<QueryResult> {
+        self.query(db, q)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lms_util::{Clock, Timestamp};
+    use proptest::prelude::*;
+
+    /// Random points on one series: (seconds offset, value).
+    fn points_strategy() -> impl Strategy<Value = Vec<(i64, f64)>> {
+        proptest::collection::vec((0i64..3600, -1000.0..1000.0f64), 1..60).prop_map(|mut v| {
+            // Unique timestamps (duplicates overwrite; keep the invariant
+            // statements simple).
+            v.sort_by_key(|&(t, _)| t);
+            v.dedup_by_key(|&mut (t, _)| t);
+            v
+        })
+    }
+
+    fn load(points: &[(i64, f64)]) -> Influx {
+        let ix = Influx::new(Clock::simulated(Timestamp::from_secs(10_000)));
+        let mut batch = String::new();
+        for &(t, v) in points {
+            batch.push_str(&format!("m,hostname=h1 v={v} {}\n", t * 1_000_000_000));
+        }
+        ix.write_lines("lms", &batch, Default::default()).unwrap();
+        ix
+    }
+
+    proptest! {
+        /// Windowed sums partition the total: Σ over GROUP BY time(w)
+        /// buckets equals the un-windowed sum, for any window size.
+        #[test]
+        fn window_sums_preserve_totals(
+            points in points_strategy(),
+            window_s in 1i64..1200,
+        ) {
+            let ix = load(&points);
+            let total = ix
+                .query("lms", "SELECT sum(v) FROM m")
+                .unwrap()
+                .series[0].values[0][1].as_f64().unwrap();
+            let windowed = ix
+                .query(
+                    "lms",
+                    &format!(
+                        "SELECT sum(v) FROM m WHERE time >= 0 AND time < 3600000000000 GROUP BY time({window_s}s)"
+                    ),
+                )
+                .unwrap();
+            let bucket_sum: f64 = windowed.series[0]
+                .values
+                .iter()
+                .filter_map(|row| row[1].as_f64())
+                .sum();
+            let expect: f64 = points.iter().map(|&(_, v)| v).sum();
+            prop_assert!((total - expect).abs() < 1e-6, "total {total} vs {expect}");
+            prop_assert!((bucket_sum - expect).abs() < 1e-6, "buckets {bucket_sum} vs {expect}");
+        }
+
+        /// count() equals the number of stored points; the raw projection
+        /// returns exactly the in-range points in ascending time order.
+        #[test]
+        fn raw_and_count_agree(points in points_strategy(), split_s in 1i64..3600) {
+            let ix = load(&points);
+            let split = split_s * 1_000_000_000;
+            let before = ix
+                .query("lms", &format!("SELECT v FROM m WHERE time < {split}"))
+                .unwrap();
+            let after = ix
+                .query("lms", &format!("SELECT v FROM m WHERE time >= {split}"))
+                .unwrap();
+            let n_before: usize = before.series.iter().map(|s| s.values.len()).sum();
+            let n_after: usize = after.series.iter().map(|s| s.values.len()).sum();
+            prop_assert_eq!(n_before + n_after, points.len());
+            if let Some(series) = before.series.first() {
+                let times: Vec<i64> =
+                    series.values.iter().map(|row| row[0].as_i64().unwrap()).collect();
+                prop_assert!(times.windows(2).all(|w| w[0] < w[1]), "sorted: {times:?}");
+                prop_assert!(times.iter().all(|&t| t < split));
+            }
+        }
+
+        /// min ≤ mean ≤ max, and first/last match the range endpoints.
+        #[test]
+        fn aggregate_ordering(points in points_strategy()) {
+            let ix = load(&points);
+            let r = ix
+                .query("lms", "SELECT min(v), mean(v), max(v), first(v), last(v) FROM m")
+                .unwrap();
+            let row = &r.series[0].values[0];
+            let (min, mean, max) = (
+                row[1].as_f64().unwrap(),
+                row[2].as_f64().unwrap(),
+                row[3].as_f64().unwrap(),
+            );
+            prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9, "{min} {mean} {max}");
+            prop_assert_eq!(row[4].as_f64().unwrap(), points.first().unwrap().1);
+            prop_assert_eq!(row[5].as_f64().unwrap(), points.last().unwrap().1);
+        }
+    }
+}

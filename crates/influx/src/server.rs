@@ -1,0 +1,177 @@
+//! The InfluxDB-compatible HTTP endpoints.
+//!
+//! | endpoint | behaviour |
+//! |---|---|
+//! | `GET /ping` | `204` with `X-Influxdb-Version` header |
+//! | `POST /write?db=<db>&precision=<p>` | line-protocol batch → `204`; `400` with a JSON error when every line failed or the db is missing |
+//! | `GET/POST /query?db=<db>&q=<stmt>` | InfluxDB-shaped JSON result |
+
+use crate::db::{Influx, WriteOptions};
+use lms_http::{Request, Response, Server};
+use lms_lineproto::Precision;
+use lms_util::{Json, Result};
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// A running database server wrapping an [`Influx`] handle.
+pub struct InfluxServer {
+    server: Server,
+}
+
+impl InfluxServer {
+    /// Starts serving `influx` on `addr` with a small worker pool.
+    pub fn start<A: ToSocketAddrs>(addr: A, influx: Influx) -> Result<Self> {
+        let server = Server::bind(addr, 4, move |req| handle(&influx, req))?;
+        Ok(InfluxServer { server })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+fn error_json(msg: &str) -> String {
+    Json::obj([("error", Json::str(msg))]).to_string()
+}
+
+fn handle(influx: &Influx, req: Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/ping") | ("HEAD", "/ping") => {
+            let mut r = Response::no_content();
+            r.headers.push(("x-influxdb-version".into(), "lms-influx-0.1".into()));
+            r
+        }
+        ("POST", "/write") => {
+            let Some(db) = req.query_param("db") else {
+                return Response::json(400, error_json("missing `db` parameter"));
+            };
+            let precision = match req.query_param("precision").map(Precision::parse) {
+                None => Precision::Nanoseconds,
+                Some(Ok(p)) => p,
+                Some(Err(e)) => return Response::json(400, error_json(&e.to_string())),
+            };
+            let body = req.body_str();
+            match influx.write_lines(db, &body, WriteOptions { precision }) {
+                Ok(outcome) if outcome.written > 0 || outcome.rejected == 0 => {
+                    // Partial success still answers 204 (matching InfluxDB's
+                    // lenient handling); full failure reports the first error.
+                    Response::no_content()
+                }
+                Ok(outcome) => {
+                    let (line, msg) = outcome
+                        .first_error
+                        .unwrap_or((0, "empty write body".to_string()));
+                    Response::json(400, error_json(&format!("line {line}: {msg}")))
+                }
+                Err(e) => Response::json(404, error_json(&e.to_string())),
+            }
+        }
+        ("GET", "/query") | ("POST", "/query") => {
+            let Some(q) = req.query_param("q") else {
+                return Response::json(400, error_json("missing `q` parameter"));
+            };
+            // CREATE DATABASE has no db param; data queries need one.
+            let db = req.query_param("db").unwrap_or("");
+            match influx.query(db, q) {
+                Ok(result) => Response::json(200, result.to_json().to_string()),
+                Err(e) => Response::json(400, error_json(&e.to_string())),
+            }
+        }
+        _ => Response::not_found("unknown endpoint"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_http::HttpClient;
+    use lms_util::{Clock, Timestamp};
+
+    fn start() -> (InfluxServer, Influx, HttpClient) {
+        let influx = Influx::new(Clock::simulated(Timestamp::from_secs(1000)));
+        let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        let client = HttpClient::connect(server.addr()).unwrap();
+        (server, influx, client)
+    }
+
+    #[test]
+    fn ping() {
+        let (server, _ix, mut c) = start();
+        let r = c.get("/ping").unwrap();
+        assert_eq!(r.status, 204);
+        assert!(r.header("x-influxdb-version").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_then_query_over_http() {
+        let (server, _ix, mut c) = start();
+        let r = c
+            .post_text("/write?db=lms", "cpu,hostname=h1 value=0.5 900000000000")
+            .unwrap();
+        assert_eq!(r.status, 204);
+        let r = c.get("/query?db=lms&q=SELECT%20value%20FROM%20cpu").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        let v = json
+            .get("results").unwrap().idx(0).unwrap()
+            .get("series").unwrap().idx(0).unwrap()
+            .get("values").unwrap().idx(0).unwrap();
+        assert_eq!(v.idx(0).unwrap().as_i64(), Some(900_000_000_000));
+        assert_eq!(v.idx(1).unwrap().as_f64(), Some(0.5));
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_precision_parameter() {
+        let (server, ix, mut c) = start();
+        let r = c.post_text("/write?db=lms&precision=s", "m v=1 900").unwrap();
+        assert_eq!(r.status, 204);
+        let result = ix.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(result.series[0].values[0][0].as_i64(), Some(900_000_000_000));
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_errors() {
+        let (server, ix, mut c) = start();
+        assert_eq!(c.post_text("/write", "m v=1").unwrap().status, 400);
+        assert_eq!(c.post_text("/write?db=lms&precision=xx", "m v=1").unwrap().status, 400);
+        assert_eq!(c.post_text("/write?db=lms", "totally broken").unwrap().status, 400);
+        ix.set_auto_create(false);
+        assert_eq!(c.post_text("/write?db=ghost", "m v=1").unwrap().status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_errors() {
+        let (server, _ix, mut c) = start();
+        assert_eq!(c.get("/query?db=lms").unwrap().status, 400);
+        let r = c.get("/query?db=missing&q=SELECT%20v%20FROM%20m").unwrap();
+        assert_eq!(r.status, 400);
+        assert!(r.body_str().contains("error"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn create_database_over_http() {
+        let (server, ix, mut c) = start();
+        ix.set_auto_create(false);
+        let r = c.post("/query?q=CREATE%20DATABASE%20userdb", b"").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(ix.database_names().contains(&"userdb".to_string()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_endpoint_404() {
+        let (server, _ix, mut c) = start();
+        assert_eq!(c.get("/nope").unwrap().status, 404);
+        server.shutdown();
+    }
+}

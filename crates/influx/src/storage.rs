@@ -1,0 +1,226 @@
+//! Series storage: per-field, time-sorted columns.
+//!
+//! A *series* is the unit of storage: one measurement plus one complete tag
+//! set. Values are stored columnar per field, sorted by timestamp, with
+//! last-write-wins semantics on duplicate timestamps (InfluxDB behaviour).
+//! The common case — appends in time order from live collectors — is O(1)
+//! amortized; out-of-order backfill pays a binary-search insert.
+
+use lms_lineproto::FieldValue;
+
+/// One field's time-sorted column.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    /// `(timestamp ns, value)` sorted ascending by timestamp, unique.
+    points: Vec<(i64, FieldValue)>,
+}
+
+impl Column {
+    /// Inserts a point, replacing any existing value at the same timestamp.
+    pub fn insert(&mut self, ts: i64, value: FieldValue) {
+        match self.points.last() {
+            Some(&(last, _)) if last < ts => self.points.push((ts, value)),
+            _ => match self.points.binary_search_by_key(&ts, |&(t, _)| t) {
+                Ok(i) => self.points[i].1 = value,
+                Err(i) => self.points.insert(i, (ts, value)),
+            },
+        }
+    }
+
+    /// All points in `[start, end)`.
+    pub fn range(&self, start: i64, end: i64) -> &[(i64, FieldValue)] {
+        let lo = self.points.partition_point(|&(t, _)| t < start);
+        let hi = self.points.partition_point(|&(t, _)| t < end);
+        &self.points[lo..hi]
+    }
+
+    /// All points.
+    pub fn all(&self) -> &[(i64, FieldValue)] {
+        &self.points
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point is stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Drops all points with timestamps `< cutoff`; returns how many.
+    pub fn evict_before(&mut self, cutoff: i64) -> usize {
+        let n = self.points.partition_point(|&(t, _)| t < cutoff);
+        self.points.drain(..n);
+        n
+    }
+}
+
+/// One series: measurement + tag set + field columns.
+#[derive(Debug, Clone)]
+pub struct Series {
+    measurement: String,
+    /// Sorted by key (canonical form, mirrors `Point::tags`).
+    tags: Vec<(String, String)>,
+    /// `(field name, column)`, insertion order.
+    fields: Vec<(String, Column)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(measurement: &str, tags: &[(String, String)]) -> Self {
+        Series { measurement: measurement.to_string(), tags: tags.to_vec(), fields: Vec::new() }
+    }
+
+    /// The measurement name.
+    pub fn measurement(&self) -> &str {
+        &self.measurement
+    }
+
+    /// The tag set, sorted by key.
+    pub fn tags(&self) -> &[(String, String)] {
+        &self.tags
+    }
+
+    /// Tag lookup.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.tags[i].1.as_str())
+    }
+
+    /// Inserts one field value.
+    pub fn insert(&mut self, field: &str, ts: i64, value: FieldValue) {
+        match self.fields.iter_mut().find(|(f, _)| f == field) {
+            Some((_, col)) => col.insert(ts, value),
+            None => {
+                let mut col = Column::default();
+                col.insert(ts, value);
+                self.fields.push((field.to_string(), col));
+            }
+        }
+    }
+
+    /// The column of a field.
+    pub fn field(&self, name: &str) -> Option<&Column> {
+        self.fields.iter().find(|(f, _)| f == name).map(|(_, c)| c)
+    }
+
+    /// All field names, insertion order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(f, _)| f.as_str())
+    }
+
+    /// Total stored points across fields.
+    pub fn point_count(&self) -> usize {
+        self.fields.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// Evicts points older than `cutoff` in every field; drops emptied
+    /// fields. Returns evicted point count.
+    pub fn evict_before(&mut self, cutoff: i64) -> usize {
+        let mut evicted = 0;
+        for (_, col) in &mut self.fields {
+            evicted += col.evict_before(cutoff);
+        }
+        self.fields.retain(|(_, c)| !c.is_empty());
+        evicted
+    }
+
+    /// True when all fields were evicted.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> FieldValue {
+        FieldValue::Float(v)
+    }
+
+    #[test]
+    fn in_order_appends() {
+        let mut c = Column::default();
+        for i in 0..100 {
+            c.insert(i, f(i as f64));
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.range(10, 20).len(), 10);
+        assert_eq!(c.range(10, 20)[0].0, 10);
+    }
+
+    #[test]
+    fn out_of_order_inserts_sort() {
+        let mut c = Column::default();
+        for ts in [50, 10, 30, 20, 40] {
+            c.insert(ts, f(ts as f64));
+        }
+        let times: Vec<i64> = c.all().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn duplicate_timestamp_last_write_wins() {
+        let mut c = Column::default();
+        c.insert(5, f(1.0));
+        c.insert(5, f(2.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.all()[0].1, f(2.0));
+    }
+
+    #[test]
+    fn range_boundaries_are_half_open() {
+        let mut c = Column::default();
+        for ts in [10, 20, 30] {
+            c.insert(ts, f(0.0));
+        }
+        assert_eq!(c.range(10, 30).len(), 2); // 10, 20; 30 excluded
+        assert_eq!(c.range(i64::MIN, i64::MAX).len(), 3);
+        assert!(c.range(11, 12).is_empty());
+    }
+
+    #[test]
+    fn eviction() {
+        let mut c = Column::default();
+        for ts in 0..10 {
+            c.insert(ts, f(0.0));
+        }
+        assert_eq!(c.evict_before(5), 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.all()[0].0, 5);
+        assert_eq!(c.evict_before(0), 0);
+    }
+
+    #[test]
+    fn series_fields_and_tags() {
+        let tags = vec![("hostname".to_string(), "h1".to_string())];
+        let mut s = Series::new("cpu", &tags);
+        s.insert("value", 1, f(0.5));
+        s.insert("count", 1, FieldValue::Integer(3));
+        s.insert("value", 2, f(0.7));
+        assert_eq!(s.measurement(), "cpu");
+        assert_eq!(s.tag("hostname"), Some("h1"));
+        assert_eq!(s.tag("missing"), None);
+        assert_eq!(s.field("value").unwrap().len(), 2);
+        assert_eq!(s.field_names().collect::<Vec<_>>(), vec!["value", "count"]);
+        assert_eq!(s.point_count(), 3);
+    }
+
+    #[test]
+    fn series_eviction_drops_empty_fields() {
+        let mut s = Series::new("m", &[]);
+        s.insert("old", 1, f(0.0));
+        s.insert("fresh", 100, f(0.0));
+        assert_eq!(s.evict_before(50), 1);
+        assert!(s.field("old").is_none());
+        assert!(s.field("fresh").is_some());
+        assert!(!s.is_empty());
+        s.evict_before(200);
+        assert!(s.is_empty());
+    }
+}

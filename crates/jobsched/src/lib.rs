@@ -1,0 +1,36 @@
+//! # lms-jobsched
+//!
+//! A batch **job scheduler substrate** for the LMS reproduction.
+//!
+//! The paper keeps LMS "independent of the job scheduler software": the
+//! only contract is that *something* sends job start/end signals to the
+//! router at (de)allocation. This crate is that something — a small but
+//! real batch scheduler (FCFS with conservative backfill over a node pool)
+//! whose prolog/epilog hooks fire the signals.
+//!
+//! - [`Job`], [`JobSpec`], [`JobState`] — the job model,
+//! - [`Scheduler`] — submission queue, allocation, completion,
+//!   [`SchedulerHook`] lifecycle callbacks,
+//! - [`signals::HttpSignaler`] — the hook that POSTs `/signal/start` and
+//!   `/signal/end` to a metrics router.
+//!
+//! ```
+//! use lms_jobsched::{JobSpec, Scheduler};
+//! use lms_util::{Clock, Timestamp};
+//! use std::time::Duration;
+//!
+//! let clock = Clock::simulated(Timestamp::from_secs(0));
+//! let mut sched = Scheduler::new(["n01", "n02"], clock.clone());
+//! let id = sched.submit(JobSpec::new("alice", "md-run", 2, Duration::from_secs(60)));
+//! sched.tick();
+//! assert_eq!(sched.job(id).unwrap().hosts(), &["n01", "n02"]);
+//! clock.advance(Duration::from_secs(61));
+//! sched.tick();
+//! assert!(sched.job(id).unwrap().state.is_completed());
+//! ```
+
+pub mod scheduler;
+pub mod signals;
+
+pub use scheduler::{Job, JobId, JobSpec, JobState, Scheduler, SchedulerHook};
+pub use signals::HttpSignaler;

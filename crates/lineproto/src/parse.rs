@@ -1,0 +1,389 @@
+//! Zero-copy line protocol parsing.
+//!
+//! [`parse_line`] borrows the input: tag keys/values and field keys are
+//! `&str` slices of the original line when they contain no escapes, and only
+//! unescaped into owned strings on [`ParsedLine::to_point`]. The router's hot
+//! path (parse → look up hostname → append tags → re-emit) therefore touches
+//! the allocator only for lines that actually need enrichment.
+//!
+//! [`parse_batch`] parses a newline-separated batch, *collecting* rather than
+//! propagating per-line errors: one malformed line must not poison a batch
+//! (failure-injection tests rely on this; the paper's router keeps serving
+//! misbehaving collectors).
+
+use crate::escape::{unescape, MEASUREMENT_ESCAPES, STRING_ESCAPES, TAG_ESCAPES};
+use crate::point::{FieldValue, Point};
+use lms_util::{Error, Result};
+use std::borrow::Cow;
+
+/// A parsed line borrowing from the input text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine<'a> {
+    /// Measurement name (unescaped; owned only if escapes were present).
+    pub measurement: Cow<'a, str>,
+    /// Tag key/value pairs in input order (unescaped lazily like above).
+    pub tags: Vec<(Cow<'a, str>, Cow<'a, str>)>,
+    /// Field key → typed value.
+    pub fields: Vec<(Cow<'a, str>, FieldValue)>,
+    /// Optional timestamp in the precision of the request (nanoseconds once
+    /// scaled by the write endpoint).
+    pub timestamp: Option<i64>,
+}
+
+impl ParsedLine<'_> {
+    /// Tag lookup by key.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_ref())
+    }
+
+    /// Field lookup by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The `hostname` tag — the one tag the paper makes mandatory
+    /// ("the only mandatory tag for all metrics and events is the host
+    /// name which is used as key in the tag store's hash table").
+    pub fn hostname(&self) -> Option<&str> {
+        self.tag("hostname")
+    }
+
+    /// Converts into an owned [`Point`] (tags become sorted/canonical).
+    pub fn to_point(&self) -> Point {
+        let mut p = Point::new(self.measurement.as_ref());
+        for (k, v) in &self.tags {
+            p.add_tag(k.as_ref(), v.as_ref());
+        }
+        for (k, v) in &self.fields {
+            p.add_field_value(k.as_ref(), v.clone());
+        }
+        if let Some(ts) = self.timestamp {
+            p.set_timestamp(ts);
+        }
+        p
+    }
+}
+
+/// Scans from `start` until an unescaped occurrence of any `stop` byte.
+/// Returns (end index, had_escapes).
+fn scan(bytes: &[u8], start: usize, stop: &[u8]) -> (usize, bool) {
+    let mut i = start;
+    let mut escaped = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\\' && i + 1 < bytes.len() {
+            escaped = true;
+            i += 2;
+            continue;
+        }
+        if stop.contains(&b) {
+            break;
+        }
+        i += 1;
+    }
+    (i, escaped)
+}
+
+/// Slices `text[start..end]`, unescaping only when needed.
+fn take<'a>(text: &'a str, start: usize, end: usize, escaped: bool, ctx: &[char]) -> Cow<'a, str> {
+    let s = &text[start..end];
+    if escaped {
+        Cow::Owned(unescape(s, ctx))
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// Parses a single field value token.
+fn parse_field_value(token: &str) -> Result<FieldValue> {
+    if let Some(stripped) = token.strip_suffix('i') {
+        return stripped
+            .parse::<i64>()
+            .map(FieldValue::Integer)
+            .map_err(|_| Error::protocol(format!("invalid integer field `{token}`")));
+    }
+    match token {
+        "true" | "t" | "True" | "TRUE" => return Ok(FieldValue::Boolean(true)),
+        "false" | "f" | "False" | "FALSE" => return Ok(FieldValue::Boolean(false)),
+        _ => {}
+    }
+    token
+        .parse::<f64>()
+        .map(FieldValue::Float)
+        .map_err(|_| Error::protocol(format!("invalid field value `{token}`")))
+}
+
+/// Parses one line of protocol text.
+///
+/// Returns a protocol error naming the offending position for malformed
+/// input. Empty lines and `#` comments are the *caller's* concern
+/// ([`parse_batch`] skips them).
+pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
+    let bytes = line.as_bytes();
+    if bytes.is_empty() {
+        return Err(Error::protocol("empty line"));
+    }
+
+    // --- measurement ---
+    let (m_end, m_esc) = scan(bytes, 0, &[b',', b' ']);
+    if m_end == 0 {
+        return Err(Error::protocol("missing measurement"));
+    }
+    let measurement = take(line, 0, m_end, m_esc, MEASUREMENT_ESCAPES);
+
+    // --- tags ---
+    let mut tags = Vec::new();
+    let mut pos = m_end;
+    while pos < bytes.len() && bytes[pos] == b',' {
+        pos += 1;
+        let (k_end, k_esc) = scan(bytes, pos, &[b'=', b',', b' ']);
+        if k_end >= bytes.len() || bytes[k_end] != b'=' {
+            return Err(Error::protocol(format!("tag at byte {pos}: missing `=`")));
+        }
+        if k_end == pos {
+            return Err(Error::protocol(format!("tag at byte {pos}: empty key")));
+        }
+        let key = take(line, pos, k_end, k_esc, TAG_ESCAPES);
+        pos = k_end + 1;
+        let (v_end, v_esc) = scan(bytes, pos, &[b',', b' ']);
+        if v_end == pos {
+            return Err(Error::protocol(format!("tag `{key}`: empty value")));
+        }
+        let value = take(line, pos, v_end, v_esc, TAG_ESCAPES);
+        tags.push((key, value));
+        pos = v_end;
+    }
+
+    if pos >= bytes.len() || bytes[pos] != b' ' {
+        return Err(Error::protocol("missing field section"));
+    }
+    pos += 1;
+
+    // --- fields ---
+    let mut fields = Vec::new();
+    loop {
+        let (k_end, k_esc) = scan(bytes, pos, &[b'=', b',', b' ']);
+        if k_end >= bytes.len() || bytes[k_end] != b'=' {
+            return Err(Error::protocol(format!("field at byte {pos}: missing `=`")));
+        }
+        if k_end == pos {
+            return Err(Error::protocol(format!("field at byte {pos}: empty key")));
+        }
+        let key = take(line, pos, k_end, k_esc, TAG_ESCAPES);
+        pos = k_end + 1;
+
+        let value = if pos < bytes.len() && bytes[pos] == b'"' {
+            // Quoted string value.
+            let (s_end, s_esc) = scan(bytes, pos + 1, &[b'"']);
+            if s_end >= bytes.len() {
+                return Err(Error::protocol(format!("field `{key}`: unterminated string")));
+            }
+            let raw = &line[pos + 1..s_end];
+            let text =
+                if s_esc { unescape(raw, STRING_ESCAPES) } else { raw.to_string() };
+            pos = s_end + 1;
+            FieldValue::Text(text)
+        } else {
+            let (v_end, _) = scan(bytes, pos, &[b',', b' ']);
+            if v_end == pos {
+                return Err(Error::protocol(format!("field `{key}`: empty value")));
+            }
+            let v = parse_field_value(&line[pos..v_end])?;
+            pos = v_end;
+            v
+        };
+        fields.push((key, value));
+
+        if pos < bytes.len() && bytes[pos] == b',' {
+            pos += 1;
+            continue;
+        }
+        break;
+    }
+
+    // --- timestamp ---
+    let timestamp = if pos < bytes.len() {
+        if bytes[pos] != b' ' {
+            return Err(Error::protocol(format!("unexpected character at byte {pos}")));
+        }
+        let ts_str = line[pos + 1..].trim_end_matches(['\r', '\n']);
+        if ts_str.is_empty() {
+            None
+        } else {
+            Some(
+                ts_str
+                    .parse::<i64>()
+                    .map_err(|_| Error::protocol(format!("invalid timestamp `{ts_str}`")))?,
+            )
+        }
+    } else {
+        None
+    };
+
+    Ok(ParsedLine { measurement, tags, fields, timestamp })
+}
+
+/// Result of parsing a batch: the good lines and the per-line errors.
+#[derive(Debug, Default)]
+pub struct ParseOutcome<'a> {
+    /// Successfully parsed lines, in input order.
+    pub lines: Vec<ParsedLine<'a>>,
+    /// `(1-based line number, error)` for each rejected line.
+    pub errors: Vec<(usize, Error)>,
+}
+
+impl ParseOutcome<'_> {
+    /// True when every non-empty line parsed.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Parses a newline-separated batch. Empty lines and `#` comments are
+/// skipped; malformed lines are collected into [`ParseOutcome::errors`]
+/// without aborting the batch.
+pub fn parse_batch(text: &str) -> ParseOutcome<'_> {
+    let mut out = ParseOutcome::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(p) => out.lines.push(p),
+            Err(e) => out.errors.push((idx + 1, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_line() {
+        let p = parse_line(
+            "cpu,hostname=h1,cpu=3 usage=0.93,n=5i,up=true,note=\"ok\" 1501804800000000000",
+        )
+        .unwrap();
+        assert_eq!(p.measurement, "cpu");
+        assert_eq!(p.tag("hostname"), Some("h1"));
+        assert_eq!(p.hostname(), Some("h1"));
+        assert_eq!(p.tag("cpu"), Some("3"));
+        assert_eq!(p.field("usage"), Some(&FieldValue::Float(0.93)));
+        assert_eq!(p.field("n"), Some(&FieldValue::Integer(5)));
+        assert_eq!(p.field("up"), Some(&FieldValue::Boolean(true)));
+        assert_eq!(p.field("note"), Some(&FieldValue::Text("ok".into())));
+        assert_eq!(p.timestamp, Some(1_501_804_800_000_000_000));
+    }
+
+    #[test]
+    fn minimal_line() {
+        let p = parse_line("m v=1").unwrap();
+        assert_eq!(p.measurement, "m");
+        assert!(p.tags.is_empty());
+        assert_eq!(p.field("v"), Some(&FieldValue::Float(1.0)));
+        assert_eq!(p.timestamp, None);
+    }
+
+    #[test]
+    fn zero_copy_when_no_escapes() {
+        let p = parse_line("m,a=b v=1").unwrap();
+        assert!(matches!(p.measurement, Cow::Borrowed(_)));
+        assert!(matches!(p.tags[0].0, Cow::Borrowed(_)));
+        assert!(matches!(p.fields[0].0, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescapes_when_needed() {
+        let p = parse_line(r"my\ m,tag\ k=va\=lue f\,k=2").unwrap();
+        assert_eq!(p.measurement, "my m");
+        assert_eq!(p.tags[0], (Cow::from("tag k"), Cow::from("va=lue")));
+        assert_eq!(p.fields[0].0, "f,k");
+        assert!(matches!(p.measurement, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes_and_separators() {
+        let p = parse_line(r#"ev text="a \"quote\", с комма and = signs""#).unwrap();
+        assert_eq!(
+            p.field("text"),
+            Some(&FieldValue::Text(r#"a "quote", с комма and = signs"#.into()))
+        );
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let p = parse_line("m a=-1.5,b=2.5e9,c=-42i").unwrap();
+        assert_eq!(p.field("a"), Some(&FieldValue::Float(-1.5)));
+        assert_eq!(p.field("b"), Some(&FieldValue::Float(2.5e9)));
+        assert_eq!(p.field("c"), Some(&FieldValue::Integer(-42)));
+    }
+
+    #[test]
+    fn negative_timestamp() {
+        let p = parse_line("m v=1 -42").unwrap();
+        assert_eq!(p.timestamp, Some(-42));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            " v=1",
+            "m",
+            "m ",
+            "m v",
+            "m v=",
+            "m =1",
+            "m,tag v=1",
+            "m,=x v=1",
+            "m,k= v=1",
+            "m v=abc",
+            "m v=1.5ii",
+            "m v=\"unterminated",
+            "m v=1 notatime",
+            "m v=1 1.5",
+        ] {
+            assert!(parse_line(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integer_overflow_rejected() {
+        assert!(parse_line("m v=99999999999999999999i").is_err());
+        assert!(parse_line("m v=1 99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn batch_skips_blank_and_comment_lines() {
+        let text = "# header comment\n\nm v=1\n\r\nm v=2\r\n";
+        let out = parse_batch(text);
+        assert!(out.is_clean());
+        assert_eq!(out.lines.len(), 2);
+    }
+
+    #[test]
+    fn batch_collects_errors_without_poisoning() {
+        let text = "m v=1\nbroken line without fields\nm v=3";
+        let out = parse_batch(text);
+        assert_eq!(out.lines.len(), 2);
+        assert_eq!(out.errors.len(), 1);
+        assert_eq!(out.errors[0].0, 2);
+    }
+
+    #[test]
+    fn to_point_round_trips() {
+        let line = "cpu,hostname=h1 v=1.5 99";
+        let p = parse_line(line).unwrap().to_point();
+        assert_eq!(p.to_line(), line);
+    }
+
+    #[test]
+    fn duplicate_tags_last_wins_via_point() {
+        let p = parse_line("m,a=1,a=2 v=1").unwrap();
+        assert_eq!(p.tags.len(), 2); // wire form preserved
+        assert_eq!(p.to_point().tag("a"), Some("2")); // canonical form deduped
+    }
+}

@@ -1,0 +1,104 @@
+//! Timestamp precisions of the InfluxDB write API.
+//!
+//! The `/write?precision=` query parameter declares the unit of the
+//! timestamps in the batch; the database stores nanoseconds internally.
+
+use lms_util::{Error, Result};
+
+/// A timestamp precision accepted by the write endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Nanoseconds (the wire and storage default).
+    #[default]
+    Nanoseconds,
+    /// Microseconds (`u`).
+    Microseconds,
+    /// Milliseconds (`ms`).
+    Milliseconds,
+    /// Seconds (`s`).
+    Seconds,
+}
+
+impl Precision {
+    /// Parses the query-parameter spelling (`ns`, `u`/`us`, `ms`, `s`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "ns" | "n" => Ok(Precision::Nanoseconds),
+            "u" | "us" | "µ" => Ok(Precision::Microseconds),
+            "ms" => Ok(Precision::Milliseconds),
+            "s" => Ok(Precision::Seconds),
+            other => Err(Error::protocol(format!("unknown precision `{other}`"))),
+        }
+    }
+
+    /// The canonical query-parameter spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::Nanoseconds => "ns",
+            Precision::Microseconds => "u",
+            Precision::Milliseconds => "ms",
+            Precision::Seconds => "s",
+        }
+    }
+
+    /// Nanoseconds per unit of this precision.
+    pub fn nanos_per_unit(self) -> i64 {
+        match self {
+            Precision::Nanoseconds => 1,
+            Precision::Microseconds => 1_000,
+            Precision::Milliseconds => 1_000_000,
+            Precision::Seconds => 1_000_000_000,
+        }
+    }
+
+    /// Scales a timestamp in this precision to nanoseconds (saturating).
+    pub fn to_nanos(self, value: i64) -> i64 {
+        value.saturating_mul(self.nanos_per_unit())
+    }
+
+    /// Truncates a nanosecond timestamp to this precision's unit count.
+    pub fn from_nanos(self, nanos: i64) -> i64 {
+        nanos.div_euclid(self.nanos_per_unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(Precision::parse("ns").unwrap(), Precision::Nanoseconds);
+        assert_eq!(Precision::parse("u").unwrap(), Precision::Microseconds);
+        assert_eq!(Precision::parse("us").unwrap(), Precision::Microseconds);
+        assert_eq!(Precision::parse("ms").unwrap(), Precision::Milliseconds);
+        assert_eq!(Precision::parse("s").unwrap(), Precision::Seconds);
+        assert!(Precision::parse("m").is_err());
+    }
+
+    #[test]
+    fn round_trip_spelling() {
+        for p in [
+            Precision::Nanoseconds,
+            Precision::Microseconds,
+            Precision::Milliseconds,
+            Precision::Seconds,
+        ] {
+            assert_eq!(Precision::parse(p.as_str()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Precision::Seconds.to_nanos(3), 3_000_000_000);
+        assert_eq!(Precision::Milliseconds.to_nanos(-2), -2_000_000);
+        assert_eq!(Precision::Nanoseconds.to_nanos(7), 7);
+        assert_eq!(Precision::Seconds.from_nanos(3_999_999_999), 3);
+        assert_eq!(Precision::Seconds.from_nanos(-1), -1); // floor, not trunc
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        assert_eq!(Precision::Seconds.to_nanos(i64::MAX), i64::MAX);
+    }
+}

@@ -1,0 +1,126 @@
+//! `lms-router` — the metrics router as a standalone daemon.
+//!
+//! ```text
+//! lms-router --db <host:port> [--listen 127.0.0.1:8087]
+//!            [--per-user] [--publish 127.0.0.1:5556]
+//!            [--gmond <host:port> --gmond-interval <secs>]
+//! ```
+//!
+//! Accepts InfluxDB-style writes on `--listen`, enriches them with job
+//! tags from `/signal/start|end`, and forwards to the database at `--db`.
+//! With `--publish`, metrics and signals fan out on the message queue;
+//! with `--gmond`, a pulling proxy polls a Ganglia gmond.
+
+use lms_mq::Publisher;
+use lms_router::proxy::GangliaProxy;
+use lms_router::{Router, RouterConfig, RouterServer};
+use lms_util::{Clock, Error, Result};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn resolve(value: &str, what: &str) -> Result<SocketAddr> {
+    value
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| Error::config(format!("{what} `{value}` resolved to nothing")))
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:8087".to_string();
+    let mut db: Option<SocketAddr> = None;
+    let mut per_user = false;
+    let mut publish: Option<SocketAddr> = None;
+    let mut gmond: Option<SocketAddr> = None;
+    let mut gmond_interval = Duration::from_secs(60);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = it.next().ok_or_else(|| Error::config("--listen needs an address"))?.clone()
+            }
+            "--db" => {
+                db = Some(resolve(
+                    it.next().ok_or_else(|| Error::config("--db needs an address"))?,
+                    "database",
+                )?)
+            }
+            "--per-user" => per_user = true,
+            "--publish" => {
+                publish = Some(resolve(
+                    it.next().ok_or_else(|| Error::config("--publish needs an address"))?,
+                    "publisher",
+                )?)
+            }
+            "--gmond" => {
+                gmond = Some(resolve(
+                    it.next().ok_or_else(|| Error::config("--gmond needs an address"))?,
+                    "gmond",
+                )?)
+            }
+            "--gmond-interval" => {
+                let s: u64 = it
+                    .next()
+                    .ok_or_else(|| Error::config("--gmond-interval needs seconds"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --gmond-interval"))?;
+                gmond_interval = Duration::from_secs(s.max(1));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lms-router --db host:port [--listen addr] [--per-user] \
+                     [--publish addr] [--gmond addr --gmond-interval secs]"
+                );
+                return Ok(());
+            }
+            other => return Err(Error::config(format!("unknown argument `{other}`"))),
+        }
+    }
+    let db = db.ok_or_else(|| Error::config("--db is required"))?;
+
+    let publisher = match publish {
+        Some(addr) => {
+            let p = Publisher::bind(addr)?;
+            println!("publishing on {}", p.addr());
+            Some(p)
+        }
+        None => None,
+    };
+    let config = RouterConfig { per_user, ..Default::default() };
+    let router = Arc::new(Router::new(db, config, Clock::system(), publisher));
+    let server = RouterServer::start(listen.as_str(), router.clone())?;
+    println!("lms-router listening on http://{} → db http://{db}", server.addr());
+
+    let proxy = gmond.map(GangliaProxy::new).transpose()?;
+    if let Some(addr) = gmond {
+        println!("pulling gmond at {addr} every {}s", gmond_interval.as_secs());
+    }
+
+    loop {
+        std::thread::sleep(gmond_interval);
+        if let Some(proxy) = &proxy {
+            match proxy.pull_once(&router) {
+                Ok(n) => println!("gmond: pulled {n} points"),
+                Err(e) => eprintln!("gmond pull failed: {e}"),
+            }
+        }
+        let s = router.stats();
+        println!(
+            "stats: in={} enriched={} rejected={} signals={} delivered={} dropped={}",
+            s.lines_in,
+            s.lines_enriched,
+            s.lines_rejected,
+            s.signals,
+            s.forward.delivered,
+            s.forward.dropped
+        );
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("lms-router: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Buffered, retrying delivery to the database back-end.
+//!
+//! The router must keep accepting metrics while the database hiccups: the
+//! forwarder decouples the HTTP handler from database I/O with a bounded
+//! queue and a worker thread that retries transient failures with
+//! exponential backoff. When the queue overflows (database down for long),
+//! the oldest batches are dropped and counted — monitoring data is
+//! replaceable; blocking the cluster's collectors is not.
+
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use lms_influx::InfluxClient;
+use lms_util::Result;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One unit of forwarding work.
+#[derive(Debug)]
+struct Batch {
+    db: String,
+    body: String,
+}
+
+/// Forwarder statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardStats {
+    /// Batches delivered successfully.
+    pub delivered: u64,
+    /// Batches dropped (queue overflow or retries exhausted).
+    pub dropped: u64,
+    /// Retry attempts performed.
+    pub retries: u64,
+}
+
+struct Shared {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Handle to the forwarding worker.
+pub struct Forwarder {
+    tx: Option<Sender<Batch>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Forwarder {
+    /// Creates a forwarder delivering to the database server at `db_addr`.
+    ///
+    /// `queue_capacity` bounds the number of buffered batches; `max_retries`
+    /// bounds delivery attempts per batch (with 50 ms → 100 ms → … backoff).
+    pub fn start(db_addr: SocketAddr, queue_capacity: usize, max_retries: u32) -> Self {
+        let (tx, rx): (Sender<Batch>, Receiver<Batch>) = bounded(queue_capacity.max(1));
+        let shared = Arc::new(Shared {
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        });
+        let worker = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("lms-router-forwarder".into())
+                .spawn(move || worker_loop(rx, db_addr, max_retries, shared))
+                .expect("spawn forwarder")
+        };
+        Forwarder { tx: Some(tx), worker: Some(worker), shared }
+    }
+
+    /// Enqueues a batch. On a full queue the **new** batch is dropped and
+    /// counted (back-pressure would stall the HTTP handler; newest-drop is
+    /// the cheapest policy that keeps the pipeline live).
+    pub fn enqueue(&self, db: &str, body: String) {
+        if body.is_empty() {
+            return;
+        }
+        let tx = self.tx.as_ref().expect("forwarder running");
+        match tx.try_send(Batch { db: db.to_string(), body }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ForwardStats {
+        ForwardStats {
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until the queue is drained or the timeout expires. Returns
+    /// true when drained (used by tests and graceful shutdown).
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.tx.as_ref().is_none_or(|tx| tx.is_empty()) {
+                // Queue empty; give the worker a beat to finish in-flight I/O.
+                std::thread::sleep(Duration::from_millis(20));
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+}
+
+impl Drop for Forwarder {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel; worker drains and exits
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Batch>,
+    db_addr: SocketAddr,
+    max_retries: u32,
+    shared: Arc<Shared>,
+) {
+    let mut client: Option<InfluxClient> = None;
+    loop {
+        let batch = match rx.recv_timeout(Duration::from_secs(1)) {
+            Ok(b) => b,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut delivered = false;
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(50 << (attempt - 1).min(4)));
+            }
+            let result: Result<()> = (|| {
+                if client.is_none() {
+                    client = Some(InfluxClient::connect(db_addr)?);
+                }
+                client.as_mut().expect("just set").write(&batch.db, &batch.body)
+            })();
+            match result {
+                Ok(()) => {
+                    delivered = true;
+                    break;
+                }
+                Err(e) if e.is_transient() => {
+                    client = None;
+                    continue;
+                }
+                Err(_) => break, // permanent (protocol) error: do not retry
+            }
+        }
+        if delivered {
+            shared.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_influx::{Influx, InfluxServer};
+    use lms_util::{Clock, Timestamp};
+
+    fn db() -> (InfluxServer, Influx) {
+        let influx = Influx::new(Clock::simulated(Timestamp::from_secs(1000)));
+        let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        (server, influx)
+    }
+
+    #[test]
+    fn delivers_batches() {
+        let (server, influx) = db();
+        let f = Forwarder::start(server.addr(), 64, 2);
+        f.enqueue("lms", "m v=1 1\nm v=2 2".to_string());
+        f.enqueue("lms", "m v=3 3".to_string());
+        assert!(f.flush(Duration::from_secs(5)));
+        assert_eq!(influx.point_count("lms"), 3);
+        assert_eq!(f.stats().delivered, 2);
+        assert_eq!(f.stats().dropped, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_batches_are_skipped() {
+        let (server, _influx) = db();
+        let f = Forwarder::start(server.addr(), 4, 0);
+        f.enqueue("lms", String::new());
+        assert!(f.flush(Duration::from_secs(1)));
+        assert_eq!(f.stats(), ForwardStats::default());
+        server.shutdown();
+    }
+
+    #[test]
+    fn survives_database_restart() {
+        let (server, _old) = db();
+        let addr = server.addr();
+        let f = Forwarder::start(addr, 64, 5);
+        f.enqueue("lms", "m v=1 1".to_string());
+        assert!(f.flush(Duration::from_secs(5)));
+        server.shutdown();
+
+        // DB is down: the next batch should retry, then a new DB on the
+        // same port picks it up.
+        f.enqueue("lms", "m v=2 2".to_string());
+        std::thread::sleep(Duration::from_millis(100));
+        let influx2 = Influx::new(Clock::simulated(Timestamp::from_secs(2000)));
+        let server2 = InfluxServer::start(addr, influx2.clone()).unwrap();
+        assert!(f.flush(Duration::from_secs(10)));
+        // Worker may still be mid-retry; wait for delivery.
+        for _ in 0..100 {
+            if influx2.point_count("lms") > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(influx2.point_count("lms"), 1);
+        assert!(f.stats().retries > 0);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        // Point at a dead address: worker shall retry while queue fills.
+        let (server, _ix) = db();
+        let dead = server.addr();
+        server.shutdown();
+        let f = Forwarder::start(dead, 2, 10);
+        for i in 0..50 {
+            f.enqueue("lms", format!("m v={i} {i}"));
+        }
+        assert!(f.stats().dropped > 0);
+    }
+}

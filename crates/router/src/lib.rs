@@ -1,0 +1,32 @@
+//! # lms-router
+//!
+//! The **metrics router** — the central component of the LIKWID Monitoring
+//! Stack (paper Sec. III-B). It:
+//!
+//! - mimics the HTTP write interface of an InfluxDB database, so any
+//!   existing collector (Diamond, curl cronjobs, Ganglia pull proxies) can
+//!   point at it unchanged,
+//! - adds an endpoint for **job start/end signals** from the scheduler;
+//!   signals are piggy-backed with tags that land in the **tag store**,
+//!   keyed by hostname,
+//! - **enriches** every incoming metric and event with the job tags of its
+//!   host before forwarding to the database,
+//! - forwards signals into the database as events ("to be used later as
+//!   annotations in the graphs"),
+//! - optionally **duplicates** metrics into per-user databases,
+//! - optionally **publishes** metrics and meta information via the message
+//!   queue for stream analyzers.
+//!
+//! Modules: [`tagstore`] (hostname → job tags), [`forward`] (buffered,
+//! retrying delivery to the database), [`router`] (the enrichment core),
+//! [`server`] (HTTP endpoints), [`proxy`] (the Ganglia gmond pull proxy).
+
+pub mod forward;
+pub mod proxy;
+pub mod router;
+pub mod server;
+pub mod tagstore;
+
+pub use router::{Router, RouterConfig, RouterStats};
+pub use server::RouterServer;
+pub use tagstore::{JobSignal, TagStore};

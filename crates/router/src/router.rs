@@ -1,0 +1,396 @@
+//! The enrichment core: parse → tag → forward → duplicate → publish.
+
+use crate::forward::{ForwardStats, Forwarder};
+use crate::tagstore::{JobSignal, TagStore};
+use lms_lineproto::{parse_batch, BatchBuilder, Point};
+use lms_mq::Publisher;
+use lms_util::{Clock, FxHashMap};
+use parking_lot::RwLock;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The global database all metrics land in.
+    pub global_db: String,
+    /// Duplicate metrics of tagged hosts into `user_<name>` databases
+    /// (paper: "the router duplicates the metrics and store them in another
+    /// storage location, e.g., a per-user database").
+    pub per_user: bool,
+    /// Forwarding queue capacity (batches).
+    pub queue_capacity: usize,
+    /// Delivery attempts per batch.
+    pub max_retries: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { global_db: "lms".into(), per_user: false, queue_capacity: 1024, max_retries: 3 }
+    }
+}
+
+/// Router counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterStats {
+    /// Lines accepted.
+    pub lines_in: u64,
+    /// Lines that received job tags.
+    pub lines_enriched: u64,
+    /// Malformed lines rejected.
+    pub lines_rejected: u64,
+    /// Job start/end signals processed.
+    pub signals: u64,
+    /// Forwarder statistics.
+    pub forward: ForwardStats,
+}
+
+/// The metrics router.
+pub struct Router {
+    tags: RwLock<TagStore>,
+    forwarder: Forwarder,
+    publisher: Option<Publisher>,
+    config: RouterConfig,
+    clock: Clock,
+    lines_in: AtomicU64,
+    lines_enriched: AtomicU64,
+    lines_rejected: AtomicU64,
+    signals: AtomicU64,
+}
+
+impl Router {
+    /// Creates a router forwarding to the database server at `db_addr`.
+    /// `publisher` enables the stream-analysis feed.
+    pub fn new(
+        db_addr: SocketAddr,
+        config: RouterConfig,
+        clock: Clock,
+        publisher: Option<Publisher>,
+    ) -> Self {
+        let forwarder = Forwarder::start(db_addr, config.queue_capacity, config.max_retries);
+        Router {
+            tags: RwLock::new(TagStore::new()),
+            forwarder,
+            publisher,
+            config,
+            clock,
+            lines_in: AtomicU64::new(0),
+            lines_enriched: AtomicU64::new(0),
+            lines_rejected: AtomicU64::new(0),
+            signals: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Read access to the tag store (admin views).
+    pub fn with_tags<R>(&self, f: impl FnOnce(&TagStore) -> R) -> R {
+        f(&self.tags.read())
+    }
+
+    /// Handles an incoming line-protocol batch (the `/write` endpoint).
+    ///
+    /// Each line is enriched with its host's job tags, stamped with the
+    /// router clock when it carries no timestamp, forwarded to the global
+    /// database, duplicated per user when enabled, and published on the
+    /// queue. Malformed lines are skipped and counted.
+    ///
+    /// Returns `(accepted, rejected)` line counts.
+    pub fn handle_write(&self, db: Option<&str>, body: &str) -> (usize, usize) {
+        let parsed = parse_batch(body);
+        let rejected = parsed.errors.len();
+        self.lines_rejected.fetch_add(rejected as u64, Ordering::Relaxed);
+        if parsed.lines.is_empty() {
+            return (0, rejected);
+        }
+        self.lines_in.fetch_add(parsed.lines.len() as u64, Ordering::Relaxed);
+
+        let default_ts = self.clock.now().nanos();
+        let global_db = db.unwrap_or(&self.config.global_db).to_string();
+        let mut global = BatchBuilder::with_capacity(body.len() + body.len() / 4);
+        let mut per_user: FxHashMap<String, BatchBuilder> = FxHashMap::default();
+        let mut enriched_count = 0u64;
+
+        {
+            let tags = self.tags.read();
+            for line in &parsed.lines {
+                let mut point: Point = line.to_point();
+                if point.timestamp().is_none() {
+                    point.set_timestamp(default_ts);
+                }
+                let mut user: Option<String> = None;
+                if let Some(host) = line.hostname() {
+                    let job_tags = tags.tags_of(host);
+                    if !job_tags.is_empty() {
+                        enriched_count += 1;
+                        for (k, v) in job_tags {
+                            point.add_tag(k.as_str(), v.as_str());
+                            if k == "user" {
+                                user = Some(v.clone());
+                            }
+                        }
+                    }
+                }
+                global.push(&point);
+                if self.config.per_user {
+                    if let Some(user) = user {
+                        per_user
+                            .entry(format!("user_{user}"))
+                            .or_insert_with(|| BatchBuilder::with_capacity(256))
+                            .push(&point);
+                    }
+                }
+                if let Some(publisher) = &self.publisher {
+                    publisher.publish(
+                        &format!("metrics.{}", point.measurement()),
+                        point.to_line().as_bytes(),
+                    );
+                }
+            }
+        }
+        self.lines_enriched.fetch_add(enriched_count, Ordering::Relaxed);
+
+        let accepted = global.len();
+        self.forwarder.enqueue(&global_db, global.take());
+        for (user_db, mut batch) in per_user {
+            self.forwarder.enqueue(&user_db, batch.take());
+        }
+        (accepted, rejected)
+    }
+
+    /// Handles a job-start signal: updates the tag store, records an
+    /// annotation event per host in the database, publishes on the queue.
+    pub fn handle_job_start(&self, signal: JobSignal) {
+        self.signals.fetch_add(1, Ordering::Relaxed);
+        self.tags.write().job_start(&signal);
+        self.record_signal_event("job_start", &signal.job_id, &signal.user, &signal.hosts);
+    }
+
+    /// Handles a job-end signal.
+    pub fn handle_job_end(&self, job_id: &str) {
+        self.signals.fetch_add(1, Ordering::Relaxed);
+        let info = {
+            let mut tags = self.tags.write();
+            let hosts = tags.hosts_of(job_id).map(<[String]>::to_vec);
+            let user = hosts.as_ref().and_then(|h| {
+                h.first().and_then(|host| {
+                    tags.tags_of(host)
+                        .iter()
+                        .find(|(k, _)| k == "user")
+                        .map(|(_, v)| v.clone())
+                })
+            });
+            tags.job_end(job_id);
+            hosts.map(|h| (h, user.unwrap_or_default()))
+        };
+        if let Some((hosts, user)) = info {
+            self.record_signal_event("job_end", job_id, &user, &hosts);
+        }
+    }
+
+    /// Writes the annotation events for a signal and publishes it.
+    fn record_signal_event(&self, kind: &str, job_id: &str, user: &str, hosts: &[String]) {
+        let ts = self.clock.now().nanos();
+        let mut batch = BatchBuilder::new();
+        for host in hosts {
+            let mut ev = Point::new("events");
+            ev.add_tag("hostname", host.as_str())
+                .add_tag("jobid", job_id)
+                .add_tag("kind", kind)
+                .add_field("text", format!("{kind} job {job_id} (user {user})"))
+                .set_timestamp(ts);
+            batch.push(&ev);
+        }
+        if let Some(publisher) = &self.publisher {
+            publisher.publish(
+                &format!("signal.{kind}"),
+                format!("jobid={job_id} user={user} hosts={}", hosts.join(",")).as_bytes(),
+            );
+        }
+        self.forwarder.enqueue(&self.config.global_db, batch.take());
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            lines_in: self.lines_in.load(Ordering::Relaxed),
+            lines_enriched: self.lines_enriched.load(Ordering::Relaxed),
+            lines_rejected: self.lines_rejected.load(Ordering::Relaxed),
+            signals: self.signals.load(Ordering::Relaxed),
+            forward: self.forwarder.stats(),
+        }
+    }
+
+    /// Waits for the forwarding queue to drain (tests, shutdown).
+    pub fn flush(&self, timeout: std::time::Duration) -> bool {
+        self.forwarder.flush(timeout)
+    }
+}
+
+/// Parses a `hosts` signal parameter: comma-separated hostnames.
+pub fn parse_hosts(s: &str) -> Vec<String> {
+    s.split(',').map(str::trim).filter(|h| !h.is_empty()).map(String::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_influx::{Influx, InfluxServer};
+    use lms_util::Timestamp;
+    use std::time::Duration;
+
+    fn setup(config: RouterConfig) -> (InfluxServer, Influx, Router) {
+        let clock = Clock::simulated(Timestamp::from_secs(5000));
+        let influx = Influx::new(clock.clone());
+        let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        let router = Router::new(server.addr(), config, clock, None);
+        (server, influx, router)
+    }
+
+    fn signal(job: &str, user: &str, hosts: &[&str]) -> JobSignal {
+        JobSignal {
+            job_id: job.into(),
+            user: user.into(),
+            hosts: hosts.iter().map(|h| h.to_string()).collect(),
+            extra_tags: vec![],
+        }
+    }
+
+    #[test]
+    fn enriches_metrics_of_job_hosts() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        router.handle_job_start(signal("42", "alice", &["h1"]));
+        router.handle_write(None, "cpu,hostname=h1 value=1 100\ncpu,hostname=h2 value=2 100");
+        assert!(router.flush(Duration::from_secs(5)));
+
+        let r = influx.query("lms", "SELECT value FROM cpu WHERE jobid = '42'").unwrap();
+        assert_eq!(r.series[0].values.len(), 1);
+        let r = influx.query("lms", "SELECT value FROM cpu WHERE user = 'alice'").unwrap();
+        assert_eq!(r.series[0].values.len(), 1);
+        // h2 has no job: stored untagged.
+        let r = influx.query("lms", "SELECT value FROM cpu").unwrap();
+        let total: usize = r.series.iter().map(|s| s.values.len()).sum();
+        assert_eq!(total, 2);
+
+        let stats = router.stats();
+        assert_eq!(stats.lines_in, 2);
+        assert_eq!(stats.lines_enriched, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn job_end_stops_enrichment() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        router.handle_job_start(signal("42", "alice", &["h1"]));
+        router.handle_write(None, "m,hostname=h1 v=1 100");
+        router.handle_job_end("42");
+        router.handle_write(None, "m,hostname=h1 v=2 200");
+        assert!(router.flush(Duration::from_secs(5)));
+        let r = influx.query("lms", "SELECT v FROM m WHERE jobid = '42'").unwrap();
+        assert_eq!(r.series[0].values.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn signals_become_annotation_events() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        router.handle_job_start(signal("7", "bob", &["h1", "h2"]));
+        router.handle_job_end("7");
+        assert!(router.flush(Duration::from_secs(5)));
+        let r = influx
+            .query("lms", "SELECT text FROM events WHERE jobid = '7'")
+            .unwrap();
+        let total: usize = r.series.iter().map(|s| s.values.len()).sum();
+        assert_eq!(total, 4); // start+end on two hosts
+        let r = influx
+            .query("lms", "SELECT text FROM events WHERE kind = 'job_start' AND hostname = 'h1'")
+            .unwrap();
+        assert!(r.series[0].values[0][1].as_str().unwrap().contains("job 7"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_user_duplication() {
+        let mut config = RouterConfig::default();
+        config.per_user = true;
+        let (server, influx, router) = setup(config);
+        router.handle_job_start(signal("42", "alice", &["h1"]));
+        router.handle_write(None, "m,hostname=h1 v=1 100\nm,hostname=h9 v=9 100");
+        assert!(router.flush(Duration::from_secs(5)));
+        // Global DB holds both; user DB holds only alice's.
+        assert_eq!(influx.point_count("lms"), 2 + 1 /* start event */);
+        assert_eq!(influx.point_count("user_alice"), 1);
+        let r = influx.query("user_alice", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(1.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn untimestamped_lines_get_router_time() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        router.handle_write(None, "m,hostname=h1 v=1");
+        assert!(router.flush(Duration::from_secs(5)));
+        let r = influx.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][0].as_i64(), Some(Timestamp::from_secs(5000).nanos()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_counted_but_batch_continues() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        let (acc, rej) = router.handle_write(None, "m,hostname=h1 v=1 1\nbroken\nm,hostname=h1 v=2 2");
+        assert_eq!((acc, rej), (2, 1));
+        assert!(router.flush(Duration::from_secs(5)));
+        assert_eq!(influx.point_count("lms"), 2);
+        assert_eq!(router.stats().lines_rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn explicit_db_parameter_overrides_global() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        router.handle_write(Some("otherdb"), "m,hostname=h1 v=1 1");
+        assert!(router.flush(Duration::from_secs(5)));
+        assert_eq!(influx.point_count("otherdb"), 1);
+        assert_eq!(influx.point_count("lms"), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn publishes_metrics_and_signals() {
+        let publisher = Publisher::bind("127.0.0.1:0").unwrap();
+        let pub_addr = publisher.addr();
+        let clock = Clock::simulated(Timestamp::from_secs(5000));
+        let influx = Influx::new(clock.clone());
+        let server = InfluxServer::start("127.0.0.1:0", influx).unwrap();
+        let router = Router::new(server.addr(), RouterConfig::default(), clock, Some(publisher));
+
+        let mut sub = lms_mq::Subscriber::connect(pub_addr).unwrap();
+        sub.subscribe("").unwrap();
+        // Wait for subscription to register.
+        std::thread::sleep(Duration::from_millis(100));
+
+        router.handle_job_start(signal("42", "alice", &["h1"]));
+        router.handle_write(None, "cpu,hostname=h1 value=1 100");
+
+        let mut topics = Vec::new();
+        while let Some(m) = sub.recv_timeout(Duration::from_secs(2)).unwrap() {
+            topics.push(m.topic.clone());
+            if topics.len() == 2 {
+                break;
+            }
+        }
+        assert!(topics.contains(&"signal.job_start".to_string()), "{topics:?}");
+        assert!(topics.contains(&"metrics.cpu".to_string()), "{topics:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_hosts_variants() {
+        assert_eq!(parse_hosts("h1,h2, h3 ,,"), vec!["h1", "h2", "h3"]);
+        assert!(parse_hosts("").is_empty());
+    }
+}

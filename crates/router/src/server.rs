@@ -1,0 +1,220 @@
+//! The router's HTTP endpoints.
+//!
+//! | endpoint | behaviour |
+//! |---|---|
+//! | `GET /ping` | liveness, like the database it mimics |
+//! | `POST /write?db=<db>` | line-protocol batch → enrich → forward (`204`) |
+//! | `POST /signal/start?job=<id>&user=<u>&hosts=<h1,h2>&<k>=<v>…` | job-start signal; extra query params become job tags |
+//! | `POST /signal/end?job=<id>` | job-end signal |
+//! | `GET /jobs` | running jobs with hosts (admin view source) |
+//! | `GET /stats` | router counters as JSON |
+
+use crate::router::{parse_hosts, Router};
+use crate::tagstore::JobSignal;
+use lms_http::{Request, Response, Server};
+use lms_util::{Json, Result};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A running router server.
+pub struct RouterServer {
+    server: Server,
+    router: Arc<Router>,
+}
+
+impl RouterServer {
+    /// Starts serving `router` on `addr`.
+    pub fn start<A: ToSocketAddrs>(addr: A, router: Arc<Router>) -> Result<Self> {
+        let handler_router = router.clone();
+        let server = Server::bind(addr, 4, move |req| handle(&handler_router, req))?;
+        Ok(RouterServer { server, router })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The wrapped router.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Stops the server.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+fn handle(router: &Router, req: Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/ping") | ("HEAD", "/ping") => Response::no_content(),
+        ("POST", "/write") => {
+            let db = req.query_param("db");
+            let (accepted, rejected) = router.handle_write(db, &req.body_str());
+            if accepted == 0 && rejected > 0 {
+                Response::bad_request("all lines malformed")
+            } else {
+                Response::no_content()
+            }
+        }
+        ("POST", "/signal/start") => {
+            let Some(job) = req.query_param("job") else {
+                return Response::bad_request("missing `job`");
+            };
+            let hosts = parse_hosts(req.query_param("hosts").unwrap_or(""));
+            if hosts.is_empty() {
+                return Response::bad_request("missing `hosts`");
+            }
+            let user = req.query_param("user").unwrap_or("unknown").to_string();
+            let extra_tags: Vec<(String, String)> = req
+                .query
+                .iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "job" | "user" | "hosts"))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            router.handle_job_start(JobSignal {
+                job_id: job.to_string(),
+                user,
+                hosts,
+                extra_tags,
+            });
+            Response::no_content()
+        }
+        ("POST", "/signal/end") => {
+            let Some(job) = req.query_param("job") else {
+                return Response::bad_request("missing `job`");
+            };
+            router.handle_job_end(job);
+            Response::no_content()
+        }
+        ("GET", "/jobs") => {
+            let json = router.with_tags(|tags| {
+                Json::arr(tags.running_jobs().into_iter().map(|job| {
+                    let hosts = tags
+                        .hosts_of(job)
+                        .map(|h| Json::arr(h.iter().map(|x| Json::str(x.as_str()))))
+                        .unwrap_or(Json::Arr(vec![]));
+                    let user = tags
+                        .hosts_of(job)
+                        .and_then(|h| h.first())
+                        .map(|host| {
+                            tags.tags_of(host)
+                                .iter()
+                                .find(|(k, _)| k == "user")
+                                .map(|(_, v)| v.clone())
+                                .unwrap_or_default()
+                        })
+                        .unwrap_or_default();
+                    Json::obj([
+                        ("jobid", Json::str(job)),
+                        ("user", Json::str(user)),
+                        ("hosts", hosts),
+                    ])
+                }))
+            });
+            Response::json(200, json.to_string())
+        }
+        ("GET", "/stats") => {
+            let s = router.stats();
+            Response::json(
+                200,
+                Json::obj([
+                    ("lines_in", Json::from(s.lines_in as i64)),
+                    ("lines_enriched", Json::from(s.lines_enriched as i64)),
+                    ("lines_rejected", Json::from(s.lines_rejected as i64)),
+                    ("signals", Json::from(s.signals as i64)),
+                    ("forward_delivered", Json::from(s.forward.delivered as i64)),
+                    ("forward_dropped", Json::from(s.forward.dropped as i64)),
+                    ("forward_retries", Json::from(s.forward.retries as i64)),
+                ])
+                .to_string(),
+            )
+        }
+        _ => Response::not_found("unknown endpoint"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterConfig;
+    use lms_http::HttpClient;
+    use lms_influx::{Influx, InfluxServer};
+    use lms_util::{Clock, Timestamp};
+    use std::time::Duration;
+
+    fn stack() -> (InfluxServer, Influx, RouterServer, HttpClient) {
+        let clock = Clock::simulated(Timestamp::from_secs(9000));
+        let influx = Influx::new(clock.clone());
+        let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        let router = Arc::new(Router::new(db.addr(), RouterConfig::default(), clock, None));
+        let rs = RouterServer::start("127.0.0.1:0", router).unwrap();
+        let client = HttpClient::connect(rs.addr()).unwrap();
+        (db, influx, rs, client)
+    }
+
+    #[test]
+    fn full_signal_write_cycle_over_http() {
+        let (db, influx, rs, mut c) = stack();
+        // Job start with an extra tag.
+        let r = c
+            .post("/signal/start?job=42&user=alice&hosts=h1,h2&queue=batch", b"")
+            .unwrap();
+        assert_eq!(r.status, 204);
+        // Agent writes through the router like it were InfluxDB.
+        let r = c
+            .post_text("/write?db=lms", "cpu,hostname=h1 value=0.9 100")
+            .unwrap();
+        assert_eq!(r.status, 204);
+        assert!(rs.router().flush(Duration::from_secs(5)));
+        let q = influx
+            .query("lms", "SELECT value FROM cpu WHERE jobid = '42' AND queue = 'batch'")
+            .unwrap();
+        assert_eq!(q.series[0].values.len(), 1);
+
+        // Admin view shows the running job.
+        let jobs = Json::parse(&c.get("/jobs").unwrap().body_str()).unwrap();
+        assert_eq!(jobs.idx(0).unwrap().get("jobid").unwrap().as_str(), Some("42"));
+        assert_eq!(jobs.idx(0).unwrap().get("user").unwrap().as_str(), Some("alice"));
+
+        // End the job; admin view empties.
+        assert_eq!(c.post("/signal/end?job=42", b"").unwrap().status, 204);
+        let jobs = Json::parse(&c.get("/jobs").unwrap().body_str()).unwrap();
+        assert_eq!(jobs.as_arr().unwrap().len(), 0);
+
+        rs.shutdown();
+        db.shutdown();
+    }
+
+    #[test]
+    fn signal_validation() {
+        let (db, _ix, rs, mut c) = stack();
+        assert_eq!(c.post("/signal/start?user=x&hosts=h1", b"").unwrap().status, 400);
+        assert_eq!(c.post("/signal/start?job=1&user=x", b"").unwrap().status, 400);
+        assert_eq!(c.post("/signal/end", b"").unwrap().status, 400);
+        rs.shutdown();
+        db.shutdown();
+    }
+
+    #[test]
+    fn write_validation_and_stats() {
+        let (db, _ix, rs, mut c) = stack();
+        assert_eq!(c.post_text("/write", "broken").unwrap().status, 400);
+        assert_eq!(c.post_text("/write", "ok v=1 1").unwrap().status, 204);
+        let stats = Json::parse(&c.get("/stats").unwrap().body_str()).unwrap();
+        assert_eq!(stats.get("lines_in").unwrap().as_i64(), Some(1));
+        assert_eq!(stats.get("lines_rejected").unwrap().as_i64(), Some(1));
+        rs.shutdown();
+        db.shutdown();
+    }
+
+    #[test]
+    fn ping_and_unknown() {
+        let (db, _ix, rs, mut c) = stack();
+        assert_eq!(c.get("/ping").unwrap().status, 204);
+        assert_eq!(c.get("/nope").unwrap().status, 404);
+        rs.shutdown();
+        db.shutdown();
+    }
+}

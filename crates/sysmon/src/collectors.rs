@@ -1,0 +1,386 @@
+//! Diamond-style collectors: parse proc text, compute rates, emit points.
+//!
+//! Each collector keeps the previous raw counters and emits *rates* (the
+//! form dashboards and rules consume). The measurements produced are the
+//! elementary resource-utilization metrics the paper's analysis starts
+//! from: CPU load, memory size, network I/O, file I/O (Sec. V).
+
+use crate::procfs::SimProc;
+use lms_lineproto::Point;
+use lms_util::Timestamp;
+
+/// A metric collector over the simulated procfs.
+pub trait Collector: Send {
+    /// Short name (used in logs and the agent's enable list).
+    fn name(&self) -> &'static str;
+    /// Reads the current state and produces points stamped with `ts`.
+    /// Rate-based collectors return nothing on their first call.
+    fn collect(&mut self, proc_fs: &SimProc, hostname: &str, ts: Timestamp) -> Vec<Point>;
+}
+
+fn base_point(measurement: &str, hostname: &str, ts: Timestamp) -> Point {
+    let mut p = Point::new(measurement);
+    p.add_tag("hostname", hostname);
+    p.set_timestamp(ts.nanos());
+    p
+}
+
+/// CPU utilization from `/proc/stat` jiffy deltas.
+///
+/// Emits `cpu_total` (fractions over all cpus) and per-cpu `cpu` points.
+#[derive(Debug, Default)]
+pub struct CpuCollector {
+    prev: Option<Vec<[u64; 5]>>,
+}
+
+impl CpuCollector {
+    /// New collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn parse(stat: &str) -> Vec<[u64; 5]> {
+        // Row 0 is the "cpu " aggregate, rows 1.. are cpuN.
+        stat.lines()
+            .filter(|l| l.starts_with("cpu"))
+            .map(|l| {
+                let mut f = l.split_whitespace().skip(1).map(|x| x.parse().unwrap_or(0));
+                [
+                    f.next().unwrap_or(0), // user
+                    f.next().unwrap_or(0), // nice
+                    f.next().unwrap_or(0), // system
+                    f.next().unwrap_or(0), // idle
+                    f.next().unwrap_or(0), // iowait
+                ]
+            })
+            .collect()
+    }
+}
+
+impl Collector for CpuCollector {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn collect(&mut self, proc_fs: &SimProc, hostname: &str, ts: Timestamp) -> Vec<Point> {
+        let Some(stat) = proc_fs.read("/proc/stat") else { return Vec::new() };
+        let now = Self::parse(&stat);
+        let prev = self.prev.replace(now.clone());
+        let Some(prev) = prev else { return Vec::new() };
+        let mut out = Vec::new();
+        for (row, (cur, old)) in now.iter().zip(&prev).enumerate() {
+            let delta: Vec<f64> = cur.iter().zip(old).map(|(a, b)| (a - b.min(a)) as f64).collect();
+            let total: f64 = delta.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let mut p = if row == 0 {
+                base_point("cpu_total", hostname, ts)
+            } else {
+                let mut p = base_point("cpu", hostname, ts);
+                p.add_tag("cpu", (row - 1).to_string());
+                p
+            };
+            p.add_field("user", delta[0] / total)
+                .add_field("system", delta[2] / total)
+                .add_field("idle", delta[3] / total)
+                .add_field("iowait", delta[4] / total)
+                .add_field("busy", 1.0 - delta[3] / total);
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// Memory usage from `/proc/meminfo` (gauge; emits every call).
+#[derive(Debug, Default)]
+pub struct MemoryCollector;
+
+impl MemoryCollector {
+    /// New collector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Collector for MemoryCollector {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn collect(&mut self, proc_fs: &SimProc, hostname: &str, ts: Timestamp) -> Vec<Point> {
+        let Some(text) = proc_fs.read("/proc/meminfo") else { return Vec::new() };
+        let field = |name: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.0)
+                * 1024.0 // kB → bytes
+        };
+        let total = field("MemTotal:");
+        let available = field("MemAvailable:");
+        let mut p = base_point("memory", hostname, ts);
+        p.add_field("total_bytes", total)
+            .add_field("available_bytes", available)
+            .add_field("used_bytes", total - available)
+            .add_field("used_frac", if total > 0.0 { (total - available) / total } else { 0.0 });
+        vec![p]
+    }
+}
+
+/// Network I/O rates from `/proc/net/dev` deltas (non-loopback interfaces).
+#[derive(Debug, Default)]
+pub struct NetworkCollector {
+    prev: Option<(Timestamp, [u64; 4])>,
+}
+
+impl NetworkCollector {
+    /// New collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn parse(text: &str) -> [u64; 4] {
+        let mut sum = [0u64; 4];
+        for line in text.lines().skip(2) {
+            let Some((iface, rest)) = line.split_once(':') else { continue };
+            if iface.trim() == "lo" {
+                continue;
+            }
+            let f: Vec<u64> =
+                rest.split_whitespace().map(|x| x.parse().unwrap_or(0)).collect();
+            if f.len() >= 10 {
+                sum[0] += f[0]; // rx bytes
+                sum[1] += f[1]; // rx packets
+                sum[2] += f[8]; // tx bytes
+                sum[3] += f[9]; // tx packets
+            }
+        }
+        sum
+    }
+}
+
+impl Collector for NetworkCollector {
+    fn name(&self) -> &'static str {
+        "network"
+    }
+
+    fn collect(&mut self, proc_fs: &SimProc, hostname: &str, ts: Timestamp) -> Vec<Point> {
+        let Some(text) = proc_fs.read("/proc/net/dev") else { return Vec::new() };
+        let now = Self::parse(&text);
+        let prev = self.prev.replace((ts, now));
+        let Some((t0, old)) = prev else { return Vec::new() };
+        let dt = ts.since(t0).as_secs_f64();
+        if dt <= 0.0 {
+            return Vec::new();
+        }
+        let rate = |a: u64, b: u64| (a.saturating_sub(b)) as f64 / dt;
+        let mut p = base_point("network", hostname, ts);
+        p.add_field("rx_bytes_per_s", rate(now[0], old[0]))
+            .add_field("rx_packets_per_s", rate(now[1], old[1]))
+            .add_field("tx_bytes_per_s", rate(now[2], old[2]))
+            .add_field("tx_packets_per_s", rate(now[3], old[3]));
+        vec![p]
+    }
+}
+
+/// Disk I/O rates from `/proc/diskstats` deltas (whole devices).
+#[derive(Debug, Default)]
+pub struct DiskCollector {
+    prev: Option<(Timestamp, [u64; 4])>,
+}
+
+impl DiskCollector {
+    /// New collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn parse(text: &str) -> [u64; 4] {
+        let mut sum = [0u64; 4];
+        for line in text.lines() {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() < 10 {
+                continue;
+            }
+            // Skip partitions (name ends in a digit).
+            if f[2].ends_with(|c: char| c.is_ascii_digit()) {
+                continue;
+            }
+            sum[0] += f[3].parse().unwrap_or(0); // reads completed
+            sum[1] += f[5].parse().unwrap_or(0); // sectors read
+            sum[2] += f[7].parse().unwrap_or(0); // writes completed
+            sum[3] += f[9].parse().unwrap_or(0); // sectors written
+        }
+        sum
+    }
+}
+
+impl Collector for DiskCollector {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn collect(&mut self, proc_fs: &SimProc, hostname: &str, ts: Timestamp) -> Vec<Point> {
+        let Some(text) = proc_fs.read("/proc/diskstats") else { return Vec::new() };
+        let now = Self::parse(&text);
+        let prev = self.prev.replace((ts, now));
+        let Some((t0, old)) = prev else { return Vec::new() };
+        let dt = ts.since(t0).as_secs_f64();
+        if dt <= 0.0 {
+            return Vec::new();
+        }
+        let rate = |a: u64, b: u64| (a.saturating_sub(b)) as f64 / dt;
+        let mut p = base_point("disk", hostname, ts);
+        p.add_field("reads_per_s", rate(now[0], old[0]))
+            .add_field("read_bytes_per_s", rate(now[1], old[1]) * 512.0)
+            .add_field("writes_per_s", rate(now[2], old[2]))
+            .add_field("write_bytes_per_s", rate(now[3], old[3]) * 512.0);
+        vec![p]
+    }
+}
+
+/// Load averages from `/proc/loadavg` (gauge).
+#[derive(Debug, Default)]
+pub struct LoadCollector;
+
+impl LoadCollector {
+    /// New collector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Collector for LoadCollector {
+    fn name(&self) -> &'static str {
+        "load"
+    }
+
+    fn collect(&mut self, proc_fs: &SimProc, hostname: &str, ts: Timestamp) -> Vec<Point> {
+        let Some(text) = proc_fs.read("/proc/loadavg") else { return Vec::new() };
+        let mut f = text.split_whitespace().map(|x| x.parse::<f64>().unwrap_or(0.0));
+        let mut p = base_point("load", hostname, ts);
+        p.add_field("load1", f.next().unwrap_or(0.0))
+            .add_field("load5", f.next().unwrap_or(0.0))
+            .add_field("load15", f.next().unwrap_or(0.0));
+        vec![p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procfs::NodeActivity;
+    use std::time::Duration;
+
+    fn advance(p: &mut SimProc, t: &mut Timestamp, d: Duration) {
+        p.advance(d);
+        *t = t.add(d);
+    }
+
+    #[test]
+    fn cpu_collector_computes_utilization_deltas() {
+        let mut proc_fs = SimProc::new(4, 1 << 20, 1);
+        proc_fs.set_activity(NodeActivity::busy_compute(4));
+        let mut c = CpuCollector::new();
+        let mut ts = Timestamp::from_secs(100);
+        assert!(c.collect(&proc_fs, "h1", ts).is_empty(), "first call primes");
+        advance(&mut proc_fs, &mut ts, Duration::from_secs(10));
+        let points = c.collect(&proc_fs, "h1", ts);
+        assert_eq!(points.len(), 5); // total + 4 cpus
+        let total = &points[0];
+        assert_eq!(total.measurement(), "cpu_total");
+        let busy = total.field("busy").unwrap().as_f64().unwrap();
+        assert!(busy > 0.9, "busy = {busy}");
+        let per_cpu = &points[1];
+        assert_eq!(per_cpu.tag("cpu"), Some("0"));
+    }
+
+    #[test]
+    fn cpu_collector_tracks_activity_change() {
+        let mut proc_fs = SimProc::new(2, 1 << 20, 2);
+        let mut c = CpuCollector::new();
+        let mut ts = Timestamp::from_secs(0);
+        c.collect(&proc_fs, "h1", ts);
+        advance(&mut proc_fs, &mut ts, Duration::from_secs(5));
+        let idle = c.collect(&proc_fs, "h1", ts);
+        let idle_busy = idle[0].field("busy").unwrap().as_f64().unwrap();
+        assert!(idle_busy < 0.05, "{idle_busy}");
+        proc_fs.set_activity(NodeActivity::busy_compute(2));
+        advance(&mut proc_fs, &mut ts, Duration::from_secs(5));
+        let busy = c.collect(&proc_fs, "h1", ts);
+        let busy_f = busy[0].field("busy").unwrap().as_f64().unwrap();
+        assert!(busy_f > 0.9, "{busy_f}");
+    }
+
+    #[test]
+    fn memory_collector_gauges() {
+        let mut proc_fs = SimProc::new(1, 1_000_000, 3);
+        proc_fs.set_activity(NodeActivity { mem_used_frac: 0.5, ..NodeActivity::idle() });
+        proc_fs.advance(Duration::from_secs(1));
+        let mut c = MemoryCollector::new();
+        let points = c.collect(&proc_fs, "h1", Timestamp::from_secs(1));
+        assert_eq!(points.len(), 1);
+        let used_frac = points[0].field("used_frac").unwrap().as_f64().unwrap();
+        assert!((used_frac - 0.5).abs() < 0.01, "{used_frac}");
+        assert_eq!(
+            points[0].field("total_bytes").unwrap().as_f64().unwrap(),
+            1_000_000.0 * 1024.0
+        );
+    }
+
+    #[test]
+    fn network_collector_rates() {
+        let mut proc_fs = SimProc::new(1, 1024, 4);
+        proc_fs.set_activity(NodeActivity {
+            net_rx_bytes: 100e6,
+            net_tx_bytes: 10e6,
+            ..NodeActivity::idle()
+        });
+        let mut c = NetworkCollector::new();
+        let mut ts = Timestamp::from_secs(0);
+        c.collect(&proc_fs, "h1", ts);
+        advance(&mut proc_fs, &mut ts, Duration::from_secs(10));
+        let points = c.collect(&proc_fs, "h1", ts);
+        let rx = points[0].field("rx_bytes_per_s").unwrap().as_f64().unwrap();
+        assert!((rx - 100e6).abs() / 100e6 < 0.1, "rx = {rx}");
+        let tx = points[0].field("tx_bytes_per_s").unwrap().as_f64().unwrap();
+        assert!((tx - 10e6).abs() / 10e6 < 0.1, "tx = {tx}");
+    }
+
+    #[test]
+    fn disk_collector_rates() {
+        let mut proc_fs = SimProc::new(1, 1024, 5);
+        proc_fs.set_activity(NodeActivity::busy_io(1));
+        let mut c = DiskCollector::new();
+        let mut ts = Timestamp::from_secs(0);
+        c.collect(&proc_fs, "h1", ts);
+        advance(&mut proc_fs, &mut ts, Duration::from_secs(10));
+        let points = c.collect(&proc_fs, "h1", ts);
+        let wr = points[0].field("write_bytes_per_s").unwrap().as_f64().unwrap();
+        assert!((wr - 250e6).abs() / 250e6 < 0.15, "write rate = {wr}");
+    }
+
+    #[test]
+    fn load_collector() {
+        let mut proc_fs = SimProc::new(8, 1024, 6);
+        proc_fs.set_activity(NodeActivity::busy_compute(8));
+        proc_fs.advance(Duration::from_secs(600));
+        let mut c = LoadCollector::new();
+        let points = c.collect(&proc_fs, "h1", Timestamp::from_secs(600));
+        let l1 = points[0].field("load1").unwrap().as_f64().unwrap();
+        assert!(l1 > 7.0, "load1 = {l1}");
+        assert!(points[0].field("load15").is_some());
+    }
+
+    #[test]
+    fn points_are_tagged_and_timestamped() {
+        let proc_fs = SimProc::new(1, 1024, 7);
+        let mut c = MemoryCollector::new();
+        let ts = Timestamp::from_secs(42);
+        let p = &c.collect(&proc_fs, "nodeX", ts)[0];
+        assert_eq!(p.tag("hostname"), Some("nodeX"));
+        assert_eq!(p.timestamp(), Some(ts.nanos()));
+    }
+}

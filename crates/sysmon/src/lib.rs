@@ -1,0 +1,27 @@
+//! # lms-sysmon
+//!
+//! System-level metric collection for compute nodes — the Diamond/Ganglia
+//! half of the paper's host agents.
+//!
+//! Real collectors read `/proc`; this crate substitutes a **simulated
+//! procfs** ([`procfs::SimProc`]) whose text output has the real formats
+//! (`/proc/stat`, `/proc/meminfo`, `/proc/net/dev`, `/proc/diskstats`,
+//! `/proc/loadavg`), driven by a per-node activity model. The collectors
+//! ([`collectors`]) *parse that text* exactly as they would parse the real
+//! files, so the whole parsing/δ-rate/batching code path is exercised.
+//!
+//! [`agent::HostAgent`] is the Diamond-like collection daemon: a set of
+//! collectors on an interval, batched into line protocol, POSTed to the
+//! metrics router. [`ganglia::GmondServer`] emulates Ganglia's gmond XML
+//! dump port for the router's pull proxy.
+
+pub mod agent;
+pub mod collectors;
+pub mod ganglia;
+pub mod procfs;
+
+pub use agent::HostAgent;
+pub use collectors::{
+    Collector, CpuCollector, DiskCollector, LoadCollector, MemoryCollector, NetworkCollector,
+};
+pub use procfs::{NodeActivity, SimProc};

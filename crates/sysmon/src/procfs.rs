@@ -1,0 +1,355 @@
+//! The simulated `/proc` filesystem.
+//!
+//! [`SimProc`] maintains the kernel counters a node would expose and
+//! renders them in the exact text formats of the real files. Counters
+//! advance with virtual time according to the current [`NodeActivity`] —
+//! which the cluster simulation switches when jobs start and end.
+
+use lms_util::rng::XorShift64;
+use std::time::Duration;
+
+/// What the node is currently doing, as rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeActivity {
+    /// Fraction of CPU time spent in user mode, `0.0..=1.0` (per cpu).
+    pub cpu_user: f64,
+    /// Fraction spent in system mode.
+    pub cpu_system: f64,
+    /// Fraction spent in iowait.
+    pub cpu_iowait: f64,
+    /// Used memory fraction of total, `0.0..=1.0`.
+    pub mem_used_frac: f64,
+    /// Network receive rate in bytes/s (node total).
+    pub net_rx_bytes: f64,
+    /// Network transmit rate in bytes/s.
+    pub net_tx_bytes: f64,
+    /// Disk read rate in bytes/s.
+    pub disk_read_bytes: f64,
+    /// Disk write rate in bytes/s.
+    pub disk_write_bytes: f64,
+    /// 1-minute load average target.
+    pub load: f64,
+}
+
+impl NodeActivity {
+    /// An idle node.
+    pub fn idle() -> Self {
+        NodeActivity {
+            cpu_user: 0.005,
+            cpu_system: 0.003,
+            cpu_iowait: 0.001,
+            mem_used_frac: 0.05,
+            net_rx_bytes: 2e3,
+            net_tx_bytes: 2e3,
+            disk_read_bytes: 1e3,
+            disk_write_bytes: 5e3,
+            load: 0.05,
+        }
+    }
+
+    /// A node running a CPU-heavy parallel job on all cores.
+    pub fn busy_compute(ncpu: u32) -> Self {
+        NodeActivity {
+            cpu_user: 0.96,
+            cpu_system: 0.02,
+            cpu_iowait: 0.0,
+            mem_used_frac: 0.55,
+            net_rx_bytes: 40e6,
+            net_tx_bytes: 40e6,
+            disk_read_bytes: 1e5,
+            disk_write_bytes: 8e5,
+            load: ncpu as f64,
+        }
+    }
+
+    /// An I/O-heavy job (checkpointing, postprocessing).
+    pub fn busy_io(ncpu: u32) -> Self {
+        NodeActivity {
+            cpu_user: 0.25,
+            cpu_system: 0.12,
+            cpu_iowait: 0.35,
+            mem_used_frac: 0.35,
+            net_rx_bytes: 200e6,
+            net_tx_bytes: 30e6,
+            disk_read_bytes: 150e6,
+            disk_write_bytes: 250e6,
+            load: ncpu as f64 * 0.6,
+        }
+    }
+}
+
+/// Kernel counter state of one simulated node.
+#[derive(Debug)]
+pub struct SimProc {
+    ncpu: u32,
+    mem_total_kb: u64,
+    hz: u64, // USER_HZ: jiffies per second
+    activity: NodeActivity,
+    /// Per-cpu jiffy counters: user, nice, system, idle, iowait.
+    cpu_jiffies: Vec<[u64; 5]>,
+    /// eth0 cumulative byte/packet counters: rx_bytes, rx_pkts, tx_bytes, tx_pkts.
+    net: [u64; 4],
+    /// sda cumulative: reads completed, sectors read, writes completed, sectors written.
+    disk: [u64; 4],
+    load1: f64,
+    load5: f64,
+    load15: f64,
+    uptime: Duration,
+    rng: XorShift64,
+    /// Fractional jiffy remainders to avoid losing time in small steps.
+    jiffy_rem: Vec<[f64; 5]>,
+}
+
+impl SimProc {
+    /// A node with `ncpu` logical CPUs and `mem_total_kb` KiB of memory.
+    pub fn new(ncpu: u32, mem_total_kb: u64, seed: u64) -> Self {
+        SimProc {
+            ncpu: ncpu.max(1),
+            mem_total_kb,
+            hz: 100,
+            activity: NodeActivity::idle(),
+            cpu_jiffies: vec![[0; 5]; ncpu.max(1) as usize],
+            net: [0; 4],
+            disk: [0; 4],
+            load1: 0.0,
+            load5: 0.0,
+            load15: 0.0,
+            uptime: Duration::ZERO,
+            rng: XorShift64::new(seed),
+            jiffy_rem: vec![[0.0; 5]; ncpu.max(1) as usize],
+        }
+    }
+
+    /// Number of simulated CPUs.
+    pub fn ncpu(&self) -> u32 {
+        self.ncpu
+    }
+
+    /// Switches the activity model (job start/end).
+    pub fn set_activity(&mut self, activity: NodeActivity) {
+        self.activity = activity;
+    }
+
+    /// The current activity model.
+    pub fn activity(&self) -> NodeActivity {
+        self.activity
+    }
+
+    /// Advances virtual time, accumulating all counters.
+    pub fn advance(&mut self, dt: Duration) {
+        let secs = dt.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        let a = self.activity;
+        let jiffies_total = secs * self.hz as f64;
+        for (cpu, counters) in self.cpu_jiffies.iter_mut().enumerate() {
+            let jitter = 1.0 + self.rng.range_f64(-0.03, 0.03);
+            let user = a.cpu_user * jiffies_total * jitter;
+            let system = a.cpu_system * jiffies_total * jitter;
+            let iowait = a.cpu_iowait * jiffies_total * jitter;
+            let idle = (jiffies_total - user - system - iowait).max(0.0);
+            let rem = &mut self.jiffy_rem[cpu];
+            for (slot, add) in [(0usize, user), (2, system), (3, idle), (4, iowait)] {
+                let total = rem[slot] + add;
+                let whole = total.floor();
+                counters[slot] += whole as u64;
+                rem[slot] = total - whole;
+            }
+        }
+        let j = 1.0 + self.rng.range_f64(-0.05, 0.05);
+        self.net[0] += (a.net_rx_bytes * secs * j) as u64;
+        self.net[1] += (a.net_rx_bytes * secs * j / 1400.0) as u64;
+        self.net[2] += (a.net_tx_bytes * secs * j) as u64;
+        self.net[3] += (a.net_tx_bytes * secs * j / 1400.0) as u64;
+        self.disk[0] += (a.disk_read_bytes * secs * j / 65536.0) as u64;
+        self.disk[1] += (a.disk_read_bytes * secs * j / 512.0) as u64;
+        self.disk[2] += (a.disk_write_bytes * secs * j / 65536.0) as u64;
+        self.disk[3] += (a.disk_write_bytes * secs * j / 512.0) as u64;
+        // Load averages decay toward the target (1/5/15-minute windows).
+        let target = a.load;
+        for (load, window) in [
+            (&mut self.load1, 60.0),
+            (&mut self.load5, 300.0),
+            (&mut self.load15, 900.0),
+        ] {
+            let alpha = 1.0 - (-secs / window).exp();
+            *load += (target - *load) * alpha;
+        }
+        self.uptime += dt;
+    }
+
+    /// Reads a simulated proc file by path.
+    ///
+    /// Supported: `/proc/stat`, `/proc/meminfo`, `/proc/net/dev`,
+    /// `/proc/diskstats`, `/proc/loadavg`, `/proc/uptime`.
+    pub fn read(&self, path: &str) -> Option<String> {
+        match path {
+            "/proc/stat" => Some(self.render_stat()),
+            "/proc/meminfo" => Some(self.render_meminfo()),
+            "/proc/net/dev" => Some(self.render_netdev()),
+            "/proc/diskstats" => Some(self.render_diskstats()),
+            "/proc/loadavg" => Some(self.render_loadavg()),
+            "/proc/uptime" => Some(format!("{:.2} 0.00\n", self.uptime.as_secs_f64())),
+            _ => None,
+        }
+    }
+
+    fn render_stat(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.ncpu as usize + 1));
+        let mut total = [0u64; 5];
+        for c in &self.cpu_jiffies {
+            for i in 0..5 {
+                total[i] += c[i];
+            }
+        }
+        // cpu  user nice system idle iowait irq softirq
+        out.push_str(&format!(
+            "cpu  {} {} {} {} {} 0 0 0 0 0\n",
+            total[0], total[1], total[2], total[3], total[4]
+        ));
+        for (i, c) in self.cpu_jiffies.iter().enumerate() {
+            out.push_str(&format!(
+                "cpu{i} {} {} {} {} {} 0 0 0 0 0\n",
+                c[0], c[1], c[2], c[3], c[4]
+            ));
+        }
+        out.push_str("intr 0\nctxt 0\nbtime 0\nprocesses 1\nprocs_running 1\nprocs_blocked 0\n");
+        out
+    }
+
+    fn render_meminfo(&self) -> String {
+        let used = (self.mem_total_kb as f64 * self.activity.mem_used_frac) as u64;
+        let free = self.mem_total_kb - used.min(self.mem_total_kb);
+        let cached = free / 4;
+        format!(
+            "MemTotal:       {:>8} kB\nMemFree:        {:>8} kB\nMemAvailable:   {:>8} kB\nBuffers:        {:>8} kB\nCached:         {:>8} kB\nSwapTotal:      {:>8} kB\nSwapFree:       {:>8} kB\n",
+            self.mem_total_kb,
+            free - cached,
+            free,
+            free / 16,
+            cached,
+            0,
+            0
+        )
+    }
+
+    fn render_netdev(&self) -> String {
+        format!(
+            "Inter-|   Receive                                                |  Transmit\n face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n    lo:       0       0    0    0    0     0          0         0        0       0    0    0    0     0       0          0\n  eth0: {:>8} {:>8}    0    0    0     0          0         0 {:>8} {:>8}    0    0    0     0       0          0\n",
+            self.net[0], self.net[1], self.net[2], self.net[3]
+        )
+    }
+
+    fn render_diskstats(&self) -> String {
+        // major minor name reads merged sectors ms writes merged sectors ms ...
+        format!(
+            "   8       0 sda {} 0 {} 0 {} 0 {} 0 0 0 0\n",
+            self.disk[0], self.disk[1], self.disk[2], self.disk[3]
+        )
+    }
+
+    fn render_loadavg(&self) -> String {
+        format!("{:.2} {:.2} {:.2} 1/100 12345\n", self.load1, self.load5, self.load15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = SimProc::new(4, 16 * 1024 * 1024, 1);
+        p.set_activity(NodeActivity::busy_compute(4));
+        p.advance(Duration::from_secs(10));
+        let stat = p.read("/proc/stat").unwrap();
+        let first = stat.lines().next().unwrap();
+        let fields: Vec<u64> =
+            first.split_whitespace().skip(1).map(|f| f.parse().unwrap()).collect();
+        // ~96% user over 10s × 100Hz × 4 cpus ≈ 3840 jiffies
+        assert!(fields[0] > 3000, "user jiffies = {}", fields[0]);
+        assert!(fields[3] < 600, "idle jiffies = {}", fields[3]);
+    }
+
+    #[test]
+    fn jiffies_do_not_lose_time_in_small_steps() {
+        let mut a = SimProc::new(1, 1024, 7);
+        let mut b = SimProc::new(1, 1024, 7);
+        a.set_activity(NodeActivity::busy_compute(1));
+        b.set_activity(NodeActivity::busy_compute(1));
+        // Same virtual time, different step sizes.
+        a.advance(Duration::from_secs(10));
+        for _ in 0..1000 {
+            b.advance(Duration::from_millis(10));
+        }
+        let sum = |p: &SimProc| -> u64 {
+            p.read("/proc/stat")
+                .unwrap()
+                .lines()
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .skip(1)
+                .map(|f| f.parse::<u64>().unwrap())
+                .sum()
+        };
+        let (ja, jb) = (sum(&a), sum(&b));
+        let diff = (ja as i64 - jb as i64).unsigned_abs();
+        assert!(diff < 60, "jiffy totals diverge: {ja} vs {jb}");
+    }
+
+    #[test]
+    fn meminfo_reflects_activity() {
+        let mut p = SimProc::new(1, 1_000_000, 2);
+        p.set_activity(NodeActivity { mem_used_frac: 0.75, ..NodeActivity::idle() });
+        p.advance(Duration::from_secs(1));
+        let mem = p.read("/proc/meminfo").unwrap();
+        assert!(mem.contains("MemTotal:        1000000 kB"));
+        let avail: u64 = mem
+            .lines()
+            .find(|l| l.starts_with("MemAvailable"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(avail, 250_000);
+    }
+
+    #[test]
+    fn netdev_and_diskstats_grow() {
+        let mut p = SimProc::new(1, 1024, 3);
+        p.set_activity(NodeActivity::busy_io(1));
+        p.advance(Duration::from_secs(5));
+        let net1 = p.read("/proc/net/dev").unwrap();
+        p.advance(Duration::from_secs(5));
+        let net2 = p.read("/proc/net/dev").unwrap();
+        assert_ne!(net1, net2);
+        let disk = p.read("/proc/diskstats").unwrap();
+        assert!(disk.contains("sda"));
+        let sectors_written: u64 = disk.split_whitespace().nth(9).unwrap().parse().unwrap();
+        assert!(sectors_written > 0);
+    }
+
+    #[test]
+    fn load_average_decays_toward_target() {
+        let mut p = SimProc::new(8, 1024, 4);
+        p.set_activity(NodeActivity::busy_compute(8));
+        p.advance(Duration::from_secs(300));
+        let load = p.read("/proc/loadavg").unwrap();
+        let load1: f64 = load.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(load1 > 7.5, "load1 = {load1}");
+        p.set_activity(NodeActivity::idle());
+        p.advance(Duration::from_secs(600));
+        let load = p.read("/proc/loadavg").unwrap();
+        let load1: f64 = load.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(load1 < 0.5, "load1 after idling = {load1}");
+    }
+
+    #[test]
+    fn unknown_path_is_none() {
+        let p = SimProc::new(1, 1024, 5);
+        assert!(p.read("/proc/nope").is_none());
+        assert!(p.read("/proc/uptime").is_some());
+    }
+}

@@ -1,0 +1,342 @@
+//! Affinity-domain expressions (likwid-pin style).
+//!
+//! LIKWID addresses hardware threads either by raw logical id lists
+//! (`0-3,8,10`) or through *affinity domains*: `N` (node), `S<i>` (socket),
+//! `M<i>` (NUMA domain), `C<i>` (last-level-cache domain — equal to the
+//! socket in our model). A domain-qualified expression `S1:0-3` selects the
+//! *n*-th threads **within** that domain, in domain-local order with primary
+//! SMT threads first.
+//!
+//! The transparent affinity monitor in `lms-usermetric` and the workload
+//! pinning in `lms-apps` both consume [`CpuSet`]s.
+
+use crate::model::Topology;
+use lms_util::{Error, Result};
+
+/// An ordered set of logical CPU ids (duplicates removed, order preserved).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CpuSet {
+    ids: Vec<u32>,
+}
+
+impl CpuSet {
+    /// An empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from raw ids (deduplicating, preserving first-seen order).
+    pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut out = CpuSet::empty();
+        for id in ids {
+            out.insert(id);
+        }
+        out
+    }
+
+    fn insert(&mut self, id: u32) {
+        if !self.ids.contains(&id) {
+            self.ids.push(id);
+        }
+    }
+
+    /// Parses an expression against a topology.
+    ///
+    /// Grammar:
+    /// - plain list: `0-3,8,10-12` (logical ids, validated against the node),
+    /// - domain list: `<domain>:<list>` where domain ∈ `N`, `S<i>`, `M<i>`,
+    ///   `C<i>` and the list indexes into the domain's thread order,
+    /// - `<domain>:scatter` — one thread per core across the domain (primary
+    ///   threads only), the likwid "scatter" policy.
+    pub fn parse(expr: &str, topo: &Topology) -> Result<Self> {
+        let expr = expr.trim();
+        if expr.is_empty() {
+            return Err(Error::invalid("empty cpuset expression"));
+        }
+        if let Some((domain, list)) = expr.split_once(':') {
+            let pool = domain_threads(domain.trim(), topo)?;
+            if list.trim() == "scatter" {
+                // Primary threads of each core in the domain, in order.
+                let primaries: Vec<u32> =
+                    pool.iter().copied().filter(|&id| topo.hw_thread(id).unwrap().smt == 0).collect();
+                return Ok(CpuSet { ids: primaries });
+            }
+            let indices = parse_list(list)?;
+            let mut out = CpuSet::empty();
+            for idx in indices {
+                let id = *pool.get(idx as usize).ok_or_else(|| {
+                    Error::invalid(format!(
+                        "index {idx} out of range for domain {domain} ({} threads)",
+                        pool.len()
+                    ))
+                })?;
+                out.insert(id);
+            }
+            Ok(out)
+        } else {
+            let ids = parse_list(expr)?;
+            for &id in &ids {
+                if id >= topo.num_hw_threads() {
+                    return Err(Error::invalid(format!(
+                        "cpu {id} out of range (node has {})",
+                        topo.num_hw_threads()
+                    )));
+                }
+            }
+            Ok(CpuSet::from_ids(ids))
+        }
+    }
+
+    /// The ids, in selection order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Iterates over the ids.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Number of selected threads.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no thread is selected.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Renders back to a compact range list (sorted): `0-3,8`.
+    pub fn to_compact_string(&self) -> String {
+        let mut sorted = self.ids.clone();
+        sorted.sort_unstable();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let start = sorted[i];
+            let mut end = start;
+            while i + 1 < sorted.len() && sorted[i + 1] == end + 1 {
+                i += 1;
+                end = sorted[i];
+            }
+            if !out.is_empty() {
+                out.push(',');
+            }
+            if start == end {
+                out.push_str(&start.to_string());
+            } else {
+                out.push_str(&format!("{start}-{end}"));
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Parses `0-3,8,10-12` into a flat id/index list (order preserved).
+fn parse_list(list: &str) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((a, b)) = part.split_once('-') {
+            let a: u32 = a
+                .trim()
+                .parse()
+                .map_err(|_| Error::invalid(format!("bad range start `{part}`")))?;
+            let b: u32 =
+                b.trim().parse().map_err(|_| Error::invalid(format!("bad range end `{part}`")))?;
+            if b < a {
+                return Err(Error::invalid(format!("descending range `{part}`")));
+            }
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse().map_err(|_| Error::invalid(format!("bad cpu id `{part}`")))?);
+        }
+    }
+    if out.is_empty() {
+        return Err(Error::invalid("empty cpu list"));
+    }
+    Ok(out)
+}
+
+/// Threads of an affinity domain, primary SMT threads first (likwid order).
+fn domain_threads(domain: &str, topo: &Topology) -> Result<Vec<u32>> {
+    let (kind, index) = domain.split_at(1);
+    let parse_idx = |max: u32| -> Result<u32> {
+        let i: u32 = index
+            .parse()
+            .map_err(|_| Error::invalid(format!("bad domain index in `{domain}`")))?;
+        if i >= max {
+            return Err(Error::invalid(format!("domain `{domain}` out of range (max {max})")));
+        }
+        Ok(i)
+    };
+    let mut threads: Vec<u32> = match kind {
+        "N" if index.is_empty() => topo.hw_threads().map(|t| t.id).collect(),
+        "S" => {
+            let s = parse_idx(topo.num_sockets())?;
+            topo.threads_of_socket(s)
+        }
+        "M" => {
+            let m = parse_idx(topo.num_numa_domains())?;
+            topo.threads_of_numa(m)
+        }
+        // C = last-level cache domain == socket in this model.
+        "C" => {
+            let c = parse_idx(topo.num_sockets())?;
+            topo.threads_of_socket(c)
+        }
+        _ => return Err(Error::invalid(format!("unknown affinity domain `{domain}`"))),
+    };
+    // Primary threads (smt 0) first, then siblings — likwid's domain order.
+    threads.sort_by_key(|&id| {
+        let t = topo.hw_thread(id).unwrap();
+        (t.smt, t.socket, t.core)
+    });
+    Ok(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::preset_dual_socket_10c() // 2s × 10c × 2t = 40 threads
+    }
+
+    #[test]
+    fn plain_lists() {
+        let t = topo();
+        let s = CpuSet::parse("0-3,8,10-12", &t).unwrap();
+        assert_eq!(s.ids(), &[0, 1, 2, 3, 8, 10, 11, 12]);
+        assert!(s.contains(8));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn plain_list_rejects_out_of_range() {
+        assert!(CpuSet::parse("0,40", &topo()).is_err());
+        assert!(CpuSet::parse("3-1", &topo()).is_err());
+        assert!(CpuSet::parse("x", &topo()).is_err());
+        assert!(CpuSet::parse("", &topo()).is_err());
+    }
+
+    #[test]
+    fn socket_domain_selects_primary_threads_first() {
+        let t = topo();
+        // S1 threads in likwid order: primaries 10..19, then SMT 30..39.
+        let s = CpuSet::parse("S1:0-3", &t).unwrap();
+        assert_eq!(s.ids(), &[10, 11, 12, 13]);
+        let s = CpuSet::parse("S1:10-11", &t).unwrap();
+        assert_eq!(s.ids(), &[30, 31]); // SMT siblings come after 10 primaries
+    }
+
+    #[test]
+    fn node_domain() {
+        let t = topo();
+        let s = CpuSet::parse("N:0-19", &t).unwrap();
+        assert_eq!(s.len(), 20);
+        // Node order: all primaries across sockets first.
+        assert!(s.iter().all(|id| t.hw_thread(id).unwrap().smt == 0));
+    }
+
+    #[test]
+    fn numa_domain() {
+        let t = topo().with_numa_per_socket(2).unwrap();
+        let s = CpuSet::parse("M1:0-4", &t).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|id| t.hw_thread(id).unwrap().numa == 1));
+    }
+
+    #[test]
+    fn cache_domain_equals_socket() {
+        let t = topo();
+        assert_eq!(CpuSet::parse("C0:0-9", &t).unwrap(), CpuSet::parse("S0:0-9", &t).unwrap());
+    }
+
+    #[test]
+    fn scatter_policy() {
+        let t = topo();
+        let s = CpuSet::parse("S0:scatter", &t).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|id| t.hw_thread(id).unwrap().smt == 0));
+        let n = CpuSet::parse("N:scatter", &t).unwrap();
+        assert_eq!(n.len(), 20);
+    }
+
+    #[test]
+    fn domain_errors() {
+        let t = topo();
+        assert!(CpuSet::parse("S2:0", &t).is_err()); // only 2 sockets (0,1)
+        assert!(CpuSet::parse("S0:0-25", &t).is_err()); // only 20 threads in socket
+        assert!(CpuSet::parse("X0:0", &t).is_err());
+        assert!(CpuSet::parse("Sx:0", &t).is_err());
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        let s = CpuSet::parse("3,1,3,1,2", &topo()).unwrap();
+        assert_eq!(s.ids(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn compact_rendering() {
+        let s = CpuSet::from_ids([8, 0, 1, 2, 3, 12, 11, 10]);
+        assert_eq!(s.to_compact_string(), "0-3,8,10-12");
+        assert_eq!(CpuSet::from_ids([5]).to_compact_string(), "5");
+        assert_eq!(CpuSet::empty().to_compact_string(), "");
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let t = topo();
+        for expr in ["0-3,8,10-12", "0", "0-39", "7,9,11"] {
+            let s = CpuSet::parse(expr, &t).unwrap();
+            assert_eq!(s.to_compact_string(), expr);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// parse ∘ to_compact_string is the identity on the *set* for
+            /// any random id selection (order is canonicalized).
+            #[test]
+            fn compact_string_round_trips(ids in proptest::collection::btree_set(0u32..40, 1..20)) {
+                let t = topo();
+                let set = CpuSet::from_ids(ids.iter().copied());
+                let compact = set.to_compact_string();
+                let reparsed = CpuSet::parse(&compact, &t).unwrap();
+                let mut a: Vec<u32> = set.iter().collect();
+                let mut b: Vec<u32> = reparsed.iter().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "compact form was `{}`", compact);
+            }
+
+            /// Domain expressions always produce threads inside the domain
+            /// and never duplicates.
+            #[test]
+            fn domain_selection_is_sound(socket in 0u32..2, take in 1usize..20) {
+                let t = topo();
+                let expr = format!("S{socket}:0-{}", take - 1);
+                let set = CpuSet::parse(&expr, &t).unwrap();
+                prop_assert_eq!(set.len(), take);
+                let unique: std::collections::BTreeSet<u32> = set.iter().collect();
+                prop_assert_eq!(unique.len(), take);
+                prop_assert!(set.iter().all(|id| t.hw_thread(id).unwrap().socket == socket));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # lms-topology
+//!
+//! Node hardware topology for the LMS reproduction: sockets, cores, SMT
+//! threads, the cache hierarchy and NUMA domains, plus the affinity-domain
+//! expression language of the LIKWID tools (`S0:0-3`, `N:0-7`, `M1:0,2`,
+//! `C0:0-9`).
+//!
+//! LIKWID's core abstraction for portable measurement is "measure these
+//! events on these hardware threads, mapped through this topology". The HPM
+//! simulator (`lms-hpm`) is parameterized by a [`Topology`]; per-socket
+//! (uncore) counters like memory bandwidth or RAPL energy attach to the
+//! socket domains defined here.
+//!
+//! ```
+//! use lms_topology::{Topology, CpuSet};
+//!
+//! let topo = Topology::preset_dual_socket_10c();
+//! assert_eq!(topo.num_hw_threads(), 40);
+//! let set = CpuSet::parse("S1:0-3", &topo).unwrap(); // first 4 threads of socket 1
+//! assert_eq!(set.len(), 4);
+//! assert!(set.iter().all(|t| topo.hw_thread(t).unwrap().socket == 1));
+//! ```
+
+pub mod cpuset;
+pub mod model;
+
+pub use cpuset::CpuSet;
+pub use model::{Cache, CacheKind, HwThread, Topology};

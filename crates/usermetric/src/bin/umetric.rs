@@ -1,0 +1,146 @@
+//! `umetric` — the libusermetric command-line tool.
+//!
+//! "For use in batch scripts, a command line application can send metrics
+//! and events from the shell." (Paper Sec. IV — the start/end events in
+//! Fig. 3 are sent exactly this way around the miniMD invocation.)
+//!
+//! ```text
+//! umetric --url 127.0.0.1:8086 --db lms [--tag k=v]... metric <name> <value>
+//! umetric --url 127.0.0.1:8086 --db lms [--tag k=v]... event <name> <text>...
+//! ```
+
+use lms_lineproto::Point;
+use lms_util::{Clock, Error, Result};
+
+fn usage() -> String {
+    "usage: umetric --url <host:port> [--db <db>] [--tag k=v]... <metric|event> <name> <value|text...>"
+        .to_string()
+}
+
+struct Args {
+    url: String,
+    db: String,
+    tags: Vec<(String, String)>,
+    command: String,
+    name: String,
+    rest: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args> {
+    let mut url = None;
+    let mut db = "lms".to_string();
+    let mut tags = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--url" => url = Some(it.next().ok_or_else(|| Error::config(usage()))?.clone()),
+            "--db" => db = it.next().ok_or_else(|| Error::config(usage()))?.clone(),
+            "--tag" => {
+                let kv = it.next().ok_or_else(|| Error::config(usage()))?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| Error::config(format!("bad tag `{kv}`, expected k=v")))?;
+                tags.push((k.to_string(), v.to_string()));
+            }
+            "--help" | "-h" => return Err(Error::config(usage())),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() < 3 {
+        return Err(Error::config(usage()));
+    }
+    Ok(Args {
+        url: url.ok_or_else(|| Error::config(usage()))?,
+        db,
+        tags,
+        command: positional[0].clone(),
+        name: positional[1].clone(),
+        rest: positional[2..].to_vec(),
+    })
+}
+
+fn build_point(args: &Args, clock: &Clock) -> Result<Point> {
+    let mut p = Point::new(args.name.as_str());
+    for (k, v) in &args.tags {
+        p.add_tag(k.as_str(), v.as_str());
+    }
+    match args.command.as_str() {
+        "metric" => {
+            let value: f64 = args.rest[0]
+                .parse()
+                .map_err(|_| Error::config(format!("`{}` is not a number", args.rest[0])))?;
+            p.add_field("value", value);
+        }
+        "event" => {
+            p.add_field("text", args.rest.join(" ").as_str());
+        }
+        other => return Err(Error::config(format!("unknown command `{other}`\n{}", usage()))),
+    }
+    p.set_timestamp(clock.now().nanos());
+    Ok(p)
+}
+
+fn run() -> Result<()> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let clock = Clock::system();
+    let point = build_point(&args, &clock)?;
+    let mut client = lms_http::HttpClient::connect(args.url.as_str())?;
+    client
+        .post_text(&format!("/write?db={}", args.db), &point.to_line())?
+        .into_result()?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("umetric: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_util::Timestamp;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_metric_command() {
+        let a = parse_args(&argv(&[
+            "--url", "127.0.0.1:1", "--db", "udb", "--tag", "jobid=42", "metric", "pressure",
+            "1.71",
+        ]))
+        .unwrap();
+        assert_eq!(a.url, "127.0.0.1:1");
+        assert_eq!(a.db, "udb");
+        let p = build_point(&a, &Clock::simulated(Timestamp::from_secs(7))).unwrap();
+        assert_eq!(p.to_line(), "pressure,jobid=42 value=1.71 7000000000");
+    }
+
+    #[test]
+    fn parses_event_with_multiword_text() {
+        let a = parse_args(&argv(&[
+            "--url", "x:1", "event", "run", "miniMD", "starting", "now",
+        ]))
+        .unwrap();
+        let p = build_point(&a, &Clock::simulated(Timestamp::from_secs(1))).unwrap();
+        assert_eq!(p.to_line(), "run text=\"miniMD starting now\" 1000000000");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv(&["metric", "m", "1"])).is_err()); // no url
+        assert!(parse_args(&argv(&["--url", "x:1", "metric", "m"])).is_err()); // no value
+        assert!(parse_args(&argv(&["--url", "x:1", "--tag", "novalue", "metric", "m", "1"]))
+            .is_err());
+        let a = parse_args(&argv(&["--url", "x:1", "metric", "m", "abc"])).unwrap();
+        assert!(build_point(&a, &Clock::system()).is_err());
+        let a = parse_args(&argv(&["--url", "x:1", "bogus", "m", "1"])).unwrap();
+        assert!(build_point(&a, &Clock::system()).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # lms-usermetric
+//!
+//! **libusermetric** — the application-level monitoring library of the LMS
+//! (paper Sec. IV): "a lightweight library which buffers and sends batched
+//! messages using the InfluxDB line protocol. Default tags can be specified
+//! and added to each message. Besides metric name, value, default tags and
+//! time stamp, arbitrary tags can be supplied, such as a thread identifier."
+//!
+//! - [`client::UserMetric`] — the buffered, batched, thread-safe client
+//!   (Fig. 3's miniMD instrumentation uses it),
+//! - [`transparent`] — application-transparent monitors, the Rust analog of
+//!   the paper's LD_PRELOAD interposition libraries: a counting allocator
+//!   wrapper (data allocation) and an affinity registry (thread pinning),
+//! - `umetric` — the command-line tool "for use in batch scripts" (the
+//!   events in Fig. 3 are sent with it).
+//!
+//! ```
+//! use lms_usermetric::{UserMetric, UserMetricConfig};
+//! use lms_util::{Clock, Timestamp};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let captured = Arc::new(Mutex::new(String::new()));
+//! let sink = captured.clone();
+//! let mut config = UserMetricConfig::default();
+//! config.default_tags.push(("jobid".into(), "42".into()));
+//! let um = UserMetric::to_fn(config, Clock::simulated(Timestamp::from_secs(1)),
+//!     move |batch| sink.lock().unwrap().push_str(batch));
+//!
+//! um.metric("pressure", 1.713);
+//! um.event("phase", "warmup done");
+//! um.flush();
+//! let text = captured.lock().unwrap().clone();
+//! assert!(text.contains("pressure,jobid=42 value=1.713"));
+//! assert!(text.contains("phase,jobid=42 text=\"warmup done\""));
+//! ```
+
+pub mod client;
+pub mod paramon;
+pub mod transparent;
+
+pub use client::{UserMetric, UserMetricConfig};
+pub use paramon::{MpiCall, MpiProfiler, OmpProfiler};
+pub use transparent::{AffinityRegistry, AllocCounters, CountingAlloc};

@@ -1,0 +1,280 @@
+//! Application-transparent monitors.
+//!
+//! The paper ships "automatically preloadable libraries that provide
+//! monitoring data in an application-transparent way. The libraries
+//! overload common functions for thread affinity and data allocation."
+//! The Rust analogs:
+//!
+//! - [`CountingAlloc`] wraps any [`GlobalAlloc`] with atomic counters —
+//!   install it as the `#[global_allocator]` and every allocation in the
+//!   process is observed, exactly like an LD_PRELOAD `malloc` shim.
+//! - [`AffinityRegistry`] records thread→cpuset pins (the `likwid-pin` /
+//!   `pthread_setaffinity_np` interposition path) and reports them.
+//!
+//! Both hand their state to a [`UserMetric`] client on `report()`, so the
+//! data flows through the same batched line-protocol channel as explicit
+//! annotations.
+
+use crate::client::UserMetric;
+use lms_topology::CpuSet;
+use parking_lot::Mutex;
+use std::alloc::{GlobalAlloc, Layout};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A snapshot of allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocCounters {
+    /// Allocations performed.
+    pub allocs: u64,
+    /// Deallocations performed.
+    pub deallocs: u64,
+    /// Bytes currently live (allocated − freed).
+    pub live_bytes: usize,
+    /// High-water mark of live bytes.
+    pub peak_bytes: usize,
+    /// Total bytes ever allocated.
+    pub total_bytes: u64,
+}
+
+/// A counting wrapper around a [`GlobalAlloc`].
+///
+/// ```
+/// use lms_usermetric::CountingAlloc;
+/// use std::alloc::System;
+///
+/// // In an application: #[global_allocator] static A: CountingAlloc<System> = …
+/// static A: CountingAlloc<System> = CountingAlloc::new(System);
+/// let before = A.snapshot();
+/// let v: Vec<u8> = Vec::with_capacity(1024);
+/// // (v was allocated through the *test harness* allocator here, so we
+/// //  exercise the wrapper directly instead:)
+/// drop(v);
+/// let _ = before;
+/// ```
+pub struct CountingAlloc<A> {
+    inner: A,
+    allocs: AtomicU64,
+    deallocs: AtomicU64,
+    live: AtomicUsize,
+    peak: AtomicUsize,
+    total: AtomicU64,
+}
+
+impl<A> CountingAlloc<A> {
+    /// Wraps an allocator.
+    pub const fn new(inner: A) -> Self {
+        CountingAlloc {
+            inner,
+            allocs: AtomicU64::new(0),
+            deallocs: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> AllocCounters {
+        AllocCounters {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            deallocs: self.deallocs.load(Ordering::Relaxed),
+            live_bytes: self.live.load(Ordering::Relaxed),
+            peak_bytes: self.peak.load(Ordering::Relaxed),
+            total_bytes: self.total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sends the counters as a `memory_alloc` point through `um`
+    /// ("allocated memory size" is one of the paper's elementary metrics).
+    pub fn report(&self, um: &UserMetric) {
+        let s = self.snapshot();
+        um.metrics(
+            "memory_alloc",
+            &[
+                ("allocs", s.allocs as f64),
+                ("deallocs", s.deallocs as f64),
+                ("live_bytes", s.live_bytes as f64),
+                ("peak_bytes", s.peak_bytes as f64),
+                ("total_bytes", s.total_bytes as f64),
+            ],
+        );
+    }
+
+    fn on_alloc(&self, size: usize) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(size as u64, Ordering::Relaxed);
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(&self, size: usize) {
+        self.deallocs.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(size.min(self.live.load(Ordering::Relaxed)), Ordering::Relaxed);
+    }
+}
+
+// SAFETY: delegates directly to the wrapped allocator; the counters are
+// lock-free atomics and never allocate.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { self.inner.alloc(layout) };
+        if !p.is_null() {
+            self.on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { self.inner.dealloc(ptr, layout) };
+        self.on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { self.inner.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            self.on_dealloc(layout.size());
+            self.on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Records thread→cpu pinning, the affinity half of the transparent
+/// monitors.
+#[derive(Default)]
+pub struct AffinityRegistry {
+    pins: Mutex<Vec<(String, CpuSet)>>,
+}
+
+impl AffinityRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `thread_name` was pinned to `cpus` (called by the
+    /// application's pinning wrapper).
+    pub fn record_pin(&self, thread_name: &str, cpus: CpuSet) {
+        let mut pins = self.pins.lock();
+        if let Some(slot) = pins.iter_mut().find(|(n, _)| n == thread_name) {
+            slot.1 = cpus;
+        } else {
+            pins.push((thread_name.to_string(), cpus));
+        }
+    }
+
+    /// Number of recorded pins.
+    pub fn len(&self) -> usize {
+        self.pins.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pins.lock().is_empty()
+    }
+
+    /// Sends one `thread_affinity` event per pinned thread, tagged with
+    /// the thread so simultaneous reports stay distinct series.
+    pub fn report(&self, um: &UserMetric) {
+        for (name, cpus) in self.pins.lock().iter() {
+            um.event_with_tags(
+                "thread_affinity",
+                &format!("thread {name} pinned to cpus {}", cpus.to_compact_string()),
+                &[("thread", name.as_str())],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::UserMetricConfig;
+    use lms_topology::Topology;
+    use lms_util::{Clock, Timestamp};
+    use std::alloc::System;
+    use std::sync::Arc;
+
+    #[test]
+    fn counting_alloc_tracks_alloc_free_and_peak() {
+        let a: CountingAlloc<System> = CountingAlloc::new(System);
+        unsafe {
+            let l1 = Layout::from_size_align(1000, 8).unwrap();
+            let l2 = Layout::from_size_align(500, 8).unwrap();
+            let p1 = a.alloc(l1);
+            let p2 = a.alloc(l2);
+            let s = a.snapshot();
+            assert_eq!(s.allocs, 2);
+            assert_eq!(s.live_bytes, 1500);
+            assert_eq!(s.peak_bytes, 1500);
+            a.dealloc(p1, l1);
+            let s = a.snapshot();
+            assert_eq!(s.deallocs, 1);
+            assert_eq!(s.live_bytes, 500);
+            assert_eq!(s.peak_bytes, 1500, "peak survives frees");
+            assert_eq!(s.total_bytes, 1500);
+            a.dealloc(p2, l2);
+        }
+    }
+
+    #[test]
+    fn counting_alloc_realloc() {
+        let a: CountingAlloc<System> = CountingAlloc::new(System);
+        unsafe {
+            let l = Layout::from_size_align(100, 8).unwrap();
+            let p = a.alloc(l);
+            let p = a.realloc(p, l, 400);
+            let s = a.snapshot();
+            assert_eq!(s.live_bytes, 400);
+            assert_eq!(s.total_bytes, 500);
+            a.dealloc(p, Layout::from_size_align(400, 8).unwrap());
+        }
+        let s = a.snapshot();
+        assert_eq!(s.live_bytes, 0);
+    }
+
+    #[test]
+    fn alloc_report_flows_through_usermetric() {
+        let captured: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
+        let sink = captured.clone();
+        let um = UserMetric::to_fn(
+            UserMetricConfig::default(),
+            Clock::simulated(Timestamp::from_secs(1)),
+            move |b| sink.lock().push(b.to_string()),
+        );
+        let a: CountingAlloc<System> = CountingAlloc::new(System);
+        unsafe {
+            let l = Layout::from_size_align(64, 8).unwrap();
+            let p = a.alloc(l);
+            a.dealloc(p, l);
+        }
+        a.report(&um);
+        um.flush();
+        let body = captured.lock()[0].clone();
+        assert!(body.contains("memory_alloc allocs=1,deallocs=1"), "{body}");
+    }
+
+    #[test]
+    fn affinity_registry_records_and_reports() {
+        let topo = Topology::preset_desktop_4c();
+        let reg = AffinityRegistry::new();
+        assert!(reg.is_empty());
+        reg.record_pin("worker-0", CpuSet::parse("0-1", &topo).unwrap());
+        reg.record_pin("worker-1", CpuSet::parse("2-3", &topo).unwrap());
+        reg.record_pin("worker-0", CpuSet::parse("0", &topo).unwrap()); // re-pin replaces
+        assert_eq!(reg.len(), 2);
+
+        let captured: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
+        let sink = captured.clone();
+        let um = UserMetric::to_fn(
+            UserMetricConfig::default(),
+            Clock::simulated(Timestamp::from_secs(1)),
+            move |b| sink.lock().push(b.to_string()),
+        );
+        reg.report(&um);
+        um.flush();
+        let body = captured.lock()[0].clone();
+        assert!(body.contains("thread worker-0 pinned to cpus 0\""), "{body}");
+        assert!(body.contains("thread worker-1 pinned to cpus 2-3"), "{body}");
+    }
+}

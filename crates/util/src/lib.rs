@@ -1,0 +1,29 @@
+//! # lms-util
+//!
+//! Shared substrate for the LIKWID Monitoring Stack (LMS) reproduction.
+//!
+//! This crate intentionally has no dependencies on the rest of the stack; it
+//! provides the small pieces every other crate needs:
+//!
+//! - [`clock`]: a pluggable time source so simulations can run a "10 minute"
+//!   pathological-job window in milliseconds of wall time,
+//! - [`hash`]: an Fx-style fast hasher for hot hash maps (tag stores, series
+//!   indexes) where HashDoS resistance is irrelevant,
+//! - [`error`]: the stack-wide error type,
+//! - [`config`]: an INI-style configuration parser used by the daemons,
+//! - [`rng`]: a tiny deterministic SplitMix64/XorShift generator for
+//!   simulator noise,
+//! - [`fmt`]: human-readable byte/duration/number formatting for reports.
+
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod fmt;
+pub mod hash;
+pub mod json;
+pub mod rng;
+
+pub use clock::{Clock, Timestamp};
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet};
+pub use json::Json;

@@ -1,0 +1,74 @@
+//! Online job evaluation and the admin view — reproduces paper Fig. 2.
+//!
+//! "Output of the online job evaluation with data from the start of the
+//! job until the loading of the Grafana dashboard. The four rightmost
+//! columns represent the nodes on which the job is running." Plus "the
+//! main view for administrators contains all currently running jobs with
+//! small thumbnails of the job's graphs".
+//!
+//! ```text
+//! cargo run --release --example job_evaluation
+//! ```
+
+use lms::apps::AppProfile;
+use lms::core::{LmsStack, StackConfig};
+use std::time::Duration;
+
+fn main() {
+    let config = StackConfig { nodes: 8, ..Default::default() };
+    let mut stack = LmsStack::start(config).expect("stack boots");
+
+    // Three concurrent jobs with very different characters.
+    let healthy = stack.submit_job(
+        "anna",
+        "gemm-sweep",
+        4,
+        Duration::from_secs(7200),
+        AppProfile::Dgemm,
+    );
+    let bandwidth = stack.submit_job(
+        "bert",
+        "stencil",
+        2,
+        Duration::from_secs(7200),
+        AppProfile::Stream,
+    );
+    let idle = stack.submit_job(
+        "carl",
+        "waiting-for-license",
+        2,
+        Duration::from_secs(7200),
+        AppProfile::IdleJob,
+    );
+
+    println!("running 3 jobs on 8 nodes for 30 virtual minutes…\n");
+    stack.run_for(Duration::from_secs(30 * 60), Duration::from_secs(60));
+
+    // Fig. 2: the per-node evaluation table shown as the dashboard header,
+    // one column per node, for each job.
+    for job in [healthy, bandwidth, idle] {
+        let evaluation = stack.evaluate_job(job).expect("evaluation");
+        println!("{}", evaluation.render_table());
+        println!();
+    }
+
+    // The administrators' main view with job thumbnails.
+    let admin = stack.admin_view().expect("admin view");
+    println!("{}", admin.text);
+
+    // Let the jobs finish, then the statistical usage report — the paper's
+    // "statistical foundation about application specific system usage".
+    stack.run_for(Duration::from_secs(95 * 60), Duration::from_secs(60));
+    let usage = stack.usage_report().expect("usage report");
+    println!("{}", usage.render());
+
+    // Sanity: the idle job must be flagged.
+    let ev = stack.evaluate_job(idle).expect("evaluation");
+    assert!(
+        ev.findings
+            .iter()
+            .any(|f| matches!(f.kind, lms::analysis::FindingKind::IdleJob)),
+        "idle job detected"
+    );
+    println!("idle job {idle} correctly flagged: {:?}", ev.pattern);
+}

@@ -1,0 +1,62 @@
+//! # lms — the LIKWID Monitoring Stack, reproduced in Rust
+//!
+//! A full reimplementation of the system described in *"LIKWID Monitoring
+//! Stack: A flexible framework enabling job specific performance monitoring
+//! for the masses"* (Röhl, Eitzinger, Hager, Wellein — IEEE CLUSTER 2017),
+//! including every substrate it depends on: a LIKWID-like hardware
+//! performance monitoring layer, system-metric collectors over a simulated
+//! procfs, an InfluxDB-compatible time-series database, the metrics router
+//! with its job tag store, a ZeroMQ-style message queue, the libusermetric
+//! application instrumentation library, a batch job scheduler, a
+//! Grafana-style dashboard agent, and the data-analysis methodology
+//! (threshold/timeout rules and the performance-pattern decision tree).
+//!
+//! This crate is a facade: each subsystem lives in its own crate under
+//! `crates/` and is fully usable standalone (the paper's "components can be
+//! used … standalone or in parts" design goal). Start with
+//! [`core::LmsStack`] for the assembled stack, or see `examples/`.
+
+/// The assembled monitoring stack (`lms-core`).
+pub use lms_core as core;
+
+/// Shared substrate: clocks, hashing, JSON, config (`lms-util`).
+pub use lms_util as util;
+
+/// InfluxDB line protocol (`lms-lineproto`).
+pub use lms_lineproto as lineproto;
+
+/// Node hardware topology and cpuset expressions (`lms-topology`).
+pub use lms_topology as topology;
+
+/// LIKWID-like hardware performance monitoring (`lms-hpm`).
+pub use lms_hpm as hpm;
+
+/// System metric collection over simulated procfs (`lms-sysmon`).
+pub use lms_sysmon as sysmon;
+
+/// The time-series database (`lms-influx`).
+pub use lms_influx as influx;
+
+/// Minimal HTTP/1.1 (`lms-http`).
+pub use lms_http as http;
+
+/// PUB/SUB message queue (`lms-mq`).
+pub use lms_mq as mq;
+
+/// The metrics router (`lms-router`).
+pub use lms_router as router;
+
+/// libusermetric application instrumentation (`lms-usermetric`).
+pub use lms_usermetric as usermetric;
+
+/// Batch job scheduler (`lms-jobsched`).
+pub use lms_jobsched as jobsched;
+
+/// Proxy applications: miniMD and workload profiles (`lms-apps`).
+pub use lms_apps as apps;
+
+/// Data analysis: rules, pathology, patterns, evaluation (`lms-analysis`).
+pub use lms_analysis as analysis;
+
+/// Dashboards, templates, viewer agent, rendering (`lms-dashboard`).
+pub use lms_dashboard as dashboard;

@@ -1,0 +1,165 @@
+//! Failure injection across component boundaries: the stack must degrade
+//! gracefully, never wedge, and recover — the operational concerns the
+//! paper raises for continuous system-wide monitoring.
+
+use lms::http::HttpClient;
+use lms::influx::{Influx, InfluxServer};
+use lms::router::{Router, RouterConfig, RouterServer};
+use lms::util::{Clock, Timestamp};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn clock() -> Clock {
+    Clock::simulated(Timestamp::from_secs(1_000_000))
+}
+
+#[test]
+fn router_buffers_through_database_outage() {
+    let clock = clock();
+    let influx = Influx::new(clock.clone());
+    let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+    let db_addr = db.addr();
+    let config = RouterConfig { max_retries: 8, ..Default::default() };
+    let router = Arc::new(Router::new(db_addr, config, clock.clone(), None));
+    let rs = RouterServer::start("127.0.0.1:0", router.clone()).unwrap();
+    let mut agent = HttpClient::connect(rs.addr()).unwrap();
+
+    // Normal delivery.
+    agent.post_text("/write", "m,hostname=h1 v=1 1").unwrap();
+    assert!(router.flush(Duration::from_secs(5)));
+    assert_eq!(influx.point_count("lms"), 1);
+
+    // Database goes down; the agent keeps writing and gets 204 (the
+    // router accepts and buffers — collectors must never block).
+    db.shutdown();
+    let resp = agent.post_text("/write", "m,hostname=h1 v=2 2").unwrap();
+    assert_eq!(resp.status, 204);
+
+    // Database returns on the same port; buffered batch is retried in.
+    std::thread::sleep(Duration::from_millis(150));
+    let influx2 = Influx::new(clock.clone());
+    let db2 = InfluxServer::start(db_addr, influx2.clone()).unwrap();
+    for _ in 0..200 {
+        if influx2.point_count("lms") >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(influx2.point_count("lms"), 1, "buffered point delivered after recovery");
+    assert!(router.stats().forward.retries > 0);
+    rs.shutdown();
+    db2.shutdown();
+}
+
+#[test]
+fn malformed_batches_never_poison_the_pipeline() {
+    let clock = clock();
+    let influx = Influx::new(clock.clone());
+    let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+    let router = Arc::new(Router::new(db.addr(), Default::default(), clock, None));
+    let rs = RouterServer::start("127.0.0.1:0", router.clone()).unwrap();
+    let mut agent = HttpClient::connect(rs.addr()).unwrap();
+
+    // A batch mixing garbage with good lines: good lines land.
+    let batch = "good,hostname=h1 v=1 1\n\
+                 this is not line protocol\n\
+                 ,=,= ,=\n\
+                 good,hostname=h1 v=2 2\n\
+                 trailing garbage \u{1}\u{2}\n";
+    let resp = agent.post_text("/write", batch).unwrap();
+    assert_eq!(resp.status, 204);
+    assert!(router.flush(Duration::from_secs(5)));
+    assert_eq!(influx.point_count("lms"), 2);
+    assert_eq!(router.stats().lines_rejected, 3);
+
+    // An all-garbage batch answers 400 but the next good one still works.
+    assert_eq!(agent.post_text("/write", "total nonsense").unwrap().status, 400);
+    assert_eq!(agent.post_text("/write", "good,hostname=h1 v=3 3").unwrap().status, 204);
+    assert!(router.flush(Duration::from_secs(5)));
+    assert_eq!(influx.point_count("lms"), 3);
+    rs.shutdown();
+    db.shutdown();
+}
+
+#[test]
+fn binary_garbage_on_http_port_is_survivable() {
+    use std::io::Write as _;
+    let clock = clock();
+    let influx = Influx::new(clock.clone());
+    let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+
+    // Raw binary straight at the HTTP socket.
+    let mut s = std::net::TcpStream::connect(db.addr()).unwrap();
+    s.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x0d, 0x0a, 0x0d, 0x0a]).unwrap();
+    drop(s);
+
+    // The server still serves the next client.
+    let mut c = HttpClient::connect(db.addr()).unwrap();
+    assert_eq!(c.get("/ping").unwrap().status, 204);
+    db.shutdown();
+}
+
+#[test]
+fn dead_subscriber_does_not_stall_publishing() {
+    use lms::mq::{Publisher, Subscriber};
+    let publisher = Publisher::bind_with_hwm("127.0.0.1:0", 8).unwrap();
+    let mut sub = Subscriber::connect(publisher.addr()).unwrap();
+    sub.subscribe("").unwrap();
+    publisher.wait_for_subscribers(1, Duration::from_secs(5)).unwrap();
+    drop(sub); // subscriber dies without unsubscribing
+
+    // Publishing goes on; the dead subscriber is reaped.
+    let start = std::time::Instant::now();
+    for i in 0..1000 {
+        publisher.publish("t", format!("{i}").as_bytes());
+    }
+    assert!(start.elapsed() < Duration::from_secs(5), "publish never blocks");
+    for _ in 0..100 {
+        if publisher.subscriber_count() == 0 {
+            return;
+        }
+        publisher.publish("t", b"poke");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("dead subscriber never reaped");
+}
+
+#[test]
+fn scheduler_signals_survive_router_outage() {
+    use lms::jobsched::{HttpSignaler, JobSpec, Scheduler};
+    let clock = clock();
+    // Router exists only long enough to learn its port, then dies.
+    let influx = Influx::new(clock.clone());
+    let db = InfluxServer::start("127.0.0.1:0", influx).unwrap();
+    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None));
+    let rs = RouterServer::start("127.0.0.1:0", router).unwrap();
+    let router_addr = rs.addr();
+    rs.shutdown();
+
+    let mut sched = Scheduler::new(["n1"], clock.clone());
+    sched.add_hook(Box::new(HttpSignaler::new(router_addr).unwrap()));
+    let id = sched.submit(JobSpec::new("u", "x", 1, Duration::from_secs(10)));
+    // tick() must not wedge even though every signal delivery fails.
+    sched.tick();
+    clock.advance(Duration::from_secs(11));
+    sched.tick();
+    assert!(sched.job(id).unwrap().state.is_completed());
+    db.shutdown();
+}
+
+#[test]
+fn usermetric_over_dead_router_degrades_to_error_counts() {
+    use lms::usermetric::{UserMetric, UserMetricConfig};
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let um = UserMetric::to_http(UserMetricConfig::default(), clock(), dead, "lms").unwrap();
+    for i in 0..250 {
+        um.metric("m", i as f64); // crosses the flush threshold twice
+    }
+    um.flush();
+    let (flushes, errors) = um.stats();
+    assert!(flushes >= 3);
+    assert_eq!(errors, flushes, "every flush failed, none panicked");
+}

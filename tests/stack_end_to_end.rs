@@ -1,0 +1,173 @@
+//! End-to-end integration of the full architecture (paper Fig. 1):
+//! agents → router → database → viewer, with scheduler signals, over real
+//! TCP sockets — exercised through the public facade only.
+
+use lms::apps::AppProfile;
+use lms::core::{LmsStack, StackConfig};
+use lms::influx::{InfluxClient, QuerySource};
+use lms::topology::Topology;
+use std::time::Duration;
+
+fn small() -> StackConfig {
+    StackConfig { nodes: 4, topology: Topology::preset_desktop_4c(), ..Default::default() }
+}
+
+#[test]
+fn architecture_fig1_full_pipeline() {
+    let mut stack = LmsStack::start(small()).expect("stack boots");
+
+    // The database is reachable over its HTTP API like a real InfluxDB.
+    let mut db = InfluxClient::connect(stack.db_addr()).expect("db client");
+    db.ping().expect("db pings");
+
+    let job = stack.submit_job("alice", "solver", 2, Duration::from_secs(20 * 60), AppProfile::Dgemm);
+    stack.run_for(Duration::from_secs(25 * 60), Duration::from_secs(60));
+
+    // 1. System metrics flowed: every node reports cpu/memory/load/....
+    for host in ["h1", "h2", "h3", "h4"] {
+        let r = db
+            .query("lms", &format!("SELECT count(busy) FROM cpu_total WHERE hostname = '{host}'"))
+            .expect("query");
+        let n = r.series[0].values[0][1].as_i64().unwrap();
+        assert!(n >= 20, "{host} reported {n} cpu samples");
+    }
+
+    // 2. HPM metrics flowed through the same path.
+    let r = db.query("lms", "SHOW MEASUREMENTS").expect("query");
+    let names: Vec<&str> = r.series[0].values.iter().map(|v| v[0].as_str().unwrap()).collect();
+    assert!(names.contains(&"hpm_flops_dp"));
+    assert!(names.contains(&"hpm_mem"));
+
+    // 3. The job's metrics are tagged with jobid and user during, and only
+    //    during, the job window.
+    let r = db
+        .query("lms", &format!("SELECT count(busy) FROM cpu_total WHERE jobid = '{job}' AND user = 'alice'"))
+        .expect("query");
+    let tagged = r.series[0].values[0][1].as_i64().unwrap();
+    assert!(tagged >= 30, "tagged samples: {tagged}"); // 2 hosts × ~20 min
+
+    // 4. Signals became annotation events.
+    let r = db
+        .query("lms", &format!("SELECT text FROM events WHERE jobid = '{job}' AND kind = 'job_end'"))
+        .expect("query");
+    let ends: usize = r.series.iter().map(|s| s.values.len()).sum();
+    assert_eq!(ends, 2, "one end event per host");
+
+    // 5. The viewer generates a dashboard whose panels query real data.
+    let text = stack.render_job_dashboard(job).expect("dashboard renders");
+    assert!(text.contains("--- Evaluation ---"));
+    assert!(text.contains("DP FLOP rate"));
+    assert!(text.contains('*'), "charts have data");
+
+    // 6. The compute-bound job reads as compute-bound in the evaluation.
+    let ev = stack.evaluate_job(job).expect("evaluation");
+    assert!(ev.signature.flops_frac > 0.3, "flops frac {}", ev.signature.flops_frac);
+    assert!(ev.findings.is_empty(), "healthy job: {:?}", ev.findings);
+}
+
+#[test]
+fn queued_jobs_wait_and_backfill_through_the_stack() {
+    let mut stack = LmsStack::start(small()).expect("stack boots");
+    let wide = stack.submit_job("u", "wide", 4, Duration::from_secs(600), AppProfile::Stream);
+    stack.tick(Duration::from_secs(60));
+    // Cluster is full: the next wide job queues, a short narrow one backfills.
+    let blocked = stack.submit_job("u", "blocked", 4, Duration::from_secs(600), AppProfile::Stream);
+    stack.tick(Duration::from_secs(60));
+    assert!(stack.scheduler().job(wide).unwrap().state.is_running());
+    assert_eq!(stack.scheduler().queued(), 1);
+
+    stack.run_for(Duration::from_secs(11 * 60), Duration::from_secs(60));
+    assert!(stack.scheduler().job(wide).unwrap().state.is_completed());
+    assert!(stack.scheduler().job(blocked).unwrap().state.is_running());
+
+    // The second job's metrics carry its own id, not the first one's.
+    stack.run_for(Duration::from_secs(120), Duration::from_secs(60));
+    let mut src = stack.influx().clone();
+    let r = src
+        .query_source("lms", &format!("SELECT count(busy) FROM cpu_total WHERE jobid = '{blocked}'"))
+        .expect("query");
+    assert!(r.series[0].values[0][1].as_i64().unwrap() > 0);
+}
+
+#[test]
+fn umetric_cli_wire_path_lands_tagged() {
+    // The CLI tool's wire request (a single line POSTed to /write) passes
+    // through tagging like any agent batch.
+    let mut stack = LmsStack::start(small()).expect("stack boots");
+    let job = stack.submit_job("bob", "x", 1, Duration::from_secs(600), AppProfile::IdleJob);
+    stack.tick(Duration::from_secs(60));
+    let host = stack.job_info(job).unwrap().hosts[0].clone();
+
+    let mut c = lms::http::HttpClient::connect(stack.router_addr()).unwrap();
+    let line = format!("progress,hostname={host} value=0.5 {}", stack.clock().now().nanos());
+    let resp = c.post_text("/write?db=lms", &line).unwrap();
+    assert_eq!(resp.status, 204);
+    stack.flush();
+
+    let r = stack
+        .influx()
+        .query("lms", &format!("SELECT value FROM progress WHERE jobid = '{job}'"))
+        .unwrap();
+    assert_eq!(r.series[0].values.len(), 1);
+}
+
+#[test]
+fn per_user_database_supports_user_scoped_viewing() {
+    // "It offers live job performance profiling on the system level or
+    // per user" — the router duplicates alice's metrics into user_alice,
+    // and a viewer agent pointed at that database sees only her data.
+    use lms::analysis::evaluation::NodePeaks;
+    use lms::dashboard::{TemplateStore, ViewerAgent};
+
+    let mut config = small();
+    config.per_user = true;
+    let mut stack = LmsStack::start(config).expect("stack boots");
+    let job = stack.submit_job("alice", "mine", 2, Duration::from_secs(1200), AppProfile::Dgemm);
+    stack.submit_job("mallory", "other", 2, Duration::from_secs(1200), AppProfile::Stream);
+    stack.run_for(Duration::from_secs(600), Duration::from_secs(60));
+
+    // SHOW DATABASES reveals the per-user stores.
+    let r = stack.influx().query("", "SHOW DATABASES").expect("query");
+    let names: Vec<&str> = r.series[0].values.iter().map(|v| v[0].as_str().unwrap()).collect();
+    assert!(names.contains(&"user_alice") && names.contains(&"user_mallory"), "{names:?}");
+
+    // user_alice holds only alice's hosts.
+    let r = stack
+        .influx()
+        .query("user_alice", "SHOW TAG VALUES FROM cpu_total WITH KEY = user")
+        .expect("query");
+    let users: Vec<&str> = r.series[0].values.iter().map(|v| v[1].as_str().unwrap()).collect();
+    assert_eq!(users, vec!["alice"]);
+
+    // A user-scoped viewer agent renders a dashboard from her database.
+    let topo = stack.topology();
+    let peaks = NodePeaks {
+        flops_mflops: topo.peak_flops_dp() / 1e6,
+        membw_mbytes: topo.peak_mem_bw() / 1e6,
+    };
+    let agent = ViewerAgent::new("user_alice", TemplateStore::builtin(), peaks);
+    let info = stack.job_info(job).expect("job info");
+    let now = stack.clock().now();
+    let mut src = stack.influx().clone();
+    let dashboard = agent.job_dashboard(&mut src, &info, now).expect("dashboard");
+    assert!(dashboard.rows.len() >= 3, "user DB drives full dashboard");
+}
+
+#[test]
+fn admin_view_tracks_running_set() {
+    let mut stack = LmsStack::start(small()).expect("stack boots");
+    let a = stack.submit_job("anna", "a", 2, Duration::from_secs(1200), AppProfile::MiniMd);
+    let b = stack.submit_job("bert", "b", 2, Duration::from_secs(300), AppProfile::MiniMd);
+    stack.run_for(Duration::from_secs(120), Duration::from_secs(60));
+
+    let view = stack.admin_view().expect("admin view");
+    assert_eq!(view.jobs, 2);
+    assert!(view.text.contains("anna") && view.text.contains("bert"));
+
+    // After b completes, only a remains.
+    stack.run_for(Duration::from_secs(300), Duration::from_secs(60));
+    let view = stack.admin_view().expect("admin view");
+    assert_eq!(view.jobs, 1);
+    assert!(view.text.contains("anna"));
+    let _ = (a, b);
+}
