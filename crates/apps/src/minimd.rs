@@ -142,8 +142,8 @@ impl MiniMd {
                 mean[d] += v[d];
             }
         }
-        for d in 0..3 {
-            mean[d] /= natoms as f64;
+        for m in &mut mean {
+            *m /= natoms as f64;
         }
         let mut ke2 = 0.0;
         for v in &mut vel {
@@ -155,8 +155,8 @@ impl MiniMd {
         let t_now = ke2 / (3.0 * (natoms as f64 - 1.0));
         let scale = (config.temperature / t_now).sqrt();
         for v in &mut vel {
-            for d in 0..3 {
-                v[d] *= scale;
+            for c in v.iter_mut() {
+                *c *= scale;
             }
         }
 
@@ -293,7 +293,7 @@ impl MiniMd {
             }
         }
         self.steps_done += 1;
-        if self.steps_done % self.config.neighbor_every == 0 {
+        if self.steps_done.is_multiple_of(self.config.neighbor_every) {
             self.build_cells();
         }
         self.compute_forces();

@@ -1,0 +1,214 @@
+//! Tentpole benchmark — concurrent ingest throughput: the seed write path
+//! (single lock stripe, per-line `Point` materialization, triple series
+//! lookup) vs the sharded allocation-free path (`write_parsed` over lock
+//! stripes).
+//!
+//! Three engines bracket the change:
+//!
+//! * `seed`: one stripe, `line.to_point()` + `write_point` — the hot path
+//!   before this refactor.
+//! * `striped-1`: one stripe, allocation-free `write_parsed` — isolates
+//!   the entry-API/no-alloc win from the concurrency win.
+//! * `sharded`: default stripes, `write_parsed` — the shipped path.
+//!
+//! Two workloads: `many-series` (each writer owns its series; writes spread
+//! across stripes) and `hot-series` (every thread hammers one series; all
+//! engines serialize on that series' stripe).
+//!
+//! Custom harness (not criterion): the comparison needs the measured
+//! numbers programmatically to compute speedups and emit
+//! `BENCH_ingest.json` at the repository root.
+
+use lms_influx::Database;
+use lms_lineproto::{parse_batch, ParseOutcome};
+use std::hint::black_box;
+use std::time::Instant;
+
+const LINES_PER_BATCH: usize = 200;
+const BATCHES_PER_THREAD: usize = 40;
+const RUNS: usize = 7;
+const DEFAULT_SHARDS: usize = 16;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    /// Each thread writes its own 64 series.
+    ManySeries,
+    /// All threads write the same single series (distinct timestamps).
+    HotSeries,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::ManySeries => "many-series",
+            Workload::HotSeries => "hot-series",
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Path {
+    /// The seed hot path: materialize a `Point` per line, triple-lookup
+    /// insert via `write_point`.
+    SeedPoint,
+    /// The new hot path: borrowed `ParsedLine` + reused key buffer.
+    Parsed,
+}
+
+/// Pre-builds the line-protocol batches one thread will write, so the timed
+/// region contains only parse + write calls.
+fn batches_for(workload: Workload, thread: usize) -> Vec<String> {
+    let mut batches = Vec::with_capacity(BATCHES_PER_THREAD);
+    for b in 0..BATCHES_PER_THREAD {
+        let mut body = String::with_capacity(LINES_PER_BATCH * 48);
+        for i in 0..LINES_PER_BATCH {
+            let n = b * LINES_PER_BATCH + i;
+            // Monotonic timestamps per series keep Series inserts at the
+            // append fast path for every engine; the engines differ only in
+            // locking and per-line allocation work.
+            match workload {
+                Workload::ManySeries => {
+                    let series = n % 64;
+                    body.push_str(&format!(
+                        "cpu,hostname=t{thread}n{series:02},cpu=c{},socket=s0 busy={i},user={i} {}\n",
+                        series % 4,
+                        (n + 1) as i64 * 1_000
+                    ));
+                }
+                Workload::HotSeries => {
+                    // Interleave timestamps across threads so every insert
+                    // lands near the tail of the sorted series regardless
+                    // of scheduling order.
+                    let ts = (n * 8 + thread + 1) as i64;
+                    body.push_str(&format!(
+                        "cpu,hostname=h0,cpu=c0,socket=s0 busy={i},user={i} {ts}\n"
+                    ));
+                }
+            }
+        }
+        batches.push(body);
+    }
+    batches
+}
+
+/// One timed run: `threads` writers push their pre-parsed batches into a
+/// fresh database. Parsing happens once, outside the timed region — the
+/// benchmark isolates the storage-engine write path this change touched.
+/// Returns points per second.
+fn run_once(
+    shards: usize,
+    path: Path,
+    threads: usize,
+    inputs: &[Vec<ParseOutcome<'_>>],
+) -> f64 {
+    let db = Database::with_shards(shards);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for input in inputs.iter().take(threads) {
+            let db = &db;
+            s.spawn(move || {
+                let mut key_buf = String::with_capacity(64);
+                for parsed in input {
+                    for line in &parsed.lines {
+                        let ts = line.timestamp.expect("bench lines carry timestamps");
+                        match path {
+                            Path::SeedPoint => {
+                                let point = black_box(line).to_point();
+                                db.write_point(&point, ts);
+                            }
+                            Path::Parsed => db.write_parsed(black_box(line), ts, &mut key_buf),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    black_box(db.point_count());
+    let points = (threads * BATCHES_PER_THREAD * LINES_PER_BATCH) as f64;
+    points / elapsed
+}
+
+/// Median of `RUNS` runs.
+fn measure(
+    shards: usize,
+    path: Path,
+    threads: usize,
+    inputs: &[Vec<ParseOutcome<'_>>],
+) -> f64 {
+    let mut samples: Vec<f64> =
+        (0..RUNS).map(|_| run_once(shards, path, threads, inputs)).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    workload: &'static str,
+    threads: usize,
+    seed: f64,
+    striped_1: f64,
+    sharded: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    for workload in [Workload::ManySeries, Workload::HotSeries] {
+        let raw: Vec<Vec<String>> = (0..8).map(|t| batches_for(workload, t)).collect();
+        let inputs: Vec<Vec<ParseOutcome<'_>>> = raw
+            .iter()
+            .map(|batches| batches.iter().map(|b| parse_batch(b)).collect())
+            .collect();
+        for threads in [1usize, 4, 8] {
+            let seed = measure(1, Path::SeedPoint, threads, &inputs);
+            let striped_1 = measure(1, Path::Parsed, threads, &inputs);
+            let sharded = measure(DEFAULT_SHARDS, Path::Parsed, threads, &inputs);
+            println!(
+                "{:<12} threads={threads}  seed {:>9.0} pts/s   striped-1 {:>9.0} pts/s   sharded({DEFAULT_SHARDS}) {:>9.0} pts/s   speedup {:>5.2}x",
+                workload.name(),
+                seed,
+                striped_1,
+                sharded,
+                sharded / seed,
+            );
+            rows.push(Row { workload: workload.name(), threads, seed, striped_1, sharded });
+        }
+    }
+
+    let json = render_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, &json).expect("write BENCH_ingest.json");
+    println!("\nwrote {path}");
+
+    let key = rows
+        .iter()
+        .find(|r| r.workload == "many-series" && r.threads == 8)
+        .expect("8-thread many-series row");
+    println!(
+        "acceptance: many-series @ 8 writers speedup = {:.2}x (target ≥ 2x)",
+        key.sharded / key.seed
+    );
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"lines_per_batch\": {LINES_PER_BATCH}, \"batches_per_thread\": {BATCHES_PER_THREAD}, \"runs\": {RUNS}, \"default_shards\": {DEFAULT_SHARDS}}},\n"
+    ));
+    out.push_str("  \"engines\": {\"seed\": \"1 stripe, Point materialization (pre-refactor hot path)\", \"striped_1\": \"1 stripe, allocation-free write_parsed\", \"sharded\": \"default stripes, allocation-free write_parsed\"},\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"seed_pts_per_s\": {:.0}, \"striped_1_pts_per_s\": {:.0}, \"sharded_pts_per_s\": {:.0}, \"speedup_vs_seed\": {:.2}}}{}\n",
+            r.workload,
+            r.threads,
+            r.seed,
+            r.striped_1,
+            r.sharded,
+            r.sharded / r.seed,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

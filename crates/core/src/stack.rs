@@ -390,7 +390,7 @@ impl LmsStack {
         }
         self.ticks += 1;
         // Retention sweep once per simulated hour (cheap; see bench influx).
-        if self.config.retention.is_some() && self.ticks % 60 == 0 {
+        if self.config.retention.is_some() && self.ticks.is_multiple_of(60) {
             self.influx.enforce_retention();
         }
     }

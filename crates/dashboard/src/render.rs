@@ -120,7 +120,7 @@ fn render_graph(
             // GROUP BY tag queries: one plotted series per group.
             for (tag, ts) in TimeSeries::per_tag(&result, "hostname", &target.column) {
                 let label =
-                    if tag.is_empty() { target.alias.clone() } else { format!("{tag}") };
+                    if tag.is_empty() { target.alias.clone() } else { tag.to_string() };
                 series.push((label, ts));
             }
         } else {

@@ -47,7 +47,7 @@ fn topology_cmd(topo: &Topology) {
 }
 
 fn groups_cmd(topo: &Topology) {
-    println!("{:<14} {}", "Group", "Description");
+    println!("{:<14} Description", "Group");
     println!("{:-<60}", "");
     for name in BUILTIN_GROUPS {
         let g = builtin(name, topo).expect("builtin parses");

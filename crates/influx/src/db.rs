@@ -5,15 +5,37 @@
 //! router's duplication feature). [`Influx`] bundles multiple databases
 //! behind one thread-safe handle — the same object backs the embedded API
 //! and the HTTP server.
+//!
+//! # Ingest concurrency
+//!
+//! Writers never take a storage-wide exclusive lock. The outer
+//! `db name → Database` map is read-mostly (`RwLock` around an
+//! [`Arc<Database>`] map: writes only when a database is created), and each
+//! database partitions its series across [`DEFAULT_SHARDS`] lock-striped
+//! shards selected by series-key hash. A batch write takes one short shard
+//! write lock per line; batches touching different series proceed fully in
+//! parallel.
+//!
+//! Lock order is `meta` → shard (ascending), established in
+//! [`Database::create_and_write`] and [`Database::enforce_retention`]; the
+//! hot path takes a single shard lock and nothing else. Series are stored
+//! as `Arc<Series>` so queries snapshot cheaply (clone the `Arc`s under a
+//! shard read lock) while writers mutate in place through `Arc::make_mut`
+//! — the copy-on-write clone only triggers when a query holds the same
+//! series concurrently.
 
 use crate::exec::{self, QueryResult};
 use crate::query::Statement;
 use crate::storage::Series;
-use lms_lineproto::{parse_batch, Precision};
-use lms_util::{Clock, Error, FxHashMap, Result};
+use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Precision};
+use lms_util::{hash::fx_hash, Clock, Error, FxHashMap, FxHashSet, Result};
 use parking_lot::RwLock;
+use std::collections::hash_map::Entry;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default number of lock-striped series shards per database.
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// Options for a write request.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,95 +56,219 @@ pub struct WriteOutcome {
     pub first_error: Option<(usize, String)>,
 }
 
-/// One logical database.
+/// One lock stripe: a slice of the series keyed by canonical series key.
 #[derive(Debug, Default)]
-pub struct Database {
-    series: FxHashMap<String, Series>,
-    /// measurement → series keys (for query fan-out).
+struct Shard {
+    series: FxHashMap<String, Arc<Series>>,
+}
+
+/// Cross-shard metadata, guarded by its own lock (taken *before* any shard
+/// lock — see the module docs for the lock order).
+#[derive(Debug, Default)]
+struct Meta {
+    /// measurement → series keys in first-write order. Raw query results
+    /// key rows by `(timestamp, series index)`, so preserving this order
+    /// keeps results byte-identical to the single-lock engine.
     measurements: FxHashMap<String, Vec<String>>,
     retention: Option<Duration>,
 }
 
+/// One logical database with lock-striped series storage.
+#[derive(Debug)]
+pub struct Database {
+    /// The stripes; length is a power of two so shard selection is a mask.
+    shards: Box<[RwLock<Shard>]>,
+    meta: RwLock<Meta>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
 impl Database {
-    /// An empty database with no retention limit.
+    /// An empty database with no retention limit and the default shard
+    /// count.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Sets the retention window (points older than `now - retention` are
-    /// dropped by [`enforce_retention`](Self::enforce_retention)).
-    pub fn set_retention(&mut self, retention: Option<Duration>) {
-        self.retention = retention;
+    /// An empty database with `shards` lock stripes (rounded up to a power
+    /// of two; `1` reproduces the old single-lock write path).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Database {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            meta: RwLock::new(Meta::default()),
+        }
     }
 
-    /// Writes one already-parsed point.
-    pub fn write_point(&mut self, point: &lms_lineproto::Point, default_ts: i64) {
-        let key = point.series_key();
-        let ts = point.timestamp().unwrap_or(default_ts);
-        if !self.series.contains_key(&key) {
-            self.measurements
-                .entry(point.measurement().to_string())
-                .or_default()
-                .push(key.clone());
-            self.series.insert(key.clone(), Series::new(point.measurement(), point.tags()));
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &str) -> &RwLock<Shard> {
+        &self.shards[(fx_hash(key.as_bytes()) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Sets the retention window (points older than `now - retention` are
+    /// dropped by [`enforce_retention`](Self::enforce_retention)).
+    pub fn set_retention(&self, retention: Option<Duration>) {
+        self.meta.write().retention = retention;
+    }
+
+    /// Fast path: the series exists — one shard write lock, zero
+    /// allocations. Returns `false` when the series is missing.
+    fn try_write_fields<'f>(
+        &self,
+        key: &str,
+        ts: i64,
+        fields: impl Iterator<Item = (&'f str, &'f FieldValue)>,
+    ) -> bool {
+        let mut shard = self.shard_of(key).write();
+        let Some(series) = shard.series.get_mut(key) else { return false };
+        let series = Arc::make_mut(series);
+        for (field, value) in fields {
+            series.insert(field, ts, value.clone());
         }
-        let series = self.series.get_mut(&key).expect("just inserted");
-        for (field, value) in point.fields() {
+        true
+    }
+
+    /// Slow path: the series may need creating. Lock order is `meta` →
+    /// shard, and the presence check is re-run under both locks because
+    /// another writer can create the series between a failed fast path and
+    /// here. The series map and the measurements index are each updated in
+    /// a single entry-API pass.
+    fn create_and_write<'f>(
+        &self,
+        key: &str,
+        measurement: &str,
+        tags: &[(String, String)],
+        ts: i64,
+        fields: impl Iterator<Item = (&'f str, &'f FieldValue)>,
+    ) {
+        let mut meta = self.meta.write();
+        let mut shard = self.shard_of(key).write();
+        let series = match shard.series.entry(key.to_string()) {
+            Entry::Occupied(slot) => Arc::make_mut(slot.into_mut()),
+            Entry::Vacant(slot) => {
+                meta.measurements
+                    .entry(measurement.to_string())
+                    .or_default()
+                    .push(key.to_string());
+                Arc::make_mut(slot.insert(Arc::new(Series::new(measurement, tags))))
+            }
+        };
+        for (field, value) in fields {
             series.insert(field, ts, value.clone());
         }
     }
 
-    /// All series of a measurement.
-    pub fn series_of(&self, measurement: &str) -> Vec<&Series> {
-        self.measurements
-            .get(measurement)
-            .into_iter()
-            .flatten()
-            .filter_map(|k| self.series.get(k))
-            .collect()
+    /// Writes one already-parsed point.
+    pub fn write_point(&self, point: &lms_lineproto::Point, default_ts: i64) {
+        let key = point.series_key();
+        let ts = point.timestamp().unwrap_or(default_ts);
+        let fields = || point.fields().iter().map(|(k, v)| (k.as_str(), v));
+        if !self.try_write_fields(&key, ts, fields()) {
+            self.create_and_write(&key, point.measurement(), point.tags(), ts, fields());
+        }
+    }
+
+    /// Writes one parsed line without materializing an owned
+    /// [`Point`](lms_lineproto::Point).
+    ///
+    /// `key_buf` is caller-provided scratch reused across a batch; for
+    /// series the database has already seen, the write performs no
+    /// allocation at all (the buffer is rewritten in place and field values
+    /// land directly in the columns).
+    pub fn write_parsed(&self, line: &ParsedLine<'_>, ts: i64, key_buf: &mut String) {
+        key_buf.clear();
+        line.series_key_into(key_buf);
+        let fields = || line.fields.iter().map(|(k, v)| (k.as_ref(), v));
+        if !self.try_write_fields(key_buf, ts, fields()) {
+            let tags = line.canonical_tags();
+            self.create_and_write(key_buf, line.measurement.as_ref(), &tags, ts, fields());
+        }
+    }
+
+    /// Snapshots all series of a measurement, in first-write order.
+    ///
+    /// The returned `Arc`s are consistent point-in-time views: a writer
+    /// updating the same series afterwards copies it (`Arc::make_mut`)
+    /// instead of mutating the snapshot.
+    pub fn series_of(&self, measurement: &str) -> Vec<Arc<Series>> {
+        let meta = self.meta.read();
+        let Some(keys) = meta.measurements.get(measurement) else {
+            return Vec::new();
+        };
+        keys.iter().filter_map(|k| self.shard_of(k).read().series.get(k).cloned()).collect()
     }
 
     /// All measurement names, sorted.
-    pub fn measurement_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.measurements.keys().map(String::as_str).collect();
+    pub fn measurement_names(&self) -> Vec<String> {
+        let meta = self.meta.read();
+        let mut names: Vec<String> = meta.measurements.keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
     /// Total series count.
     pub fn series_count(&self) -> usize {
-        self.series.len()
+        self.shards.iter().map(|s| s.read().series.len()).sum()
     }
 
     /// Total stored points.
     pub fn point_count(&self) -> usize {
-        self.series.values().map(Series::point_count).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().series.values().map(|s| s.point_count()).sum::<usize>())
+            .sum()
     }
 
     /// Applies the retention policy relative to `now_ns`; returns evicted
     /// point count. Emptied series and measurements are garbage-collected.
-    pub fn enforce_retention(&mut self, now_ns: i64) -> usize {
-        let Some(retention) = self.retention else { return 0 };
+    ///
+    /// Holds the `meta` write lock across the sweep (lock order `meta` →
+    /// shards ascending) so no series can be registered concurrently;
+    /// writes to *existing* series proceed shard by shard.
+    pub fn enforce_retention(&self, now_ns: i64) -> usize {
+        let mut meta = self.meta.write();
+        let Some(retention) = meta.retention else { return 0 };
         let cutoff = now_ns.saturating_sub(retention.as_nanos().min(i64::MAX as u128) as i64);
         let mut evicted = 0;
-        self.series.retain(|_, s| {
-            evicted += s.evict_before(cutoff);
-            !s.is_empty()
-        });
-        let series = &self.series;
-        self.measurements.retain(|_, keys| {
-            keys.retain(|k| series.contains_key(k));
-            !keys.is_empty()
-        });
+        let mut removed: FxHashSet<String> = FxHashSet::default();
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            shard.series.retain(|key, series| {
+                let series = Arc::make_mut(series);
+                evicted += series.evict_before(cutoff);
+                if series.is_empty() {
+                    removed.insert(key.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if !removed.is_empty() {
+            meta.measurements.retain(|_, keys| {
+                keys.retain(|k| !removed.contains(k));
+                !keys.is_empty()
+            });
+        }
         evicted
     }
 }
 
 struct Inner {
-    databases: FxHashMap<String, Database>,
+    databases: FxHashMap<String, Arc<Database>>,
     /// Create databases on first write (convenience for a self-contained
     /// stack; real InfluxDB requires CREATE DATABASE).
     auto_create: bool,
+    /// Stripe count for newly created databases.
+    shard_count: usize,
 }
 
 /// Thread-safe embedded handle to the whole storage.
@@ -133,12 +279,21 @@ pub struct Influx {
 }
 
 impl Influx {
-    /// Creates an empty storage with auto-create enabled.
+    /// Creates an empty storage with auto-create enabled and the default
+    /// shard count.
     pub fn new(clock: Clock) -> Self {
+        Self::with_shards(clock, DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty storage whose databases use `shards` lock stripes.
+    /// `with_shards(clock, 1)` reproduces the old single-lock write path
+    /// (the benchmark baseline).
+    pub fn with_shards(clock: Clock, shards: usize) -> Self {
         Influx {
             inner: Arc::new(RwLock::new(Inner {
                 databases: FxHashMap::default(),
                 auto_create: true,
+                shard_count: shards.max(1).next_power_of_two(),
             })),
             clock,
         }
@@ -152,13 +307,23 @@ impl Influx {
 
     /// Creates a database (idempotent).
     pub fn create_database(&self, name: &str) {
-        self.inner.write().databases.entry(name.to_string()).or_default();
+        let mut inner = self.inner.write();
+        let shards = inner.shard_count;
+        inner
+            .databases
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Database::with_shards(shards)));
     }
 
     /// Sets the retention window of a database (creating it if needed).
     pub fn set_retention(&self, db: &str, retention: Option<Duration>) {
         let mut inner = self.inner.write();
-        inner.databases.entry(db.to_string()).or_default().set_retention(retention);
+        let shards = inner.shard_count;
+        inner
+            .databases
+            .entry(db.to_string())
+            .or_insert_with(|| Arc::new(Database::with_shards(shards)))
+            .set_retention(retention);
     }
 
     /// Names of all databases, sorted.
@@ -173,22 +338,41 @@ impl Influx {
         &self.clock
     }
 
+    /// Looks up a database handle (read lock only).
+    fn database(&self, db: &str) -> Option<Arc<Database>> {
+        self.inner.read().databases.get(db).cloned()
+    }
+
+    /// Looks up a database, creating it when auto-create permits. Only the
+    /// first write to a new database pays the outer write lock.
+    fn database_or_create(&self, db: &str) -> Result<Arc<Database>> {
+        if let Some(found) = self.database(db) {
+            return Ok(found);
+        }
+        let mut inner = self.inner.write();
+        if !inner.auto_create && !inner.databases.contains_key(db) {
+            return Err(Error::not_found(format!("database `{db}`")));
+        }
+        let shards = inner.shard_count;
+        Ok(inner
+            .databases
+            .entry(db.to_string())
+            .or_insert_with(|| Arc::new(Database::with_shards(shards)))
+            .clone())
+    }
+
     /// Writes a line-protocol batch. Malformed lines are counted and
     /// skipped, not fatal (the paper's stack must survive a misbehaving
     /// collector). Fails only when the database does not exist and
     /// auto-create is off.
+    ///
+    /// Concurrent batches interleave at per-line granularity: each line
+    /// takes one shard write lock, so writers to disjoint series never
+    /// contend.
     pub fn write_lines(&self, db: &str, batch: &str, opts: WriteOptions) -> Result<WriteOutcome> {
         let parsed = parse_batch(batch);
         let default_ts = self.clock.now().nanos();
-        let mut inner = self.inner.write();
-        if !inner.databases.contains_key(db) {
-            if inner.auto_create {
-                inner.databases.insert(db.to_string(), Database::default());
-            } else {
-                return Err(Error::not_found(format!("database `{db}`")));
-            }
-        }
-        let database = inner.databases.get_mut(db).expect("ensured above");
+        let database = self.database_or_create(db)?;
         let mut outcome = WriteOutcome {
             written: 0,
             rejected: parsed.errors.len(),
@@ -197,11 +381,10 @@ impl Influx {
                 .first()
                 .map(|(line, e)| (*line, e.to_string())),
         };
+        let mut key_buf = String::with_capacity(64);
         for line in &parsed.lines {
-            let mut point = line.to_point();
-            let ts = point.timestamp().map(|t| opts.precision.to_nanos(t)).unwrap_or(default_ts);
-            point.set_timestamp(ts);
-            database.write_point(&point, default_ts);
+            let ts = line.timestamp.map(|t| opts.precision.to_nanos(t)).unwrap_or(default_ts);
+            database.write_parsed(line, ts, &mut key_buf);
             outcome.written += 1;
         }
         Ok(outcome)
@@ -229,12 +412,10 @@ impl Influx {
             }),
             other => {
                 let now = self.clock.now().nanos();
-                let inner = self.inner.read();
-                let database = inner
-                    .databases
-                    .get(db)
+                let database = self
+                    .database(db)
                     .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
-                exec::execute(&other, database, now)
+                exec::execute(&other, &database, now)
             }
         }
     }
@@ -242,18 +423,19 @@ impl Influx {
     /// Applies retention across all databases; returns evicted point count.
     pub fn enforce_retention(&self) -> usize {
         let now = self.clock.now().nanos();
-        let mut inner = self.inner.write();
-        inner.databases.values_mut().map(|d| d.enforce_retention(now)).sum()
+        let databases: Vec<Arc<Database>> =
+            self.inner.read().databases.values().cloned().collect();
+        databases.iter().map(|d| d.enforce_retention(now)).sum()
     }
 
     /// Point count in one database (0 when absent).
     pub fn point_count(&self, db: &str) -> usize {
-        self.inner.read().databases.get(db).map(Database::point_count).unwrap_or(0)
+        self.database(db).map(|d| d.point_count()).unwrap_or(0)
     }
 
     /// Series count in one database (0 when absent).
     pub fn series_count(&self, db: &str) -> usize {
-        self.inner.read().databases.get(db).map(Database::series_count).unwrap_or(0)
+        self.database(db).map(|d| d.series_count()).unwrap_or(0)
     }
 }
 
@@ -373,5 +555,82 @@ mod tests {
         assert_eq!(ix.point_count("lms"), 1);
         let r = ix.query("lms", "SELECT v FROM m").unwrap();
         assert_eq!(r.series[0].values[0][1].as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn shard_count_is_power_of_two() {
+        assert_eq!(Database::with_shards(1).shard_count(), 1);
+        assert_eq!(Database::with_shards(3).shard_count(), 4);
+        assert_eq!(Database::with_shards(16).shard_count(), 16);
+        assert_eq!(Database::new().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn single_shard_engine_behaves_identically() {
+        // shards=1 is the old single-lock layout; results must match the
+        // sharded engine exactly.
+        let batch = "cpu,hostname=h1 v=1 1\ncpu,hostname=h2 v=2 2\nmem,hostname=h1 v=3 3";
+        let sharded = influx();
+        let single = Influx::with_shards(Clock::simulated(Timestamp::from_secs(1000)), 1);
+        sharded.write_lines("lms", batch, Default::default()).unwrap();
+        single.write_lines("lms", batch, Default::default()).unwrap();
+        for q in ["SELECT v FROM cpu", "SHOW MEASUREMENTS", "SELECT mean(v) FROM cpu"] {
+            assert_eq!(
+                sharded.query("lms", q).unwrap(),
+                single.query("lms", q).unwrap(),
+                "query {q} diverged between shard counts"
+            );
+        }
+        assert_eq!(sharded.point_count("lms"), single.point_count("lms"));
+    }
+
+    #[test]
+    fn write_parsed_matches_write_point() {
+        // The allocation-free parsed-line path and the owned Point path
+        // must store identical data, including duplicate tag/field keys.
+        let lines = "m,b=2,a=1,a=9 v=1,v=2,w=3i 5\nm,a=9,b=2 v=7 5";
+        let via_parsed = influx();
+        via_parsed.write_lines("lms", lines, Default::default()).unwrap();
+
+        let via_point = influx();
+        {
+            let db = via_point.database_or_create("lms").unwrap();
+            for parsed in lms_lineproto::parse_batch(lines).lines {
+                let point = parsed.to_point();
+                db.write_point(&point, 0);
+            }
+        }
+        for q in ["SELECT v, w FROM m", "SHOW FIELD KEYS FROM m"] {
+            assert_eq!(
+                via_parsed.query("lms", q).unwrap(),
+                via_point.query("lms", q).unwrap(),
+                "query {q} diverged between write paths"
+            );
+        }
+        assert_eq!(via_parsed.series_count("lms"), 1);
+        assert_eq!(via_point.series_count("lms"), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_database() {
+        let ix = influx();
+        ix.create_database("lms");
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let ix = ix.clone();
+                scope.spawn(move || {
+                    for batch in 0..10 {
+                        let mut text = String::new();
+                        for i in 0..25 {
+                            let ts = (w * 1000 + batch * 25 + i) as i64;
+                            text.push_str(&format!("m,writer=w{w} v={i} {ts}\n"));
+                        }
+                        ix.write_lines("lms", &text, Default::default()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(ix.point_count("lms"), 4 * 10 * 25);
+        assert_eq!(ix.series_count("lms"), 4);
     }
 }

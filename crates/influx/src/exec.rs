@@ -145,7 +145,7 @@ pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResu
         Statement::Select(sel) => select(sel, db, now_ns),
         Statement::ShowMeasurements => {
             let values: Vec<Vec<Json>> =
-                db.measurement_names().into_iter().map(|m| vec![Json::str(m)]).collect();
+                db.measurement_names().iter().map(|m| vec![Json::str(m.as_str())]).collect();
             Ok(QueryResult {
                 series: vec![ResultSeries {
                     name: "measurements".into(),
@@ -177,8 +177,9 @@ pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResu
             })
         }
         Statement::ShowFieldKeys { measurement } => {
+            let snapshot = db.series_of(measurement);
             let mut fields: Vec<&str> =
-                db.series_of(measurement).iter().flat_map(|s| s.field_names()).collect();
+                snapshot.iter().flat_map(|s| s.field_names()).collect();
             fields.sort_unstable();
             fields.dedup();
             Ok(QueryResult {
@@ -225,9 +226,13 @@ fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
     if start >= end {
         return Ok(QueryResult::empty());
     }
-    let matching: Vec<&Series> = db
-        .series_of(&sel.measurement)
-        .into_iter()
+    // Snapshot fans out across the database's shards; the measurement
+    // index fixes the series order, so results are identical regardless
+    // of shard count.
+    let snapshot = db.series_of(&sel.measurement);
+    let matching: Vec<&Series> = snapshot
+        .iter()
+        .map(AsRef::as_ref)
         .filter(|s| series_matches(s, sel))
         .collect();
     if matching.is_empty() {

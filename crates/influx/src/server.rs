@@ -18,9 +18,12 @@ pub struct InfluxServer {
 }
 
 impl InfluxServer {
-    /// Starts serving `influx` on `addr` with a small worker pool.
+    /// Starts serving `influx` on `addr` with one worker per core (at
+    /// least 4) — the sharded engine accepts concurrent writes, so the
+    /// HTTP layer should offer matching parallelism.
     pub fn start<A: ToSocketAddrs>(addr: A, influx: Influx) -> Result<Self> {
-        let server = Server::bind(addr, 4, move |req| handle(&influx, req))?;
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+        let server = Server::bind(addr, workers, move |req| handle(&influx, req))?;
         Ok(InfluxServer { server })
     }
 

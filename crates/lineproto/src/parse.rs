@@ -11,7 +11,10 @@
 //! (failure-injection tests rely on this; the paper's router keeps serving
 //! misbehaving collectors).
 
-use crate::escape::{unescape, MEASUREMENT_ESCAPES, STRING_ESCAPES, TAG_ESCAPES};
+use crate::escape::{
+    escape_measurement_into, escape_tag_into, unescape, MEASUREMENT_ESCAPES, STRING_ESCAPES,
+    TAG_ESCAPES,
+};
 use crate::point::{FieldValue, Point};
 use lms_util::{Error, Result};
 use std::borrow::Cow;
@@ -28,6 +31,10 @@ pub struct ParsedLine<'a> {
     /// Optional timestamp in the precision of the request (nanoseconds once
     /// scaled by the write endpoint).
     pub timestamp: Option<i64>,
+    /// The exact input slice this line was parsed from (no trailing
+    /// newline). Lets forwarders re-emit unmodified lines without
+    /// re-serializing.
+    pub raw: &'a str,
 }
 
 impl ParsedLine<'_> {
@@ -61,6 +68,61 @@ impl ParsedLine<'_> {
             p.set_timestamp(ts);
         }
         p
+    }
+
+    /// Tags in canonical form: sorted by key, duplicate keys collapsed with
+    /// the last occurrence winning — exactly the tag set
+    /// [`to_point`](Self::to_point) would produce.
+    pub fn canonical_tags(&self) -> Vec<(String, String)> {
+        let mut tags: Vec<(String, String)> = Vec::with_capacity(self.tags.len());
+        for (k, v) in &self.tags {
+            match tags.binary_search_by(|(existing, _)| existing.as_str().cmp(k.as_ref())) {
+                Ok(i) => tags[i].1 = v.as_ref().to_string(),
+                Err(i) => tags.insert(i, (k.as_ref().to_string(), v.as_ref().to_string())),
+            }
+        }
+        tags
+    }
+
+    /// Appends the canonical series key (`measurement,tag1=v1,...` with
+    /// tags sorted by key, duplicates last-wins, wire-escaped) to `out`.
+    ///
+    /// Produces byte-identical output to `self.to_point().series_key()`
+    /// without materializing a [`Point`] — the database's ingest hot path
+    /// reuses one buffer across a whole batch and never allocates for
+    /// lines it has seen the series of before.
+    pub fn series_key_into(&self, out: &mut String) {
+        escape_measurement_into(self.measurement.as_ref(), out);
+        let n = self.tags.len();
+        if n == 0 {
+            return;
+        }
+        // Sort a small index array instead of the tags themselves; stable
+        // insertion keeps equal keys in input order so the *last* index of
+        // a run is the winning duplicate.
+        let mut stack = [0usize; 16];
+        let mut heap;
+        let order: &mut [usize] = if n <= stack.len() {
+            &mut stack[..n]
+        } else {
+            heap = (0..n).collect::<Vec<usize>>();
+            &mut heap
+        };
+        for (slot, idx) in order.iter_mut().enumerate() {
+            *idx = slot;
+        }
+        order.sort_by(|&a, &b| self.tags[a].0.as_ref().cmp(self.tags[b].0.as_ref()));
+        for (pos, &idx) in order.iter().enumerate() {
+            let (k, v) = &self.tags[idx];
+            // Skip all but the last occurrence of a duplicated key.
+            if pos + 1 < n && self.tags[order[pos + 1]].0 == *k {
+                continue;
+            }
+            out.push(',');
+            escape_tag_into(k.as_ref(), out);
+            out.push('=');
+            escape_tag_into(v.as_ref(), out);
+        }
     }
 }
 
@@ -125,7 +187,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
     }
 
     // --- measurement ---
-    let (m_end, m_esc) = scan(bytes, 0, &[b',', b' ']);
+    let (m_end, m_esc) = scan(bytes, 0, b", ");
     if m_end == 0 {
         return Err(Error::protocol("missing measurement"));
     }
@@ -136,7 +198,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
     let mut pos = m_end;
     while pos < bytes.len() && bytes[pos] == b',' {
         pos += 1;
-        let (k_end, k_esc) = scan(bytes, pos, &[b'=', b',', b' ']);
+        let (k_end, k_esc) = scan(bytes, pos, b"=, ");
         if k_end >= bytes.len() || bytes[k_end] != b'=' {
             return Err(Error::protocol(format!("tag at byte {pos}: missing `=`")));
         }
@@ -145,7 +207,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
         }
         let key = take(line, pos, k_end, k_esc, TAG_ESCAPES);
         pos = k_end + 1;
-        let (v_end, v_esc) = scan(bytes, pos, &[b',', b' ']);
+        let (v_end, v_esc) = scan(bytes, pos, b", ");
         if v_end == pos {
             return Err(Error::protocol(format!("tag `{key}`: empty value")));
         }
@@ -162,7 +224,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
     // --- fields ---
     let mut fields = Vec::new();
     loop {
-        let (k_end, k_esc) = scan(bytes, pos, &[b'=', b',', b' ']);
+        let (k_end, k_esc) = scan(bytes, pos, b"=, ");
         if k_end >= bytes.len() || bytes[k_end] != b'=' {
             return Err(Error::protocol(format!("field at byte {pos}: missing `=`")));
         }
@@ -174,7 +236,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
 
         let value = if pos < bytes.len() && bytes[pos] == b'"' {
             // Quoted string value.
-            let (s_end, s_esc) = scan(bytes, pos + 1, &[b'"']);
+            let (s_end, s_esc) = scan(bytes, pos + 1, b"\"");
             if s_end >= bytes.len() {
                 return Err(Error::protocol(format!("field `{key}`: unterminated string")));
             }
@@ -184,7 +246,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
             pos = s_end + 1;
             FieldValue::Text(text)
         } else {
-            let (v_end, _) = scan(bytes, pos, &[b',', b' ']);
+            let (v_end, _) = scan(bytes, pos, b", ");
             if v_end == pos {
                 return Err(Error::protocol(format!("field `{key}`: empty value")));
             }
@@ -220,7 +282,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
         None
     };
 
-    Ok(ParsedLine { measurement, tags, fields, timestamp })
+    Ok(ParsedLine { measurement, tags, fields, timestamp, raw: line })
 }
 
 /// Result of parsing a batch: the good lines and the per-line errors.
@@ -385,5 +447,41 @@ mod tests {
         let p = parse_line("m,a=1,a=2 v=1").unwrap();
         assert_eq!(p.tags.len(), 2); // wire form preserved
         assert_eq!(p.to_point().tag("a"), Some("2")); // canonical form deduped
+    }
+
+    #[test]
+    fn raw_preserves_input_slice() {
+        let line = "cpu,hostname=h1 v=1 5";
+        assert_eq!(parse_line(line).unwrap().raw, line);
+        let out = parse_batch("m v=1\ncpu,a=b v=2 7\r\n");
+        assert_eq!(out.lines[0].raw, "m v=1");
+        assert_eq!(out.lines[1].raw, "cpu,a=b v=2 7");
+    }
+
+    #[test]
+    fn series_key_into_matches_point_series_key() {
+        // Many tags triggers the heap-index fallback (> 16).
+        let mut many = String::from("m");
+        for i in 0..20 {
+            // Reversed zero-padded keys exercise the sort.
+            many.push_str(&format!(",k{:02}=v{i}", 19 - i));
+        }
+        many.push_str(" v=1");
+        for line in [
+            "m v=1",
+            "cpu,hostname=h1,cpu=3 usage=0.93",
+            "m,b=2,a=1 v=1",
+            "m,a=1,a=2 v=1",
+            "m,a=2,b=x,a=1,a=3 v=1",
+            r"my\ m,tag\ k=va\=lue f=1",
+            many.as_str(),
+        ] {
+            let p = parse_line(line).unwrap();
+            let mut key = String::new();
+            p.series_key_into(&mut key);
+            let point = p.to_point();
+            assert_eq!(key, point.series_key(), "series key mismatch for: {line}");
+            assert_eq!(p.canonical_tags(), point.tags().to_vec(), "tags mismatch for: {line}");
+        }
     }
 }

@@ -2,10 +2,13 @@
 //!
 //! The router must keep accepting metrics while the database hiccups: the
 //! forwarder decouples the HTTP handler from database I/O with a bounded
-//! queue and a worker thread that retries transient failures with
-//! exponential backoff. When the queue overflows (database down for long),
-//! the oldest batches are dropped and counted — monitoring data is
-//! replaceable; blocking the cluster's collectors is not.
+//! queue and a pool of worker threads that retry transient failures with
+//! exponential backoff. Each worker holds its own database connection and
+//! competes for batches on the shared channel, so delivery parallelism
+//! matches the sharded engine's concurrent write path. When the queue
+//! overflows (database down for long), the newest batches are dropped and
+//! counted — monitoring data is replaceable; blocking the cluster's
+//! collectors is not.
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use lms_influx::InfluxClient;
@@ -39,33 +42,48 @@ struct Shared {
     retries: AtomicU64,
 }
 
-/// Handle to the forwarding worker.
+/// Handle to the forwarding worker pool.
 pub struct Forwarder {
     tx: Option<Sender<Batch>>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
+}
+
+/// The default worker-pool size: one per available core, at least two so
+/// one slow/retrying delivery cannot stall the whole queue.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2)
 }
 
 impl Forwarder {
     /// Creates a forwarder delivering to the database server at `db_addr`.
     ///
     /// `queue_capacity` bounds the number of buffered batches; `max_retries`
-    /// bounds delivery attempts per batch (with 50 ms → 100 ms → … backoff).
-    pub fn start(db_addr: SocketAddr, queue_capacity: usize, max_retries: u32) -> Self {
+    /// bounds delivery attempts per batch (with 50 ms → 100 ms → … backoff);
+    /// `workers` threads drain the queue concurrently (clamped to ≥ 1).
+    pub fn start(
+        db_addr: SocketAddr,
+        queue_capacity: usize,
+        max_retries: u32,
+        workers: usize,
+    ) -> Self {
         let (tx, rx): (Sender<Batch>, Receiver<Batch>) = bounded(queue_capacity.max(1));
         let shared = Arc::new(Shared {
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             retries: AtomicU64::new(0),
         });
-        let worker = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("lms-router-forwarder".into())
-                .spawn(move || worker_loop(rx, db_addr, max_retries, shared))
-                .expect("spawn forwarder")
-        };
-        Forwarder { tx: Some(tx), worker: Some(worker), shared }
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lms-router-forwarder-{i}"))
+                    .spawn(move || worker_loop(rx, db_addr, max_retries, shared))
+                    .expect("spawn forwarder")
+            })
+            .collect();
+        Forwarder { tx: Some(tx), workers, shared }
     }
 
     /// Enqueues a batch. On a full queue the **new** batch is dropped and
@@ -111,8 +129,8 @@ impl Forwarder {
 
 impl Drop for Forwarder {
     fn drop(&mut self) {
-        self.tx.take(); // close the channel; worker drains and exits
-        if let Some(w) = self.worker.take() {
+        self.tx.take(); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -178,7 +196,7 @@ mod tests {
     #[test]
     fn delivers_batches() {
         let (server, influx) = db();
-        let f = Forwarder::start(server.addr(), 64, 2);
+        let f = Forwarder::start(server.addr(), 64, 2, 2);
         f.enqueue("lms", "m v=1 1\nm v=2 2".to_string());
         f.enqueue("lms", "m v=3 3".to_string());
         assert!(f.flush(Duration::from_secs(5)));
@@ -191,7 +209,7 @@ mod tests {
     #[test]
     fn empty_batches_are_skipped() {
         let (server, _influx) = db();
-        let f = Forwarder::start(server.addr(), 4, 0);
+        let f = Forwarder::start(server.addr(), 4, 0, 1);
         f.enqueue("lms", String::new());
         assert!(f.flush(Duration::from_secs(1)));
         assert_eq!(f.stats(), ForwardStats::default());
@@ -202,7 +220,7 @@ mod tests {
     fn survives_database_restart() {
         let (server, _old) = db();
         let addr = server.addr();
-        let f = Forwarder::start(addr, 64, 5);
+        let f = Forwarder::start(addr, 64, 5, 2);
         f.enqueue("lms", "m v=1 1".to_string());
         assert!(f.flush(Duration::from_secs(5)));
         server.shutdown();
@@ -232,10 +250,35 @@ mod tests {
         let (server, _ix) = db();
         let dead = server.addr();
         server.shutdown();
-        let f = Forwarder::start(dead, 2, 10);
+        let f = Forwarder::start(dead, 2, 10, 1);
         for i in 0..50 {
             f.enqueue("lms", format!("m v={i} {i}"));
         }
         assert!(f.stats().dropped > 0);
+    }
+
+    #[test]
+    fn worker_pool_drains_concurrently() {
+        let (server, influx) = db();
+        let f = Forwarder::start(server.addr(), 256, 2, 4);
+        for i in 0..40 {
+            f.enqueue("lms", format!("m,w=a v={i} {i}"));
+        }
+        assert!(f.flush(Duration::from_secs(10)));
+        // Workers may still be mid-write after the queue empties.
+        for _ in 0..100 {
+            if f.stats().delivered == 40 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(f.stats().delivered, 40);
+        assert_eq!(influx.point_count("lms"), 40);
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_workers_is_at_least_two() {
+        assert!(default_workers() >= 2);
     }
 }

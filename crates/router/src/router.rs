@@ -22,11 +22,20 @@ pub struct RouterConfig {
     pub queue_capacity: usize,
     /// Delivery attempts per batch.
     pub max_retries: u32,
+    /// Forwarder worker threads draining the queue concurrently
+    /// (default: one per available core, at least two).
+    pub forward_workers: usize,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { global_db: "lms".into(), per_user: false, queue_capacity: 1024, max_retries: 3 }
+        RouterConfig {
+            global_db: "lms".into(),
+            per_user: false,
+            queue_capacity: 1024,
+            max_retries: 3,
+            forward_workers: crate::forward::default_workers(),
+        }
     }
 }
 
@@ -67,7 +76,12 @@ impl Router {
         clock: Clock,
         publisher: Option<Publisher>,
     ) -> Self {
-        let forwarder = Forwarder::start(db_addr, config.queue_capacity, config.max_retries);
+        let forwarder = Forwarder::start(
+            db_addr,
+            config.queue_capacity,
+            config.max_retries,
+            config.forward_workers,
+        );
         Router {
             tags: RwLock::new(TagStore::new()),
             forwarder,
@@ -117,6 +131,23 @@ impl Router {
         {
             let tags = self.tags.read();
             for line in &parsed.lines {
+                // Pass-through fast path: a line that already carries a
+                // timestamp, whose host has no job entry, and that per-user
+                // duplication would not touch is forwarded byte-for-byte —
+                // no Point materialization, no re-serialization.
+                if line.timestamp.is_some()
+                    && !self.config.per_user
+                    && line.hostname().is_none_or(|host| tags.tags_of(host).is_empty())
+                {
+                    global.push_raw(line.raw);
+                    if let Some(publisher) = &self.publisher {
+                        publisher.publish(
+                            &format!("metrics.{}", line.measurement),
+                            line.raw.as_bytes(),
+                        );
+                    }
+                    continue;
+                }
                 let mut point: Point = line.to_point();
                 if point.timestamp().is_none() {
                     point.set_timestamp(default_ts);
@@ -314,8 +345,7 @@ mod tests {
 
     #[test]
     fn per_user_duplication() {
-        let mut config = RouterConfig::default();
-        config.per_user = true;
+        let config = RouterConfig { per_user: true, ..Default::default() };
         let (server, influx, router) = setup(config);
         router.handle_job_start(signal("42", "alice", &["h1"]));
         router.handle_write(None, "m,hostname=h1 v=1 100\nm,hostname=h9 v=9 100");
@@ -325,6 +355,21 @@ mod tests {
         assert_eq!(influx.point_count("user_alice"), 1);
         let r = influx.query("user_alice", "SELECT v FROM m").unwrap();
         assert_eq!(r.series[0].values[0][1].as_f64(), Some(1.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn passthrough_forwards_untagged_timestamped_lines_verbatim() {
+        let (server, influx, router) = setup(RouterConfig::default());
+        // h5 has no job entry and the line carries a timestamp: the router
+        // forwards the original bytes without building a Point.
+        let (acc, rej) = router.handle_write(None, "cpu,hostname=h5 value=0.5 12345");
+        assert_eq!((acc, rej), (1, 0));
+        assert!(router.flush(Duration::from_secs(5)));
+        let r = influx.query("lms", "SELECT value FROM cpu").unwrap();
+        assert_eq!(r.series[0].values[0][0].as_i64(), Some(12345));
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(0.5));
+        assert_eq!(router.stats().lines_enriched, 0);
         server.shutdown();
     }
 

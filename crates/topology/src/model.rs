@@ -123,7 +123,7 @@ impl Topology {
 
     /// Sets the NUMA domains per socket (cluster-on-die style).
     pub fn with_numa_per_socket(mut self, n: u32) -> Result<Self> {
-        if n == 0 || self.cores_per_socket % n != 0 {
+        if n == 0 || !self.cores_per_socket.is_multiple_of(n) {
             return Err(Error::invalid(format!(
                 "{} cores per socket cannot split into {n} NUMA domains",
                 self.cores_per_socket

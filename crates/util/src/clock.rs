@@ -57,14 +57,17 @@ impl Timestamp {
         self.0 as f64 / 1e9
     }
 
-    /// `self + d`, saturating at the numeric limits.
+    /// `self + d`, saturating at the numeric limits (unlike `ops::Add`,
+    /// which a `Duration` operand cannot express losslessly anyway).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, d: Duration) -> Self {
         Timestamp(self.0.saturating_add(d.as_nanos().min(i64::MAX as u128) as i64))
     }
 
     /// `self - d`, saturating at the numeric limits.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, d: Duration) -> Self {
         Timestamp(self.0.saturating_sub(d.as_nanos().min(i64::MAX as u128) as i64))
     }

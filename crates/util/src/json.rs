@@ -170,13 +170,6 @@ impl Json {
         Ok(v)
     }
 
-    /// Serializes compactly.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Serializes with 2-space indentation.
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
@@ -238,6 +231,15 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Compact serialization (`to_string()` comes via `ToString`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 

@@ -49,13 +49,14 @@ fn main() {
 
     // Work: a stream of jobs of varying size/length; the 6-node job at the
     // head forces the scheduler to backfill the small ones around it.
-    let mut jobs = Vec::new();
-    jobs.push(stack.submit_job("anna", "big-solver", 6, Duration::from_secs(40 * 60), AppProfile::Dgemm));
-    jobs.push(stack.submit_job("bert", "wide", 8, Duration::from_secs(20 * 60), AppProfile::Stream));
-    jobs.push(stack.submit_job("carl", "short-1", 2, Duration::from_secs(10 * 60), AppProfile::MiniMd));
-    jobs.push(stack.submit_job("dora", "short-2", 2, Duration::from_secs(10 * 60), AppProfile::CheckpointHeavy));
-    jobs.push(stack.submit_job("erik", "staller", 1, Duration::from_secs(30 * 60),
-        AppProfile::ComputeWithBreak { busy: Duration::from_secs(300), gap: Duration::from_secs(900) }));
+    let jobs = [
+        stack.submit_job("anna", "big-solver", 6, Duration::from_secs(40 * 60), AppProfile::Dgemm),
+        stack.submit_job("bert", "wide", 8, Duration::from_secs(20 * 60), AppProfile::Stream),
+        stack.submit_job("carl", "short-1", 2, Duration::from_secs(10 * 60), AppProfile::MiniMd),
+        stack.submit_job("dora", "short-2", 2, Duration::from_secs(10 * 60), AppProfile::CheckpointHeavy),
+        stack.submit_job("erik", "staller", 1, Duration::from_secs(30 * 60),
+            AppProfile::ComputeWithBreak { busy: Duration::from_secs(300), gap: Duration::from_secs(900) }),
+    ];
 
     println!("submitted {} jobs to an 8-node cluster\n", jobs.len());
     let mut proxied_points = 0;

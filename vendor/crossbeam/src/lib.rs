@@ -1,0 +1,5 @@
+//! Offline placeholder for the `crossbeam` umbrella crate.
+//!
+//! `lms-apps` declares it but never imports it; this empty crate satisfies
+//! dependency resolution without registry access. Channel functionality
+//! lives in the vendored `crossbeam-channel` shim.

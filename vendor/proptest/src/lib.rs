@@ -1,0 +1,919 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors a miniature property-testing engine exposing the API subset its
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_filter` / `prop_recursive`, range and tuple strategies,
+//! `collection::{vec, btree_map, btree_set}`, `option::of`,
+//! `string::string_regex` (character-class + `{m,n}` quantifier subset),
+//! `num::f64::NORMAL`, `any::<T>()`, `Just`, [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a seed derived
+//! deterministically from the test's module path (reproducible runs, no
+//! persistence files), and failing inputs are reported but **not shrunk**.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// A failed property-test case (carries the assertion message).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// A rejected case (filter/assume miss) — treated as failure here;
+        /// the engine retries filters internally instead.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic split-mix PRNG driving generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG for one named test case.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+        }
+
+        /// Next raw 64 random bits (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for test
+            // generation purposes.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::{TestCaseError, TestRng};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Upper bound on filter retries per case before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48, max_global_rejects: 4096 }
+    }
+}
+
+/// A value generator. Object is stateless; all randomness flows through the
+/// [`TestRng`] so runs are reproducible.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards values failing `f`, regenerating (bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), f }
+    }
+
+    /// Builds recursive structures: `self` is the leaf strategy and `f`
+    /// wraps an inner strategy into one more level of nesting. `depth`
+    /// bounds nesting; the size-hint parameters are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(current).boxed();
+            // Mix the leaf back in (1/3 weight) so shallow values keep
+            // appearing at every depth, like proptest's recursive unions.
+            current = Union { arms: vec![leaf.clone(), deeper.clone(), deeper] }.boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1024 consecutive values", self.reason);
+    }
+}
+
+/// Uniform choice between same-valued strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- scalar strategies ---
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// Full-range / unconstrained generation for primitive types.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy for unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- tuples of strategies ---
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+}
+
+// --- string literals as regex strategies ---
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parse errors surface on first generation; string_regex() reports
+        // them eagerly instead.
+        string::compile(self).expect("invalid regex strategy literal").generate(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Size specification: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Map with keys/values from the given strategies. The generated map
+    /// may be smaller than requested when random keys collide.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Set of values from `element`; may be smaller than requested when
+    /// random elements collide, but at least `min > 0` yields non-empty.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng).max(if self.size.min > 0 { 1 } else { 0 });
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use super::*;
+
+    /// Strategy yielding `None` (25%) or `Some` of the inner value.
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps a strategy into `Option`, biased toward `Some` like proptest.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// Generator of *normal* floats (finite, non-zero, non-subnormal),
+        /// covering the full exponent range with either sign.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        /// The `proptest::num::f64::NORMAL` strategy.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-shaped string strategies (character classes + quantifiers).
+
+    use super::*;
+
+    /// A compiled pattern: sequence of atoms with repeat counts.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Candidate characters (expanded from the class or a literal).
+        chars: Vec<char>,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Pattern parse failure.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "regex strategy: {}", self.0)
+        }
+    }
+
+    fn unescape_class_char(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Compiles the supported regex subset: literals, `\x` escapes, and
+    /// `[...]` classes (with `a-z` ranges), each optionally followed by a
+    /// `{m}` / `{m,n}` quantifier.
+    pub(super) fn compile(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(&c) = chars.get(i) else {
+                            return Err(Error("unterminated character class".into()));
+                        };
+                        i += 1;
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let Some(&esc) = chars.get(i) else {
+                                    return Err(Error("dangling escape in class".into()));
+                                };
+                                i += 1;
+                                let lit = unescape_class_char(esc);
+                                set.push(lit);
+                                prev = Some(lit);
+                            }
+                            '-' if prev.is_some() && chars.get(i).is_some_and(|&n| n != ']') => {
+                                let lo = prev.take().unwrap();
+                                let mut hi = chars[i];
+                                i += 1;
+                                if hi == '\\' {
+                                    let Some(&esc) = chars.get(i) else {
+                                        return Err(Error("dangling escape in class".into()));
+                                    };
+                                    i += 1;
+                                    hi = unescape_class_char(esc);
+                                }
+                                if (lo as u32) > (hi as u32) {
+                                    return Err(Error(format!("inverted range {lo}-{hi}")));
+                                }
+                                // `lo` was already pushed; extend with the rest.
+                                for u in (lo as u32 + 1)..=(hi as u32) {
+                                    set.extend(char::from_u32(u));
+                                }
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let Some(&esc) = chars.get(i) else {
+                        return Err(Error("dangling escape".into()));
+                    };
+                    i += 1;
+                    vec![unescape_class_char(esc)]
+                }
+                '{' | '}' | ']' => {
+                    return Err(Error(format!("unexpected `{}` at {}", chars[i], i)));
+                }
+                lit => {
+                    i += 1;
+                    vec![lit]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                i += 1;
+                let start = i;
+                while chars.get(i).is_some_and(|&c| c != '}') {
+                    i += 1;
+                }
+                if chars.get(i) != Some(&'}') {
+                    return Err(Error("unterminated quantifier".into()));
+                }
+                let body: String = chars[start..i].iter().collect();
+                i += 1;
+                let parse = |s: &str| {
+                    s.trim().parse::<usize>().map_err(|_| Error(format!("bad quantifier `{body}`")))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error(format!("inverted quantifier {{{min},{max}}}")));
+            }
+            atoms.push(Atom { chars: set, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    /// Compiles a pattern into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile(pattern)
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+thread_local! {
+    /// Debug rendering of the current case's inputs, for failure reports.
+    pub static CURRENT_CASE_INPUTS: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Runs the cases of one `proptest!`-declared test (called by the macro).
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(e) = one_case(&mut rng) {
+            let inputs = CURRENT_CASE_INPUTS.with(|s| s.borrow().clone());
+            panic!("proptest {name}: case {case}/{} failed: {e}\n  inputs: {inputs}", config.cases);
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports for property tests.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+    /// Re-exported for macro use.
+    pub use crate as proptest_crate;
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat) {..} }`.
+/// An optional leading `#![proptest_config(expr)]` overrides the defaults
+/// for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(config = $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(config = $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // A tuple of strategies is itself a strategy; one generation
+                // per case keeps argument draws independent but reproducible.
+                let strategies = ($($strat,)+);
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng| {
+                        let values = $crate::Strategy::generate(&strategies, rng);
+                        $crate::CURRENT_CASE_INPUTS.with(|s| {
+                            *s.borrow_mut() = format!("{:?}", values);
+                        });
+                        let ($($arg,)+) = values;
+                        // `mut` is needed only when `$body` mutates captures;
+                        // allow it to stay unused for pure bodies.
+                        #[allow(unused_mut)]
+                        let mut case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                        case()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property test (returns `Err` instead of panicking so
+/// the runner can attach case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Discards a case when its precondition fails. This shim has no rejection
+/// bookkeeping; the case simply passes vacuously.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+fn string_regex_smoke() -> string::RegexGeneratorStrategy {
+    string::string_regex("[a-zA-Z0-9 _\\-\"\\\\\n\t]{0,16}").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..1000 {
+            let v = (3i64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0..2.0f64).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_quantifier() {
+        let mut rng = crate::test_runner::TestRng::for_case("t", 1);
+        let s = crate::string::string_regex("[a-c]{2,5}").unwrap();
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+        // Escapes and literals seen in this workspace's patterns.
+        let s = crate::string_regex_smoke();
+        let mut rng2 = crate::test_runner::TestRng::for_case("t", 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng2);
+            assert!(v.len() <= 16);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(v in crate::collection::vec(0u8..10, 1..8)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        /// Config override applies (smoke: just runs).
+        #[test]
+        fn config_override(x in 0u32..5, flag in any::<bool>()) {
+            prop_assert!(x < 5);
+            let _ = flag;
+        }
+    }
+}

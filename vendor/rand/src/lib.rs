@@ -1,0 +1,6 @@
+//! Offline placeholder for the `rand` crate.
+//!
+//! Several workspace crates declare `rand` in their manifests but none
+//! import it; this empty crate exists solely so `cargo` can resolve the
+//! dependency without registry access. If a crate starts using `rand`,
+//! replace this with a real implementation or drop the dependency.
