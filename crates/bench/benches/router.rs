@@ -29,7 +29,7 @@ fn router() -> (InfluxServer, Router) {
     let influx = Influx::new(clock.clone());
     let server = InfluxServer::start("127.0.0.1:0", influx).expect("db");
     let config = RouterConfig { queue_capacity: 1 << 14, ..Default::default() };
-    let r = Router::new(server.addr(), config, clock, None);
+    let r = Router::new(server.addr(), config, clock, None).expect("router");
     (server, r)
 }
 

@@ -214,7 +214,7 @@ impl LmsStack {
             router_config,
             clock.clone(),
             publisher,
-        ));
+        )?);
         let router_server = RouterServer::start("127.0.0.1:0", router.clone())?;
         let router_addr = router_server.addr();
 

@@ -25,10 +25,12 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod message;
 pub mod server;
 pub mod url;
 
 pub use client::HttpClient;
+pub use fault::{FaultConfig, FaultProxy};
 pub use message::{Request, Response};
 pub use server::Server;

@@ -192,8 +192,14 @@ impl Response {
 
     /// Reads one response from a buffered stream.
     pub fn read_from(r: &mut impl BufRead) -> Result<Response> {
-        let status_line = read_line(r, true)?
-            .ok_or_else(|| Error::protocol("connection closed before response"))?;
+        // A connection that dies before answering is an I/O failure, not a
+        // protocol violation — the delivery taxonomy retries it.
+        let status_line = read_line(r, true)?.ok_or_else(|| {
+            Error::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before response",
+            ))
+        })?;
         let mut parts = status_line.split_whitespace();
         let version = parts.next().unwrap_or("");
         if !version.starts_with("HTTP/1.") {

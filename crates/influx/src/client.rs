@@ -21,9 +21,23 @@ impl InfluxClient {
         Ok(InfluxClient { http: HttpClient::connect(addr)? })
     }
 
+    /// Sets the per-request I/O timeout (connect/read/write). The
+    /// forwarder uses a short timeout so a blackholed connection cannot
+    /// pin a worker for the default 10 s.
+    pub fn set_timeout(&mut self, t: std::time::Duration) {
+        self.http.set_timeout(t);
+    }
+
     /// Health check: `GET /ping`.
     pub fn ping(&mut self) -> Result<()> {
         self.http.get("/ping")?.into_result().map(drop)
+    }
+
+    /// Boolean health probe: true when the server answers `/ping` with a
+    /// success status. Used by the spool drainer to confirm recovery
+    /// before replaying a backlog.
+    pub fn healthy(&mut self) -> bool {
+        self.ping().is_ok()
     }
 
     /// Writes a line-protocol batch with nanosecond timestamps.
@@ -87,6 +101,7 @@ mod tests {
     fn end_to_end_typed_api() {
         let (server, mut c) = start();
         c.ping().unwrap();
+        assert!(c.healthy());
         c.write("lms", "cpu,hostname=h1 value=1 100\ncpu,hostname=h1 value=3 200").unwrap();
         let r = c.query("lms", "SELECT mean(value) FROM cpu").unwrap();
         assert_eq!(r.series[0].values[0][1].as_f64(), Some(2.0));
@@ -101,6 +116,14 @@ mod tests {
         let r = c.query("udb", "SELECT v FROM m").unwrap();
         assert_eq!(r.series[0].values[0][0].as_i64(), Some(42_000_000_000));
         server.shutdown();
+    }
+
+    #[test]
+    fn healthy_is_false_when_nothing_listens() {
+        let (server, mut c) = start();
+        server.shutdown();
+        c.set_timeout(std::time::Duration::from_millis(300));
+        assert!(!c.healthy());
     }
 
     #[test]

@@ -3,17 +3,22 @@
 //! ```text
 //! lms-router --db <host:port> [--listen 127.0.0.1:8087]
 //!            [--per-user] [--publish 127.0.0.1:5556]
+//!            [--spool-dir <path>]
 //!            [--gmond <host:port> --gmond-interval <secs>]
 //! ```
 //!
 //! Accepts InfluxDB-style writes on `--listen`, enriches them with job
 //! tags from `/signal/start|end`, and forwards to the database at `--db`.
-//! With `--publish`, metrics and signals fan out on the message queue;
-//! with `--gmond`, a pulling proxy polls a Ganglia gmond.
+//! With `--spool-dir`, batches the database cannot accept spill to a
+//! durable on-disk spool and are replayed once it recovers; without it,
+//! overflow is dropped (and counted). With `--publish`, metrics and
+//! signals fan out on the message queue; with `--gmond`, a pulling proxy
+//! polls a Ganglia gmond.
 
 use lms_mq::Publisher;
 use lms_router::proxy::GangliaProxy;
 use lms_router::{Router, RouterConfig, RouterServer};
+use lms_spool::SpoolConfig;
 use lms_util::{Clock, Error, Result};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
@@ -34,6 +39,7 @@ fn run() -> Result<()> {
     let mut publish: Option<SocketAddr> = None;
     let mut gmond: Option<SocketAddr> = None;
     let mut gmond_interval = Duration::from_secs(60);
+    let mut spool_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,6 +53,10 @@ fn run() -> Result<()> {
                 )?)
             }
             "--per-user" => per_user = true,
+            "--spool-dir" => {
+                spool_dir =
+                    Some(it.next().ok_or_else(|| Error::config("--spool-dir needs a path"))?.clone())
+            }
             "--publish" => {
                 publish = Some(resolve(
                     it.next().ok_or_else(|| Error::config("--publish needs an address"))?,
@@ -70,7 +80,7 @@ fn run() -> Result<()> {
             "--help" | "-h" => {
                 println!(
                     "usage: lms-router --db host:port [--listen addr] [--per-user] \
-                     [--publish addr] [--gmond addr --gmond-interval secs]"
+                     [--spool-dir path] [--publish addr] [--gmond addr --gmond-interval secs]"
                 );
                 return Ok(());
             }
@@ -87,8 +97,12 @@ fn run() -> Result<()> {
         }
         None => None,
     };
-    let config = RouterConfig { per_user, ..Default::default() };
-    let router = Arc::new(Router::new(db, config, Clock::system(), publisher));
+    let config = RouterConfig {
+        per_user,
+        spool: spool_dir.map(SpoolConfig::new),
+        ..Default::default()
+    };
+    let router = Arc::new(Router::new(db, config, Clock::system(), publisher)?);
     let server = RouterServer::start(listen.as_str(), router.clone())?;
     println!("lms-router listening on http://{} → db http://{db}", server.addr());
 
@@ -107,13 +121,18 @@ fn run() -> Result<()> {
         }
         let s = router.stats();
         println!(
-            "stats: in={} enriched={} rejected={} signals={} delivered={} dropped={}",
+            "stats: in={} enriched={} rejected={} signals={} delivered={} dropped={} \
+             spooled={} replayed={} pending={} breaker={}",
             s.lines_in,
             s.lines_enriched,
             s.lines_rejected,
             s.signals,
             s.forward.delivered,
-            s.forward.dropped
+            s.forward.dropped,
+            s.forward.spooled,
+            s.forward.replayed,
+            s.forward.spool_pending,
+            s.forward.breaker.as_str()
         );
     }
 }

@@ -1,0 +1,222 @@
+//! Per-destination circuit breaker for the delivery path.
+//!
+//! During an extended database outage every forwarder worker would
+//! otherwise burn its full retry/backoff budget per batch before giving
+//! up. The breaker shares outage knowledge across the pool: after N
+//! consecutive transient failures it **opens** and workers route batches
+//! straight to the spool; after a cool-down one **half-open probe** is
+//! allowed through, and its outcome either closes the breaker or re-opens
+//! it for another cool-down.
+//!
+//! ```text
+//! Closed --N consecutive failures--> Open --cool-down elapsed--> HalfOpen
+//!   ^                                  ^                            |
+//!   +------- probe succeeds -----------+------- probe fails --------+
+//! ```
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Cool-down before a half-open probe is allowed.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, open_for: Duration::from_secs(1) }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Deliveries flow normally.
+    #[default]
+    Closed,
+    /// Destination considered down; deliveries go to the spool.
+    Open,
+    /// Cool-down elapsed; one probe delivery is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name for stats endpoints.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Instant,
+    probe_in_flight: bool,
+    opens: u64,
+}
+
+/// A thread-safe circuit breaker shared by all workers delivering to one
+/// destination.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Instant::now(),
+                probe_in_flight: false,
+                opens: 0,
+            }),
+        }
+    }
+
+    /// Asks whether a delivery attempt may proceed right now. In the
+    /// half-open state only one caller at a time gets `true` (the probe);
+    /// the answer commits the caller to reporting the outcome via
+    /// [`record_success`](Self::record_success) /
+    /// [`record_failure`](Self::record_failure).
+    pub fn allow(&self) -> bool {
+        let inner = &mut *self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if inner.opened_at.elapsed() >= self.cfg.open_for {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    false
+                } else {
+                    inner.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Reports a successful delivery: closes the breaker.
+    pub fn record_success(&self) {
+        let inner = &mut *self.inner.lock().expect("breaker lock");
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.probe_in_flight = false;
+    }
+
+    /// Reports a transient delivery failure: counts toward opening, or
+    /// re-opens immediately when it was the half-open probe.
+    pub fn record_failure(&self) {
+        let inner = &mut *self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.cfg.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Instant::now();
+                    inner.opens += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Instant::now();
+                inner.probe_in_flight = false;
+                inner.opens += 1;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state (resolving an elapsed cool-down as `HalfOpen` is left
+    /// to [`allow`](Self::allow); this is the raw stored state).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+
+    /// How many times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.inner.lock().expect("breaker lock").opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, open_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_for: Duration::from_millis(open_ms),
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = breaker(3, 10_000);
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let b = breaker(2, 10_000);
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak must restart after success");
+    }
+
+    #[test]
+    fn half_open_allows_exactly_one_probe() {
+        let b = breaker(1, 20);
+        b.record_failure();
+        assert!(!b.allow());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allow(), "cool-down elapsed: probe goes through");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "second caller denied while probe in flight");
+    }
+
+    #[test]
+    fn probe_failure_reopens_probe_success_closes() {
+        let b = breaker(1, 20);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+}

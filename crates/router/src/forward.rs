@@ -1,22 +1,36 @@
-//! Buffered, retrying delivery to the database back-end.
+//! Buffered, durable, retrying delivery to the database back-end.
 //!
 //! The router must keep accepting metrics while the database hiccups: the
 //! forwarder decouples the HTTP handler from database I/O with a bounded
 //! queue and a pool of worker threads that retry transient failures with
-//! exponential backoff. Each worker holds its own database connection and
-//! competes for batches on the shared channel, so delivery parallelism
-//! matches the sharded engine's concurrent write path. When the queue
-//! overflows (database down for long), the newest batches are dropped and
-//! counted — monitoring data is replaceable; blocking the cluster's
-//! collectors is not.
+//! full-jitter exponential backoff. Each worker holds its own database
+//! connection and competes for batches on the shared channel, so delivery
+//! parallelism matches the sharded engine's concurrent write path.
+//!
+//! The failure model (see `DESIGN.md` §"Delivery durability"):
+//!
+//! - **transient** errors (I/O, remote 5xx/429) are retried with backoff;
+//! - a shared **circuit breaker** opens after N consecutive transient
+//!   failures so an extended outage stops burning per-batch retry budgets;
+//! - when the queue overflows, retries exhaust, or the breaker is open,
+//!   batches **spill to the on-disk spool** (when configured) instead of
+//!   being dropped; a background **drainer** probes the database and
+//!   replays the spool in order once it is healthy again;
+//! - **permanent** errors (protocol violations, remote 4xx) are rejected
+//!   immediately — never retried, never spooled;
+//! - only when no spool is configured (or the spool itself fails/evicts)
+//!   is a batch dropped, and then it is counted.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use lms_influx::InfluxClient;
+use lms_spool::{Spool, SpoolConfig};
+use lms_util::rng::XorShift64;
 use lms_util::Result;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One unit of forwarding work.
 #[derive(Debug)]
@@ -25,27 +39,128 @@ struct Batch {
     body: String,
 }
 
+/// Forwarder configuration.
+#[derive(Debug, Clone)]
+pub struct ForwardConfig {
+    /// The database server to deliver to.
+    pub db_addr: SocketAddr,
+    /// Bounded queue capacity (batches).
+    pub queue_capacity: usize,
+    /// Retry attempts per batch after the first try.
+    pub max_retries: u32,
+    /// Worker threads draining the queue concurrently (clamped to ≥ 1).
+    pub workers: usize,
+    /// Durable spill-to-disk spool; `None` reverts to drop-and-count.
+    pub spool: Option<SpoolConfig>,
+    /// Circuit-breaker tuning for the destination.
+    pub breaker: BreakerConfig,
+    /// Base delay of the full-jitter exponential backoff.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Per-request I/O timeout on worker/drainer connections.
+    pub io_timeout: Duration,
+    /// Drainer poll interval while the spool is empty or the breaker open.
+    pub drain_idle: Duration,
+    /// Seed for the per-worker jitter RNGs (workers derive distinct
+    /// streams from it; fixed seeds give reproducible chaos tests).
+    pub seed: u64,
+}
+
+impl ForwardConfig {
+    /// Defaults matching the router's: 1024-batch queue, 3 retries,
+    /// one worker per core, no spool, 5-failure/1 s breaker,
+    /// 50 ms → 2 s backoff, 10 s I/O timeout.
+    pub fn new(db_addr: SocketAddr) -> Self {
+        ForwardConfig {
+            db_addr,
+            queue_capacity: 1024,
+            max_retries: 3,
+            workers: default_workers(),
+            spool: None,
+            breaker: BreakerConfig::default(),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            drain_idle: Duration::from_millis(100),
+            seed: 0x1a55_eed7,
+        }
+    }
+}
+
 /// Forwarder statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ForwardStats {
-    /// Batches delivered successfully.
+    /// Batches delivered successfully from the queue.
     pub delivered: u64,
-    /// Batches dropped (queue overflow or retries exhausted).
+    /// Batches rejected on permanent (protocol) errors — never retried.
+    pub rejected: u64,
+    /// Batches lost: overflow/exhaustion with no spool configured, spool
+    /// append failures, and spool cap evictions.
     pub dropped: u64,
+    /// Batches spilled to the on-disk spool.
+    pub spooled: u64,
+    /// Spooled batches replayed into the database.
+    pub replayed: u64,
     /// Retry attempts performed.
     pub retries: u64,
+    /// Spooled batches still awaiting replay.
+    pub spool_pending: u64,
+    /// Circuit-breaker state for the destination.
+    pub breaker: BreakerState,
 }
 
 struct Shared {
     delivered: AtomicU64,
+    rejected: AtomicU64,
     dropped: AtomicU64,
+    spooled: AtomicU64,
     retries: AtomicU64,
+    /// Batches accepted into the queue and not yet fully processed
+    /// (queued + in flight). `flush` waits for this to reach zero, which
+    /// closes the old "queue empty but worker still writing" race.
+    outstanding: AtomicU64,
+    progress: Mutex<()>,
+    progress_cv: Condvar,
+    breaker: CircuitBreaker,
+    spool: Option<Spool>,
+    stop: AtomicBool,
 }
 
-/// Handle to the forwarding worker pool.
+impl Shared {
+    fn notify_progress(&self) {
+        let _guard = self.progress.lock().expect("progress lock");
+        self.progress_cv.notify_all();
+    }
+
+    fn spool_pending(&self) -> u64 {
+        self.spool.as_ref().map_or(0, Spool::pending)
+    }
+
+    /// Spills a batch to the spool, or counts it dropped when the spool
+    /// is absent or failing.
+    fn spill(&self, db: &str, body: &str) {
+        match &self.spool {
+            Some(spool) => match spool.append(db, body) {
+                Ok(()) => {
+                    self.spooled.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Handle to the forwarding worker pool and spool drainer.
 pub struct Forwarder {
     tx: Option<Sender<Batch>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    drainer: Option<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -56,74 +171,107 @@ pub fn default_workers() -> usize {
 }
 
 impl Forwarder {
-    /// Creates a forwarder delivering to the database server at `db_addr`.
-    ///
-    /// `queue_capacity` bounds the number of buffered batches; `max_retries`
-    /// bounds delivery attempts per batch (with 50 ms → 100 ms → … backoff);
-    /// `workers` threads drain the queue concurrently (clamped to ≥ 1).
-    pub fn start(
-        db_addr: SocketAddr,
-        queue_capacity: usize,
-        max_retries: u32,
-        workers: usize,
-    ) -> Self {
-        let (tx, rx): (Sender<Batch>, Receiver<Batch>) = bounded(queue_capacity.max(1));
+    /// Starts the worker pool (and the spool drainer when a spool is
+    /// configured). Fails only when the spool directory is unusable.
+    pub fn start(config: ForwardConfig) -> Result<Self> {
+        let (tx, rx): (Sender<Batch>, Receiver<Batch>) = bounded(config.queue_capacity.max(1));
+        let spool = config.spool.clone().map(Spool::open).transpose()?;
         let shared = Arc::new(Shared {
             delivered: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            spooled: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
+            progress: Mutex::new(()),
+            progress_cv: Condvar::new(),
+            breaker: CircuitBreaker::new(config.breaker),
+            spool,
+            stop: AtomicBool::new(false),
         });
-        let workers = (0..workers.max(1))
+        let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
                 let rx = rx.clone();
+                let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("lms-router-forwarder-{i}"))
-                    .spawn(move || worker_loop(rx, db_addr, max_retries, shared))
+                    .spawn(move || worker_loop(&rx, &config, &shared, i as u64))
                     .expect("spawn forwarder")
             })
             .collect();
-        Forwarder { tx: Some(tx), workers, shared }
+        let drainer = shared.spool.is_some().then(|| {
+            let shared = shared.clone();
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("lms-router-spool-drainer".into())
+                .spawn(move || drainer_loop(&config, &shared))
+                .expect("spawn spool drainer")
+        });
+        Ok(Forwarder { tx: Some(tx), workers, drainer, shared })
     }
 
-    /// Enqueues a batch. On a full queue the **new** batch is dropped and
-    /// counted (back-pressure would stall the HTTP handler; newest-drop is
-    /// the cheapest policy that keeps the pipeline live).
+    /// Enqueues a batch. On a full queue the **new** batch spills to the
+    /// spool (back-pressure would stall the HTTP handler; collectors must
+    /// never block); without a spool it is dropped and counted.
     pub fn enqueue(&self, db: &str, body: String) {
         if body.is_empty() {
             return;
         }
         let tx = self.tx.as_ref().expect("forwarder running");
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         match tx.try_send(Batch { db: db.to_string(), body }) {
             Ok(()) => {}
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            Err(TrySendError::Full(b)) | Err(TrySendError::Disconnected(b)) => {
+                self.shared.spill(&b.db, &b.body);
+                self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                self.shared.notify_progress();
             }
         }
     }
 
-    /// Current statistics.
+    /// Current statistics (queue, retry, spool and breaker counters in
+    /// one consistent-enough snapshot).
     pub fn stats(&self) -> ForwardStats {
+        let spool = self.shared.spool.as_ref().map(Spool::stats).unwrap_or_default();
         ForwardStats {
             delivered: self.shared.delivered.load(Ordering::Relaxed),
-            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed) + spool.evicted,
+            spooled: self.shared.spooled.load(Ordering::Relaxed),
+            replayed: spool.replayed,
             retries: self.shared.retries.load(Ordering::Relaxed),
+            spool_pending: spool.pending,
+            breaker: self.shared.breaker.state(),
         }
     }
 
-    /// Blocks until the queue is drained or the timeout expires. Returns
-    /// true when drained (used by tests and graceful shutdown).
+    /// Blocks until every accepted batch has been fully resolved —
+    /// queue empty, **no batch in flight in any worker**, and the spool
+    /// drained — or the timeout expires. Returns true when fully drained.
     pub fn flush(&self, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
-            if self.tx.as_ref().is_none_or(|tx| tx.is_empty()) {
-                // Queue empty; give the worker a beat to finish in-flight I/O.
-                std::thread::sleep(Duration::from_millis(20));
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.shared.progress.lock().expect("progress lock");
+        loop {
+            if self.shared.outstanding.load(Ordering::Acquire) == 0
+                && self.shared.spool_pending() == 0
+            {
                 return true;
             }
-            std::thread::sleep(Duration::from_millis(5));
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            // Bounded waits guard against a missed wake-up (e.g. spool
+            // counters changed by eviction without a notification).
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            let (g, _) = self
+                .shared
+                .progress_cv
+                .wait_timeout(guard, wait)
+                .expect("progress lock");
+            guard = g;
         }
-        false
     }
 }
 
@@ -133,51 +281,150 @@ impl Drop for Forwarder {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(d) = self.drainer.take() {
+            let _ = d.join();
+        }
     }
 }
 
-fn worker_loop(
-    rx: Receiver<Batch>,
-    db_addr: SocketAddr,
-    max_retries: u32,
-    shared: Arc<Shared>,
-) {
+/// Connects (with the configured timeout) if needed, then writes.
+fn try_write(
+    client: &mut Option<InfluxClient>,
+    config: &ForwardConfig,
+    db: &str,
+    body: &str,
+) -> Result<()> {
+    if client.is_none() {
+        let mut c = InfluxClient::connect(config.db_addr)?;
+        c.set_timeout(config.io_timeout);
+        *client = Some(c);
+    }
+    client.as_mut().expect("just set").write(db, body)
+}
+
+fn worker_loop(rx: &Receiver<Batch>, config: &ForwardConfig, shared: &Shared, index: u64) {
     let mut client: Option<InfluxClient> = None;
+    let mut rng = XorShift64::new(config.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     loop {
         let batch = match rx.recv_timeout(Duration::from_secs(1)) {
             Ok(b) => b,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let mut delivered = false;
-        for attempt in 0..=max_retries {
-            if attempt > 0 {
-                shared.retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(Duration::from_millis(50 << (attempt - 1).min(4)));
+        process_batch(&batch, &mut client, config, shared, &mut rng);
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+        shared.notify_progress();
+    }
+}
+
+fn process_batch(
+    batch: &Batch,
+    client: &mut Option<InfluxClient>,
+    config: &ForwardConfig,
+    shared: &Shared,
+    rng: &mut XorShift64,
+) {
+    // Breaker already open and a spool available: spill immediately
+    // instead of burning a full retry/backoff budget per batch. (Without
+    // a spool the worker still tries — dropping data because a breaker
+    // said so would be worse than a wasted retry.)
+    if shared.spool.is_some() && !shared.breaker.allow() {
+        shared.spill(&batch.db, &batch.body);
+        return;
+    }
+    let mut attempt = 0u32;
+    loop {
+        if attempt > 0 {
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(rng.backoff(config.backoff_base, config.backoff_cap, attempt - 1));
+        }
+        match try_write(client, config, &batch.db, &batch.body) {
+            Ok(()) => {
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+                shared.breaker.record_success();
+                return;
             }
-            let result: Result<()> = (|| {
-                if client.is_none() {
-                    client = Some(InfluxClient::connect(db_addr)?);
+            Err(e) if e.is_transient() => {
+                shared.breaker.record_failure();
+                *client = None; // reconnect on next attempt
+                attempt += 1;
+                let give_up = attempt > config.max_retries
+                    || (shared.spool.is_some() && !shared.breaker.allow());
+                if give_up {
+                    shared.spill(&batch.db, &batch.body);
+                    return;
                 }
-                client.as_mut().expect("just set").write(&batch.db, &batch.body)
-            })();
-            match result {
-                Ok(()) => {
-                    delivered = true;
-                    break;
-                }
-                Err(e) if e.is_transient() => {
-                    client = None;
-                    continue;
-                }
-                Err(_) => break, // permanent (protocol) error: do not retry
+            }
+            Err(_) => {
+                // Permanent (protocol) error: retrying or replaying the
+                // same bytes can never succeed.
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
             }
         }
-        if delivered {
-            shared.delivered.fetch_add(1, Ordering::Relaxed);
-        } else {
-            shared.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Replays spooled batches in order once the database is healthy. The
+/// drainer owns the half-open probe: after the breaker's cool-down it
+/// pings, and a healthy answer starts the replay (which closes the
+/// breaker for the workers too).
+fn drainer_loop(config: &ForwardConfig, shared: &Shared) {
+    let spool = shared.spool.as_ref().expect("drainer requires spool");
+    let mut client: Option<InfluxClient> = None;
+    let mut rng = XorShift64::new(config.seed ^ 0xD5A1_4E55);
+    let mut failures: u32 = 0;
+    while !shared.stop.load(Ordering::Acquire) {
+        let Some(entry) = spool.peek() else {
+            shared.notify_progress();
+            sleep_unless_stopped(shared, config.drain_idle);
+            continue;
+        };
+        if !shared.breaker.allow() {
+            sleep_unless_stopped(shared, config.drain_idle);
+            continue;
         }
+        let result = (|| {
+            if client.is_none() {
+                let mut c = InfluxClient::connect(config.db_addr)?;
+                c.set_timeout(config.io_timeout);
+                c.ping()?; // health probe before replaying a backlog
+                client = Some(c);
+            }
+            client.as_mut().expect("just set").write(&entry.db, &entry.body)
+        })();
+        match result {
+            Ok(()) => {
+                spool.ack(&entry);
+                shared.breaker.record_success();
+                failures = 0;
+                shared.notify_progress();
+            }
+            Err(e) if e.is_transient() => {
+                shared.breaker.record_failure();
+                client = None;
+                failures += 1;
+                let backoff =
+                    rng.backoff(config.backoff_base, config.backoff_cap, (failures - 1).min(16));
+                sleep_unless_stopped(shared, backoff);
+            }
+            Err(_) => {
+                // Permanent: this batch would wedge the spool head forever;
+                // reject it and move on.
+                spool.ack(&entry);
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.notify_progress();
+            }
+        }
+    }
+}
+
+/// Sleeps in slices so shutdown is prompt even mid-backoff.
+fn sleep_unless_stopped(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shared.stop.load(Ordering::Acquire) {
+        std::thread::sleep((deadline - Instant::now()).min(Duration::from_millis(20)));
     }
 }
 
@@ -186,6 +433,7 @@ mod tests {
     use super::*;
     use lms_influx::{Influx, InfluxServer};
     use lms_util::{Clock, Timestamp};
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
     fn db() -> (InfluxServer, Influx) {
         let influx = Influx::new(Clock::simulated(Timestamp::from_secs(1000)));
@@ -193,13 +441,43 @@ mod tests {
         (server, influx)
     }
 
+    fn tmp_spool(tag: &str) -> SpoolConfig {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "lms-fwd-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, AtomicOrdering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        SpoolConfig::new(dir)
+    }
+
+    fn cfg(addr: SocketAddr, queue: usize, retries: u32, workers: usize) -> ForwardConfig {
+        ForwardConfig {
+            queue_capacity: queue,
+            max_retries: retries,
+            workers,
+            backoff_cap: Duration::from_millis(200),
+            io_timeout: Duration::from_secs(2),
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                open_for: Duration::from_millis(100),
+            },
+            drain_idle: Duration::from_millis(20),
+            seed: 42,
+            ..ForwardConfig::new(addr)
+        }
+    }
+
     #[test]
     fn delivers_batches() {
         let (server, influx) = db();
-        let f = Forwarder::start(server.addr(), 64, 2, 2);
+        let f = Forwarder::start(cfg(server.addr(), 64, 2, 2)).unwrap();
         f.enqueue("lms", "m v=1 1\nm v=2 2".to_string());
         f.enqueue("lms", "m v=3 3".to_string());
         assert!(f.flush(Duration::from_secs(5)));
+        // flush() returning means delivery completed — no settling sleep.
         assert_eq!(influx.point_count("lms"), 3);
         assert_eq!(f.stats().delivered, 2);
         assert_eq!(f.stats().dropped, 0);
@@ -209,7 +487,7 @@ mod tests {
     #[test]
     fn empty_batches_are_skipped() {
         let (server, _influx) = db();
-        let f = Forwarder::start(server.addr(), 4, 0, 1);
+        let f = Forwarder::start(cfg(server.addr(), 4, 0, 1)).unwrap();
         f.enqueue("lms", String::new());
         assert!(f.flush(Duration::from_secs(1)));
         assert_eq!(f.stats(), ForwardStats::default());
@@ -217,40 +495,39 @@ mod tests {
     }
 
     #[test]
-    fn survives_database_restart() {
+    fn survives_database_restart_via_spool() {
         let (server, _old) = db();
         let addr = server.addr();
-        let f = Forwarder::start(addr, 64, 5, 2);
+        let f = Forwarder::start(ForwardConfig {
+            spool: Some(tmp_spool("restart")),
+            ..cfg(addr, 64, 5, 2)
+        })
+        .unwrap();
         f.enqueue("lms", "m v=1 1".to_string());
         assert!(f.flush(Duration::from_secs(5)));
         server.shutdown();
 
-        // DB is down: the next batch should retry, then a new DB on the
-        // same port picks it up.
+        // DB is down: the next batch retries, trips the breaker or
+        // exhausts, and lands in the spool. A new DB on the same port
+        // picks it up through the drainer — flush() alone proves it.
         f.enqueue("lms", "m v=2 2".to_string());
         std::thread::sleep(Duration::from_millis(100));
         let influx2 = Influx::new(Clock::simulated(Timestamp::from_secs(2000)));
         let server2 = InfluxServer::start(addr, influx2.clone()).unwrap();
         assert!(f.flush(Duration::from_secs(10)));
-        // Worker may still be mid-retry; wait for delivery.
-        for _ in 0..100 {
-            if influx2.point_count("lms") > 0 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(50));
-        }
         assert_eq!(influx2.point_count("lms"), 1);
         assert!(f.stats().retries > 0);
+        assert_eq!(f.stats().dropped, 0);
         server2.shutdown();
     }
 
     #[test]
-    fn overflow_drops_newest_and_counts() {
+    fn overflow_drops_newest_and_counts_without_spool() {
         // Point at a dead address: worker shall retry while queue fills.
         let (server, _ix) = db();
         let dead = server.addr();
         server.shutdown();
-        let f = Forwarder::start(dead, 2, 10, 1);
+        let f = Forwarder::start(cfg(dead, 2, 10, 1)).unwrap();
         for i in 0..50 {
             f.enqueue("lms", format!("m v={i} {i}"));
         }
@@ -258,20 +535,138 @@ mod tests {
     }
 
     #[test]
+    fn overflow_spills_to_spool_and_loses_nothing() {
+        let (server, _ix) = db();
+        let addr = server.addr();
+        server.shutdown();
+        let f = Forwarder::start(ForwardConfig {
+            spool: Some(tmp_spool("overflow")),
+            ..cfg(addr, 2, 1, 1)
+        })
+        .unwrap();
+        for i in 0..50 {
+            f.enqueue("lms", format!("m v={i} {i}"));
+        }
+        // Everything lands in the spool (the DB is down); nothing is lost.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while f.stats().spooled < 50 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let s = f.stats();
+        assert_eq!(s.dropped, 0, "{s:?}");
+        assert_eq!(s.spooled, 50, "{s:?}");
+
+        // Bring the DB back: the drainer replays every spooled batch.
+        let influx2 = Influx::new(Clock::simulated(Timestamp::from_secs(3000)));
+        let server2 = InfluxServer::start(addr, influx2.clone()).unwrap();
+        assert!(f.flush(Duration::from_secs(15)));
+        assert_eq!(influx2.point_count("lms"), 50);
+        assert_eq!(f.stats().replayed, 50);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_and_batches_bypass_retries() {
+        let (server, _ix) = db();
+        let addr = server.addr();
+        server.shutdown();
+        let f = Forwarder::start(ForwardConfig {
+            spool: Some(tmp_spool("breaker")),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                open_for: Duration::from_secs(60),
+            },
+            ..cfg(addr, 64, 10, 1)
+        })
+        .unwrap();
+        f.enqueue("lms", "m v=1 1".to_string());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while f.stats().breaker != BreakerState::Open && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(f.stats().breaker, BreakerState::Open);
+        let retries_when_open = f.stats().retries;
+
+        // With the breaker open, further batches go straight to the spool
+        // without new retry attempts.
+        for i in 0..10 {
+            f.enqueue("lms", format!("m v={i} {i}"));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while f.stats().spooled < 11 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let s = f.stats();
+        assert_eq!(s.spooled, 11, "{s:?}");
+        assert_eq!(s.retries, retries_when_open, "open breaker must not retry: {s:?}");
+    }
+
+    #[test]
+    fn permanent_errors_are_rejected_not_spooled() {
+        let (server, influx) = db();
+        let f = Forwarder::start(ForwardConfig {
+            spool: Some(tmp_spool("reject")),
+            ..cfg(server.addr(), 64, 3, 1)
+        })
+        .unwrap();
+        // The database answers 404 for a missing db only on query; for
+        // writes, a malformed batch yields 400 — a permanent error.
+        f.enqueue("lms", "completely broken line".to_string());
+        f.enqueue("lms", "ok v=1 1".to_string());
+        assert!(f.flush(Duration::from_secs(5)));
+        let s = f.stats();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert_eq!(s.delivered, 1, "{s:?}");
+        assert_eq!(s.spooled, 0, "{s:?}");
+        assert_eq!(s.retries, 0, "permanent errors must not be retried: {s:?}");
+        assert_eq!(influx.point_count("lms"), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn spool_survives_forwarder_restart() {
+        let (server, _ix) = db();
+        let addr = server.addr();
+        server.shutdown();
+        let spool_cfg = tmp_spool("fwd-restart");
+        {
+            let f = Forwarder::start(ForwardConfig {
+                spool: Some(spool_cfg.clone()),
+                ..cfg(addr, 64, 1, 2)
+            })
+            .unwrap();
+            for i in 0..5 {
+                f.enqueue("lms", format!("m v={i} {i}"));
+            }
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while f.stats().spooled < 5 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            assert_eq!(f.stats().spooled, 5);
+        } // forwarder drops — simulated crash/restart
+
+        let influx2 = Influx::new(Clock::simulated(Timestamp::from_secs(2000)));
+        let server2 = InfluxServer::start(addr, influx2.clone()).unwrap();
+        let f = Forwarder::start(ForwardConfig {
+            spool: Some(spool_cfg),
+            ..cfg(addr, 64, 1, 2)
+        })
+        .unwrap();
+        assert!(f.flush(Duration::from_secs(10)));
+        assert_eq!(influx2.point_count("lms"), 5);
+        assert_eq!(f.stats().replayed, 5);
+        server2.shutdown();
+    }
+
+    #[test]
     fn worker_pool_drains_concurrently() {
         let (server, influx) = db();
-        let f = Forwarder::start(server.addr(), 256, 2, 4);
+        let f = Forwarder::start(cfg(server.addr(), 256, 2, 4)).unwrap();
         for i in 0..40 {
             f.enqueue("lms", format!("m,w=a v={i} {i}"));
         }
         assert!(f.flush(Duration::from_secs(10)));
-        // Workers may still be mid-write after the queue empties.
-        for _ in 0..100 {
-            if f.stats().delivered == 40 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(20));
-        }
+        // flush() waits for in-flight batches too — assert immediately.
         assert_eq!(f.stats().delivered, 40);
         assert_eq!(influx.point_count("lms"), 40);
         server.shutdown();

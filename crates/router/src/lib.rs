@@ -18,15 +18,19 @@
 //!   queue for stream analyzers.
 //!
 //! Modules: [`tagstore`] (hostname → job tags), [`forward`] (buffered,
-//! retrying delivery to the database), [`router`] (the enrichment core),
+//! durable, retrying delivery to the database), [`breaker`] (the
+//! per-destination circuit breaker), [`router`] (the enrichment core),
 //! [`server`] (HTTP endpoints), [`proxy`] (the Ganglia gmond pull proxy).
 
+pub mod breaker;
 pub mod forward;
 pub mod proxy;
 pub mod router;
 pub mod server;
 pub mod tagstore;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use forward::{ForwardConfig, ForwardStats, Forwarder};
 pub use router::{Router, RouterConfig, RouterStats};
 pub use server::RouterServer;
 pub use tagstore::{JobSignal, TagStore};

@@ -1,10 +1,12 @@
 //! The enrichment core: parse → tag → forward → duplicate → publish.
 
-use crate::forward::{ForwardStats, Forwarder};
+use crate::breaker::BreakerConfig;
+use crate::forward::{ForwardConfig, ForwardStats, Forwarder};
 use crate::tagstore::{JobSignal, TagStore};
 use lms_lineproto::{parse_batch, BatchBuilder, Point};
 use lms_mq::Publisher;
-use lms_util::{Clock, FxHashMap};
+use lms_spool::SpoolConfig;
+use lms_util::{Clock, FxHashMap, Result};
 use parking_lot::RwLock;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,6 +27,11 @@ pub struct RouterConfig {
     /// Forwarder worker threads draining the queue concurrently
     /// (default: one per available core, at least two).
     pub forward_workers: usize,
+    /// Durable spill-to-disk spool for the delivery path. `None` (the
+    /// default) keeps the historical drop-and-count behaviour.
+    pub spool: Option<SpoolConfig>,
+    /// Circuit-breaker tuning for the database destination.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for RouterConfig {
@@ -35,6 +42,8 @@ impl Default for RouterConfig {
             queue_capacity: 1024,
             max_retries: 3,
             forward_workers: crate::forward::default_workers(),
+            spool: None,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -69,20 +78,23 @@ pub struct Router {
 
 impl Router {
     /// Creates a router forwarding to the database server at `db_addr`.
-    /// `publisher` enables the stream-analysis feed.
+    /// `publisher` enables the stream-analysis feed. Fails only when a
+    /// configured spool directory is unusable.
     pub fn new(
         db_addr: SocketAddr,
         config: RouterConfig,
         clock: Clock,
         publisher: Option<Publisher>,
-    ) -> Self {
-        let forwarder = Forwarder::start(
-            db_addr,
-            config.queue_capacity,
-            config.max_retries,
-            config.forward_workers,
-        );
-        Router {
+    ) -> Result<Self> {
+        let forwarder = Forwarder::start(ForwardConfig {
+            queue_capacity: config.queue_capacity,
+            max_retries: config.max_retries,
+            workers: config.forward_workers,
+            spool: config.spool.clone(),
+            breaker: config.breaker,
+            ..ForwardConfig::new(db_addr)
+        })?;
+        Ok(Router {
             tags: RwLock::new(TagStore::new()),
             forwarder,
             publisher,
@@ -92,7 +104,7 @@ impl Router {
             lines_enriched: AtomicU64::new(0),
             lines_rejected: AtomicU64::new(0),
             signals: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The configuration.
@@ -277,7 +289,7 @@ mod tests {
         let clock = Clock::simulated(Timestamp::from_secs(5000));
         let influx = Influx::new(clock.clone());
         let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
-        let router = Router::new(server.addr(), config, clock, None);
+        let router = Router::new(server.addr(), config, clock, None).unwrap();
         (server, influx, router)
     }
 
@@ -411,7 +423,8 @@ mod tests {
         let clock = Clock::simulated(Timestamp::from_secs(5000));
         let influx = Influx::new(clock.clone());
         let server = InfluxServer::start("127.0.0.1:0", influx).unwrap();
-        let router = Router::new(server.addr(), RouterConfig::default(), clock, Some(publisher));
+        let router =
+            Router::new(server.addr(), RouterConfig::default(), clock, Some(publisher)).unwrap();
 
         let mut sub = lms_mq::Subscriber::connect(pub_addr).unwrap();
         sub.subscribe("").unwrap();

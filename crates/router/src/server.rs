@@ -125,8 +125,13 @@ fn handle(router: &Router, req: Request) -> Response {
                     ("lines_rejected", Json::from(s.lines_rejected as i64)),
                     ("signals", Json::from(s.signals as i64)),
                     ("forward_delivered", Json::from(s.forward.delivered as i64)),
+                    ("forward_rejected", Json::from(s.forward.rejected as i64)),
                     ("forward_dropped", Json::from(s.forward.dropped as i64)),
+                    ("forward_spooled", Json::from(s.forward.spooled as i64)),
+                    ("forward_replayed", Json::from(s.forward.replayed as i64)),
                     ("forward_retries", Json::from(s.forward.retries as i64)),
+                    ("spool_pending", Json::from(s.forward.spool_pending as i64)),
+                    ("breaker", Json::str(s.forward.breaker.as_str())),
                 ])
                 .to_string(),
             )
@@ -148,7 +153,8 @@ mod tests {
         let clock = Clock::simulated(Timestamp::from_secs(9000));
         let influx = Influx::new(clock.clone());
         let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
-        let router = Arc::new(Router::new(db.addr(), RouterConfig::default(), clock, None));
+        let router =
+            Arc::new(Router::new(db.addr(), RouterConfig::default(), clock, None).unwrap());
         let rs = RouterServer::start("127.0.0.1:0", router).unwrap();
         let client = HttpClient::connect(rs.addr()).unwrap();
         (db, influx, rs, client)
@@ -205,6 +211,9 @@ mod tests {
         let stats = Json::parse(&c.get("/stats").unwrap().body_str()).unwrap();
         assert_eq!(stats.get("lines_in").unwrap().as_i64(), Some(1));
         assert_eq!(stats.get("lines_rejected").unwrap().as_i64(), Some(1));
+        assert_eq!(stats.get("forward_spooled").unwrap().as_i64(), Some(0));
+        assert_eq!(stats.get("spool_pending").unwrap().as_i64(), Some(0));
+        assert_eq!(stats.get("breaker").unwrap().as_str(), Some("closed"));
         rs.shutdown();
         db.shutdown();
     }

@@ -1,0 +1,206 @@
+//! Record framing for spool segments.
+//!
+//! Each record is one length+CRC frame:
+//!
+//! ```text
+//! [payload_len: u32 LE][crc32(payload): u32 LE][payload]
+//! payload = [db_len: u16 LE][db: UTF-8][body: UTF-8]
+//! ```
+//!
+//! The CRC covers the payload only; the length field is validated by bounds
+//! checks (a corrupt length either exceeds [`MAX_PAYLOAD`] or runs past the
+//! buffer, both of which read as a torn/corrupt tail). Decoding is
+//! prefix-safe: [`decode_all`] consumes frames until the first torn or
+//! corrupt one and reports how many bytes were cleanly consumed, so crash
+//! recovery can truncate a segment to its last intact record.
+
+/// Frame header size: payload length + CRC.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on one payload (db + body); larger lengths are treated as
+/// corruption. 64 MiB is far above any realistic forwarder batch.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// One spooled delivery: a line-protocol batch destined for `db`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Target database name.
+    pub db: String,
+    /// Line-protocol batch body.
+    pub body: String,
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/PNG polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Bytes one record occupies on disk.
+pub fn encoded_len(db: &str, body: &str) -> usize {
+    HEADER_LEN + 2 + db.len() + body.len()
+}
+
+/// Appends the framed record to `out`. Panics if `db` exceeds `u16::MAX`
+/// bytes or the payload exceeds [`MAX_PAYLOAD`] (callers pass database names
+/// and forwarder batches, both far smaller).
+pub fn encode_record(db: &str, body: &str, out: &mut Vec<u8>) {
+    assert!(db.len() <= u16::MAX as usize, "db name too long to spool");
+    let payload_len = 2 + db.len() + body.len();
+    assert!(payload_len <= MAX_PAYLOAD, "record too large to spool");
+    out.reserve(HEADER_LEN + payload_len);
+    let payload_start = out.len() + HEADER_LEN;
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0; 4]); // CRC back-patched below
+    out.extend_from_slice(&(db.len() as u16).to_le_bytes());
+    out.extend_from_slice(db.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    let crc = crc32(&out[payload_start..]);
+    out[payload_start - 4..payload_start].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Result of scanning a segment's bytes.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// Cleanly decoded records, in append order.
+    pub records: Vec<Record>,
+    /// Bytes occupied by those records — everything past this offset is a
+    /// torn tail (crash mid-append) or corruption and must be discarded.
+    pub clean_len: usize,
+}
+
+/// Decodes every intact record from `buf`, stopping at the first torn or
+/// corrupt frame.
+pub fn decode_all(buf: &[u8]) -> DecodeOutcome {
+    let mut records = Vec::new();
+    let mut off = 0;
+    loop {
+        let Some((record, next)) = decode_one(buf, off) else {
+            return DecodeOutcome { records, clean_len: off };
+        };
+        records.push(record);
+        off = next;
+    }
+}
+
+/// Decodes the record at `off`; `None` on a torn/corrupt frame or clean EOF.
+fn decode_one(buf: &[u8], off: usize) -> Option<(Record, usize)> {
+    let rest = &buf[off.min(buf.len())..];
+    if rest.len() < HEADER_LEN {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if !(2..=MAX_PAYLOAD).contains(&payload_len) || rest.len() < HEADER_LEN + payload_len {
+        return None;
+    }
+    let payload = &rest[HEADER_LEN..HEADER_LEN + payload_len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let db_len = u16::from_le_bytes(payload[0..2].try_into().unwrap()) as usize;
+    if 2 + db_len > payload.len() {
+        return None;
+    }
+    let db = std::str::from_utf8(&payload[2..2 + db_len]).ok()?;
+    let body = std::str::from_utf8(&payload[2 + db_len..]).ok()?;
+    Some((
+        Record { db: db.to_string(), body: body.to_string() },
+        off + HEADER_LEN + payload_len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(records: &[(&str, &str)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (db, body) in records {
+            encode_record(db, body, &mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values from the zlib crc32() implementation.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn round_trip_multiple_records() {
+        let buf = encode(&[("lms", "m v=1 1\nm v=2 2"), ("user_alice", ""), ("lms", "x y=3 3")]);
+        let out = decode_all(&buf);
+        assert_eq!(out.clean_len, buf.len());
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[0].db, "lms");
+        assert_eq!(out.records[0].body, "m v=1 1\nm v=2 2");
+        assert_eq!(out.records[1].body, "");
+        assert_eq!(buf.len(), encoded_len("lms", "m v=1 1\nm v=2 2")
+            + encoded_len("user_alice", "")
+            + encoded_len("lms", "x y=3 3"));
+    }
+
+    #[test]
+    fn torn_tail_keeps_intact_prefix() {
+        let buf = encode(&[("lms", "a v=1 1"), ("lms", "b v=2 2")]);
+        let first_len = encoded_len("lms", "a v=1 1");
+        for cut in first_len..buf.len() {
+            let out = decode_all(&buf[..cut]);
+            assert_eq!(out.records.len(), 1, "cut at {cut}");
+            assert_eq!(out.clean_len, first_len);
+        }
+        // Cutting inside the first record loses everything.
+        let out = decode_all(&buf[..first_len - 1]);
+        assert_eq!(out.records.len(), 0);
+        assert_eq!(out.clean_len, 0);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_decoding() {
+        let mut buf = encode(&[("lms", "a v=1 1"), ("lms", "b v=2 2")]);
+        let first_len = encoded_len("lms", "a v=1 1");
+        buf[first_len + HEADER_LEN + 3] ^= 0xFF; // flip a payload byte of record 2
+        let out = decode_all(&buf);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.clean_len, first_len);
+    }
+
+    #[test]
+    fn corrupt_length_is_not_trusted() {
+        let mut buf = encode(&[("lms", "a v=1 1")]);
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        let out = decode_all(&buf);
+        assert_eq!(out.records.len(), 0);
+        assert_eq!(out.clean_len, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean() {
+        assert_eq!(decode_all(&[]), DecodeOutcome::default());
+    }
+}

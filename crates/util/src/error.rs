@@ -34,6 +34,18 @@ pub enum Error {
     Remote { status: u16, message: String },
 }
 
+/// Delivery-oriented error taxonomy: what the forwarding pipeline should
+/// do with a failed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying may succeed (connection failures, remote 5xx/429): retry
+    /// with backoff, then spool.
+    Transient,
+    /// Retrying can never succeed (protocol violations, remote 4xx,
+    /// invariant violations): reject immediately, never spool.
+    Permanent,
+}
+
 impl Error {
     /// Shorthand for a protocol error with a formatted message.
     pub fn protocol(msg: impl Into<String>) -> Self {
@@ -55,14 +67,29 @@ impl Error {
         Error::Invalid(msg.into())
     }
 
+    /// Classifies the error for the delivery pipeline (see [`ErrorClass`]).
+    /// I/O failures and remote 5xx/429 are transient; everything else —
+    /// protocol violations, remote 4xx, config/invariant errors — is
+    /// permanent and must not be retried or spooled.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Error::Io(_) => ErrorClass::Transient,
+            Error::Remote { status, .. } if *status >= 500 || *status == 429 => {
+                ErrorClass::Transient
+            }
+            _ => ErrorClass::Permanent,
+        }
+    }
+
     /// True when retrying the operation might succeed (transient I/O or
     /// remote 5xx); used by the router's forwarding retry loop.
     pub fn is_transient(&self) -> bool {
-        match self {
-            Error::Io(_) => true,
-            Error::Remote { status, .. } => *status >= 500,
-            _ => false,
-        }
+        self.class() == ErrorClass::Transient
+    }
+
+    /// True when retrying can never succeed.
+    pub fn is_permanent(&self) -> bool {
+        self.class() == ErrorClass::Permanent
     }
 }
 
@@ -131,8 +158,27 @@ mod tests {
         assert!(Error::from(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "x"))
             .is_transient());
         assert!(Error::Remote { status: 500, message: String::new() }.is_transient());
+        assert!(Error::Remote { status: 503, message: String::new() }.is_transient());
+        assert!(Error::Remote { status: 429, message: String::new() }.is_transient());
         assert!(!Error::Remote { status: 400, message: String::new() }.is_transient());
         assert!(!Error::protocol("x").is_transient());
+    }
+
+    #[test]
+    fn taxonomy_is_a_partition() {
+        let errors = [
+            Error::protocol("x"),
+            Error::config("x"),
+            Error::from(std::io::Error::other("x")),
+            Error::not_found("x"),
+            Error::invalid("x"),
+            Error::Remote { status: 404, message: String::new() },
+            Error::Remote { status: 500, message: String::new() },
+        ];
+        for e in &errors {
+            assert_ne!(e.is_transient(), e.is_permanent(), "{e}");
+            assert_eq!(e.is_transient(), e.class() == ErrorClass::Transient);
+        }
     }
 
     #[test]

@@ -80,6 +80,16 @@ impl XorShift64 {
     pub fn jitter(&mut self, value: f64, rel: f64) -> f64 {
         value * (1.0 + self.range_f64(-rel, rel))
     }
+
+    /// Full-jitter exponential backoff (AWS architecture-blog flavour):
+    /// uniform in `[0, min(cap, base * 2^attempt))`. A retrying worker
+    /// pool that backs off in lockstep hammers the recovering server in
+    /// synchronized waves; sampling the whole interval decorrelates the
+    /// workers. `attempt` is 0-based (first retry = attempt 0).
+    pub fn backoff(&mut self, base: std::time::Duration, cap: std::time::Duration, attempt: u32) -> std::time::Duration {
+        let ceil = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+        std::time::Duration::from_nanos(self.below((ceil.as_nanos() as u64).max(1)))
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +164,35 @@ mod tests {
             let v = r.jitter(100.0, 0.1);
             assert!((90.0..110.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn backoff_stays_in_exponential_envelope() {
+        use std::time::Duration;
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut r = XorShift64::new(11);
+        for attempt in 0..10 {
+            let ceiling = base.saturating_mul(1 << attempt).min(cap);
+            for _ in 0..200 {
+                let d = r.backoff(base, cap, attempt);
+                assert!(d < ceiling, "attempt {attempt}: {d:?} >= {ceiling:?}");
+            }
+        }
+        // Huge attempt counts must not overflow and must respect the cap.
+        assert!(r.backoff(base, cap, u32::MAX) < cap);
+    }
+
+    #[test]
+    fn backoff_decorrelates_two_workers() {
+        use std::time::Duration;
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let same = (0..20)
+            .filter(|&i| a.backoff(base, cap, i % 5) == b.backoff(base, cap, i % 5))
+            .count();
+        assert!(same < 3, "differently seeded workers should not back off in lockstep");
     }
 }

@@ -46,6 +46,9 @@ pub use lms_mq as mq;
 /// The metrics router (`lms-router`).
 pub use lms_router as router;
 
+/// Durable spill-to-disk spool for the delivery path (`lms-spool`).
+pub use lms_spool as spool;
+
 /// libusermetric application instrumentation (`lms-usermetric`).
 pub use lms_usermetric as usermetric;
 

@@ -5,6 +5,7 @@
 use lms::http::HttpClient;
 use lms::influx::{Influx, InfluxServer};
 use lms::router::{Router, RouterConfig, RouterServer};
+use lms::spool::SpoolConfig;
 use lms::util::{Clock, Timestamp};
 use std::sync::Arc;
 use std::time::Duration;
@@ -13,14 +14,24 @@ fn clock() -> Clock {
     Clock::simulated(Timestamp::from_secs(1_000_000))
 }
 
+fn tmp_spool(tag: &str) -> SpoolConfig {
+    let dir = std::env::temp_dir().join(format!("lms-fi-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SpoolConfig::new(dir)
+}
+
 #[test]
 fn router_buffers_through_database_outage() {
     let clock = clock();
     let influx = Influx::new(clock.clone());
     let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
     let db_addr = db.addr();
-    let config = RouterConfig { max_retries: 8, ..Default::default() };
-    let router = Arc::new(Router::new(db_addr, config, clock.clone(), None));
+    let config = RouterConfig {
+        max_retries: 8,
+        spool: Some(tmp_spool("outage")),
+        ..Default::default()
+    };
+    let router = Arc::new(Router::new(db_addr, config, clock.clone(), None).unwrap());
     let rs = RouterServer::start("127.0.0.1:0", router.clone()).unwrap();
     let mut agent = HttpClient::connect(rs.addr()).unwrap();
 
@@ -35,18 +46,16 @@ fn router_buffers_through_database_outage() {
     let resp = agent.post_text("/write", "m,hostname=h1 v=2 2").unwrap();
     assert_eq!(resp.status, 204);
 
-    // Database returns on the same port; buffered batch is retried in.
+    // Database returns on the same port. flush() blocks until the queue,
+    // every in-flight batch, AND the spool have drained — no poll loop.
     std::thread::sleep(Duration::from_millis(150));
     let influx2 = Influx::new(clock.clone());
     let db2 = InfluxServer::start(db_addr, influx2.clone()).unwrap();
-    for _ in 0..200 {
-        if influx2.point_count("lms") >= 1 {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    assert!(router.flush(Duration::from_secs(10)), "{:?}", router.stats().forward);
     assert_eq!(influx2.point_count("lms"), 1, "buffered point delivered after recovery");
-    assert!(router.stats().forward.retries > 0);
+    let f = router.stats().forward;
+    assert!(f.retries > 0 || f.spooled > 0, "{f:?}");
+    assert_eq!(f.dropped, 0, "{f:?}");
     rs.shutdown();
     db2.shutdown();
 }
@@ -56,7 +65,7 @@ fn malformed_batches_never_poison_the_pipeline() {
     let clock = clock();
     let influx = Influx::new(clock.clone());
     let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
-    let router = Arc::new(Router::new(db.addr(), Default::default(), clock, None));
+    let router = Arc::new(Router::new(db.addr(), Default::default(), clock, None).unwrap());
     let rs = RouterServer::start("127.0.0.1:0", router.clone()).unwrap();
     let mut agent = HttpClient::connect(rs.addr()).unwrap();
 
@@ -131,7 +140,7 @@ fn scheduler_signals_survive_router_outage() {
     // Router exists only long enough to learn its port, then dies.
     let influx = Influx::new(clock.clone());
     let db = InfluxServer::start("127.0.0.1:0", influx).unwrap();
-    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None));
+    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None).unwrap());
     let rs = RouterServer::start("127.0.0.1:0", router).unwrap();
     let router_addr = rs.addr();
     rs.shutdown();

@@ -64,7 +64,7 @@ fn ganglia_to_router_to_database_integration_path() {
     let clock = Clock::simulated(Timestamp::from_secs(2000));
     let influx = Influx::new(clock.clone());
     let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
-    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None));
+    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None).unwrap());
 
     let gmond = GmondServer::start("127.0.0.1:0", "legacy").unwrap();
     gmond.update("old-node-1", 1990, "load_one", 1.25, "float", "");
@@ -92,7 +92,7 @@ fn router_in_front_of_existing_database_is_transparent() {
     let clock = Clock::simulated(Timestamp::from_secs(3000));
     let influx = Influx::new(clock.clone());
     let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
-    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None));
+    let router = Arc::new(Router::new(db.addr(), Default::default(), clock.clone(), None).unwrap());
     let rs = RouterServer::start("127.0.0.1:0", router).unwrap();
 
     // The same InfluxClient used against the DB works against the router
