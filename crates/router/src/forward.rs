@@ -338,6 +338,14 @@ fn process_batch(
         if attempt > 0 {
             shared.retries.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(rng.backoff(config.backoff_base, config.backoff_cap, attempt - 1));
+            // Consult the breaker only *after* the backoff: allow() may
+            // claim the single half-open probe slot, and holding it
+            // through the sleep would block the drainer and every other
+            // worker from delivering for the whole backoff.
+            if shared.spool.is_some() && !shared.breaker.allow() {
+                shared.spill(&batch.db, &batch.body);
+                return;
+            }
         }
         match try_write(client, config, &batch.db, &batch.body) {
             Ok(()) => {
@@ -349,8 +357,10 @@ fn process_batch(
                 shared.breaker.record_failure();
                 *client = None; // reconnect on next attempt
                 attempt += 1;
+                // `state()` (not `allow()`): a plain read cannot claim
+                // the probe slot this arm would then never report on.
                 let give_up = attempt > config.max_retries
-                    || (shared.spool.is_some() && !shared.breaker.allow());
+                    || (shared.spool.is_some() && shared.breaker.state() == BreakerState::Open);
                 if give_up {
                     shared.spill(&batch.db, &batch.body);
                     return;
@@ -358,7 +368,12 @@ fn process_batch(
             }
             Err(_) => {
                 // Permanent (protocol) error: retrying or replaying the
-                // same bytes can never succeed.
+                // same bytes can never succeed. The destination *did*
+                // answer, so report success — this releases a half-open
+                // probe claimed by allow() (leaving it claimed would wedge
+                // the breaker HalfOpen forever) and resets the failure
+                // streak.
+                shared.breaker.record_success();
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -411,9 +426,14 @@ fn drainer_loop(config: &ForwardConfig, shared: &Shared) {
             }
             Err(_) => {
                 // Permanent: this batch would wedge the spool head forever;
-                // reject it and move on.
+                // reject it and move on. The destination answered, so
+                // report success to release the half-open probe this
+                // delivery may hold — otherwise the breaker stays wedged
+                // HalfOpen and the spool never drains.
+                shared.breaker.record_success();
                 spool.ack(&entry);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
+                failures = 0;
                 shared.notify_progress();
             }
         }
@@ -621,6 +641,44 @@ mod tests {
         assert_eq!(s.retries, 0, "permanent errors must not be retried: {s:?}");
         assert_eq!(influx.point_count("lms"), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn permanent_error_on_half_open_probe_releases_breaker() {
+        let (server, _ix) = db();
+        let addr = server.addr();
+        server.shutdown();
+        let f = Forwarder::start(ForwardConfig {
+            spool: Some(tmp_spool("probe-reject")),
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                open_for: Duration::from_millis(50),
+            },
+            ..cfg(addr, 64, 0, 1)
+        })
+        .unwrap();
+        // DB down: both batches spill, the malformed one at the spool head.
+        f.enqueue("lms", "completely broken line".to_string());
+        f.enqueue("lms", "ok v=1 1".to_string());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while f.stats().spooled < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(f.stats().spooled, 2);
+
+        // DB back: the drainer's half-open probe hits the malformed batch
+        // and gets a permanent 400. The breaker must be released (not
+        // stay wedged HalfOpen with the probe claimed) so the good batch
+        // still replays — flush() alone proves it.
+        let influx2 = Influx::new(Clock::simulated(Timestamp::from_secs(4000)));
+        let server2 = InfluxServer::start(addr, influx2.clone()).unwrap();
+        assert!(f.flush(Duration::from_secs(10)));
+        let s = f.stats();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert_eq!(s.replayed, 2, "{s:?}");
+        assert_eq!(s.dropped, 0, "{s:?}");
+        assert_eq!(influx2.point_count("lms"), 1);
+        server2.shutdown();
     }
 
     #[test]

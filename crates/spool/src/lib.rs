@@ -74,6 +74,10 @@ pub struct SpoolStats {
     pub evicted: u64,
     /// Bytes discarded during crash recovery (torn tails, corruption).
     pub torn_bytes: u64,
+    /// Rotation fsyncs that failed (the segment stays replayable — its
+    /// frames were already flushed to the OS — but its durability across
+    /// a power loss is no longer guaranteed).
+    pub sync_failures: u64,
     /// Records currently on disk awaiting replay.
     pub pending: u64,
     /// Segment files currently on disk.
@@ -126,6 +130,7 @@ struct Inner {
     replayed: u64,
     evicted: u64,
     torn_bytes: u64,
+    sync_failures: u64,
     scratch: Vec<u8>,
 }
 
@@ -184,6 +189,7 @@ impl Spool {
                 replayed: 0,
                 evicted: 0,
                 torn_bytes,
+                sync_failures: 0,
                 scratch: Vec::new(),
             }),
         })
@@ -210,7 +216,11 @@ impl Spool {
         inner.scratch = buf;
         inner.appended += 1;
         if active.meta.bytes >= inner.cfg.segment_bytes as u64 {
-            inner.rotate()?;
+            // The record is already framed and flushed: a rotation fsync
+            // failure must not fail the append, or the caller would count
+            // a replayable record as dropped. rotate() keeps the segment
+            // accounted and bumps `sync_failures` on error.
+            let _ = inner.rotate();
         }
         inner.enforce_cap();
         Ok(())
@@ -270,6 +280,7 @@ impl Spool {
             replayed: inner.replayed,
             evicted: inner.evicted,
             torn_bytes: inner.torn_bytes,
+            sync_failures: inner.sync_failures,
             pending: head_records + closed_records + active_records,
             segments: inner.head.is_some() as u64
                 + inner.closed.len() as u64
@@ -280,19 +291,24 @@ impl Spool {
 }
 
 impl Inner {
-    /// Closes the active segment, making it available to the reader.
+    /// Closes the active segment, making it available to the reader. The
+    /// segment stays accounted (pushed to `closed`) even when the
+    /// rotation fsync fails: its frames are already flushed to the OS and
+    /// remain replayable now and recoverable after a restart, so dropping
+    /// the meta would desynchronize in-memory accounting from the disk.
     fn rotate(&mut self) -> Result<()> {
-        if let Some(active) = self.active.take() {
-            if self.cfg.sync_on_rotate {
-                active.file.sync_data()?;
-            }
-            if active.meta.records > 0 {
-                self.closed.push_back(active.meta);
-            } else {
-                let _ = std::fs::remove_file(&active.meta.path);
-            }
+        let Some(active) = self.active.take() else { return Ok(()) };
+        if active.meta.records == 0 {
+            let _ = std::fs::remove_file(&active.meta.path);
+            return Ok(());
         }
-        Ok(())
+        let synced =
+            if self.cfg.sync_on_rotate { active.file.sync_data() } else { Ok(()) };
+        self.closed.push_back(active.meta);
+        if synced.is_err() {
+            self.sync_failures += 1;
+        }
+        synced.map_err(Into::into)
     }
 
     /// Loads the oldest segment into `head` for replay.
@@ -302,9 +318,10 @@ impl Inner {
         }
         if self.closed.is_empty() {
             // Reader caught up with the writer: rotate the active segment
-            // (if it holds records) so they become replayable.
-            if self.active.as_ref().is_some_and(|a| a.meta.records > 0) && self.rotate().is_err() {
-                return;
+            // (if it holds records) so they become replayable. Even a
+            // failed rotation fsync leaves the segment in `closed`.
+            if self.active.as_ref().is_some_and(|a| a.meta.records > 0) {
+                let _ = self.rotate();
             }
         }
         let Some(mut meta) = self.closed.pop_front() else { return };
