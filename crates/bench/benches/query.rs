@@ -1,0 +1,160 @@
+//! Storage-engine query benchmark: range scans and aggregations over one
+//! million points, served from the mutable head (memory-only database) vs
+//! from sealed compressed blocks (persistent database after a full flush).
+//!
+//! Also records the sealed-block compression ratio against the raw
+//! in-memory representation (`Vec<(i64, FieldValue)>`) — the acceptance
+//! criterion is ≥ 4x.
+//!
+//! Custom harness (not criterion): the comparison needs the measured
+//! numbers programmatically to emit `BENCH_query.json` at the repository
+//! root.
+
+use lms_influx::{Influx, StorageConfig};
+use lms_util::{Clock, Timestamp};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SERIES: usize = 20;
+const POINTS_PER_SERIES: usize = 50_000; // 1M points total
+const STEP_NS: i64 = 1_000_000_000; // one sample per second per series
+const RUNS: usize = 5;
+
+/// Loads the benchmark dataset: `SERIES` hosts, one sample per second,
+/// a slowly varying utilization-like float per sample.
+fn load(ix: &Influx) {
+    const CHUNK: usize = 5_000;
+    let mut body = String::with_capacity(CHUNK * 64);
+    for series in 0..SERIES {
+        for start in (0..POINTS_PER_SERIES).step_by(CHUNK) {
+            body.clear();
+            for i in start..(start + CHUNK).min(POINTS_PER_SERIES) {
+                let ts = (i as i64 + 1) * STEP_NS;
+                // Quarter-step values in [0, 100): compressible like real
+                // utilization metrics, but not constant.
+                let busy = ((i * 37 + series * 11) % 400) as f64 * 0.25;
+                body.push_str(&format!("cpu,hostname=h{series} busy={busy} {ts}\n"));
+            }
+            ix.write_lines("lms", &body, Default::default()).expect("load");
+        }
+    }
+}
+
+/// Median wall-clock milliseconds of `RUNS` executions of `q`.
+fn measure(ix: &Influx, q: &str) -> f64 {
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            let r = ix.query("lms", black_box(q)).expect("query");
+            black_box(&r);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite time"));
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: &'static str,
+    query: String,
+    head_ms: f64,
+    sealed_ms: f64,
+}
+
+fn main() {
+    let total_ns = POINTS_PER_SERIES as i64 * STEP_NS;
+    let queries: Vec<(&'static str, String)> = vec![
+        (
+            "range-scan-10pct",
+            format!(
+                "SELECT busy FROM cpu WHERE hostname = 'h3' AND time >= {} AND time < {}",
+                total_ns / 2,
+                total_ns / 2 + total_ns / 10
+            ),
+        ),
+        ("aggregate-full", "SELECT mean(busy), max(busy) FROM cpu".to_string()),
+        (
+            "windowed-1h",
+            format!(
+                "SELECT mean(busy) FROM cpu WHERE time >= 0 AND time < {total_ns} GROUP BY time(1h)"
+            ),
+        ),
+    ];
+
+    // Head: memory-only database, every point in the mutable head.
+    let head = Influx::new(Clock::simulated(Timestamp::from_secs(1)));
+    println!("loading {} points into the head engine...", SERIES * POINTS_PER_SERIES);
+    load(&head);
+
+    // Sealed: persistent database, every point flushed into compressed
+    // blocks (the head is empty when the queries run).
+    let dir = std::env::temp_dir().join(format!("lms-bench-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sealed = Influx::open(Clock::simulated(Timestamp::from_secs(1)), 8, StorageConfig::new(&dir))
+        .expect("open persistent");
+    println!("loading {} points into the sealed engine...", SERIES * POINTS_PER_SERIES);
+    load(&sealed);
+    sealed.flush_storage().expect("flush");
+
+    let stats = sealed.storage_stats();
+    assert_eq!(stats.head_points, 0, "flush must seal every head point");
+    assert_eq!(stats.sealed_points, (SERIES * POINTS_PER_SERIES) as u64);
+    let raw_bytes = stats.sealed_points * std::mem::size_of::<(i64, lms_lineproto::FieldValue)>() as u64;
+    let ratio = stats.compression_ratio();
+    println!(
+        "sealed: {} blocks, {} bytes on heap vs {} raw ({:.1}x), {} segment files ({} bytes)\n",
+        stats.sealed_blocks, stats.sealed_bytes, raw_bytes, ratio, stats.segment_files,
+        stats.segment_bytes
+    );
+
+    let mut rows = Vec::new();
+    for (name, q) in &queries {
+        let head_ms = measure(&head, q);
+        let sealed_ms = measure(&sealed, q);
+        println!(
+            "{name:<18} head {head_ms:>8.2} ms   sealed {sealed_ms:>8.2} ms   sealed/head {:>5.2}x",
+            sealed_ms / head_ms
+        );
+        rows.push(Row { name, query: q.clone(), head_ms, sealed_ms });
+    }
+
+    let json = render_json(&rows, &stats, raw_bytes, ratio);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(path, &json).expect("write BENCH_query.json");
+    println!("\nwrote {path}");
+    println!("acceptance: sealed-block compression = {ratio:.1}x raw (target ≥ 4x)");
+    assert!(ratio >= 4.0, "compression ratio {ratio:.2} below the 4x acceptance bar");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn render_json(
+    rows: &[Row],
+    stats: &lms_influx::StorageStats,
+    raw_bytes: u64,
+    ratio: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"series\": {SERIES}, \"points_per_series\": {POINTS_PER_SERIES}, \"step_ns\": {STEP_NS}, \"runs\": {RUNS}}},\n"
+    ));
+    out.push_str("  \"engines\": {\"head\": \"memory-only, all points in mutable heads\", \"sealed\": \"persistent, all points in compressed sealed blocks\"},\n");
+    out.push_str(&format!(
+        "  \"compression\": {{\"raw_bytes\": {raw_bytes}, \"sealed_bytes\": {}, \"segment_bytes\": {}, \"ratio_vs_raw\": {ratio:.2}}},\n",
+        stats.sealed_bytes, stats.segment_bytes
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"influxql\": \"{}\", \"head_ms\": {:.3}, \"sealed_ms\": {:.3}, \"sealed_over_head\": {:.2}}}{}\n",
+            r.name,
+            r.query,
+            r.head_ms,
+            r.sealed_ms,
+            r.sealed_ms / r.head_ms,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use lms_hpm::collector::HpmCollector;
 use lms_hpm::simulate::Simulator;
 use lms_http::HttpClient;
-use lms_influx::{Influx, InfluxServer};
+use lms_influx::{Influx, InfluxServer, StorageConfig, StorageWorker};
 use lms_jobsched::{HttpSignaler, JobId, JobSpec, JobState, Scheduler};
 use lms_lineproto::BatchBuilder;
 use lms_mq::Publisher;
@@ -21,6 +21,7 @@ use lms_sysmon::{HostAgent, SimProc};
 use lms_topology::Topology;
 use lms_util::{Clock, Error, FxHashMap, Result, Timestamp};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +40,10 @@ pub struct StackConfig {
     pub publish: bool,
     /// Database retention window (None = keep everything).
     pub retention: Option<Duration>,
+    /// Persist the database under this directory (WAL + compressed
+    /// segment files); a stack restarted on the same directory serves
+    /// its pre-restart history. None = memory-only.
+    pub data_dir: Option<PathBuf>,
     /// Virtual start time.
     pub start_time: Timestamp,
     /// Simulation seed.
@@ -54,6 +59,7 @@ impl Default for StackConfig {
             per_user: false,
             publish: false,
             retention: None,
+            data_dir: None,
             // The paper's arXiv date makes a recognizable epoch in plots.
             start_time: Timestamp::from_secs(1_501_804_800),
             seed: 42,
@@ -76,6 +82,7 @@ impl StackConfig {
     /// per_user = yes
     /// publish = on
     /// retention_hours = 48
+    /// data_dir = /var/lib/lms    ; persist the database (omit = memory-only)
     /// ```
     pub fn from_ini(text: &str) -> Result<Self> {
         let ini = lms_util::config::Config::parse(text)?;
@@ -117,6 +124,9 @@ impl StackConfig {
             }
             config.retention = Some(Duration::from_secs(h as u64 * 3600));
         }
+        if let Some(dir) = ini.get("monitoring", "data_dir") {
+            config.data_dir = Some(PathBuf::from(dir));
+        }
         Ok(config)
     }
 }
@@ -151,6 +161,7 @@ pub struct LmsStack {
     clock: Clock,
     influx: Influx,
     influx_server: Option<InfluxServer>,
+    storage_worker: Option<StorageWorker>,
     router: Arc<Router>,
     router_server: Option<RouterServer>,
     publisher_addr: Option<SocketAddr>,
@@ -186,12 +197,17 @@ impl LmsStack {
     pub fn start(config: StackConfig) -> Result<Self> {
         let clock = Clock::simulated(config.start_time);
 
-        // Database.
-        let influx = Influx::new(clock.clone());
+        // Database: persistent (WAL + segment files, replaying any prior
+        // history) when `data_dir` is set, memory-only otherwise.
+        let influx = match &config.data_dir {
+            Some(dir) => Influx::open(clock.clone(), 8, StorageConfig::new(dir))?,
+            None => Influx::new(clock.clone()),
+        };
         influx.create_database("lms");
         if let Some(retention) = config.retention {
             influx.set_retention("lms", Some(retention));
         }
+        let storage_worker = influx.spawn_storage_worker();
         let influx_server = InfluxServer::start("127.0.0.1:0", influx.clone())?;
 
         // Optional MQ publisher for stream analyzers.
@@ -252,6 +268,7 @@ impl LmsStack {
             clock,
             influx,
             influx_server: Some(influx_server),
+            storage_worker,
             router,
             router_server: Some(router_server),
             publisher_addr,
@@ -599,6 +616,11 @@ impl Drop for LmsStack {
         if let Some(s) = self.router_server.take() {
             s.shutdown();
         }
+        // Final flush (the worker's stop path seals outstanding heads)
+        // before the database server goes away.
+        if let Some(w) = self.storage_worker.take() {
+            w.stop();
+        }
         if let Some(s) = self.influx_server.take() {
             s.shutdown();
         }
@@ -738,7 +760,7 @@ mod tests {
         let config = StackConfig::from_ini(
             "[cluster]\nnodes = 8\ntopology = desktop_4c\nseed = 7\n\
              [monitoring]\nhpm_groups = FLOPS_DP, MEM, ENERGY\nper_user = yes\n\
-             publish = on\nretention_hours = 48\n",
+             publish = on\nretention_hours = 48\ndata_dir = /var/lib/lms\n",
         )
         .unwrap();
         assert_eq!(config.nodes, 8);
@@ -747,6 +769,7 @@ mod tests {
         assert_eq!(config.hpm_groups, vec!["FLOPS_DP", "MEM", "ENERGY"]);
         assert!(config.per_user && config.publish);
         assert_eq!(config.retention, Some(Duration::from_secs(48 * 3600)));
+        assert_eq!(config.data_dir, Some(PathBuf::from("/var/lib/lms")));
         // Defaults when empty.
         let d = StackConfig::from_ini("").unwrap();
         assert_eq!(d.nodes, 4);
@@ -782,6 +805,30 @@ mod tests {
         assert!(c.get("/admin").unwrap().body_str().contains("eve"));
         // Idempotent start.
         assert_eq!(stack.start_viewer_server().unwrap(), addr);
+    }
+
+    #[test]
+    fn stack_restart_with_data_dir_serves_history() {
+        let dir =
+            std::env::temp_dir().join(format!("lms-stack-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = small_config();
+        config.data_dir = Some(dir.clone());
+
+        let measured = {
+            let mut stack = LmsStack::start(config.clone()).unwrap();
+            stack.run_for(Duration::from_secs(300), Duration::from_secs(60));
+            let r = stack.influx().query("lms", "SELECT count(busy) FROM cpu_total").unwrap();
+            r.series[0].values[0][1].as_i64().unwrap()
+            // Drop stops the storage worker, flushing heads to disk.
+        };
+        assert!(measured > 0);
+
+        let stack = LmsStack::start(config).unwrap();
+        let r = stack.influx().query("lms", "SELECT count(busy) FROM cpu_total").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_i64().unwrap(), measured);
+        drop(stack);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,21 +2,41 @@
 //!
 //! ```text
 //! lms-influxd [--listen 127.0.0.1:8086] [--db lms]... [--retention-hours N]
+//!             [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]
+//!             [--partition-hours N] [--compact-min-files N] [--wal-fsync]
 //! ```
 //!
-//! Serves the InfluxDB-compatible `/ping`, `/write` and `/query` endpoints
-//! until interrupted. Any existing collector that can speak to InfluxDB
-//! can point at it (the paper's integration premise).
+//! Serves the InfluxDB-compatible `/ping`, `/write`, `/query` and `/stats`
+//! endpoints until interrupted. Any existing collector that can speak to
+//! InfluxDB can point at it (the paper's integration premise).
+//!
+//! Without `--data-dir` the daemon is memory-only. With it, every write is
+//! appended to a write-ahead log and periodically sealed into compressed
+//! segment files; a restarted daemon replays both and serves the same
+//! queries as before the restart.
 
-use lms_influx::{Influx, InfluxServer};
+use lms_influx::{Influx, InfluxServer, StorageConfig};
 use lms_util::{Clock, Error, Result};
 use std::time::Duration;
+
+fn parse_num<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<T> {
+    it.next()
+        .ok_or_else(|| Error::config(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| Error::config(format!("bad {flag}")))
+}
 
 fn run() -> Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen = "127.0.0.1:8086".to_string();
     let mut databases: Vec<String> = Vec::new();
     let mut retention: Option<Duration> = None;
+    let mut data_dir: Option<String> = None;
+    let mut flush_points: Option<usize> = None;
+    let mut flush_interval: Option<u64> = None;
+    let mut partition_hours: Option<u64> = None;
+    let mut compact_min_files: Option<usize> = None;
+    let mut wal_fsync = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -26,22 +46,54 @@ fn run() -> Result<()> {
             "--db" => databases
                 .push(it.next().ok_or_else(|| Error::config("--db needs a name"))?.clone()),
             "--retention-hours" => {
-                let h: u64 = it
-                    .next()
-                    .ok_or_else(|| Error::config("--retention-hours needs a value"))?
-                    .parse()
-                    .map_err(|_| Error::config("bad --retention-hours"))?;
+                let h: u64 = parse_num(&mut it, "--retention-hours")?;
                 retention = Some(Duration::from_secs(h * 3600));
             }
+            "--data-dir" => {
+                data_dir =
+                    Some(it.next().ok_or_else(|| Error::config("--data-dir needs a path"))?.clone())
+            }
+            "--flush-points" => flush_points = Some(parse_num(&mut it, "--flush-points")?),
+            "--flush-interval-secs" => {
+                flush_interval = Some(parse_num(&mut it, "--flush-interval-secs")?)
+            }
+            "--partition-hours" => partition_hours = Some(parse_num(&mut it, "--partition-hours")?),
+            "--compact-min-files" => {
+                compact_min_files = Some(parse_num(&mut it, "--compact-min-files")?)
+            }
+            "--wal-fsync" => wal_fsync = true,
             "--help" | "-h" => {
-                println!("usage: lms-influxd [--listen addr:port] [--db name]... [--retention-hours N]");
+                println!(
+                    "usage: lms-influxd [--listen addr:port] [--db name]... [--retention-hours N]\n\
+                     \x20                 [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]\n\
+                     \x20                 [--partition-hours N] [--compact-min-files N] [--wal-fsync]"
+                );
                 return Ok(());
             }
             other => return Err(Error::config(format!("unknown argument `{other}`"))),
         }
     }
 
-    let influx = Influx::new(Clock::system());
+    let influx = match &data_dir {
+        Some(dir) => {
+            let mut cfg = StorageConfig::new(dir);
+            if let Some(n) = flush_points {
+                cfg.flush_points = n;
+            }
+            if let Some(s) = flush_interval {
+                cfg.flush_interval = Duration::from_secs(s);
+            }
+            if let Some(h) = partition_hours {
+                cfg.partition = Duration::from_secs(h * 3600);
+            }
+            if let Some(n) = compact_min_files {
+                cfg.compact_min_files = n;
+            }
+            cfg.wal_fsync = wal_fsync;
+            Influx::open(Clock::system(), 8, cfg)?
+        }
+        None => Influx::new(Clock::system()),
+    };
     if databases.is_empty() {
         databases.push("lms".to_string());
     }
@@ -51,11 +103,22 @@ fn run() -> Result<()> {
             influx.set_retention(db, retention);
         }
     }
+    // Held for the daemon's lifetime: flushes and compacts in the
+    // background when persistence is enabled.
+    let _worker = influx.spawn_storage_worker();
     let server = InfluxServer::start(listen.as_str(), influx.clone())?;
     println!("lms-influxd listening on http://{}", server.addr());
     println!("databases: {:?}", influx.database_names());
+    if let Some(dir) = &data_dir {
+        let s = influx.storage_stats();
+        println!(
+            "persistence: {dir} ({} segment files, {} WAL records replayed)",
+            s.segment_files, s.recovered_records
+        );
+    }
 
-    // Retention sweep loop; runs until killed.
+    // Retention sweep loop; runs until killed. The storage worker (when
+    // persistent) flushes and compacts on its own cadence.
     loop {
         std::thread::sleep(Duration::from_secs(60));
         if retention.is_some() {

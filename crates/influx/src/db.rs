@@ -28,14 +28,127 @@ use crate::exec::{self, QueryResult};
 use crate::query::Statement;
 use crate::storage::Series;
 use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Precision};
+use lms_tsm::{BlockEntry, Recovered, SealedBlock, TsmConfig, TsmEngine};
 use lms_util::{hash::fx_hash, Clock, Error, FxHashMap, FxHashSet, Result};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Default number of lock-striped series shards per database.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Configuration of the persistent storage layer (one `lms-tsm` engine per
+/// database, rooted at `data_dir/<db name>`). Absent entirely for the
+/// memory-only mode that predates persistence.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Root directory; each database gets a subdirectory named after it.
+    pub data_dir: PathBuf,
+    /// Flush (seal heads to disk) once a database holds this many head
+    /// points...
+    pub flush_points: usize,
+    /// ...or this much time has passed since the last flush, whichever
+    /// comes first.
+    pub flush_interval: Duration,
+    /// Time-partition width of segment files (retention drops whole files).
+    pub partition: Duration,
+    /// Fsync the WAL on every write (durability over throughput).
+    pub wal_fsync: bool,
+    /// Compact once any partition accumulates this many segment files.
+    pub compact_min_files: usize,
+}
+
+impl StorageConfig {
+    /// Defaults: flush at 50k points or 10s, 2h partitions, fsync on
+    /// rotation only, compact at 4 files.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        StorageConfig {
+            data_dir: data_dir.into(),
+            flush_points: 50_000,
+            flush_interval: Duration::from_secs(10),
+            partition: Duration::from_secs(2 * 3600),
+            wal_fsync: false,
+            compact_min_files: 4,
+        }
+    }
+
+    fn tsm_config(&self, db: &str) -> TsmConfig {
+        TsmConfig {
+            partition_ns: self.partition.as_nanos().clamp(1, i64::MAX as u128) as i64,
+            wal_fsync: self.wal_fsync,
+            compact_min_files: self.compact_min_files.max(2),
+            ..TsmConfig::new(self.data_dir.join(db))
+        }
+    }
+}
+
+/// Splits a sorted point run into contiguous per-partition sub-runs, so
+/// sealed blocks never straddle a segment-file time partition.
+fn partition_runs<'a>(
+    engine: &'a TsmEngine,
+    points: &'a [(i64, FieldValue)],
+) -> impl Iterator<Item = &'a [(i64, FieldValue)]> {
+    points.chunk_by(move |a, b| engine.partition_of(a.0) == engine.partition_of(b.0))
+}
+
+/// A database name that is safe to use verbatim as a directory name (and
+/// to round-trip back from one at startup). Other names fall back to
+/// memory-only storage.
+fn is_safe_db_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Aggregate storage gauges, served under `/stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageStats {
+    /// Points in mutable heads (not yet sealed).
+    pub head_points: u64,
+    /// Point versions in sealed blocks.
+    pub sealed_points: u64,
+    /// Sealed block count across all columns.
+    pub sealed_blocks: u64,
+    /// Compressed bytes across sealed blocks.
+    pub sealed_bytes: u64,
+    /// Bytes in write-ahead logs.
+    pub wal_bytes: u64,
+    /// Segment files on disk.
+    pub segment_files: u64,
+    /// Bytes in segment files.
+    pub segment_bytes: u64,
+    /// Major compactions since open.
+    pub compactions: u64,
+    /// WAL records replayed at the last open.
+    pub recovered_records: u64,
+}
+
+impl StorageStats {
+    /// Sealed compression ratio: in-memory representation bytes per
+    /// compressed byte (`0` when nothing is sealed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.sealed_bytes == 0 {
+            return 0.0;
+        }
+        let raw = self.sealed_points * std::mem::size_of::<(i64, FieldValue)>() as u64;
+        raw as f64 / self.sealed_bytes as f64
+    }
+
+    fn add(&mut self, other: StorageStats) {
+        self.head_points += other.head_points;
+        self.sealed_points += other.sealed_points;
+        self.sealed_blocks += other.sealed_blocks;
+        self.sealed_bytes += other.sealed_bytes;
+        self.wal_bytes += other.wal_bytes;
+        self.segment_files += other.segment_files;
+        self.segment_bytes += other.segment_bytes;
+        self.compactions += other.compactions;
+        self.recovered_records += other.recovered_records;
+    }
+}
 
 /// Options for a write request.
 #[derive(Debug, Clone, Copy, Default)]
@@ -73,12 +186,20 @@ struct Meta {
     retention: Option<Duration>,
 }
 
-/// One logical database with lock-striped series storage.
+/// One logical database with lock-striped series storage and an optional
+/// persistent engine beneath it.
 #[derive(Debug)]
 pub struct Database {
     /// The stripes; length is a power of two so shard selection is a mask.
     shards: Box<[RwLock<Shard>]>,
     meta: RwLock<Meta>,
+    /// Persistence, when configured. The in-memory layer is always the
+    /// source of truth for reads; the engine makes it durable.
+    engine: Option<Arc<TsmEngine>>,
+    /// Blocks sealed in memory whose segment write failed: retried by the
+    /// next flush so the on-disk state catches up (the WAL still covers
+    /// them in the meantime).
+    unflushed: Mutex<Vec<BlockEntry>>,
 }
 
 impl Default for Database {
@@ -101,6 +222,58 @@ impl Database {
         Database {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             meta: RwLock::new(Meta::default()),
+            engine: None,
+            unflushed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens (or creates) a persistent database: sealed blocks are loaded
+    /// from segment files and acknowledged-but-unflushed batches are
+    /// replayed from the WAL, so the result serves the same queries as the
+    /// pre-restart instance.
+    pub fn open_persistent(shards: usize, cfg: TsmConfig) -> Result<Database> {
+        let (engine, recovered) = TsmEngine::open(cfg)?;
+        let mut db = Database::with_shards(shards);
+        db.engine = Some(Arc::new(engine));
+        db.install_recovered(recovered);
+        Ok(db)
+    }
+
+    /// The persistent engine, when this database has one.
+    pub fn engine(&self) -> Option<&Arc<TsmEngine>> {
+        self.engine.as_ref()
+    }
+
+    /// Installs recovered state: sealed blocks first (ascending generation,
+    /// which re-creates series in their pre-crash first-write order), then
+    /// the WAL replay on top (its newer values win over sealed duplicates
+    /// because the head outranks every block).
+    fn install_recovered(&self, recovered: Recovered) {
+        for entry in recovered.blocks {
+            let mut meta = self.meta.write();
+            let mut shard = self.shard_of(&entry.series_key).write();
+            let series = match shard.series.entry(entry.series_key.clone()) {
+                Entry::Occupied(slot) => Arc::make_mut(slot.into_mut()),
+                Entry::Vacant(slot) => {
+                    meta.measurements
+                        .entry(entry.measurement.clone())
+                        .or_default()
+                        .push(entry.series_key.clone());
+                    Arc::make_mut(
+                        slot.insert(Arc::new(Series::new(&entry.measurement, &entry.tags))),
+                    )
+                }
+            };
+            series.field_mut_or_create(&entry.field).push_sealed(Arc::new(entry.block));
+        }
+        let mut key_buf = String::with_capacity(64);
+        for record in &recovered.wal_records {
+            // WAL batches are normalized at append time: every line carries
+            // an explicit nanosecond timestamp, so replay is deterministic.
+            for line in &parse_batch(&record.batch).lines {
+                let ts = line.timestamp.unwrap_or(0);
+                self.write_parsed(line, ts, &mut key_buf);
+            }
         }
     }
 
@@ -227,6 +400,203 @@ impl Database {
             .sum()
     }
 
+    /// Points currently in mutable heads (the flush trigger gauge).
+    pub fn head_point_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .series
+                    .values()
+                    .map(|series| {
+                        series
+                            .field_names()
+                            .filter_map(|f| series.field(f))
+                            .map(|c| c.head_len())
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Series keys in flush order: measurements sorted by name, keys in
+    /// first-write order within each. Sealing in a deterministic order
+    /// keeps generation numbers aligned with first-write order, so recovery
+    /// (which installs blocks by ascending generation) rebuilds the
+    /// measurement index in the same order queries saw before the restart.
+    fn keys_in_flush_order(&self) -> Vec<String> {
+        let meta = self.meta.read();
+        let mut names: Vec<&String> = meta.measurements.keys().collect();
+        names.sort_unstable();
+        names.iter().flat_map(|m| meta.measurements[*m].iter().cloned()).collect()
+    }
+
+    /// Flushes every mutable head to disk: seals heads into compressed
+    /// blocks, writes them to segment files, then checkpoints (deletes) the
+    /// WAL segments they cover. Returns the number of blocks sealed.
+    ///
+    /// Crash/fault behaviour: the WAL is rotated before anything is
+    /// sealed, so on any failure the log still covers every point; blocks
+    /// already sealed in memory are kept in [`Self::unflushed`] and
+    /// re-written by the next flush.
+    pub fn flush_storage(&self) -> Result<usize> {
+        let Some(engine) = &self.engine else { return Ok(0) };
+        let mut session = engine.begin_flush()?;
+        let mut entries = std::mem::take(&mut *self.unflushed.lock());
+        for key in self.keys_in_flush_order() {
+            let mut shard = self.shard_of(&key).write();
+            let Some(series) = shard.series.get_mut(&key) else { continue };
+            let series = Arc::make_mut(series);
+            let measurement = series.measurement().to_string();
+            let tags = series.tags().to_vec();
+            for (field, col) in series.fields_mut() {
+                if col.head().is_empty() {
+                    continue;
+                }
+                // Seal one block per time partition (the head is sorted, so
+                // partitions are contiguous runs): segment files then hold
+                // only one partition's data and retention can unlink them
+                // whole.
+                let head = col.take_head();
+                for run in partition_runs(engine, &head) {
+                    let block = Arc::new(SealedBlock::seal(engine.next_gen(), run));
+                    col.push_sealed(block.clone());
+                    entries.push(BlockEntry {
+                        series_key: key.clone(),
+                        measurement: measurement.clone(),
+                        tags: tags.clone(),
+                        field: field.to_string(),
+                        block: (*block).clone(),
+                    });
+                }
+            }
+        }
+        let sealed = entries.len();
+        if let Err(e) = session.write(&entries) {
+            *self.unflushed.lock() = entries;
+            return Err(e);
+        }
+        session.commit()?;
+        Ok(sealed)
+    }
+
+    /// Major compaction: merges every column's sealed blocks into one
+    /// (dropping overwritten versions and retention-floored points),
+    /// rewrites all segment files, and deletes the old ones. Returns the
+    /// number of blocks written.
+    pub fn compact_storage(&self) -> Result<usize> {
+        let Some(engine) = &self.engine else { return Ok(0) };
+        let mut session = engine.begin_rewrite();
+        let mut entries: Vec<BlockEntry> = Vec::new();
+        // (series key, field, new sealed layer) to install after a durable
+        // write; an empty layer means every sealed point had expired.
+        let mut installs: Vec<(String, String, Vec<Arc<SealedBlock>>)> = Vec::new();
+        for key in self.keys_in_flush_order() {
+            let shard = self.shard_of(&key).read();
+            let Some(series) = shard.series.get(&key) else { continue };
+            let measurement = series.measurement().to_string();
+            let tags = series.tags().to_vec();
+            for field in series.field_names() {
+                let Some(col) = series.field(field) else { continue };
+                let blocks = col.sealed();
+                if blocks.is_empty() {
+                    continue;
+                }
+                let entry = |block: SealedBlock| BlockEntry {
+                    series_key: key.clone(),
+                    measurement: measurement.clone(),
+                    tags: tags.clone(),
+                    field: field.to_string(),
+                    block,
+                };
+                let partition_pure = blocks.iter().all(|b| {
+                    engine.partition_of(b.min_ts) == engine.partition_of(b.max_ts)
+                });
+                if blocks.len() == 1 && col.floor().is_none() && partition_pure {
+                    // Already compact: carry the block over verbatim.
+                    entries.push(entry((*blocks[0]).clone()));
+                    continue;
+                }
+                // Merge all versions, newest generation wins, drop points
+                // hidden by the retention floor.
+                let floor = col.floor().unwrap_or(i64::MIN);
+                let mut versions: Vec<(i64, u64, FieldValue)> = blocks
+                    .iter()
+                    .flat_map(|b| {
+                        b.decode().into_iter().map(move |(t, v)| (t, b.gen, v))
+                    })
+                    .filter(|&(t, _, _)| t >= floor)
+                    .collect();
+                versions.sort_by_key(|&(t, g, _)| (t, g));
+                let mut merged: Vec<(i64, FieldValue)> = Vec::with_capacity(versions.len());
+                for (t, _, v) in versions {
+                    match merged.last_mut() {
+                        Some(last) if last.0 == t => last.1 = v,
+                        _ => merged.push((t, v)),
+                    }
+                }
+                if merged.is_empty() {
+                    // Everything expired: drop the sealed layer entirely.
+                    installs.push((key.clone(), field.to_string(), Vec::new()));
+                    continue;
+                }
+                // One merged block per partition (same reasoning as flush);
+                // they share the max source generation — they never overlap
+                // each other, so relative order among them is irrelevant.
+                let gen = blocks.iter().map(|b| b.gen).max().unwrap_or(0);
+                let mut layer = Vec::new();
+                for run in partition_runs(engine, &merged) {
+                    let block = Arc::new(SealedBlock::seal(gen, run));
+                    entries.push(entry((*block).clone()));
+                    layer.push(block);
+                }
+                installs.push((key.clone(), field.to_string(), layer));
+            }
+        }
+        let written = entries.len();
+        session.write(&entries)?;
+        // Install the merged blocks in memory before deleting old files:
+        // if the deletes fail, disk merely holds redundant versions that
+        // last-write-wins hides at the next open.
+        for (key, field, layer) in installs {
+            let mut shard = self.shard_of(&key).write();
+            let Some(series) = shard.series.get_mut(&key) else { continue };
+            let series = Arc::make_mut(series);
+            series.field_mut_or_create(&field).set_sealed(layer);
+        }
+        session.commit()?;
+        Ok(written)
+    }
+
+    /// Storage gauges for this database (engine gauges plus a live sweep
+    /// of the in-memory layer).
+    pub fn storage_stats(&self) -> StorageStats {
+        let mut stats = StorageStats::default();
+        if let Some(engine) = &self.engine {
+            let e = engine.stats();
+            stats.wal_bytes = e.wal_bytes;
+            stats.segment_files = e.segment_files;
+            stats.segment_bytes = e.segment_bytes;
+            stats.compactions = e.compactions;
+            stats.recovered_records = e.recovered_records;
+        }
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for series in shard.series.values() {
+                for field in series.field_names() {
+                    let Some(col) = series.field(field) else { continue };
+                    stats.head_points += col.head_len() as u64;
+                    let (points, bytes) = col.sealed_sizes();
+                    stats.sealed_points += points as u64;
+                    stats.sealed_bytes += bytes as u64;
+                    stats.sealed_blocks += col.sealed().len() as u64;
+                }
+            }
+        }
+        stats
+    }
+
     /// Applies the retention policy relative to `now_ns`; returns evicted
     /// point count. Emptied series and measurements are garbage-collected.
     ///
@@ -251,12 +621,35 @@ impl Database {
                     true
                 }
             });
+            // Under churning tag sets (ephemeral pods, rotating batch job
+            // ids) series are created and fully evicted continuously; give
+            // the capacity back so the map stays bounded by the *live*
+            // series count, not the historical peak.
+            if shard.series.capacity() > 64 && shard.series.capacity() > 4 * shard.series.len()
+            {
+                shard.series.shrink_to_fit();
+            }
         }
         if !removed.is_empty() {
             meta.measurements.retain(|_, keys| {
                 keys.retain(|k| !removed.contains(k));
                 !keys.is_empty()
             });
+            for keys in meta.measurements.values_mut() {
+                if keys.capacity() > 64 && keys.capacity() > 4 * keys.len() {
+                    keys.shrink_to_fit();
+                }
+            }
+            if meta.measurements.capacity() > 64
+                && meta.measurements.capacity() > 4 * meta.measurements.len()
+            {
+                meta.measurements.shrink_to_fit();
+            }
+        }
+        if let Some(engine) = &self.engine {
+            // Best-effort: whole expired segment files are unlinked without
+            // scanning; a failed unlink retries next sweep.
+            let _ = engine.drop_expired(cutoff);
         }
         evicted
     }
@@ -269,6 +662,24 @@ struct Inner {
     auto_create: bool,
     /// Stripe count for newly created databases.
     shard_count: usize,
+    /// Persistence configuration; `None` keeps the pre-PR memory-only
+    /// behaviour.
+    storage: Option<StorageConfig>,
+}
+
+impl Inner {
+    /// Builds a database, persistent when storage is configured and the
+    /// name is directory-safe (other names stay memory-only — they cannot
+    /// round-trip through a path).
+    fn make_database(&self, name: &str) -> Result<Arc<Database>> {
+        match &self.storage {
+            Some(cfg) if is_safe_db_name(name) => Ok(Arc::new(Database::open_persistent(
+                self.shard_count,
+                cfg.tsm_config(name),
+            )?)),
+            _ => Ok(Arc::new(Database::with_shards(self.shard_count))),
+        }
+    }
 }
 
 /// Thread-safe embedded handle to the whole storage.
@@ -294,9 +705,41 @@ impl Influx {
                 databases: FxHashMap::default(),
                 auto_create: true,
                 shard_count: shards.max(1).next_power_of_two(),
+                storage: None,
             })),
             clock,
         }
+    }
+
+    /// Opens a *persistent* storage rooted at `storage.data_dir`: every
+    /// database found on disk is recovered immediately (sealed segments +
+    /// WAL replay), and databases created later persist under the same
+    /// root. Queries served after a restart match the pre-restart state up
+    /// to the last acknowledged write.
+    pub fn open(clock: Clock, shards: usize, storage: StorageConfig) -> Result<Influx> {
+        let ix = Influx::with_shards(clock, shards);
+        std::fs::create_dir_all(&storage.data_dir)?;
+        let dir = storage.data_dir.clone();
+        ix.inner.write().storage = Some(storage);
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            if let Ok(name) = entry.file_name().into_string() {
+                if is_safe_db_name(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort_unstable();
+        for name in names {
+            let mut inner = ix.inner.write();
+            let db = inner.make_database(&name)?;
+            inner.databases.insert(name, db);
+        }
+        Ok(ix)
     }
 
     /// Disables database auto-creation (writes to unknown databases then
@@ -305,25 +748,26 @@ impl Influx {
         self.inner.write().auto_create = enabled;
     }
 
-    /// Creates a database (idempotent).
+    /// Creates a database (idempotent). If persistence is configured but
+    /// the on-disk open fails, the database degrades to memory-only rather
+    /// than failing creation.
     pub fn create_database(&self, name: &str) {
         let mut inner = self.inner.write();
-        let shards = inner.shard_count;
-        inner
-            .databases
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Database::with_shards(shards)));
+        if inner.databases.contains_key(name) {
+            return;
+        }
+        let db = inner
+            .make_database(name)
+            .unwrap_or_else(|_| Arc::new(Database::with_shards(inner.shard_count)));
+        inner.databases.insert(name.to_string(), db);
     }
 
     /// Sets the retention window of a database (creating it if needed).
     pub fn set_retention(&self, db: &str, retention: Option<Duration>) {
-        let mut inner = self.inner.write();
-        let shards = inner.shard_count;
-        inner
-            .databases
-            .entry(db.to_string())
-            .or_insert_with(|| Arc::new(Database::with_shards(shards)))
-            .set_retention(retention);
+        self.create_database(db);
+        if let Some(found) = self.database(db) {
+            found.set_retention(retention);
+        }
     }
 
     /// Names of all databases, sorted.
@@ -338,8 +782,10 @@ impl Influx {
         &self.clock
     }
 
-    /// Looks up a database handle (read lock only).
-    fn database(&self, db: &str) -> Option<Arc<Database>> {
+    /// Looks up a database handle (read lock only). Exposes the
+    /// maintenance surface — storage engine, flush, stats — for tests
+    /// and tooling.
+    pub fn database(&self, db: &str) -> Option<Arc<Database>> {
         self.inner.read().databases.get(db).cloned()
     }
 
@@ -350,15 +796,15 @@ impl Influx {
             return Ok(found);
         }
         let mut inner = self.inner.write();
-        if !inner.auto_create && !inner.databases.contains_key(db) {
+        if let Some(existing) = inner.databases.get(db) {
+            return Ok(existing.clone());
+        }
+        if !inner.auto_create {
             return Err(Error::not_found(format!("database `{db}`")));
         }
-        let shards = inner.shard_count;
-        Ok(inner
-            .databases
-            .entry(db.to_string())
-            .or_insert_with(|| Arc::new(Database::with_shards(shards)))
-            .clone())
+        let created = inner.make_database(db)?;
+        inner.databases.insert(db.to_string(), created.clone());
+        Ok(created)
     }
 
     /// Writes a line-protocol batch. Malformed lines are counted and
@@ -386,6 +832,32 @@ impl Influx {
             let ts = line.timestamp.map(|t| opts.precision.to_nanos(t)).unwrap_or(default_ts);
             database.write_parsed(line, ts, &mut key_buf);
             outcome.written += 1;
+        }
+        // Durability: the batch is applied in memory first, then logged.
+        // The WAL batch is normalized — every line carries its resolved
+        // nanosecond timestamp — so replay after a crash is deterministic
+        // and idempotent (re-applying overwrites with identical values).
+        if let Some(engine) = database.engine() {
+            if !parsed.lines.is_empty() {
+                let mut wal_batch = String::with_capacity(batch.len() + 16);
+                for line in &parsed.lines {
+                    if line.timestamp.is_some()
+                        && matches!(opts.precision, Precision::Nanoseconds)
+                    {
+                        wal_batch.push_str(line.raw);
+                    } else {
+                        let ts = line
+                            .timestamp
+                            .map(|t| opts.precision.to_nanos(t))
+                            .unwrap_or(default_ts);
+                        let mut point = line.to_point();
+                        point.set_timestamp(ts);
+                        wal_batch.push_str(&point.to_line());
+                    }
+                    wal_batch.push('\n');
+                }
+                engine.append_wal(&wal_batch)?;
+            }
         }
         Ok(outcome)
     }
@@ -428,6 +900,85 @@ impl Influx {
         databases.iter().map(|d| d.enforce_retention(now)).sum()
     }
 
+    /// Flushes every database's mutable heads to disk; returns total
+    /// blocks sealed. No-op (0) without persistence.
+    pub fn flush_storage(&self) -> Result<usize> {
+        let databases: Vec<Arc<Database>> =
+            self.inner.read().databases.values().cloned().collect();
+        let mut sealed = 0;
+        for db in databases {
+            sealed += db.flush_storage()?;
+        }
+        Ok(sealed)
+    }
+
+    /// Compacts every database whose engine wants it; returns blocks
+    /// written.
+    pub fn compact_storage(&self) -> Result<usize> {
+        let databases: Vec<Arc<Database>> =
+            self.inner.read().databases.values().cloned().collect();
+        let mut written = 0;
+        for db in databases {
+            if db.engine().is_some_and(|e| e.needs_compaction()) {
+                written += db.compact_storage()?;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Aggregate storage gauges across all databases.
+    pub fn storage_stats(&self) -> StorageStats {
+        let databases: Vec<Arc<Database>> =
+            self.inner.read().databases.values().cloned().collect();
+        let mut stats = StorageStats::default();
+        for db in databases {
+            stats.add(db.storage_stats());
+        }
+        stats
+    }
+
+    /// Spawns the background flush/compaction worker. Returns `None` when
+    /// persistence is not configured. The worker flushes when any database
+    /// accumulates `flush_points` head points or every `flush_interval`,
+    /// and compacts opportunistically after flushing; stopping it performs
+    /// a final flush.
+    pub fn spawn_storage_worker(&self) -> Option<StorageWorker> {
+        let cfg = self.inner.read().storage.clone()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let ix = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("lms-influx-storage".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(200).min(cfg.flush_interval);
+                let mut last_flush = std::time::Instant::now();
+                while !flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    let due = last_flush.elapsed() >= cfg.flush_interval;
+                    let databases: Vec<Arc<Database>> =
+                        ix.inner.read().databases.values().cloned().collect();
+                    for db in databases {
+                        if db.engine().is_none() {
+                            continue;
+                        }
+                        let heads = db.head_point_count();
+                        if heads > 0 && (due || heads >= cfg.flush_points) {
+                            let _ = db.flush_storage();
+                        }
+                        if db.engine().is_some_and(|e| e.needs_compaction()) {
+                            let _ = db.compact_storage();
+                        }
+                    }
+                    if due {
+                        last_flush = std::time::Instant::now();
+                    }
+                }
+                let _ = ix.flush_storage();
+            })
+            .expect("spawn storage worker");
+        Some(StorageWorker { stop, handle: Some(handle) })
+    }
+
     /// Point count in one database (0 when absent).
     pub fn point_count(&self, db: &str) -> usize {
         self.database(db).map(|d| d.point_count()).unwrap_or(0)
@@ -436,6 +987,34 @@ impl Influx {
     /// Series count in one database (0 when absent).
     pub fn series_count(&self, db: &str) -> usize {
         self.database(db).map(|d| d.series_count()).unwrap_or(0)
+    }
+}
+
+/// Handle to the background flush/compaction thread; stopping (or
+/// dropping) it performs a final flush so a graceful shutdown loses
+/// nothing even with WAL fsync disabled.
+pub struct StorageWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StorageWorker {
+    /// Signals the worker and waits for its final flush.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StorageWorker {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -609,6 +1188,252 @@ mod tests {
         }
         assert_eq!(via_parsed.series_count("lms"), 1);
         assert_eq!(via_point.series_count("lms"), 1);
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lms-influx-db-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persistent(dir: &std::path::Path) -> Influx {
+        Influx::open(
+            Clock::simulated(Timestamp::from_secs(1000)),
+            DEFAULT_SHARDS,
+            StorageConfig::new(dir),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn restart_after_flush_serves_identical_queries() {
+        let dir = tmp_dir("flush-restart");
+        let queries = [
+            "SELECT v FROM cpu",
+            "SELECT mean(v), max(v) FROM cpu",
+            "SHOW MEASUREMENTS",
+            "SELECT v FROM cpu WHERE hostname = 'h2'",
+        ];
+        let before: Vec<QueryResult> = {
+            let ix = persistent(&dir);
+            ix.write_lines(
+                "lms",
+                "cpu,hostname=h1 v=1 1\ncpu,hostname=h2 v=2 2\nmem,hostname=h1 used=3i 3",
+                Default::default(),
+            )
+            .unwrap();
+            assert!(ix.flush_storage().unwrap() > 0);
+            queries.iter().map(|q| ix.query("lms", q).unwrap()).collect()
+        };
+        let ix = persistent(&dir);
+        for (q, expect) in queries.iter().zip(before) {
+            assert_eq!(ix.query("lms", q).unwrap(), expect, "query {q} diverged after restart");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_without_flush_replays_wal() {
+        let dir = tmp_dir("wal-restart");
+        {
+            let ix = persistent(&dir);
+            ix.write_lines("lms", "cpu v=1 1\ncpu v=2 2", Default::default()).unwrap();
+            // No flush: points only exist in memory + WAL.
+        }
+        let ix = persistent(&dir);
+        assert_eq!(ix.point_count("lms"), 2);
+        let r = ix.query("lms", "SELECT v FROM cpu").unwrap();
+        assert_eq!(r.series[0].values.len(), 2);
+        assert!(ix.storage_stats().recovered_records > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_preserves_server_assigned_timestamps() {
+        // Lines without timestamps get server time at write; the WAL must
+        // record the *resolved* timestamp, not re-stamp at replay.
+        let dir = tmp_dir("normalize");
+        let before = {
+            let ix = persistent(&dir);
+            ix.write_lines("lms", "cpu v=1", Default::default()).unwrap();
+            ix.query("lms", "SELECT v FROM cpu").unwrap()
+        };
+        let ix = Influx::open(
+            Clock::simulated(Timestamp::from_secs(9999)), // different "now"
+            DEFAULT_SHARDS,
+            StorageConfig::new(&dir),
+        )
+        .unwrap();
+        assert_eq!(ix.query("lms", "SELECT v FROM cpu").unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_across_flush_boundary_resolves_last_write() {
+        let dir = tmp_dir("lww");
+        let ix = persistent(&dir);
+        ix.write_lines("lms", "m v=1 5", Default::default()).unwrap();
+        ix.flush_storage().unwrap();
+        ix.write_lines("lms", "m v=2 5", Default::default()).unwrap();
+        let r = ix.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_f64().unwrap(), 2.0, "head beats sealed");
+        ix.flush_storage().unwrap();
+        drop(ix);
+        let ix = persistent(&dir);
+        let r = ix.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values.len(), 1);
+        assert_eq!(
+            r.series[0].values[0][1].as_f64().unwrap(),
+            2.0,
+            "newer generation beats older after restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_results_and_shrinks_files() {
+        let dir = tmp_dir("compact");
+        let ix = persistent(&dir);
+        for round in 0..5 {
+            let mut batch = String::new();
+            for i in 0..20 {
+                batch.push_str(&format!("m v={} {}\n", round * 100 + i, i));
+            }
+            ix.write_lines("lms", &batch, Default::default()).unwrap();
+            ix.flush_storage().unwrap();
+        }
+        let before = ix.query("lms", "SELECT v FROM m").unwrap();
+        let files_before = ix.storage_stats().segment_files;
+        assert!(files_before >= 5);
+        assert!(ix.compact_storage().unwrap() > 0);
+        assert_eq!(ix.query("lms", "SELECT v FROM m").unwrap(), before);
+        let stats = ix.storage_stats();
+        assert!(stats.segment_files < files_before, "compaction merges files");
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(
+            stats.sealed_points, 20,
+            "overwritten versions are dropped by compaction"
+        );
+        drop(ix);
+        let ix = persistent(&dir);
+        assert_eq!(ix.query("lms", "SELECT v FROM m").unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_drops_expired_segment_files() {
+        let dir = tmp_dir("segment-retention");
+        let ix = Influx::open(
+            Clock::simulated(Timestamp::from_secs(1000)),
+            DEFAULT_SHARDS,
+            StorageConfig {
+                partition: Duration::from_secs(60),
+                ..StorageConfig::new(&dir)
+            },
+        )
+        .unwrap();
+        ix.set_retention("lms", Some(Duration::from_secs(100)));
+        // now = 1000s; one point far in the past, one fresh.
+        ix.write_lines("lms", "m v=1 100000000000\nm v=2 950000000000", Default::default())
+            .unwrap();
+        ix.flush_storage().unwrap();
+        assert_eq!(ix.storage_stats().segment_files, 2, "points land in distinct partitions");
+        assert_eq!(ix.enforce_retention(), 1);
+        let stats = ix.storage_stats();
+        assert_eq!(stats.segment_files, 1, "expired partition file unlinked");
+        assert_eq!(ix.point_count("lms"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_churn_keeps_shard_maps_bounded() {
+        // Churning tag sets: every round writes 200 fresh series, then the
+        // clock advances past retention and the sweep must fully remove
+        // them — both the entries and (eventually) the map capacity.
+        let clock = Clock::simulated(Timestamp::from_secs(1000));
+        let ix = Influx::new(clock.clone());
+        ix.set_retention("lms", Some(Duration::from_secs(10)));
+        for round in 0..30 {
+            let mut batch = String::new();
+            let now = clock.now().nanos();
+            for i in 0..200 {
+                batch.push_str(&format!("jobs,job=r{round}x{i} v=1 {now}\n"));
+            }
+            ix.write_lines("lms", &batch, Default::default()).unwrap();
+            clock.advance(Duration::from_secs(60));
+            ix.enforce_retention();
+            assert_eq!(ix.series_count("lms"), 0, "round {round}: all series expired");
+        }
+        // After 6000 series came and went, the shard maps must not retain
+        // capacity proportional to the historical total.
+        let db = ix.database("lms").unwrap();
+        let capacity: usize = db.shards.iter().map(|s| s.read().series.capacity()).sum();
+        assert!(
+            capacity <= 2048,
+            "shard map capacity {capacity} should be bounded, not ~6000"
+        );
+        assert_eq!(ix.point_count("lms"), 0);
+        let _ = ix.query("lms", "SHOW MEASUREMENTS").unwrap();
+    }
+
+    #[test]
+    fn flush_fault_injection_keeps_data_and_recovers() {
+        let dir = tmp_dir("flush-fault");
+        {
+            let ix = persistent(&dir);
+            ix.write_lines("lms", "m v=1 1\nm v=2 2", Default::default()).unwrap();
+            let db = ix.database("lms").unwrap();
+            db.engine().unwrap().inject_segment_write_failure(4);
+            assert!(db.flush_storage().is_err(), "injected fault surfaces");
+            // Reads still serve everything from memory.
+            let r = ix.query("lms", "SELECT v FROM m").unwrap();
+            assert_eq!(r.series[0].values.len(), 2);
+            // Retry succeeds: the sealed-but-unwritten blocks are retried.
+            assert!(db.flush_storage().unwrap() > 0);
+        }
+        let ix = persistent(&dir);
+        assert_eq!(ix.point_count("lms"), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsafe_db_names_stay_memory_only() {
+        let dir = tmp_dir("unsafe-name");
+        let ix = persistent(&dir);
+        ix.write_lines("weird/../name", "m v=1 1", Default::default()).unwrap();
+        let db = ix.database("weird/../name").unwrap();
+        assert!(db.engine().is_none(), "path-unsafe names must not touch the filesystem");
+        assert!(!dir.join("weird").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_worker_flushes_in_background() {
+        let dir = tmp_dir("worker");
+        let ix = Influx::open(
+            Clock::simulated(Timestamp::from_secs(1000)),
+            DEFAULT_SHARDS,
+            StorageConfig {
+                flush_points: 10,
+                flush_interval: Duration::from_secs(3600), // only the point trigger
+                ..StorageConfig::new(&dir)
+            },
+        )
+        .unwrap();
+        let worker = ix.spawn_storage_worker().expect("storage configured");
+        let mut batch = String::new();
+        for i in 0..50 {
+            batch.push_str(&format!("m v={i} {i}\n"));
+        }
+        ix.write_lines("lms", &batch, Default::default()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while ix.storage_stats().sealed_points == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(ix.storage_stats().sealed_points > 0, "worker flushed on point threshold");
+        worker.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -302,11 +302,11 @@ fn raw_group(sel: &Select, group: &[&Series], start: i64, end: i64) -> ResultSer
     for (si, series) in group.iter().enumerate() {
         for (fi, field) in fields.iter().enumerate() {
             let Some(col) = series.field(field) else { continue };
-            for (ts, value) in col.range(start, end) {
+            for (ts, value) in col.points_in(start, end) {
                 let row = rows
-                    .entry((*ts, si))
+                    .entry((ts, si))
                     .or_insert_with(|| vec![Json::Null; fields.len()]);
-                row[fi] = json_of(value);
+                row[fi] = json_of(&value);
             }
         }
     }
@@ -379,7 +379,7 @@ fn aggregate_group(
                     .iter()
                     .flat_map(|s| {
                         specs.iter().filter_map(|sp| {
-                            s.field(&sp.field).and_then(|c| c.all().first()).map(|&(t, _)| t)
+                            s.field(&sp.field).and_then(|c| c.first_ts())
                         })
                     })
                     .min()
@@ -392,7 +392,7 @@ fn aggregate_group(
                     .iter()
                     .flat_map(|s| {
                         specs.iter().filter_map(|sp| {
-                            s.field(&sp.field).and_then(|c| c.all().last()).map(|&(t, _)| t)
+                            s.field(&sp.field).and_then(|c| c.last_ts())
                         })
                     })
                     .max()
@@ -450,18 +450,18 @@ fn aggregate_points(
     let mut sum_sq = 0.0;
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
-    let mut first: Option<(i64, &FieldValue)> = None;
-    let mut last: Option<(i64, &FieldValue)> = None;
+    let mut first: Option<(i64, FieldValue)> = None;
+    let mut last: Option<(i64, FieldValue)> = None;
 
     for series in group {
         let Some(col) = series.field(field) else { continue };
-        for (ts, value) in col.range(lo, hi) {
+        for (ts, value) in col.points_in(lo, hi) {
             count += 1;
-            if first.is_none() || *ts < first.unwrap().0 {
-                first = Some((*ts, value));
+            if first.as_ref().is_none_or(|f| ts < f.0) {
+                first = Some((ts, value.clone()));
             }
-            if last.is_none() || *ts >= last.unwrap().0 {
-                last = Some((*ts, value));
+            if last.as_ref().is_none_or(|l| ts >= l.0) {
+                last = Some((ts, value.clone()));
             }
             if let Some(v) = value.as_f64() {
                 sum += v;
@@ -478,8 +478,8 @@ fn aggregate_points(
     let numeric = min.is_finite();
     match func {
         AggFunc::Count => Json::Int(count as i64),
-        AggFunc::First => first.map(|(_, v)| json_of(v)).unwrap_or(Json::Null),
-        AggFunc::Last => last.map(|(_, v)| json_of(v)).unwrap_or(Json::Null),
+        AggFunc::First => first.map(|(_, v)| json_of(&v)).unwrap_or(Json::Null),
+        AggFunc::Last => last.map(|(_, v)| json_of(&v)).unwrap_or(Json::Null),
         AggFunc::Mean if numeric => Json::Num(sum / count as f64),
         AggFunc::Sum if numeric => Json::Num(sum),
         AggFunc::Min if numeric => Json::Num(min),

@@ -42,10 +42,14 @@ pub mod server;
 pub mod storage;
 
 pub use client::InfluxClient;
-pub use db::{Database, Influx, WriteOptions};
+pub use db::{Database, Influx, StorageConfig, StorageStats, StorageWorker, WriteOptions};
 pub use exec::{QueryResult, ResultSeries};
 pub use query::Statement;
 pub use server::InfluxServer;
+
+/// The persistent storage engine (re-exported for direct use in tests,
+/// benches, and tooling).
+pub use lms_tsm as tsm;
 
 /// Anything that can answer InfluxQL queries: the embedded [`Influx`]
 /// handle (in-process stack) or an [`InfluxClient`] (remote database).

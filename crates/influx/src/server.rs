@@ -5,6 +5,7 @@
 //! | `GET /ping` | `204` with `X-Influxdb-Version` header |
 //! | `POST /write?db=<db>&precision=<p>` | line-protocol batch → `204`; `400` with a JSON error when every line failed or the db is missing |
 //! | `GET/POST /query?db=<db>&q=<stmt>` | InfluxDB-shaped JSON result |
+//! | `GET /stats` | storage-engine gauges (WAL bytes, sealed blocks, compression ratio, …) |
 
 use crate::db::{Influx, WriteOptions};
 use lms_http::{Request, Response, Server};
@@ -84,6 +85,22 @@ fn handle(influx: &Influx, req: Request) -> Response {
                 Ok(result) => Response::json(200, result.to_json().to_string()),
                 Err(e) => Response::json(400, error_json(&e.to_string())),
             }
+        }
+        ("GET", "/stats") => {
+            let s = influx.storage_stats();
+            let body = Json::obj([
+                ("head_points", Json::Int(s.head_points as i64)),
+                ("sealed_points", Json::Int(s.sealed_points as i64)),
+                ("sealed_blocks", Json::Int(s.sealed_blocks as i64)),
+                ("sealed_bytes", Json::Int(s.sealed_bytes as i64)),
+                ("compression_ratio", Json::Num(s.compression_ratio())),
+                ("wal_bytes", Json::Int(s.wal_bytes as i64)),
+                ("segment_files", Json::Int(s.segment_files as i64)),
+                ("segment_bytes", Json::Int(s.segment_bytes as i64)),
+                ("compactions", Json::Int(s.compactions as i64)),
+                ("recovered_records", Json::Int(s.recovered_records as i64)),
+            ]);
+            Response::json(200, body.to_string())
         }
         _ => Response::not_found("unknown endpoint"),
     }
@@ -169,6 +186,31 @@ mod tests {
         assert_eq!(r.status, 200);
         assert!(ix.database_names().contains(&"userdb".to_string()));
         server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_storage_gauges() {
+        let dir = std::env::temp_dir().join(format!("lms-http-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let influx = Influx::open(
+            Clock::simulated(Timestamp::from_secs(1000)),
+            2,
+            crate::db::StorageConfig::new(&dir),
+        )
+        .unwrap();
+        let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        c.post_text("/write?db=lms", "cpu,hostname=h1 value=0.5 900000000000").unwrap();
+        influx.flush_storage().unwrap();
+        let r = c.get("/stats").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        assert_eq!(json.get("sealed_blocks").unwrap().as_i64(), Some(1));
+        assert_eq!(json.get("segment_files").unwrap().as_i64(), Some(1));
+        assert!(json.get("segment_bytes").unwrap().as_i64().unwrap() > 0);
+        assert!(json.get("compression_ratio").is_some());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

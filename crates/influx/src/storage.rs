@@ -1,59 +1,234 @@
-//! Series storage: per-field, time-sorted columns.
+//! Series storage: per-field columns with a mutable head and sealed blocks.
 //!
 //! A *series* is the unit of storage: one measurement plus one complete tag
-//! set. Values are stored columnar per field, sorted by timestamp, with
-//! last-write-wins semantics on duplicate timestamps (InfluxDB behaviour).
-//! The common case — appends in time order from live collectors — is O(1)
-//! amortized; out-of-order backfill pays a binary-search insert.
+//! set. Values are stored columnar per field. Each [`Column`] is layered:
+//!
+//! * a **mutable head** — `(timestamp, value)` sorted ascending, unique,
+//!   last-write-wins on duplicate timestamps (InfluxDB behaviour). Live
+//!   collector appends in time order are O(1) amortized; out-of-order
+//!   backfill pays a binary-search insert.
+//! * zero or more **sealed blocks** — immutable compressed runs
+//!   ([`lms_tsm::SealedBlock`]) produced when a flush drains the head, and
+//!   re-installed from segment files after a restart.
+//!
+//! Reads merge the layers with last-write-wins: the head outranks every
+//! block, and among blocks the higher seal generation wins. Overlapping
+//! versions of a timestamp may therefore coexist until compaction rewrites
+//! them — [`Column::len`] counts stored *versions*, while reads always see
+//! exactly one value per timestamp. A retention `floor` clamps visibility
+//! for blocks that straddle the retention cutoff: expired points inside a
+//! still-live block are hidden immediately and physically dropped when the
+//! block's file expires or is compacted.
 
 use lms_lineproto::FieldValue;
+use lms_tsm::SealedBlock;
+use std::sync::Arc;
 
-/// One field's time-sorted column.
+/// One field's column: mutable head plus sealed compressed history.
 #[derive(Debug, Clone, Default)]
 pub struct Column {
     /// `(timestamp ns, value)` sorted ascending by timestamp, unique.
-    points: Vec<(i64, FieldValue)>,
+    head: Vec<(i64, FieldValue)>,
+    /// Immutable compressed runs, ascending seal generation.
+    sealed: Vec<Arc<SealedBlock>>,
+    /// Points below this timestamp are invisible (retention clamp for
+    /// partially-expired blocks). `0` (the default) hides nothing that a
+    /// fresh column could contain; negative timestamps predate any real
+    /// scrape but are still representable, so the floor starts at `i64::MIN`
+    /// semantically — we store the raw cutoff and only raise it.
+    floor: Option<i64>,
 }
 
+/// Iterator over the visible points of a column range.
+///
+/// The borrowed variant serves the common all-in-head case without
+/// allocating; the merged variant materializes the last-write-wins merge of
+/// head and overlapping sealed blocks.
+pub enum Points<'a> {
+    /// Fast path: every visible point lives in the mutable head.
+    Head(std::slice::Iter<'a, (i64, FieldValue)>),
+    /// Merge path: decoded blocks + head, deduplicated.
+    Merged(std::vec::IntoIter<(i64, FieldValue)>),
+}
+
+impl Iterator for Points<'_> {
+    type Item = (i64, FieldValue);
+
+    fn next(&mut self) -> Option<(i64, FieldValue)> {
+        match self {
+            Points::Head(it) => it.next().cloned(),
+            Points::Merged(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Points::Head(it) => it.size_hint(),
+            Points::Merged(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Points<'_> {}
+
 impl Column {
-    /// Inserts a point, replacing any existing value at the same timestamp.
+    /// Inserts a point into the head, replacing any existing head value at
+    /// the same timestamp. A sealed version of the timestamp may coexist;
+    /// reads resolve to this newer value.
     pub fn insert(&mut self, ts: i64, value: FieldValue) {
-        match self.points.last() {
-            Some(&(last, _)) if last < ts => self.points.push((ts, value)),
-            _ => match self.points.binary_search_by_key(&ts, |&(t, _)| t) {
-                Ok(i) => self.points[i].1 = value,
-                Err(i) => self.points.insert(i, (ts, value)),
+        match self.head.last() {
+            Some(&(last, _)) if last < ts => self.head.push((ts, value)),
+            _ => match self.head.binary_search_by_key(&ts, |&(t, _)| t) {
+                Ok(i) => self.head[i].1 = value,
+                Err(i) => self.head.insert(i, (ts, value)),
             },
         }
     }
 
-    /// All points in `[start, end)`.
-    pub fn range(&self, start: i64, end: i64) -> &[(i64, FieldValue)] {
-        let lo = self.points.partition_point(|&(t, _)| t < start);
-        let hi = self.points.partition_point(|&(t, _)| t < end);
-        &self.points[lo..hi]
+    /// The visible points in `[start, end)`, merged across head and sealed
+    /// blocks with last-write-wins.
+    pub fn points_in(&self, start: i64, end: i64) -> Points<'_> {
+        let start = match self.floor {
+            Some(floor) => start.max(floor),
+            None => start,
+        };
+        if start >= end {
+            return Points::Merged(Vec::new().into_iter());
+        }
+        let lo = self.head.partition_point(|&(t, _)| t < start);
+        let hi = self.head.partition_point(|&(t, _)| t < end);
+        if !self.sealed.iter().any(|b| b.overlaps(start, end)) {
+            return Points::Head(self.head[lo..hi].iter());
+        }
+        // Tag every version with its generation (head outranks all blocks),
+        // sort by (ts, gen), keep the newest version per timestamp.
+        let mut versions: Vec<(i64, u64, FieldValue)> = Vec::new();
+        for b in self.sealed.iter().filter(|b| b.overlaps(start, end)) {
+            versions.extend(
+                b.decode()
+                    .into_iter()
+                    .filter(|&(t, _)| t >= start && t < end)
+                    .map(|(t, v)| (t, b.gen, v)),
+            );
+        }
+        versions.extend(self.head[lo..hi].iter().map(|(t, v)| (*t, u64::MAX, v.clone())));
+        versions.sort_by_key(|&(t, g, _)| (t, g));
+        let mut out: Vec<(i64, FieldValue)> = Vec::with_capacity(versions.len());
+        for (t, _, v) in versions {
+            match out.last_mut() {
+                Some(last) if last.0 == t => last.1 = v,
+                _ => out.push((t, v)),
+            }
+        }
+        Points::Merged(out.into_iter())
     }
 
-    /// All points.
-    pub fn all(&self) -> &[(i64, FieldValue)] {
-        &self.points
+    /// All visible points (merged).
+    pub fn iter_all(&self) -> Points<'_> {
+        self.points_in(i64::MIN, i64::MAX)
     }
 
-    /// Number of stored points.
+    /// A lower bound on the first visible timestamp (exact when no sealed
+    /// block straddles the retention floor).
+    pub fn first_ts(&self) -> Option<i64> {
+        let head = self.head.first().map(|&(t, _)| t);
+        let sealed = self.sealed.iter().map(|b| b.min_ts).min();
+        let raw = match (head, sealed) {
+            (Some(h), Some(s)) => Some(h.min(s)),
+            (a, b) => a.or(b),
+        }?;
+        Some(match self.floor {
+            Some(floor) => raw.max(floor),
+            None => raw,
+        })
+    }
+
+    /// The last visible timestamp.
+    pub fn last_ts(&self) -> Option<i64> {
+        let head = self.head.last().map(|&(t, _)| t);
+        let sealed = self.sealed.iter().map(|b| b.max_ts).max();
+        match (head, sealed) {
+            (Some(h), Some(s)) => Some(h.max(s)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of stored point *versions* (head + sealed). Overlapping
+    /// writes count once per layer until compaction deduplicates them;
+    /// reads always see one value per timestamp.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.head.len() + self.sealed.iter().map(|b| b.count as usize).sum::<usize>()
     }
 
-    /// True when no point is stored.
+    /// True when neither head nor sealed blocks hold any point.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.head.is_empty() && self.sealed.is_empty()
     }
 
-    /// Drops all points with timestamps `< cutoff`; returns how many.
+    /// Drops head points with timestamps `< cutoff`, drops sealed blocks
+    /// entirely below it, and raises the visibility floor so straddling
+    /// blocks hide their expired prefix. Returns dropped version count.
     pub fn evict_before(&mut self, cutoff: i64) -> usize {
-        let n = self.points.partition_point(|&(t, _)| t < cutoff);
-        self.points.drain(..n);
-        n
+        let n = self.head.partition_point(|&(t, _)| t < cutoff);
+        self.head.drain(..n);
+        let mut dropped = n;
+        self.sealed.retain(|b| {
+            if b.max_ts < cutoff {
+                dropped += b.count as usize;
+                false
+            } else {
+                true
+            }
+        });
+        if self.sealed.iter().any(|b| b.min_ts < cutoff) {
+            self.floor = Some(self.floor.map_or(cutoff, |f| f.max(cutoff)));
+        }
+        dropped
+    }
+
+    /// Drains the mutable head for sealing (flush).
+    pub fn take_head(&mut self) -> Vec<(i64, FieldValue)> {
+        std::mem::take(&mut self.head)
+    }
+
+    /// The mutable head contents (bench/test introspection).
+    pub fn head(&self) -> &[(i64, FieldValue)] {
+        &self.head
+    }
+
+    /// Appends a sealed block (flush seal or recovery install). Blocks must
+    /// arrive in ascending generation order.
+    pub fn push_sealed(&mut self, block: Arc<SealedBlock>) {
+        debug_assert!(self.sealed.last().is_none_or(|b| b.gen <= block.gen));
+        self.sealed.push(block);
+    }
+
+    /// Replaces the sealed layer (compaction install).
+    pub fn set_sealed(&mut self, blocks: Vec<Arc<SealedBlock>>) {
+        self.sealed = blocks;
+    }
+
+    /// The sealed blocks, ascending generation.
+    pub fn sealed(&self) -> &[Arc<SealedBlock>] {
+        &self.sealed
+    }
+
+    /// The retention visibility floor, if one was established.
+    pub fn floor(&self) -> Option<i64> {
+        self.floor
+    }
+
+    /// Head point count (storage stats).
+    pub fn head_len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Sealed version count and compressed byte total (storage stats).
+    pub fn sealed_sizes(&self) -> (usize, usize) {
+        (
+            self.sealed.iter().map(|b| b.count as usize).sum(),
+            self.sealed.iter().map(|b| b.size_bytes()).sum(),
+        )
     }
 }
 
@@ -108,18 +283,33 @@ impl Series {
         self.fields.iter().find(|(f, _)| f == name).map(|(_, c)| c)
     }
 
+    /// Mutable access to a field's column, creating it if missing
+    /// (sealed-block install during recovery).
+    pub fn field_mut_or_create(&mut self, name: &str) -> &mut Column {
+        if let Some(i) = self.fields.iter().position(|(f, _)| f == name) {
+            return &mut self.fields[i].1;
+        }
+        self.fields.push((name.to_string(), Column::default()));
+        &mut self.fields.last_mut().unwrap().1
+    }
+
+    /// Iterates `(field name, column)` mutably (flush/compaction).
+    pub fn fields_mut(&mut self) -> impl Iterator<Item = (&str, &mut Column)> {
+        self.fields.iter_mut().map(|(f, c)| (f.as_str(), c))
+    }
+
     /// All field names, insertion order.
     pub fn field_names(&self) -> impl Iterator<Item = &str> {
         self.fields.iter().map(|(f, _)| f.as_str())
     }
 
-    /// Total stored points across fields.
+    /// Total stored point versions across fields (see [`Column::len`]).
     pub fn point_count(&self) -> usize {
         self.fields.iter().map(|(_, c)| c.len()).sum()
     }
 
     /// Evicts points older than `cutoff` in every field; drops emptied
-    /// fields. Returns evicted point count.
+    /// fields. Returns evicted version count.
     pub fn evict_before(&mut self, cutoff: i64) -> usize {
         let mut evicted = 0;
         for (_, col) in &mut self.fields {
@@ -143,6 +333,15 @@ mod tests {
         FieldValue::Float(v)
     }
 
+    fn collect(points: Points<'_>) -> Vec<(i64, FieldValue)> {
+        points.collect()
+    }
+
+    /// Seals `points` (must be sorted) into the column at generation `gen`.
+    fn seal_into(c: &mut Column, gen: u64, points: &[(i64, FieldValue)]) {
+        c.push_sealed(Arc::new(SealedBlock::seal(gen, points)));
+    }
+
     #[test]
     fn in_order_appends() {
         let mut c = Column::default();
@@ -150,8 +349,10 @@ mod tests {
             c.insert(i, f(i as f64));
         }
         assert_eq!(c.len(), 100);
-        assert_eq!(c.range(10, 20).len(), 10);
-        assert_eq!(c.range(10, 20)[0].0, 10);
+        let pts = collect(c.points_in(10, 20));
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].0, 10);
+        assert!(matches!(c.points_in(10, 20), Points::Head(_)), "no blocks: borrowed fast path");
     }
 
     #[test]
@@ -160,7 +361,7 @@ mod tests {
         for ts in [50, 10, 30, 20, 40] {
             c.insert(ts, f(ts as f64));
         }
-        let times: Vec<i64> = c.all().iter().map(|&(t, _)| t).collect();
+        let times: Vec<i64> = c.iter_all().map(|(t, _)| t).collect();
         assert_eq!(times, vec![10, 20, 30, 40, 50]);
     }
 
@@ -170,7 +371,7 @@ mod tests {
         c.insert(5, f(1.0));
         c.insert(5, f(2.0));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.all()[0].1, f(2.0));
+        assert_eq!(collect(c.iter_all()), vec![(5, f(2.0))]);
     }
 
     #[test]
@@ -179,9 +380,9 @@ mod tests {
         for ts in [10, 20, 30] {
             c.insert(ts, f(0.0));
         }
-        assert_eq!(c.range(10, 30).len(), 2); // 10, 20; 30 excluded
-        assert_eq!(c.range(i64::MIN, i64::MAX).len(), 3);
-        assert!(c.range(11, 12).is_empty());
+        assert_eq!(c.points_in(10, 30).len(), 2); // 10, 20; 30 excluded
+        assert_eq!(c.points_in(i64::MIN, i64::MAX).len(), 3);
+        assert_eq!(c.points_in(11, 12).len(), 0);
     }
 
     #[test]
@@ -192,8 +393,73 @@ mod tests {
         }
         assert_eq!(c.evict_before(5), 5);
         assert_eq!(c.len(), 5);
-        assert_eq!(c.all()[0].0, 5);
+        assert_eq!(collect(c.iter_all())[0].0, 5);
         assert_eq!(c.evict_before(0), 0);
+    }
+
+    #[test]
+    fn merge_prefers_head_over_sealed() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(10, f(1.0)), (20, f(2.0)), (30, f(3.0))]);
+        c.insert(20, f(99.0)); // overwrite a sealed timestamp
+        c.insert(40, f(4.0));
+        let pts = collect(c.iter_all());
+        assert_eq!(pts, vec![(10, f(1.0)), (20, f(99.0)), (30, f(3.0)), (40, f(4.0))]);
+        assert_eq!(c.len(), 5, "len counts versions: 3 sealed + 2 head");
+    }
+
+    #[test]
+    fn merge_prefers_newer_generation() {
+        let mut c = Column::default();
+        seal_into(&mut c, 1, &[(10, f(1.0)), (20, f(2.0))]);
+        seal_into(&mut c, 2, &[(20, f(22.0)), (30, f(3.0))]);
+        let pts = collect(c.iter_all());
+        assert_eq!(pts, vec![(10, f(1.0)), (20, f(22.0)), (30, f(3.0))]);
+    }
+
+    #[test]
+    fn range_skips_non_overlapping_blocks() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(10, f(1.0)), (20, f(2.0))]);
+        c.insert(100, f(5.0));
+        // Query entirely after the block: fast path, no decode.
+        assert!(matches!(c.points_in(50, 200), Points::Head(_)));
+        assert_eq!(collect(c.points_in(50, 200)), vec![(100, f(5.0))]);
+        // Query touching the block: merged.
+        assert_eq!(c.points_in(15, 200).len(), 2);
+    }
+
+    #[test]
+    fn eviction_drops_whole_blocks_and_floors_straddlers() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(0, f(0.0)), (10, f(1.0))]);
+        seal_into(&mut c, 1, &[(20, f(2.0)), (40, f(4.0))]);
+        c.insert(50, f(5.0));
+        // Cutoff 30: block 0 fully expired (dropped), block 1 straddles.
+        let dropped = c.evict_before(30);
+        assert_eq!(dropped, 2, "only the fully-expired block is dropped");
+        assert_eq!(c.floor(), Some(30));
+        let pts = collect(c.iter_all());
+        assert_eq!(pts, vec![(40, f(4.0)), (50, f(5.0))], "floor hides ts 20");
+        assert_eq!(c.first_ts(), Some(30), "first_ts clamps to the floor");
+        assert_eq!(c.last_ts(), Some(50));
+    }
+
+    #[test]
+    fn take_head_then_seal_round_trips() {
+        let mut c = Column::default();
+        for ts in 0..50 {
+            c.insert(ts, f(ts as f64));
+        }
+        let head = c.take_head();
+        assert_eq!(head.len(), 50);
+        assert!(c.head().is_empty());
+        seal_into(&mut c, 0, &head);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.points_in(10, 20).len(), 10);
+        let (count, bytes) = c.sealed_sizes();
+        assert_eq!(count, 50);
+        assert!(bytes > 0);
     }
 
     #[test]

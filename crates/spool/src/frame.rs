@@ -30,32 +30,9 @@ pub struct Record {
     pub body: String,
 }
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// IEEE CRC-32 (the zlib/PNG polynomial).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = !0u32;
-    for &b in bytes {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+/// IEEE CRC-32 (the zlib/PNG polynomial) — shared with the TSM storage
+/// engine via `lms-util`.
+pub use lms_util::hash::crc32;
 
 /// Bytes one record occupies on disk.
 pub fn encoded_len(db: &str, body: &str) -> usize {

@@ -1,0 +1,137 @@
+//! Bit-granular I/O for the Gorilla-style float codec.
+//!
+//! The XOR float encoding emits values that are not byte-aligned (a control
+//! bit, 5-bit leading-zero counts, 6-bit significand lengths, and raw
+//! significand bits). [`BitWriter`] packs bits MSB-first into a byte
+//! vector; [`BitReader`] consumes them in the same order. Both are
+//! deliberately minimal — no seeking, no error recovery — because block
+//! payloads are always read end-to-end and guarded by the segment frame
+//! CRC one layer up.
+
+/// Packs bits MSB-first into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf` (0 when byte-aligned).
+    used: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the lowest `n` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        let mut left = n;
+        while left > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(left);
+            let shift = left - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let idx = self.buf.len() - 1;
+            self.buf[idx] |= chunk << (free - take);
+            self.used = (self.used + take) % 8;
+            left -= take;
+        }
+    }
+
+    /// Writes one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Finishes writing and returns the packed bytes (final byte
+    /// zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `buf` starting at bit 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads `n` bits into the low bits of a `u64`. Returns `None` when the
+    /// buffer is exhausted (possible only on corrupt input — intact blocks
+    /// are read exactly to their encoded value count).
+    pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.pos + n as usize > self.buf.len() * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.buf[self.pos / 8];
+            let bit_off = (self.pos % 8) as u8;
+            let avail = 8 - bit_off;
+            let take = avail.min(left);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take as usize;
+            left -= take;
+        }
+        Some(out)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_unaligned_widths() {
+        let mut w = BitWriter::new();
+        let fields: &[(u64, u8)] = &[
+            (1, 1),
+            (0b10110, 5),
+            (0x3F, 6),
+            (u64::MAX, 64),
+            (0, 3),
+            (0xDEADBEEF, 32),
+            (1, 1),
+        ];
+        for &(v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in fields {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        // Padding bits of the final byte are readable ...
+        assert!(r.read_bits(5).is_some());
+        // ... but reading past the buffer is not.
+        assert_eq!(r.read_bits(1), None);
+    }
+}

@@ -1,0 +1,551 @@
+//! The storage engine: orchestrates WAL, segment files, and compaction.
+//!
+//! [`TsmEngine`] owns the on-disk layout of one database:
+//!
+//! ```text
+//! <dir>/wal/<seq:016x>.wal          write-ahead log segments
+//! <dir>/seg-<p>-<seq:016x>.tsm      sealed-block segment files
+//! ```
+//!
+//! where `p` is the time partition (decimal, possibly negative):
+//! `p = max_ts.div_euclid(partition_ns)` of each block, so a whole file is
+//! provably expired — and droppable without scanning — once
+//! `(p + 1) * partition_ns <= retention cutoff` (every block in the file
+//! has `max_ts < (p + 1) * partition_ns`, and a block's points never
+//! exceed its `max_ts`).
+//!
+//! The engine does not know about series or queries; the in-memory index
+//! (`lms-influx`) drives it through two session types, serialized by an
+//! internal maintenance lock:
+//!
+//! * [`FlushSession`] — rotates the WAL *first* (capturing a checkpoint
+//!   boundary), then receives the sealed heads as [`BlockEntry`]s, writes
+//!   them to per-partition segment files, and on [`FlushSession::commit`]
+//!   deletes the frozen WAL segments. Crash anywhere before commit leaves
+//!   the WAL intact, so replay restores every acknowledged point; records
+//!   that were both sealed and replayed deduplicate via last-write-wins.
+//! * [`RewriteSession`] — major compaction: receives the merged,
+//!   re-encoded blocks, writes fresh segment files, and on commit deletes
+//!   every pre-session file. A crash mid-rewrite leaves old and new files
+//!   coexisting; both load at next open and last-write-wins hides the
+//!   stale versions until the next compaction removes them.
+//!
+//! Fault-injection hooks (`inject_segment_write_failure`,
+//! `set_fail_wal_remove`) let crash tests abort these protocols at their
+//! two interesting points deterministically.
+
+use crate::segment::{self, BlockEntry};
+use crate::wal::{Wal, WalConfig, WalRecord};
+use lms_util::{Error, Result};
+use parking_lot::Mutex;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Storage engine configuration.
+#[derive(Debug, Clone)]
+pub struct TsmConfig {
+    /// Directory for this database's files (created if missing).
+    pub dir: PathBuf,
+    /// Width of one time partition in nanoseconds. Segment files never span
+    /// partitions, so retention drops whole files. Default: 2 hours.
+    pub partition_ns: i64,
+    /// WAL segment rotation size.
+    pub wal_segment_bytes: usize,
+    /// Fsync the WAL on every append (see [`WalConfig`]).
+    pub wal_fsync: bool,
+    /// Compaction trigger: rewrite once any partition holds at least this
+    /// many segment files.
+    pub compact_min_files: usize,
+}
+
+impl TsmConfig {
+    /// Defaults: 2-hour partitions, 4 MiB WAL segments, fsync on rotate,
+    /// compact at 4 files per partition.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TsmConfig {
+            dir: dir.into(),
+            partition_ns: 2 * 3600 * 1_000_000_000,
+            wal_segment_bytes: 4 * 1024 * 1024,
+            wal_fsync: false,
+            compact_min_files: 4,
+        }
+    }
+}
+
+/// Everything recovered at open: sealed blocks plus WAL records to replay.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Block entries from all segment files, sorted by generation — install
+    /// in order and series re-appear with their pre-crash field layout.
+    pub blocks: Vec<BlockEntry>,
+    /// Acknowledged-but-unflushed write batches, in append order. Replay
+    /// after installing `blocks`; overlap is resolved by last-write-wins.
+    pub wal_records: Vec<WalRecord>,
+    /// WAL bytes discarded as torn tails (crash mid-append).
+    pub torn_wal_bytes: u64,
+}
+
+/// Point-in-time storage gauges for `/stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TsmStats {
+    /// Bytes currently in the WAL (frozen + active segments).
+    pub wal_bytes: u64,
+    /// Number of sealed segment files.
+    pub segment_files: u64,
+    /// Total bytes across segment files.
+    pub segment_bytes: u64,
+    /// Major compactions completed since open.
+    pub compactions: u64,
+    /// WAL records replayed at the last open.
+    pub recovered_records: u64,
+}
+
+struct SegFile {
+    partition: i64,
+    seq: u64,
+    path: PathBuf,
+    bytes: u64,
+}
+
+struct Faults {
+    /// One-shot: abort the next segment write after this many bytes.
+    segment_write_after: Option<u64>,
+    /// Sticky: skip WAL checkpoint removal (simulates a crash between
+    /// segment fsync and WAL delete).
+    skip_wal_remove: bool,
+}
+
+/// Persistent storage engine for one database. See the module docs.
+pub struct TsmEngine {
+    cfg: TsmConfig,
+    wal: Wal,
+    files: Mutex<Vec<SegFile>>,
+    /// Serializes flush/compaction sessions (held by the session structs).
+    maint: Mutex<()>,
+    next_gen: AtomicU64,
+    next_seg_seq: AtomicU64,
+    compactions: AtomicU64,
+    recovered_records: u64,
+    faults: Mutex<Faults>,
+}
+
+fn segment_file_name(partition: i64, seq: u64) -> String {
+    format!("seg-{partition}-{seq:016x}.tsm")
+}
+
+/// Parses `seg-<p>-<seq:016x>.tsm`; `p` is decimal and may be negative.
+fn parse_segment_name(name: &str) -> Option<(i64, u64)> {
+    let stem = name.strip_prefix("seg-")?.strip_suffix(".tsm")?;
+    let (partition, seq) = stem.rsplit_once('-')?;
+    Some((partition.parse().ok()?, u64::from_str_radix(seq, 16).ok()?))
+}
+
+impl TsmEngine {
+    /// Opens the engine, recovering sealed blocks from segment files and
+    /// unflushed batches from the WAL. Stray `.tmp` files (crash mid-flush)
+    /// are deleted.
+    pub fn open(cfg: TsmConfig) -> Result<(TsmEngine, Recovered)> {
+        assert!(cfg.partition_ns > 0, "partition width must be positive");
+        fs::create_dir_all(&cfg.dir)?;
+
+        let mut files = Vec::new();
+        for entry in fs::read_dir(&cfg.dir)? {
+            let entry = entry?;
+            let name = match entry.file_name().into_string() {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some((partition, seq)) = parse_segment_name(&name) {
+                let bytes = entry.metadata()?.len();
+                files.push(SegFile { partition, seq, path: entry.path(), bytes });
+            }
+        }
+        files.sort_by_key(|f| f.seq);
+
+        let mut blocks = Vec::new();
+        for f in &files {
+            blocks.extend(segment::read_segment(&f.path)?);
+        }
+        blocks.sort_by_key(|e| e.block.gen);
+
+        let (wal, wal_recovery) = Wal::open(WalConfig {
+            dir: cfg.dir.join("wal"),
+            segment_bytes: cfg.wal_segment_bytes,
+            fsync_every_append: cfg.wal_fsync,
+        })?;
+
+        let next_gen = blocks.last().map(|e| e.block.gen + 1).unwrap_or(0);
+        let next_seg_seq = files.last().map(|f| f.seq + 1).unwrap_or(0);
+        let recovered = Recovered {
+            blocks,
+            wal_records: wal_recovery.records,
+            torn_wal_bytes: wal_recovery.torn_bytes,
+        };
+        let engine = TsmEngine {
+            cfg,
+            wal,
+            files: Mutex::new(files),
+            maint: Mutex::new(()),
+            next_gen: AtomicU64::new(next_gen),
+            next_seg_seq: AtomicU64::new(next_seg_seq),
+            compactions: AtomicU64::new(0),
+            recovered_records: recovered.wal_records.len() as u64,
+            faults: Mutex::new(Faults { segment_write_after: None, skip_wal_remove: false }),
+        };
+        Ok((engine, recovered))
+    }
+
+    /// Appends one acknowledged write batch to the WAL.
+    pub fn append_wal(&self, batch: &str) -> Result<u64> {
+        self.wal.append(batch)
+    }
+
+    /// Allocates the next seal generation (monotonic across restarts).
+    pub fn next_gen(&self) -> u64 {
+        self.next_gen.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The partition a block with this `max_ts` belongs to.
+    pub fn partition_of(&self, max_ts: i64) -> i64 {
+        max_ts.div_euclid(self.cfg.partition_ns)
+    }
+
+    /// Starts a flush: rotates the WAL and returns a session to write the
+    /// sealed heads through. Blocks while another maintenance session runs.
+    pub fn begin_flush(&self) -> Result<FlushSession<'_>> {
+        let guard = self.maint.lock();
+        let boundary = self.wal.rotate()?;
+        Ok(FlushSession { engine: self, _guard: guard, boundary })
+    }
+
+    /// Starts a major compaction rewrite session. The caller merges and
+    /// re-encodes blocks however it likes; the session replaces every
+    /// pre-existing segment file on commit.
+    pub fn begin_rewrite(&self) -> RewriteSession<'_> {
+        let guard = self.maint.lock();
+        let old: Vec<PathBuf> = self.files.lock().iter().map(|f| f.path.clone()).collect();
+        RewriteSession { engine: self, _guard: guard, old, new: Vec::new() }
+    }
+
+    /// Writes `entries` grouped into one segment file per partition and
+    /// registers the files. Used by both session types.
+    fn write_entries(&self, entries: &[BlockEntry]) -> Result<Vec<SegFile>> {
+        let mut by_partition: Vec<(i64, Vec<&BlockEntry>)> = Vec::new();
+        for e in entries {
+            let p = self.partition_of(e.block.max_ts);
+            match by_partition.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, v)) => v.push(e),
+                None => by_partition.push((p, vec![e])),
+            }
+        }
+        by_partition.sort_by_key(|(p, _)| *p);
+
+        let mut written = Vec::new();
+        for (partition, group) in by_partition {
+            let seq = self.next_seg_seq.fetch_add(1, Ordering::Relaxed);
+            let path = self.cfg.dir.join(segment_file_name(partition, seq));
+            let fail_after = self.faults.lock().segment_write_after.take();
+            let owned: Vec<BlockEntry> = group.into_iter().cloned().collect();
+            let bytes = segment::write_segment(&path, &owned, fail_after)?;
+            written.push(SegFile { partition, seq, path, bytes });
+        }
+        Ok(written)
+    }
+
+    /// Deletes every segment file whose partition is entirely older than
+    /// `cutoff_ns`. Returns the number of files removed.
+    pub fn drop_expired(&self, cutoff_ns: i64) -> Result<usize> {
+        let _g = self.maint.lock();
+        let mut files = self.files.lock();
+        let mut kept = Vec::new();
+        let mut dropped = 0;
+        for f in files.drain(..) {
+            // All points in the file satisfy ts <= max_ts < (p+1)*width.
+            let partition_end = (f.partition + 1).saturating_mul(self.cfg.partition_ns);
+            if partition_end <= cutoff_ns {
+                fs::remove_file(&f.path)?;
+                dropped += 1;
+            } else {
+                kept.push(f);
+            }
+        }
+        *files = kept;
+        Ok(dropped)
+    }
+
+    /// True when any partition has accumulated `compact_min_files` files.
+    pub fn needs_compaction(&self) -> bool {
+        let files = self.files.lock();
+        let mut counts: Vec<(i64, usize)> = Vec::new();
+        for f in files.iter() {
+            match counts.iter_mut().find(|(p, _)| *p == f.partition) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.partition, 1)),
+            }
+        }
+        counts.iter().any(|(_, n)| *n >= self.cfg.compact_min_files)
+    }
+
+    /// Number of live segment files.
+    pub fn segment_file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Current storage gauges.
+    pub fn stats(&self) -> TsmStats {
+        let (segment_files, segment_bytes) = {
+            let files = self.files.lock();
+            (files.len() as u64, files.iter().map(|f| f.bytes).sum())
+        };
+        TsmStats {
+            wal_bytes: self.wal.bytes(),
+            segment_files,
+            segment_bytes,
+            compactions: self.compactions.load(Ordering::Relaxed),
+            recovered_records: self.recovered_records,
+        }
+    }
+
+    /// Fsyncs the active WAL segment (graceful shutdown).
+    pub fn sync(&self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Fault injection: abort the next segment-file write after roughly
+    /// `after_bytes` bytes (one-shot).
+    pub fn inject_segment_write_failure(&self, after_bytes: u64) {
+        self.faults.lock().segment_write_after = Some(after_bytes);
+    }
+
+    /// Fault injection: when set, flush commits skip WAL checkpoint
+    /// removal, as if the process died between segment fsync and delete.
+    pub fn set_fail_wal_remove(&self, on: bool) {
+        self.faults.lock().skip_wal_remove = on;
+    }
+}
+
+impl std::fmt::Debug for TsmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsmEngine").field("dir", &self.cfg.dir).finish_non_exhaustive()
+    }
+}
+
+/// An in-progress flush (see [`TsmEngine::begin_flush`]).
+pub struct FlushSession<'a> {
+    engine: &'a TsmEngine,
+    _guard: parking_lot::MutexGuard<'a, ()>,
+    boundary: u64,
+}
+
+impl FlushSession<'_> {
+    /// Writes one batch of sealed heads to per-partition segment files.
+    /// May be called multiple times (e.g. once per shard).
+    pub fn write(&mut self, entries: &[BlockEntry]) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let written = self.engine.write_entries(entries)?;
+        self.engine.files.lock().extend(written);
+        Ok(())
+    }
+
+    /// Completes the flush: the sealed data is durable, so the frozen WAL
+    /// segments below the checkpoint boundary are deleted.
+    pub fn commit(self) -> Result<()> {
+        if self.engine.faults.lock().skip_wal_remove {
+            return Err(Error::invalid("fault injection: wal checkpoint removal skipped"));
+        }
+        self.engine.wal.remove_frozen(self.boundary)
+    }
+}
+
+/// An in-progress major compaction (see [`TsmEngine::begin_rewrite`]).
+pub struct RewriteSession<'a> {
+    engine: &'a TsmEngine,
+    _guard: parking_lot::MutexGuard<'a, ()>,
+    old: Vec<PathBuf>,
+    new: Vec<SegFile>,
+}
+
+impl RewriteSession<'_> {
+    /// Writes one batch of merged, re-encoded blocks.
+    pub fn write(&mut self, entries: &[BlockEntry]) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        self.new.extend(self.engine.write_entries(entries)?);
+        Ok(())
+    }
+
+    /// Installs the rewritten files and deletes every pre-session file.
+    pub fn commit(self) -> Result<()> {
+        {
+            let mut files = self.engine.files.lock();
+            files.retain(|f| !self.old.contains(&f.path));
+            files.extend(self.new);
+        }
+        for path in &self.old {
+            fs::remove_file(path)?;
+        }
+        self.engine.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Lists the segment files currently registered, for tests and tooling.
+pub fn list_segment_files(dir: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = fs::read_dir(dir) else { return Vec::new() };
+    let mut out: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| parse_segment_name(n).is_some())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::SealedBlock;
+    use lms_lineproto::FieldValue;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lms-tsm-eng-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(dir: &Path) -> TsmConfig {
+        TsmConfig { partition_ns: 1_000, ..TsmConfig::new(dir) }
+    }
+
+    fn entry(key: &str, gen: u64, ts: std::ops::Range<i64>) -> BlockEntry {
+        let points: Vec<(i64, FieldValue)> =
+            ts.map(|t| (t, FieldValue::Float(t as f64))).collect();
+        BlockEntry {
+            series_key: key.to_string(),
+            measurement: "m".to_string(),
+            tags: Vec::new(),
+            field: "v".to_string(),
+            block: SealedBlock::seal(gen, &points),
+        }
+    }
+
+    #[test]
+    fn segment_name_round_trip() {
+        assert_eq!(parse_segment_name(&segment_file_name(0, 0)), Some((0, 0)));
+        assert_eq!(parse_segment_name(&segment_file_name(-3, 0xabc)), Some((-3, 0xabc)));
+        assert_eq!(
+            parse_segment_name(&segment_file_name(i64::MAX / 2, u64::MAX)),
+            Some((i64::MAX / 2, u64::MAX))
+        );
+        assert_eq!(parse_segment_name("seg-1.tsm"), None);
+        assert_eq!(parse_segment_name("wal-1-0.tsm"), None);
+    }
+
+    #[test]
+    fn flush_persists_and_checkpoints() {
+        let dir = tmp("flush");
+        let (engine, rec) = TsmEngine::open(cfg(&dir)).unwrap();
+        assert!(rec.blocks.is_empty() && rec.wal_records.is_empty());
+        engine.append_wal("m v=1 500").unwrap();
+        let gen = engine.next_gen();
+        let mut flush = engine.begin_flush().unwrap();
+        flush.write(&[entry("m", gen, 500..501)]).unwrap();
+        flush.commit().unwrap();
+        assert_eq!(engine.segment_file_count(), 1);
+        drop(engine);
+
+        let (engine2, rec2) = TsmEngine::open(cfg(&dir)).unwrap();
+        assert_eq!(rec2.blocks.len(), 1, "sealed block survives restart");
+        assert_eq!(rec2.wal_records.len(), 0, "checkpointed WAL is gone");
+        assert_eq!(engine2.next_gen(), gen + 1, "generation counter resumes past sealed max");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_commit_keeps_wal() {
+        let dir = tmp("crash");
+        {
+            let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
+            engine.append_wal("m v=1 500").unwrap();
+            let gen = engine.next_gen();
+            let mut flush = engine.begin_flush().unwrap();
+            flush.write(&[entry("m", gen, 500..501)]).unwrap();
+            // No commit: simulated crash after segment write, before WAL delete.
+        }
+        let (_, rec) = TsmEngine::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.blocks.len(), 1);
+        assert_eq!(rec.wal_records.len(), 1, "WAL still replayable (idempotent overlap)");
+        assert_eq!(rec.wal_records[0].batch, "m v=1 500");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_write_fault_aborts_flush_without_data_loss() {
+        let dir = tmp("fault");
+        {
+            let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
+            engine.append_wal("m v=1 500").unwrap();
+            engine.inject_segment_write_failure(4);
+            let gen = engine.next_gen();
+            let mut flush = engine.begin_flush().unwrap();
+            assert!(flush.write(&[entry("m", gen, 500..501)]).is_err());
+        }
+        let (engine, rec) = TsmEngine::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.blocks.len(), 0, "aborted segment never became visible");
+        assert_eq!(rec.wal_records.len(), 1, "WAL covers the lost flush");
+        assert_eq!(engine.segment_file_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitioning_and_retention_drop() {
+        let dir = tmp("retention");
+        let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
+        let mut flush = engine.begin_flush().unwrap();
+        // Three partitions: [0,1000), [1000,2000), [2000,3000).
+        flush.write(&[entry("a", 0, 0..10), entry("b", 1, 1500..1510), entry("c", 2, 2500..2510)])
+            .unwrap();
+        flush.commit().unwrap();
+        assert_eq!(engine.segment_file_count(), 3, "one file per partition");
+
+        assert_eq!(engine.drop_expired(1000).unwrap(), 1);
+        assert_eq!(engine.drop_expired(1999).unwrap(), 0, "partition 1 ends at 2000");
+        assert_eq!(engine.drop_expired(2000).unwrap(), 1);
+        assert_eq!(engine.segment_file_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_replaces_files_and_counts_compactions() {
+        let dir = tmp("rewrite");
+        let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
+        for i in 0..4u64 {
+            let mut flush = engine.begin_flush().unwrap();
+            flush.write(&[entry("a", i, 0..10)]).unwrap();
+            flush.commit().unwrap();
+        }
+        assert_eq!(engine.segment_file_count(), 4);
+        assert!(engine.needs_compaction());
+
+        let mut rw = engine.begin_rewrite();
+        rw.write(&[entry("a", 4, 0..10)]).unwrap();
+        rw.commit().unwrap();
+        assert_eq!(engine.segment_file_count(), 1);
+        assert!(!engine.needs_compaction());
+        assert_eq!(engine.stats().compactions, 1);
+        assert_eq!(list_segment_files(&dir).len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

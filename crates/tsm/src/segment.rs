@@ -1,0 +1,301 @@
+//! Time-partitioned segment files: the durable home of sealed blocks.
+//!
+//! A segment file holds the sealed blocks flushed (or compacted) in one
+//! maintenance pass for one time partition. Layout:
+//!
+//! ```text
+//! [magic: b"LMSTSM1\n"]
+//! repeated frames: [payload_len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! Each frame payload is one [`BlockEntry`] — enough metadata to rebuild
+//! the owning series in the in-memory index without consulting any other
+//! file, followed by the compressed block bytes:
+//!
+//! ```text
+//! [gen: u64][min_ts: i64][max_ts: i64][count: u32]
+//! [key_len: u16][series_key][meas_len: u16][measurement]
+//! [ntags: u16] ntags * ([klen: u16][key][vlen: u16][value])
+//! [field_len: u16][field]
+//! [block_len: u32][compressed block bytes]
+//! ```
+//!
+//! Segments are written to a `.tmp` sibling, fsynced, then atomically
+//! renamed into place — readers never observe a half-written `.tsm` file,
+//! and stray `.tmp` files from a crash are deleted on open. Reads are
+//! still prefix-safe (stop at the first corrupt frame) as defense in
+//! depth against storage-level corruption.
+
+use crate::block::SealedBlock;
+use lms_util::hash::crc32;
+use lms_util::{Error, Result};
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// File magic: identifies format + version.
+pub const MAGIC: &[u8; 8] = b"LMSTSM1\n";
+
+const HEADER_LEN: usize = 8;
+const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// One sealed block plus the series identity it belongs to.
+#[derive(Debug, Clone)]
+pub struct BlockEntry {
+    /// The series key exactly as used by the database shard maps.
+    pub series_key: String,
+    /// Measurement name.
+    pub measurement: String,
+    /// Sorted tag pairs.
+    pub tags: Vec<(String, String)>,
+    /// Field name within the series.
+    pub field: String,
+    /// The compressed block.
+    pub block: SealedBlock,
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "identifier too long for segment file");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_entry(entry: &BlockEntry, out: &mut Vec<u8>) {
+    let payload_start = out.len() + HEADER_LEN;
+    out.extend_from_slice(&[0; HEADER_LEN]); // length + CRC back-patched
+    let b = &entry.block;
+    out.extend_from_slice(&b.gen.to_le_bytes());
+    out.extend_from_slice(&b.min_ts.to_le_bytes());
+    out.extend_from_slice(&b.max_ts.to_le_bytes());
+    out.extend_from_slice(&b.count.to_le_bytes());
+    put_str16(out, &entry.series_key);
+    put_str16(out, &entry.measurement);
+    assert!(entry.tags.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(entry.tags.len() as u16).to_le_bytes());
+    for (k, v) in &entry.tags {
+        put_str16(out, k);
+        put_str16(out, v);
+    }
+    put_str16(out, &entry.field);
+    out.extend_from_slice(&(b.bytes().len() as u32).to_le_bytes());
+    out.extend_from_slice(b.bytes());
+    let payload_len = out.len() - payload_start;
+    assert!(payload_len <= MAX_PAYLOAD, "block entry too large for one frame");
+    let crc = crc32(&out[payload_start..]);
+    out[payload_start - HEADER_LEN..payload_start - 4]
+        .copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[payload_start - 4..payload_start].copy_from_slice(&crc.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.off.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.off..end];
+        self.off = end;
+        Some(s)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        std::str::from_utf8(self.take(len)?).ok().map(str::to_string)
+    }
+}
+
+fn decode_entry(payload: &[u8]) -> Option<BlockEntry> {
+    let mut c = Cursor { buf: payload, off: 0 };
+    let gen = c.u64()?;
+    let min_ts = c.i64()?;
+    let max_ts = c.i64()?;
+    let count = c.u32()?;
+    let series_key = c.str16()?;
+    let measurement = c.str16()?;
+    let ntags = c.u16()? as usize;
+    let mut tags = Vec::with_capacity(ntags.min(64));
+    for _ in 0..ntags {
+        tags.push((c.str16()?, c.str16()?));
+    }
+    let field = c.str16()?;
+    let block_len = c.u32()? as usize;
+    let bytes = c.take(block_len)?.to_vec();
+    if c.off != payload.len() {
+        return None; // trailing garbage inside a CRC-clean frame
+    }
+    Some(BlockEntry {
+        series_key,
+        measurement,
+        tags,
+        field,
+        block: SealedBlock::from_parts(gen, min_ts, max_ts, count, bytes),
+    })
+}
+
+/// Writes `entries` to `path` atomically (tmp + fsync + rename). Returns the
+/// file size in bytes.
+///
+/// `fail_after_bytes` is a fault-injection hook for crash tests: when set,
+/// the write stops (with an error) after roughly that many bytes reach the
+/// temp file, simulating a crash mid-flush — the `.tsm` file never appears.
+pub fn write_segment(
+    path: &Path,
+    entries: &[BlockEntry],
+    fail_after_bytes: Option<u64>,
+) -> Result<u64> {
+    let mut buf = Vec::with_capacity(4096);
+    buf.extend_from_slice(MAGIC);
+    for e in entries {
+        encode_entry(e, &mut buf);
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+        if let Some(limit) = fail_after_bytes {
+            let n = (limit as usize).min(buf.len());
+            f.write_all(&buf[..n])?;
+            f.sync_data()?;
+            return Err(Error::invalid(format!(
+                "fault injection: segment write aborted after {n} bytes"
+            )));
+        }
+        f.write_all(&buf)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(buf.len() as u64)
+}
+
+/// Reads every intact entry from a segment file. A bad magic is an error
+/// (the file is not ours); torn or corrupt frames end the scan early
+/// rather than failing, so one bad sector loses one block, not the file.
+pub fn read_segment(path: &Path) -> Result<Vec<BlockEntry>> {
+    let buf = fs::read(path)?;
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(Error::invalid(format!("{}: bad segment magic", path.display())));
+    }
+    let mut entries = Vec::new();
+    let mut off = MAGIC.len();
+    loop {
+        let rest = &buf[off..];
+        if rest.len() < HEADER_LEN {
+            return Ok(entries);
+        }
+        let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if payload_len > MAX_PAYLOAD || rest.len() < HEADER_LEN + payload_len {
+            return Ok(entries);
+        }
+        let payload = &rest[HEADER_LEN..HEADER_LEN + payload_len];
+        if crc32(payload) != crc {
+            return Ok(entries);
+        }
+        let Some(entry) = decode_entry(payload) else {
+            return Ok(entries);
+        };
+        entries.push(entry);
+        off += HEADER_LEN + payload_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_lineproto::FieldValue;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lms-tsm-seg-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(key: &str, field: &str, gen: u64, ts: std::ops::Range<i64>) -> BlockEntry {
+        let points: Vec<(i64, FieldValue)> =
+            ts.map(|t| (t, FieldValue::Float(t as f64 * 0.5))).collect();
+        BlockEntry {
+            series_key: key.to_string(),
+            measurement: "cpu".to_string(),
+            tags: vec![("host".to_string(), "n01".to_string())],
+            field: field.to_string(),
+            block: SealedBlock::seal(gen, &points),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmp("rt");
+        let path = dir.join("seg-0-0000000000000000.tsm");
+        let entries =
+            vec![entry("cpu,host=n01", "usage", 1, 0..100), entry("cpu,host=n01", "temp", 2, 50..80)];
+        let bytes = write_segment(&path, &entries, None).unwrap();
+        assert_eq!(bytes, fs::metadata(&path).unwrap().len());
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].series_key, "cpu,host=n01");
+        assert_eq!(back[0].tags, entries[0].tags);
+        assert_eq!(back[0].block.gen, 1);
+        assert_eq!(back[0].block.decode(), entries[0].block.decode());
+        assert_eq!(back[1].field, "temp");
+        assert_eq!(back[1].block.decode().len(), 30);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_injection_leaves_no_visible_segment() {
+        let dir = tmp("fault");
+        let path = dir.join("seg-0-0000000000000001.tsm");
+        let err = write_segment(&path, &[entry("k", "f", 0, 0..10)], Some(12));
+        assert!(err.is_err());
+        assert!(!path.exists(), "aborted write must not surface a .tsm file");
+        assert!(path.with_extension("tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_ends_scan_keeping_prefix() {
+        let dir = tmp("corrupt");
+        let path = dir.join("seg-0-0000000000000002.tsm");
+        let entries = vec![entry("a", "f", 0, 0..10), entry("b", "f", 1, 0..10)];
+        write_segment(&path, &entries, None).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 4] ^= 0xFF; // clobber the last entry's block bytes
+        fs::write(&path, &bytes).unwrap();
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].series_key, "a");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let dir = tmp("magic");
+        let path = dir.join("seg-0-0000000000000003.tsm");
+        fs::write(&path, b"not a segment").unwrap();
+        assert!(read_segment(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

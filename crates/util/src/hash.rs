@@ -88,6 +88,35 @@ pub fn fx_hash<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) — the integrity check used by
+/// every on-disk frame in the stack (spool segments, WAL records, TSM
+/// segment blocks).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +125,14 @@ mod tests {
     fn deterministic() {
         assert_eq!(fx_hash("host042"), fx_hash("host042"));
         assert_eq!(fx_hash(&12345u64), fx_hash(&12345u64));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values from the zlib crc32() implementation.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
     }
 
     #[test]

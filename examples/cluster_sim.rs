@@ -9,6 +9,10 @@
 //! ```text
 //! cargo run --release --example cluster_sim
 //! ```
+//!
+//! Set `LMS_DATA_DIR=/some/dir` to persist the database across runs: a
+//! second invocation on the same directory starts from the first run's
+//! history instead of an empty store.
 
 use lms::analysis::rules::Rule;
 use lms::analysis::stream::{StreamAnalyzer, StreamRule};
@@ -19,13 +23,21 @@ use lms::sysmon::ganglia::GmondServer;
 use std::time::Duration;
 
 fn main() {
+    let data_dir = std::env::var_os("LMS_DATA_DIR").map(std::path::PathBuf::from);
     let config = StackConfig {
         nodes: 8,
         per_user: true,
         publish: true,
+        data_dir: data_dir.clone(),
         ..Default::default()
     };
     let mut stack = LmsStack::start(config).expect("stack boots");
+    if data_dir.is_some() {
+        let carried = stack.stats().db_points;
+        if carried > 0 {
+            println!("persistent store carried {carried} points from a previous run\n");
+        }
+    }
 
     // A stream analyzer subscribes to the router's live feed and watches
     // for hosts whose FP rate collapses (3 consecutive low samples).
@@ -109,4 +121,13 @@ fn main() {
     println!("lines enriched : {}", stats.router.lines_enriched);
     println!("db points      : {}", stats.db_points);
     println!("db series      : {}", stats.db_series);
+    if data_dir.is_some() {
+        let s = stack.influx().storage_stats();
+        println!(
+            "storage        : {} sealed blocks, {} segment files, {:.1}x compression",
+            s.sealed_blocks,
+            s.segment_files,
+            s.compression_ratio()
+        );
+    }
 }

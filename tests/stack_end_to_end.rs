@@ -66,6 +66,44 @@ fn architecture_fig1_full_pipeline() {
 }
 
 #[test]
+fn restart_with_data_dir_serves_identical_query_results() {
+    // Acceptance: a stack started on a `data_dir`, shut down, and started
+    // again on the same directory answers the same queries with the same
+    // results — WAL replay plus sealed-segment reads reproduce history.
+    let dir = std::env::temp_dir().join(format!("lms-e2e-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = small();
+    config.data_dir = Some(dir.clone());
+
+    let queries = [
+        "SELECT count(busy) FROM cpu_total",
+        "SELECT mean(busy) FROM cpu_total GROUP BY time(5m)",
+        "SELECT busy FROM cpu_total WHERE hostname = 'h1' LIMIT 20",
+        "SHOW MEASUREMENTS",
+    ];
+
+    let before: Vec<String> = {
+        let mut stack = LmsStack::start(config.clone()).expect("first boot");
+        stack.submit_job("alice", "solver", 2, Duration::from_secs(600), AppProfile::Dgemm);
+        stack.run_for(Duration::from_secs(900), Duration::from_secs(60));
+        queries
+            .iter()
+            .map(|q| stack.influx().query("lms", q).unwrap().to_json().to_string())
+            .collect()
+        // Drop flushes outstanding heads and stops the servers.
+    };
+
+    let stack = LmsStack::start(config).expect("restart on same data_dir");
+    let mut db = InfluxClient::connect(stack.db_addr()).expect("db client");
+    for (q, expect) in queries.iter().zip(&before) {
+        let got = db.query("lms", q).expect("query after restart").to_json().to_string();
+        assert_eq!(&got, expect, "divergent result after restart for `{q}`");
+    }
+    drop(stack);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn queued_jobs_wait_and_backfill_through_the_stack() {
     let mut stack = LmsStack::start(small()).expect("stack boots");
     let wide = stack.submit_job("u", "wide", 4, Duration::from_secs(600), AppProfile::Stream);

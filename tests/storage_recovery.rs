@@ -1,0 +1,202 @@
+//! Storage-engine crash recovery: the database is killed at arbitrary
+//! WAL offsets (torn tails) and seal offsets (mid-segment-write), then
+//! reopened — **no acknowledged-and-checkpointed point may be silently
+//! lost**, and recovered state is always a clean record-boundary prefix.
+//!
+//! Like `chaos_recovery.rs`, the fault schedule derives from
+//! `LMS_CHAOS_SEED` (default 1), so CI sweeps a seed matrix and any
+//! failure reproduces exactly by exporting the same seed.
+
+use lms::influx::{Influx, StorageConfig};
+use lms::util::{Clock, Timestamp};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn seed() -> u64 {
+    std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// splitmix64 — the tests' only randomness source (seeded, reproducible).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1234_5678)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lms-storage-recovery-{}-{tag}-{}-{}",
+        std::process::id(),
+        seed(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf) -> Influx {
+    Influx::open(Clock::simulated(Timestamp::from_secs(9_000)), 4, StorageConfig::new(dir))
+        .expect("open persistent influx")
+}
+
+/// Writes points `1..=n` (one WAL record each: unique timestamps,
+/// value == index) to measurement `m`.
+fn write_points(ix: &Influx, n: usize) {
+    for i in 1..=n {
+        let line = format!("m,hostname=h1 v={i}i {}", i as i64 * 1_000_000_000);
+        ix.write_lines("lms", &line, Default::default()).expect("write");
+    }
+}
+
+/// Returns (count, sum(v)) for measurement `m` — the loss detector.
+fn count_and_sum(ix: &Influx) -> (i64, i64) {
+    let r = ix.query("lms", "SELECT count(v), sum(v) FROM m").expect("query");
+    if r.series.is_empty() {
+        return (0, 0);
+    }
+    let row = &r.series[0].values[0];
+    (row[1].as_i64().unwrap_or(0), row[2].as_i64().unwrap_or(0))
+}
+
+/// The largest-sequence (active) WAL file under `<dir>/lms/wal`.
+fn active_wal(dir: &std::path::Path) -> PathBuf {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir.join("lms").join("wal"))
+        .expect("wal dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    files.sort();
+    files.pop().expect("an active WAL file")
+}
+
+/// Kill at an arbitrary WAL offset: the process dies before the tail of
+/// the log reaches disk. Recovery must keep exactly the longest intact
+/// record prefix — never a torn record, never dropping an earlier one.
+#[test]
+fn torn_wal_tail_recovers_to_record_boundary_prefix() {
+    let mut rng = Rng::new(seed());
+    for round in 0..8 {
+        let dir = tmp_dir(&format!("torn-{round}"));
+        let n = 5 + rng.below(40) as usize;
+        {
+            let ix = open(&dir);
+            write_points(&ix, n);
+            // Dropped without flush: every point lives only in the WAL.
+        }
+        let wal = active_wal(&dir);
+        let len = std::fs::metadata(&wal).expect("wal meta").len();
+        let cut = rng.below(len + 1); // 0..=len bytes survive the crash
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open wal")
+            .set_len(cut)
+            .expect("truncate");
+
+        let ix = open(&dir);
+        let (count, sum) = count_and_sum(&ix);
+        // Prefix-consistent: the first `count` points, nothing else.
+        assert!(count <= n as i64, "more points than written: {count} > {n}");
+        assert_eq!(sum, count * (count + 1) / 2, "recovered set is not the write prefix");
+        let stats = ix.storage_stats();
+        assert_eq!(stats.recovered_records, count as u64, "every intact record replayed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill mid-seal: the segment write dies after a random byte count. The
+/// flush must fail without losing anything — all points stay queryable,
+/// survive a reopen (WAL not checkpointed), and the next flush succeeds.
+#[test]
+fn seal_crash_at_arbitrary_offset_loses_nothing() {
+    let mut rng = Rng::new(seed() ^ 0xabcd);
+    for round in 0..6 {
+        let dir = tmp_dir(&format!("seal-{round}"));
+        let n = 10 + rng.below(50) as usize;
+        let expect_sum = (n as i64) * (n as i64 + 1) / 2;
+        {
+            let ix = open(&dir);
+            write_points(&ix, n);
+            let engine = ix.database("lms").unwrap().engine().unwrap().clone();
+            engine.inject_segment_write_failure(rng.below(256));
+            assert!(ix.flush_storage().is_err(), "injected seal fault must surface");
+            // Nothing lost in the running instance...
+            assert_eq!(count_and_sum(&ix), (n as i64, expect_sum));
+        }
+        // ...nor across the simulated crash (WAL was not checkpointed).
+        {
+            let ix = open(&dir);
+            assert_eq!(count_and_sum(&ix), (n as i64, expect_sum), "round {round}");
+            assert!(ix.flush_storage().is_ok(), "flush recovers after the fault clears");
+        }
+        // And the sealed, checkpointed state serves the same data.
+        let ix = open(&dir);
+        assert_eq!(count_and_sum(&ix), (n as i64, expect_sum));
+        assert!(ix.storage_stats().sealed_blocks > 0, "data is in sealed blocks now");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill between segment write and WAL checkpoint: both the segments and
+/// the stale WAL survive. Replay over sealed blocks must deduplicate
+/// (last-write-wins), not double-count.
+#[test]
+fn crash_between_seal_and_checkpoint_does_not_duplicate() {
+    let mut rng = Rng::new(seed() ^ 0x5eed);
+    let dir = tmp_dir("dup");
+    let n = 10 + rng.below(50) as usize;
+    let expect_sum = (n as i64) * (n as i64 + 1) / 2;
+    {
+        let ix = open(&dir);
+        write_points(&ix, n);
+        let engine = ix.database("lms").unwrap().engine().unwrap().clone();
+        engine.set_fail_wal_remove(true);
+        assert!(ix.flush_storage().is_err(), "checkpoint fault must surface");
+        assert_eq!(count_and_sum(&ix), (n as i64, expect_sum));
+    }
+    let ix = open(&dir);
+    // Segments AND the un-removed WAL both hold the points; LWW replay
+    // must yield each exactly once.
+    assert_eq!(count_and_sum(&ix), (n as i64, expect_sum));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    /// Property form of the torn-tail invariant: for ANY batch count and
+    /// ANY crash offset, recovery yields the exact write prefix.
+    #[test]
+    fn recovery_is_prefix_consistent(n in 1usize..30, frac in 0.0f64..1.0) {
+        let dir = tmp_dir("prop");
+        {
+            let ix = open(&dir);
+            write_points(&ix, n);
+        }
+        let wal = active_wal(&dir);
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let cut = (len as f64 * frac) as u64;
+        std::fs::OpenOptions::new().write(true).open(&wal).unwrap().set_len(cut).unwrap();
+
+        let ix = open(&dir);
+        let (count, sum) = count_and_sum(&ix);
+        prop_assert!(count <= n as i64);
+        prop_assert_eq!(sum, count * (count + 1) / 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
