@@ -48,6 +48,10 @@ pub struct StackConfig {
     pub start_time: Timestamp,
     /// Simulation seed.
     pub seed: u64,
+    /// Graceful-drain budget on shutdown: how long to wait for the
+    /// router's delivery pipeline (queue + spool) to empty into the
+    /// database before the final storage flush.
+    pub drain_timeout: Duration,
 }
 
 impl Default for StackConfig {
@@ -63,6 +67,7 @@ impl Default for StackConfig {
             // The paper's arXiv date makes a recognizable epoch in plots.
             start_time: Timestamp::from_secs(1_501_804_800),
             seed: 42,
+            drain_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -83,6 +88,7 @@ impl StackConfig {
     /// publish = on
     /// retention_hours = 48
     /// data_dir = /var/lib/lms    ; persist the database (omit = memory-only)
+    /// drain_timeout_secs = 10    ; graceful-drain budget on shutdown
     /// ```
     pub fn from_ini(text: &str) -> Result<Self> {
         let ini = lms_util::config::Config::parse(text)?;
@@ -126,6 +132,12 @@ impl StackConfig {
         }
         if let Some(dir) = ini.get("monitoring", "data_dir") {
             config.data_dir = Some(PathBuf::from(dir));
+        }
+        if let Some(s) = ini.get_i64("monitoring", "drain_timeout_secs")? {
+            if s < 0 {
+                return Err(Error::config("drain_timeout_secs must be >= 0"));
+            }
+            config.drain_timeout = Duration::from_secs(s as u64);
         }
         Ok(config)
     }
@@ -426,7 +438,38 @@ impl LmsStack {
 
     /// Waits for queued router→DB deliveries to drain.
     pub fn flush(&self) -> bool {
-        self.router.flush(Duration::from_secs(10))
+        self.router.flush(self.config.drain_timeout)
+    }
+
+    /// Graceful stack-wide drain: stop accepting (viewer + router
+    /// servers down) → flush the forwarder queue and spool into the
+    /// database → final storage flush (heads sealed, WAL checkpointed)
+    /// → database server down. Returns true when the delivery pipeline
+    /// fully emptied within the drain budget. Idempotent — `Drop` runs
+    /// the same sequence for stacks that are simply dropped.
+    fn drain(&mut self) -> bool {
+        if let Some(s) = self.viewer_server.take() {
+            s.shutdown();
+        }
+        if let Some(s) = self.router_server.take() {
+            s.shutdown();
+        }
+        let drained = self.router.flush(self.config.drain_timeout);
+        // Final flush (the worker's stop path seals outstanding heads)
+        // before the database server goes away.
+        if let Some(w) = self.storage_worker.take() {
+            w.stop();
+        }
+        if let Some(s) = self.influx_server.take() {
+            s.shutdown();
+        }
+        drained
+    }
+
+    /// Explicit graceful shutdown; returns true when every accepted
+    /// batch reached the database within the drain budget.
+    pub fn shutdown(mut self) -> bool {
+        self.drain()
     }
 
     /// Applies job starts/ends to the node simulators.
@@ -610,20 +653,7 @@ impl LmsStack {
 
 impl Drop for LmsStack {
     fn drop(&mut self) {
-        if let Some(s) = self.viewer_server.take() {
-            s.shutdown();
-        }
-        if let Some(s) = self.router_server.take() {
-            s.shutdown();
-        }
-        // Final flush (the worker's stop path seals outstanding heads)
-        // before the database server goes away.
-        if let Some(w) = self.storage_worker.take() {
-            w.stop();
-        }
-        if let Some(s) = self.influx_server.take() {
-            s.shutdown();
-        }
+        self.drain();
     }
 }
 
@@ -760,7 +790,8 @@ mod tests {
         let config = StackConfig::from_ini(
             "[cluster]\nnodes = 8\ntopology = desktop_4c\nseed = 7\n\
              [monitoring]\nhpm_groups = FLOPS_DP, MEM, ENERGY\nper_user = yes\n\
-             publish = on\nretention_hours = 48\ndata_dir = /var/lib/lms\n",
+             publish = on\nretention_hours = 48\ndata_dir = /var/lib/lms\n\
+             drain_timeout_secs = 3\n",
         )
         .unwrap();
         assert_eq!(config.nodes, 8);
@@ -770,6 +801,7 @@ mod tests {
         assert!(config.per_user && config.publish);
         assert_eq!(config.retention, Some(Duration::from_secs(48 * 3600)));
         assert_eq!(config.data_dir, Some(PathBuf::from("/var/lib/lms")));
+        assert_eq!(config.drain_timeout, Duration::from_secs(3));
         // Defaults when empty.
         let d = StackConfig::from_ini("").unwrap();
         assert_eq!(d.nodes, 4);
@@ -778,6 +810,15 @@ mod tests {
         assert!(StackConfig::from_ini("[cluster]\ntopology = cray_xc40\n").is_err());
         assert!(StackConfig::from_ini("[monitoring]\nhpm_groups = NOPE\n").is_err());
         assert!(StackConfig::from_ini("[monitoring]\nretention_hours = 0\n").is_err());
+        assert!(StackConfig::from_ini("[monitoring]\ndrain_timeout_secs = -1\n").is_err());
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_the_pipeline() {
+        let mut stack = LmsStack::start(small_config()).unwrap();
+        stack.run_for(Duration::from_secs(120), Duration::from_secs(60));
+        assert!(stack.stats().db_points > 0);
+        assert!(stack.shutdown(), "drain must complete within the budget");
     }
 
     #[test]

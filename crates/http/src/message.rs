@@ -63,6 +63,14 @@ impl Request {
     /// Reads one request from a buffered stream. Returns `Ok(None)` on a
     /// clean EOF before any bytes (keep-alive connection closed).
     pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>> {
+        Self::read_from_limited(r, MAX_BODY_BYTES)
+    }
+
+    /// [`Request::read_from`] with a per-server body cap. A declared
+    /// `Content-Length` above `max_body` is rejected *before* reading the
+    /// body, as `Error::Remote {{ status: 413 }}` so the server can answer
+    /// `413 Payload Too Large` instead of a generic 400.
+    pub fn read_from_limited(r: &mut impl BufRead, max_body: usize) -> Result<Option<Request>> {
         let request_line = match read_line(r, true)? {
             None => return Ok(None),
             Some(l) => l,
@@ -79,6 +87,13 @@ impl Request {
         }
         let (path, query) = split_path_query(target);
         let headers = read_headers(r)?;
+        let declared = content_length(&headers)?;
+        if declared > max_body.min(MAX_BODY_BYTES) {
+            return Err(Error::Remote {
+                status: 413,
+                message: format!("body of {declared} bytes exceeds limit of {max_body}"),
+            });
+        }
         let body = read_body(r, &headers)?;
         Ok(Some(Request {
             method,
@@ -163,6 +178,15 @@ impl Response {
     /// `400 Bad Request` with a plain-text message.
     pub fn bad_request(msg: &str) -> Self {
         Response::text(400, msg)
+    }
+
+    /// `503 Service Unavailable` with a `Retry-After` hint — the overload
+    /// shedding answer: cheap to produce, tells well-behaved clients when
+    /// to come back.
+    pub fn service_unavailable(msg: &str, retry_after_secs: u64) -> Self {
+        let mut r = Response::text(503, msg);
+        r.headers.push(("retry-after".into(), retry_after_secs.to_string()));
+        r
     }
 
     /// First value of a header.
@@ -284,13 +308,18 @@ fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>> {
     }
 }
 
-fn read_body(r: &mut impl BufRead, headers: &[(String, String)]) -> Result<Vec<u8>> {
-    let len: usize = headers
+/// Declared `Content-Length`, or 0 when absent.
+fn content_length(headers: &[(String, String)]) -> Result<usize> {
+    headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| v.parse().map_err(|_| Error::protocol("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
+        .transpose()
+        .map(|n| n.unwrap_or(0))
+}
+
+fn read_body(r: &mut impl BufRead, headers: &[(String, String)]) -> Result<Vec<u8>> {
+    let len: usize = content_length(headers)?;
     if len > MAX_BODY_BYTES {
         return Err(Error::protocol(format!("body of {len} bytes exceeds limit")));
     }
@@ -387,6 +416,21 @@ mod tests {
         let wire = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec();
         let mut reader = BufReader::new(Cursor::new(wire));
         assert!(Request::read_from(&mut reader).unwrap().unwrap().wants_close());
+    }
+
+    #[test]
+    fn per_server_body_cap_yields_413() {
+        let wire = b"POST /w HTTP/1.1\r\ncontent-length: 100\r\n\r\n".to_vec();
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let err = Request::read_from_limited(&mut reader, 64).unwrap_err();
+        assert!(matches!(err, Error::Remote { status: 413, .. }), "{err}");
+    }
+
+    #[test]
+    fn service_unavailable_carries_retry_after() {
+        let r = Response::service_unavailable("shedding", 2);
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("retry-after"), Some("2"));
     }
 
     #[test]

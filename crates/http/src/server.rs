@@ -9,15 +9,53 @@
 //! Designed for the trusted-cluster-network setting of the paper: no TLS.
 
 use crate::message::{Request, Response};
-use lms_util::Result;
+use lms_util::{Error, Result};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// The request handler type: pure function from request to response.
 pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// Admission and resource limits of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-connection bound (minimum 16: the stack's own internal
+    /// clients — forwarders, signalers, health probes — must always fit).
+    /// Connections over the limit are answered `503 + Retry-After` and
+    /// closed immediately instead of getting a thread.
+    pub max_connections: usize,
+    /// Per-request body cap; a larger declared `Content-Length` is
+    /// answered `413 Payload Too Large`.
+    pub max_body_bytes: usize,
+    /// Deadline for reading one request (headers + body) once its first
+    /// byte has arrived, so a slow or stalled client cannot pin a
+    /// connection thread indefinitely.
+    pub request_deadline: Duration,
+    /// `Retry-After` hint (seconds) on shed connections.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_body_bytes: 64 * 1024 * 1024,
+            request_deadline: Duration::from_secs(30),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config with the given connection bound and defaults elsewhere.
+    pub fn with_max_connections(max_connections: usize) -> Self {
+        ServerConfig { max_connections, ..ServerConfig::default() }
+    }
+}
 
 /// A running HTTP server. Dropping it (or calling [`shutdown`](Self::shutdown))
 /// stops the acceptor and waits for connection threads to drain.
@@ -25,28 +63,44 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    shed: Arc<AtomicU64>,
     acceptor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port). `max_connections`
-    /// bounds concurrent connections (minimum 16; excess connects are
-    /// accepted and immediately closed).
+    /// Binds to `addr` (use port 0 for an ephemeral port) with default
+    /// limits except `max_connections`. See [`Server::bind_with`].
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         max_connections: usize,
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> Result<Self> {
+        Self::bind_with(addr, ServerConfig::with_max_connections(max_connections), handler)
+    }
+
+    /// Binds to `addr` with explicit admission limits. Connections over
+    /// `max_connections` get a fast `503 + Retry-After` on the accepting
+    /// thread (no per-connection thread is spawned for them), bounding
+    /// both thread count and memory under a connect flood.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
         handler: impl Fn(Request) -> Response + Send + Sync + 'static,
     ) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
         let handler: Handler = Arc::new(handler);
-        let cap = max_connections.max(16);
+        let cap = config.max_connections.max(16);
+        let retry_after = config.retry_after_secs;
 
         let acceptor = {
             let stop = stop.clone();
             let active = active.clone();
+            let shed = shed.clone();
+            let config = config.clone();
             std::thread::Builder::new()
                 .name("lms-http-acceptor".into())
                 .spawn(move || {
@@ -56,7 +110,18 @@ impl Server {
                         }
                         let Ok(stream) = conn else { continue };
                         if active.load(Ordering::Acquire) >= cap {
-                            drop(stream); // over capacity: refuse politely
+                            // Over capacity: shed with a fast 503 so the
+                            // client knows to back off. Bounded write
+                            // timeout — a shed response must never block
+                            // the acceptor.
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                            let mut w = BufWriter::new(stream);
+                            let _ = Response::service_unavailable(
+                                "server at connection capacity",
+                                retry_after,
+                            )
+                            .write_to(&mut w);
                             continue;
                         }
                         let _ = stream.set_nodelay(true);
@@ -64,10 +129,11 @@ impl Server {
                         let handler = handler.clone();
                         let stop = stop.clone();
                         let conn_active = active.clone();
+                        let config = config.clone();
                         let spawned = std::thread::Builder::new()
                             .name("lms-http-conn".into())
                             .spawn(move || {
-                                serve_connection(stream, &handler, &stop);
+                                serve_connection(stream, &handler, &stop, &config);
                                 conn_active.fetch_sub(1, Ordering::AcqRel);
                             });
                         if spawned.is_err() {
@@ -75,10 +141,10 @@ impl Server {
                         }
                     }
                 })
-                .expect("spawn http acceptor")
+                .map_err(Error::from)?
         };
 
-        Ok(Server { addr: local, stop, active, acceptor: Some(acceptor) })
+        Ok(Server { addr: local, stop, active, shed, acceptor: Some(acceptor) })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -89,6 +155,12 @@ impl Server {
     /// Number of open connections.
     pub fn active_connections(&self) -> usize {
         self.active.load(Ordering::Acquire)
+    }
+
+    /// Number of connections refused with `503` because the server was at
+    /// its connection limit.
+    pub fn shed_connections(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Stops accepting and waits (bounded) for connections to drain.
@@ -122,13 +194,14 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool) {
+fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool, config: &ServerConfig) {
     use std::io::BufRead as _;
     // Short idle timeout so keep-alive connections re-check the stop flag
-    // periodically. Once a request starts arriving we switch to a generous
-    // timeout — a timeout in the middle of parsing would corrupt the stream.
+    // periodically. Once a request starts arriving we switch to the request
+    // deadline — a slow client gets at most that long per request before
+    // the read times out and the connection is dropped.
     let idle = Some(std::time::Duration::from_millis(200));
-    let busy = Some(std::time::Duration::from_secs(30));
+    let busy = Some(config.request_deadline.max(Duration::from_millis(100)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -154,7 +227,7 @@ fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool) {
             Err(_) => return,
         }
         let _ = reader.get_ref().set_read_timeout(busy);
-        match Request::read_from(&mut reader) {
+        match Request::read_from_limited(&mut reader, config.max_body_bytes) {
             Ok(Some(req)) => {
                 let close = req.wants_close();
                 let resp = handler(req);
@@ -163,6 +236,12 @@ fn serve_connection(stream: TcpStream, handler: &Handler, stop: &AtomicBool) {
                 }
             }
             Ok(None) => return,
+            // An oversize body is rejected before it is read, so the
+            // request bytes are still in flight — answer and close.
+            Err(Error::Remote { status: 413, message }) => {
+                let _ = Response::text(413, message).write_to(&mut writer);
+                return;
+            }
             Err(_) => {
                 let _ = Response::bad_request("malformed request").write_to(&mut writer);
                 return;
@@ -242,6 +321,77 @@ mod tests {
         assert_eq!(newcomer.get("/new").unwrap().status, 204);
         // Idle clients still work afterwards.
         assert_eq!(idle_clients[0].get("/again").unwrap().status, 204);
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_capacity_connection_gets_503_with_retry_after() {
+        use std::io::Read;
+        // The cap floor is 16: fill it with idle keep-alive clients, then
+        // the 17th connect must be shed with 503 + Retry-After instead of
+        // being silently dropped (the pre-fix behavior) or given a thread.
+        let server = Server::bind("127.0.0.1:0", 1, |_| Response::no_content()).unwrap();
+        let addr = server.addr();
+        let _parked: Vec<HttpClient> = (0..16)
+            .map(|_| {
+                let mut c = HttpClient::connect(addr).unwrap();
+                assert_eq!(c.get("/warm").unwrap().status, 204);
+                c
+            })
+            .collect();
+        // Wait until all 16 connection threads are registered.
+        for _ in 0..100 {
+            if server.active_connections() >= 16 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503"), "{buf}");
+        assert!(buf.to_ascii_lowercase().contains("retry-after:"), "{buf}");
+        assert!(server.shed_connections() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        use std::io::{Read, Write};
+        let config = ServerConfig {
+            max_connections: 16,
+            max_body_bytes: 32,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind_with("127.0.0.1:0", config, |_| Response::no_content()).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"POST /write HTTP/1.1\r\ncontent-length: 1000\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 413"), "{buf}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_client_cannot_pin_a_connection_thread() {
+        use std::io::{Read, Write};
+        let config = ServerConfig {
+            max_connections: 16,
+            request_deadline: std::time::Duration::from_millis(150),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind_with("127.0.0.1:0", config, |_| Response::no_content()).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // Send a request head that promises a body, then stall.
+        s.write_all(b"POST /write HTTP/1.1\r\ncontent-length: 10\r\n\r\n").unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf); // server must drop us, not wait forever
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "connection held for {:?}",
+            start.elapsed()
+        );
         server.shutdown();
     }
 

@@ -4,6 +4,7 @@
 //! lms-influxd [--listen 127.0.0.1:8086] [--db lms]... [--retention-hours N]
 //!             [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]
 //!             [--partition-hours N] [--compact-min-files N] [--wal-fsync]
+//!             [--max-connections N] [--max-body-bytes N]
 //! ```
 //!
 //! Serves the InfluxDB-compatible `/ping`, `/write`, `/query` and `/stats`
@@ -15,6 +16,7 @@
 //! segment files; a restarted daemon replays both and serves the same
 //! queries as before the restart.
 
+use lms_http::ServerConfig;
 use lms_influx::{Influx, InfluxServer, StorageConfig};
 use lms_util::{Clock, Error, Result};
 use std::time::Duration;
@@ -37,6 +39,7 @@ fn run() -> Result<()> {
     let mut partition_hours: Option<u64> = None;
     let mut compact_min_files: Option<usize> = None;
     let mut wal_fsync = false;
+    let mut server_config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,11 +65,18 @@ fn run() -> Result<()> {
                 compact_min_files = Some(parse_num(&mut it, "--compact-min-files")?)
             }
             "--wal-fsync" => wal_fsync = true,
+            "--max-connections" => {
+                server_config.max_connections = parse_num(&mut it, "--max-connections")?
+            }
+            "--max-body-bytes" => {
+                server_config.max_body_bytes = parse_num(&mut it, "--max-body-bytes")?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: lms-influxd [--listen addr:port] [--db name]... [--retention-hours N]\n\
                      \x20                 [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]\n\
-                     \x20                 [--partition-hours N] [--compact-min-files N] [--wal-fsync]"
+                     \x20                 [--partition-hours N] [--compact-min-files N] [--wal-fsync]\n\
+                     \x20                 [--max-connections N] [--max-body-bytes N]"
                 );
                 return Ok(());
             }
@@ -106,7 +116,7 @@ fn run() -> Result<()> {
     // Held for the daemon's lifetime: flushes and compacts in the
     // background when persistence is enabled.
     let _worker = influx.spawn_storage_worker();
-    let server = InfluxServer::start(listen.as_str(), influx.clone())?;
+    let server = InfluxServer::start_with(listen.as_str(), server_config, influx.clone())?;
     println!("lms-influxd listening on http://{}", server.addr());
     println!("databases: {:?}", influx.database_names());
     if let Some(dir) = &data_dir {

@@ -29,11 +29,14 @@ use crate::query::Statement;
 use crate::storage::Series;
 use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Precision};
 use lms_tsm::{BlockEntry, Recovered, SealedBlock, TsmConfig, TsmEngine};
-use lms_util::{hash::fx_hash, Clock, Error, FxHashMap, FxHashSet, Result};
+use lms_util::{
+    hash::fx_hash, Clock, Error, FxHashMap, FxHashSet, Result, Supervisor, SupervisorConfig,
+    WorkerReport,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -124,6 +127,9 @@ pub struct StorageStats {
     pub compactions: u64,
     /// WAL records replayed at the last open.
     pub recovered_records: u64,
+    /// True when any database's engine is in degraded read-only mode
+    /// (`ENOSPC` on WAL append or segment write).
+    pub degraded: bool,
 }
 
 impl StorageStats {
@@ -147,6 +153,7 @@ impl StorageStats {
         self.segment_bytes += other.segment_bytes;
         self.compactions += other.compactions;
         self.recovered_records += other.recovered_records;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -580,6 +587,7 @@ impl Database {
             stats.segment_bytes = e.segment_bytes;
             stats.compactions = e.compactions;
             stats.recovered_records = e.recovered_records;
+            stats.degraded = e.degraded;
         }
         for shard in self.shards.iter() {
             let shard = shard.read();
@@ -665,6 +673,9 @@ struct Inner {
     /// Persistence configuration; `None` keeps the pre-PR memory-only
     /// behaviour.
     storage: Option<StorageConfig>,
+    /// Supervisor of the background storage worker, installed by
+    /// [`Influx::spawn_storage_worker`]; drives `/health/ready`.
+    supervisor: Option<Supervisor>,
 }
 
 impl Inner {
@@ -687,6 +698,9 @@ impl Inner {
 pub struct Influx {
     inner: Arc<RwLock<Inner>>,
     clock: Clock,
+    /// Fault injection: pending storage-worker panics (each tick consumes
+    /// one); exercises the supervisor's restart path in tests.
+    worker_panics: Arc<AtomicU64>,
 }
 
 impl Influx {
@@ -706,8 +720,10 @@ impl Influx {
                 auto_create: true,
                 shard_count: shards.max(1).next_power_of_two(),
                 storage: None,
+                supervisor: None,
             })),
             clock,
+            worker_panics: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -819,6 +835,18 @@ impl Influx {
         let parsed = parse_batch(batch);
         let default_ts = self.clock.now().nanos();
         let database = self.database_or_create(db)?;
+        // Priority-aware degraded mode: with the disk full, bulk metric
+        // writes are refused up front (transient — the router keeps them
+        // spooled), but job annotation events stay admitted to the
+        // in-memory layer so job context remains live. They skip the WAL,
+        // which is the documented trade-off: events written while degraded
+        // do not survive a restart, but they are never silently shed.
+        let degraded = database.engine().is_some_and(|e| e.is_degraded());
+        if degraded && !parsed.lines.iter().all(|l| l.measurement == "events") {
+            return Err(Error::unavailable(
+                "storage degraded (disk full): bulk writes refused, events only",
+            ));
+        }
         let mut outcome = WriteOutcome {
             written: 0,
             rejected: parsed.errors.len(),
@@ -838,7 +866,7 @@ impl Influx {
         // nanosecond timestamp — so replay after a crash is deterministic
         // and idempotent (re-applying overwrites with identical values).
         if let Some(engine) = database.engine() {
-            if !parsed.lines.is_empty() {
+            if !parsed.lines.is_empty() && !degraded {
                 let mut wal_batch = String::with_capacity(batch.len() + 16);
                 for line in &parsed.lines {
                     if line.timestamp.is_some()
@@ -937,46 +965,89 @@ impl Influx {
         stats
     }
 
-    /// Spawns the background flush/compaction worker. Returns `None` when
-    /// persistence is not configured. The worker flushes when any database
-    /// accumulates `flush_points` head points or every `flush_interval`,
-    /// and compacts opportunistically after flushing; stopping it performs
-    /// a final flush.
+    /// Spawns the background flush/compaction worker under a supervisor.
+    /// Returns `None` when persistence is not configured. The worker
+    /// flushes when any database accumulates `flush_points` head points or
+    /// every `flush_interval`, and compacts opportunistically after
+    /// flushing; stopping it performs a final flush. A panicking worker is
+    /// restarted with backoff; its health feeds [`Influx::workers_ready`].
     pub fn spawn_storage_worker(&self) -> Option<StorageWorker> {
+        self.spawn_storage_worker_with(SupervisorConfig::default())
+    }
+
+    /// [`Influx::spawn_storage_worker`] with an explicit restart policy
+    /// (tests shrink the backoff and budget).
+    pub fn spawn_storage_worker_with(&self, sup_cfg: SupervisorConfig) -> Option<StorageWorker> {
         let cfg = self.inner.read().storage.clone()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = stop.clone();
+        let supervisor = Supervisor::new(sup_cfg);
         let ix = self.clone();
-        let handle = std::thread::Builder::new()
-            .name("lms-influx-storage".into())
-            .spawn(move || {
-                let tick = Duration::from_millis(200).min(cfg.flush_interval);
-                let mut last_flush = std::time::Instant::now();
-                while !flag.load(Ordering::Relaxed) {
-                    std::thread::sleep(tick);
-                    let due = last_flush.elapsed() >= cfg.flush_interval;
-                    let databases: Vec<Arc<Database>> =
-                        ix.inner.read().databases.values().cloned().collect();
-                    for db in databases {
-                        if db.engine().is_none() {
-                            continue;
-                        }
-                        let heads = db.head_point_count();
-                        if heads > 0 && (due || heads >= cfg.flush_points) {
-                            let _ = db.flush_storage();
-                        }
-                        if db.engine().is_some_and(|e| e.needs_compaction()) {
-                            let _ = db.compact_storage();
-                        }
+        let panics = self.worker_panics.clone();
+        let spawned = supervisor.spawn("storage", move |ctx| {
+            let tick = Duration::from_millis(200).min(cfg.flush_interval);
+            let mut last_flush = std::time::Instant::now();
+            while !ctx.should_stop() {
+                ctx.sleep(tick);
+                if panics
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    panic!("injected storage worker panic");
+                }
+                let due = last_flush.elapsed() >= cfg.flush_interval;
+                let databases: Vec<Arc<Database>> =
+                    ix.inner.read().databases.values().cloned().collect();
+                for db in databases {
+                    let Some(engine) = db.engine() else { continue };
+                    // Degraded (disk full): flushing or compacting would
+                    // just hit ENOSPC again — park until an operator
+                    // clears the condition instead of retrying unbounded.
+                    if engine.is_degraded() {
+                        continue;
                     }
-                    if due {
-                        last_flush = std::time::Instant::now();
+                    let heads = db.head_point_count();
+                    if heads > 0 && (due || heads >= cfg.flush_points) {
+                        let _ = db.flush_storage();
+                    }
+                    if db.engine().is_some_and(|e| e.needs_compaction()) {
+                        let _ = db.compact_storage();
                     }
                 }
-                let _ = ix.flush_storage();
-            })
-            .expect("spawn storage worker");
-        Some(StorageWorker { stop, handle: Some(handle) })
+                if due {
+                    last_flush = std::time::Instant::now();
+                }
+            }
+            let _ = ix.flush_storage();
+        });
+        if spawned.is_err() {
+            return None;
+        }
+        self.inner.write().supervisor = Some(supervisor.clone());
+        Some(StorageWorker { supervisor })
+    }
+
+    /// Readiness of the supervised background workers: `true` when no
+    /// worker is mid-restart or permanently failed (also `true` before the
+    /// worker is spawned, and in memory-only mode).
+    pub fn workers_ready(&self) -> bool {
+        self.inner.read().supervisor.as_ref().map(|s| s.is_ready()).unwrap_or(true)
+    }
+
+    /// Health reports of the supervised background workers.
+    pub fn worker_reports(&self) -> Vec<WorkerReport> {
+        self.inner.read().supervisor.as_ref().map(|s| s.reports()).unwrap_or_default()
+    }
+
+    /// True when any database's storage engine is degraded (disk full).
+    pub fn storage_degraded(&self) -> bool {
+        let databases: Vec<Arc<Database>> =
+            self.inner.read().databases.values().cloned().collect();
+        databases.iter().any(|d| d.engine().is_some_and(|e| e.is_degraded()))
+    }
+
+    /// Fault injection: make the storage worker panic on its next `n`
+    /// ticks (each tick consumes one pending panic).
+    pub fn inject_storage_worker_panics(&self, n: u64) {
+        self.worker_panics.store(n, Ordering::SeqCst);
     }
 
     /// Point count in one database (0 when absent).
@@ -990,31 +1061,28 @@ impl Influx {
     }
 }
 
-/// Handle to the background flush/compaction thread; stopping (or
-/// dropping) it performs a final flush so a graceful shutdown loses
+/// Handle to the supervised background flush/compaction worker; stopping
+/// (or dropping) it performs a final flush so a graceful shutdown loses
 /// nothing even with WAL fsync disabled.
 pub struct StorageWorker {
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    supervisor: Supervisor,
 }
 
 impl StorageWorker {
     /// Signals the worker and waits for its final flush.
-    pub fn stop(mut self) {
-        self.shutdown();
+    pub fn stop(self) {
+        self.supervisor.shutdown();
     }
 
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+    /// The supervisor behind the worker, for health inspection.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
     }
 }
 
 impl Drop for StorageWorker {
     fn drop(&mut self) {
-        self.shutdown();
+        self.supervisor.shutdown();
     }
 }
 

@@ -6,9 +6,11 @@
 //! | `POST /write?db=<db>&precision=<p>` | line-protocol batch → `204`; `400` with a JSON error when every line failed or the db is missing |
 //! | `GET/POST /query?db=<db>&q=<stmt>` | InfluxDB-shaped JSON result |
 //! | `GET /stats` | storage-engine gauges (WAL bytes, sealed blocks, compression ratio, …) |
+//! | `GET /health/live` | `204` while the process runs |
+//! | `GET /health/ready` | `204` when workers are healthy and storage is not degraded; `503` otherwise |
 
 use crate::db::{Influx, WriteOptions};
-use lms_http::{Request, Response, Server};
+use lms_http::{Request, Response, Server, ServerConfig};
 use lms_lineproto::Precision;
 use lms_util::{Json, Result};
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -19,18 +21,33 @@ pub struct InfluxServer {
 }
 
 impl InfluxServer {
-    /// Starts serving `influx` on `addr` with one worker per core (at
-    /// least 4) — the sharded engine accepts concurrent writes, so the
-    /// HTTP layer should offer matching parallelism.
+    /// Starts serving `influx` on `addr` with a connection cap of one per
+    /// core (at least 4) — the sharded engine accepts concurrent writes,
+    /// so the HTTP layer should offer matching parallelism.
     pub fn start<A: ToSocketAddrs>(addr: A, influx: Influx) -> Result<Self> {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
-        let server = Server::bind(addr, workers, move |req| handle(&influx, req))?;
+        Self::start_with(addr, ServerConfig::with_max_connections(workers), influx)
+    }
+
+    /// Starts serving with explicit admission limits (connection cap, body
+    /// cap, request deadline).
+    pub fn start_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        influx: Influx,
+    ) -> Result<Self> {
+        let server = Server::bind_with(addr, config, move |req| handle(&influx, req))?;
         Ok(InfluxServer { server })
     }
 
     /// Bound address.
     pub fn addr(&self) -> SocketAddr {
         self.server.addr()
+    }
+
+    /// Connections refused with `503` at the admission limit.
+    pub fn shed_connections(&self) -> u64 {
+        self.server.shed_connections()
     }
 
     /// Stops the server.
@@ -72,6 +89,12 @@ fn handle(influx: &Influx, req: Request) -> Response {
                         .unwrap_or((0, "empty write body".to_string()));
                     Response::json(400, error_json(&format!("line {line}: {msg}")))
                 }
+                // Degraded storage sheds the write as retryable: the
+                // router's forwarder sees a transient 503 and keeps the
+                // batch queued/spooled until the disk recovers.
+                Err(e @ lms_util::Error::Unavailable(_)) => {
+                    Response::service_unavailable(&e.to_string(), 5)
+                }
                 Err(e) => Response::json(404, error_json(&e.to_string())),
             }
         }
@@ -99,8 +122,37 @@ fn handle(influx: &Influx, req: Request) -> Response {
                 ("segment_bytes", Json::Int(s.segment_bytes as i64)),
                 ("compactions", Json::Int(s.compactions as i64)),
                 ("recovered_records", Json::Int(s.recovered_records as i64)),
+                ("storage_degraded", Json::Bool(s.degraded)),
+                ("workers_ready", Json::Bool(influx.workers_ready())),
             ]);
             Response::json(200, body.to_string())
+        }
+        ("GET", "/health/live") | ("HEAD", "/health/live") => Response::no_content(),
+        ("GET", "/health/ready") | ("HEAD", "/health/ready") => {
+            let degraded = influx.storage_degraded();
+            let workers_ready = influx.workers_ready();
+            if !degraded && workers_ready {
+                return Response::no_content();
+            }
+            let workers = Json::Arr(
+                influx
+                    .worker_reports()
+                    .into_iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("name", Json::str(w.name)),
+                            ("health", Json::str(w.health.as_str())),
+                            ("restarts", Json::Int(w.restarts as i64)),
+                        ])
+                    })
+                    .collect(),
+            );
+            let body = Json::obj([
+                ("storage_degraded", Json::Bool(degraded)),
+                ("workers_ready", Json::Bool(workers_ready)),
+                ("workers", workers),
+            ]);
+            Response::json(503, body.to_string())
         }
         _ => Response::not_found("unknown endpoint"),
     }
@@ -209,6 +261,60 @@ mod tests {
         assert_eq!(json.get("segment_files").unwrap().as_i64(), Some(1));
         assert!(json.get("segment_bytes").unwrap().as_i64().unwrap() > 0);
         assert!(json.get("compression_ratio").is_some());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_endpoints() {
+        let (server, _ix, mut c) = start();
+        assert_eq!(c.get("/health/live").unwrap().status, 204);
+        // Memory-only, no worker: ready.
+        assert_eq!(c.get("/health/ready").unwrap().status, 204);
+        server.shutdown();
+    }
+
+    #[test]
+    fn degraded_storage_sheds_writes_and_fails_readiness() {
+        let dir = std::env::temp_dir().join(format!("lms-http-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let influx = Influx::open(
+            Clock::simulated(Timestamp::from_secs(1000)),
+            2,
+            crate::db::StorageConfig::new(&dir),
+        )
+        .unwrap();
+        let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(c.post_text("/write?db=lms", "cpu v=1 900000000000").unwrap().status, 204);
+
+        // Simulate the disk filling up mid-run.
+        let db = influx.database("lms").unwrap();
+        let engine = db.engine().unwrap();
+        engine.inject_wal_append_failure(true);
+        // First write surfaces the ENOSPC (400/500 class); after that the
+        // engine is degraded and sheds with 503 + Retry-After.
+        let _ = c.post_text("/write?db=lms", "cpu v=2 900000000001").unwrap();
+        let r = c.post_text("/write?db=lms", "cpu v=3 900000000002").unwrap();
+        assert_eq!(r.status, 503);
+        assert!(r.header("retry-after").is_some());
+        // Events are still admitted (priority traffic).
+        let r = c
+            .post_text("/write?db=lms", "events,jobid=7 text=\"start\" 900000000003")
+            .unwrap();
+        assert_eq!(r.status, 204);
+
+        let r = c.get("/stats").unwrap();
+        let json = Json::parse(&r.body_str()).unwrap();
+        assert_eq!(json.get("storage_degraded").unwrap().as_bool(), Some(true));
+        let r = c.get("/health/ready").unwrap();
+        assert_eq!(r.status, 503);
+
+        // Operator frees space: readiness returns.
+        engine.inject_wal_append_failure(false);
+        engine.clear_degraded();
+        assert_eq!(c.get("/health/ready").unwrap().status, 204);
+        assert_eq!(c.post_text("/write?db=lms", "cpu v=4 900000000004").unwrap().status, 204);
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

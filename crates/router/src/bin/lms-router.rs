@@ -4,6 +4,7 @@
 //! lms-router --db <host:port> [--listen 127.0.0.1:8087]
 //!            [--per-user] [--publish 127.0.0.1:5556]
 //!            [--spool-dir <path>]
+//!            [--max-connections N] [--max-body-bytes N]
 //!            [--gmond <host:port> --gmond-interval <secs>]
 //! ```
 //!
@@ -15,6 +16,7 @@
 //! signals fan out on the message queue; with `--gmond`, a pulling proxy
 //! polls a Ganglia gmond.
 
+use lms_http::ServerConfig;
 use lms_mq::Publisher;
 use lms_router::proxy::GangliaProxy;
 use lms_router::{Router, RouterConfig, RouterServer};
@@ -40,6 +42,7 @@ fn run() -> Result<()> {
     let mut gmond: Option<SocketAddr> = None;
     let mut gmond_interval = Duration::from_secs(60);
     let mut spool_dir: Option<String> = None;
+    let mut server_config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,6 +56,20 @@ fn run() -> Result<()> {
                 )?)
             }
             "--per-user" => per_user = true,
+            "--max-connections" => {
+                server_config.max_connections = it
+                    .next()
+                    .ok_or_else(|| Error::config("--max-connections needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --max-connections"))?
+            }
+            "--max-body-bytes" => {
+                server_config.max_body_bytes = it
+                    .next()
+                    .ok_or_else(|| Error::config("--max-body-bytes needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --max-body-bytes"))?
+            }
             "--spool-dir" => {
                 spool_dir =
                     Some(it.next().ok_or_else(|| Error::config("--spool-dir needs a path"))?.clone())
@@ -80,7 +97,8 @@ fn run() -> Result<()> {
             "--help" | "-h" => {
                 println!(
                     "usage: lms-router --db host:port [--listen addr] [--per-user] \
-                     [--spool-dir path] [--publish addr] [--gmond addr --gmond-interval secs]"
+                     [--spool-dir path] [--publish addr] [--max-connections N] \
+                     [--max-body-bytes N] [--gmond addr --gmond-interval secs]"
                 );
                 return Ok(());
             }
@@ -103,7 +121,7 @@ fn run() -> Result<()> {
         ..Default::default()
     };
     let router = Arc::new(Router::new(db, config, Clock::system(), publisher)?);
-    let server = RouterServer::start(listen.as_str(), router.clone())?;
+    let server = RouterServer::start_with(listen.as_str(), server_config, router.clone())?;
     println!("lms-router listening on http://{} → db http://{db}", server.addr());
 
     let proxy = gmond.map(GangliaProxy::new).transpose()?;

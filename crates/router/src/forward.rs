@@ -26,7 +26,7 @@ use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendErro
 use lms_influx::InfluxClient;
 use lms_spool::{Spool, SpoolConfig};
 use lms_util::rng::XorShift64;
-use lms_util::Result;
+use lms_util::{Result, Supervisor, SupervisorConfig, WorkerReport};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -65,6 +65,8 @@ pub struct ForwardConfig {
     /// Seed for the per-worker jitter RNGs (workers derive distinct
     /// streams from it; fixed seeds give reproducible chaos tests).
     pub seed: u64,
+    /// Restart policy for the supervised worker/drainer threads.
+    pub supervisor: SupervisorConfig,
 }
 
 impl ForwardConfig {
@@ -84,6 +86,7 @@ impl ForwardConfig {
             io_timeout: Duration::from_secs(10),
             drain_idle: Duration::from_millis(100),
             seed: 0x1a55_eed7,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -125,6 +128,11 @@ struct Shared {
     breaker: CircuitBreaker,
     spool: Option<Spool>,
     stop: AtomicBool,
+    /// Queue capacity, for the saturation signal.
+    capacity: u64,
+    /// Fault injection: pending drainer panics (each iteration consumes
+    /// one); exercises the supervisor's restart path in tests.
+    drainer_panics: AtomicU64,
 }
 
 impl Shared {
@@ -156,11 +164,12 @@ impl Shared {
     }
 }
 
-/// Handle to the forwarding worker pool and spool drainer.
+/// Handle to the forwarding worker pool and spool drainer, all supervised:
+/// a panicking worker spills its in-flight batch and is restarted with
+/// backoff instead of silently shrinking the pool.
 pub struct Forwarder {
     tx: Option<Sender<Batch>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-    drainer: Option<std::thread::JoinHandle<()>>,
+    supervisor: Supervisor,
     shared: Arc<Shared>,
 }
 
@@ -188,27 +197,24 @@ impl Forwarder {
             breaker: CircuitBreaker::new(config.breaker),
             spool,
             stop: AtomicBool::new(false),
+            capacity: config.queue_capacity.max(1) as u64,
+            drainer_panics: AtomicU64::new(0),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                let rx = rx.clone();
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("lms-router-forwarder-{i}"))
-                    .spawn(move || worker_loop(&rx, &config, &shared, i as u64))
-                    .expect("spawn forwarder")
-            })
-            .collect();
-        let drainer = shared.spool.is_some().then(|| {
+        let supervisor = Supervisor::new(config.supervisor.clone());
+        for i in 0..config.workers.max(1) {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            let config = config.clone();
+            supervisor.spawn(&format!("forwarder-{i}"), move |_ctx| {
+                worker_loop(&rx, &config, &shared, i as u64)
+            })?;
+        }
+        if shared.spool.is_some() {
             let shared = shared.clone();
             let config = config.clone();
-            std::thread::Builder::new()
-                .name("lms-router-spool-drainer".into())
-                .spawn(move || drainer_loop(&config, &shared))
-                .expect("spawn spool drainer")
-        });
-        Ok(Forwarder { tx: Some(tx), workers, drainer, shared })
+            supervisor.spawn("spool-drainer", move |_ctx| drainer_loop(&config, &shared))?;
+        }
+        Ok(Forwarder { tx: Some(tx), supervisor, shared })
     }
 
     /// Enqueues a batch. On a full queue the **new** batch spills to the
@@ -228,6 +234,31 @@ impl Forwarder {
                 self.shared.notify_progress();
             }
         }
+    }
+
+    /// True when the delivery pipeline is saturated: as many batches are
+    /// queued or in flight as the queue can hold, so a new bulk batch
+    /// would overflow straight to the spool (or be dropped). The router
+    /// uses this as its load-shedding signal for low-priority writes.
+    pub fn saturated(&self) -> bool {
+        self.shared.outstanding.load(Ordering::Acquire) >= self.shared.capacity
+    }
+
+    /// Readiness of the supervised worker/drainer threads: `false` while
+    /// any of them is mid-restart or has exhausted its restart budget.
+    pub fn workers_ready(&self) -> bool {
+        self.supervisor.is_ready()
+    }
+
+    /// Health reports of the supervised worker/drainer threads.
+    pub fn worker_reports(&self) -> Vec<WorkerReport> {
+        self.supervisor.reports()
+    }
+
+    /// Fault injection: make the spool drainer panic on its next `n`
+    /// iterations (each iteration consumes one pending panic).
+    pub fn inject_drainer_panics(&self, n: u64) {
+        self.shared.drainer_panics.store(n, Ordering::SeqCst);
     }
 
     /// Current statistics (queue, retry, spool and breaker counters in
@@ -278,13 +309,10 @@ impl Forwarder {
 impl Drop for Forwarder {
     fn drop(&mut self) {
         self.tx.take(); // close the channel; workers drain and exit
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
         self.shared.stop.store(true, Ordering::Release);
-        if let Some(d) = self.drainer.take() {
-            let _ = d.join();
-        }
+        // Joins every supervised thread (workers finish draining the
+        // closed channel first, then return cleanly).
+        self.supervisor.shutdown();
     }
 }
 
@@ -312,9 +340,19 @@ fn worker_loop(rx: &Receiver<Batch>, config: &ForwardConfig, shared: &Shared, in
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        process_batch(&batch, &mut client, config, shared, &mut rng);
+        // A panic mid-delivery must not lose the accepted batch or leave
+        // `outstanding` stuck (which would wedge flush() forever): spill
+        // the batch, settle the counters, then re-raise so the supervisor
+        // records the panic and restarts this worker with backoff.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(&batch, &mut client, config, shared, &mut rng);
+        }));
         shared.outstanding.fetch_sub(1, Ordering::AcqRel);
         shared.notify_progress();
+        if let Err(panic) = result {
+            shared.spill(&batch.db, &batch.body);
+            std::panic::resume_unwind(panic);
+        }
     }
 }
 
@@ -391,6 +429,15 @@ fn drainer_loop(config: &ForwardConfig, shared: &Shared) {
     let mut rng = XorShift64::new(config.seed ^ 0xD5A1_4E55);
     let mut failures: u32 = 0;
     while !shared.stop.load(Ordering::Acquire) {
+        // Fault injection: consume one pending panic per iteration so
+        // tests can exercise the supervisor's restart/budget path.
+        if shared
+            .drainer_panics
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected spool drainer panic");
+        }
         let Some(entry) = spool.peek() else {
             shared.notify_progress();
             sleep_unless_stopped(shared, config.drain_idle);

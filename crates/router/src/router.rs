@@ -59,6 +59,9 @@ pub struct RouterStats {
     pub lines_rejected: u64,
     /// Job start/end signals processed.
     pub signals: u64,
+    /// Bulk write requests shed because the delivery pipeline was
+    /// saturated (job signals and events are never shed).
+    pub writes_shed: u64,
     /// Forwarder statistics.
     pub forward: ForwardStats,
 }
@@ -74,6 +77,7 @@ pub struct Router {
     lines_enriched: AtomicU64,
     lines_rejected: AtomicU64,
     signals: AtomicU64,
+    writes_shed: AtomicU64,
 }
 
 impl Router {
@@ -104,6 +108,7 @@ impl Router {
             lines_enriched: AtomicU64::new(0),
             lines_rejected: AtomicU64::new(0),
             signals: AtomicU64::new(0),
+            writes_shed: AtomicU64::new(0),
         })
     }
 
@@ -115,6 +120,35 @@ impl Router {
     /// Read access to the tag store (admin views).
     pub fn with_tags<R>(&self, f: impl FnOnce(&TagStore) -> R) -> R {
         f(&self.tags.read())
+    }
+
+    /// Priority-aware admission for **bulk** metric writes: returns false
+    /// (and counts the shed) when the delivery pipeline is saturated, so
+    /// the HTTP layer can answer 503 + Retry-After instead of piling more
+    /// work onto an overloaded queue. Job signals and annotation events
+    /// never go through this gate — they are always admitted.
+    pub fn try_admit_write(&self) -> bool {
+        if self.forwarder.saturated() {
+            self.writes_shed.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Readiness of the supervised forwarder/drainer threads.
+    pub fn workers_ready(&self) -> bool {
+        self.forwarder.workers_ready()
+    }
+
+    /// Health reports of the supervised forwarder/drainer threads.
+    pub fn worker_reports(&self) -> Vec<lms_util::WorkerReport> {
+        self.forwarder.worker_reports()
+    }
+
+    /// Fault injection: panic the spool drainer on its next `n` iterations.
+    pub fn inject_drainer_panics(&self, n: u64) {
+        self.forwarder.inject_drainer_panics(n);
     }
 
     /// Handles an incoming line-protocol batch (the `/write` endpoint).
@@ -263,6 +297,7 @@ impl Router {
             lines_enriched: self.lines_enriched.load(Ordering::Relaxed),
             lines_rejected: self.lines_rejected.load(Ordering::Relaxed),
             signals: self.signals.load(Ordering::Relaxed),
+            writes_shed: self.writes_shed.load(Ordering::Relaxed),
             forward: self.forwarder.stats(),
         }
     }

@@ -8,10 +8,17 @@
 //! | `POST /signal/end?job=<id>` | job-end signal |
 //! | `GET /jobs` | running jobs with hosts (admin view source) |
 //! | `GET /stats` | router counters as JSON |
+//! | `GET /health/live` | process liveness (`204` while serving) |
+//! | `GET /health/ready` | readiness: supervised workers healthy (`204`/`503`) |
+//!
+//! Overload behaviour: when the delivery pipeline is saturated, `POST
+//! /write` is shed with `503` + `Retry-After` — job signals are *always*
+//! admitted (they are tiny, rare, and losing one corrupts enrichment for a
+//! job's whole lifetime).
 
 use crate::router::{parse_hosts, Router};
 use crate::tagstore::JobSignal;
-use lms_http::{Request, Response, Server};
+use lms_http::{Request, Response, Server, ServerConfig};
 use lms_util::{Json, Result};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
@@ -23,11 +30,25 @@ pub struct RouterServer {
 }
 
 impl RouterServer {
-    /// Starts serving `router` on `addr`.
+    /// Starts serving `router` on `addr` with default admission limits.
     pub fn start<A: ToSocketAddrs>(addr: A, router: Arc<Router>) -> Result<Self> {
+        Self::start_with(addr, ServerConfig::default(), router)
+    }
+
+    /// Starts serving with explicit connection/body/deadline limits.
+    pub fn start_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        router: Arc<Router>,
+    ) -> Result<Self> {
         let handler_router = router.clone();
-        let server = Server::bind(addr, 4, move |req| handle(&handler_router, req))?;
+        let server = Server::bind_with(addr, config, move |req| handle(&handler_router, req))?;
         Ok(RouterServer { server, router })
+    }
+
+    /// Connections shed at the door with `503` (over connection capacity).
+    pub fn shed_connections(&self) -> u64 {
+        self.server.shed_connections()
     }
 
     /// Bound address.
@@ -50,6 +71,11 @@ fn handle(router: &Router, req: Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/ping") | ("HEAD", "/ping") => Response::no_content(),
         ("POST", "/write") => {
+            // Priority-aware shedding: bulk metric writes are refused when
+            // the delivery pipeline is saturated; signals (below) never are.
+            if !router.try_admit_write() {
+                return Response::service_unavailable("delivery pipeline saturated", 1);
+            }
             let db = req.query_param("db");
             let (accepted, rejected) = router.handle_write(db, &req.body_str());
             if accepted == 0 && rejected > 0 {
@@ -124,6 +150,8 @@ fn handle(router: &Router, req: Request) -> Response {
                     ("lines_enriched", Json::from(s.lines_enriched as i64)),
                     ("lines_rejected", Json::from(s.lines_rejected as i64)),
                     ("signals", Json::from(s.signals as i64)),
+                    ("writes_shed", Json::from(s.writes_shed as i64)),
+                    ("workers_ready", Json::Bool(router.workers_ready())),
                     ("forward_delivered", Json::from(s.forward.delivered as i64)),
                     ("forward_rejected", Json::from(s.forward.rejected as i64)),
                     ("forward_dropped", Json::from(s.forward.dropped as i64)),
@@ -135,6 +163,28 @@ fn handle(router: &Router, req: Request) -> Response {
                 ])
                 .to_string(),
             )
+        }
+        // Liveness: the process accepts and answers requests.
+        ("GET", "/health/live") | ("HEAD", "/health/live") => Response::no_content(),
+        // Readiness: every supervised forwarder/drainer thread is healthy
+        // (or cleanly stopped). While one is mid-restart or has exhausted
+        // its restart budget, report 503 with the per-worker detail.
+        ("GET", "/health/ready") | ("HEAD", "/health/ready") => {
+            if router.workers_ready() {
+                Response::no_content()
+            } else {
+                let workers = Json::arr(router.worker_reports().into_iter().map(|w| {
+                    Json::obj([
+                        ("name", Json::str(w.name)),
+                        ("health", Json::str(w.health.as_str())),
+                        ("restarts", Json::from(w.restarts as i64)),
+                    ])
+                }));
+                Response::json(
+                    503,
+                    Json::obj([("ready", Json::Bool(false)), ("workers", workers)]).to_string(),
+                )
+            }
         }
         _ => Response::not_found("unknown endpoint"),
     }
@@ -214,6 +264,55 @@ mod tests {
         assert_eq!(stats.get("forward_spooled").unwrap().as_i64(), Some(0));
         assert_eq!(stats.get("spool_pending").unwrap().as_i64(), Some(0));
         assert_eq!(stats.get("breaker").unwrap().as_str(), Some("closed"));
+        rs.shutdown();
+        db.shutdown();
+    }
+
+    #[test]
+    fn saturated_pipeline_sheds_writes_but_not_signals() {
+        use std::time::Instant;
+        // Dead DB + 1-batch queue + single worker: batches pile up and the
+        // admission gate trips.
+        let clock = Clock::simulated(Timestamp::from_secs(9000));
+        let influx = Influx::new(clock.clone());
+        let db = InfluxServer::start("127.0.0.1:0", influx).unwrap();
+        let dead = db.addr();
+        db.shutdown();
+        let config = RouterConfig {
+            queue_capacity: 1,
+            forward_workers: 1,
+            max_retries: 10,
+            ..Default::default()
+        };
+        let router = Arc::new(Router::new(dead, config, clock, None).unwrap());
+        let rs = RouterServer::start("127.0.0.1:0", router).unwrap();
+        let mut c = HttpClient::connect(rs.addr()).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut shed = None;
+        let mut i = 0u32;
+        while Instant::now() < deadline && shed.is_none() {
+            let r = c.post_text("/write", format!("m v={i} {i}").as_str()).unwrap();
+            i += 1;
+            if r.status == 503 {
+                shed = Some(r);
+            }
+        }
+        let r = shed.expect("a bulk write should have been shed with 503");
+        assert!(r.header("retry-after").is_some(), "shed response must carry Retry-After");
+        // Signals bypass admission: always 204, even while saturated.
+        assert_eq!(c.post("/signal/start?job=1&user=u&hosts=h1", b"").unwrap().status, 204);
+        assert_eq!(c.post("/signal/end?job=1", b"").unwrap().status, 204);
+        let stats = Json::parse(&c.get("/stats").unwrap().body_str()).unwrap();
+        assert!(stats.get("writes_shed").unwrap().as_i64().unwrap() >= 1);
+        rs.shutdown();
+    }
+
+    #[test]
+    fn health_endpoints() {
+        let (db, _ix, rs, mut c) = stack();
+        assert_eq!(c.get("/health/live").unwrap().status, 204);
+        assert_eq!(c.get("/health/ready").unwrap().status, 204);
         rs.shutdown();
         db.shutdown();
     }

@@ -40,7 +40,7 @@ use lms_util::{Error, Result};
 use parking_lot::Mutex;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Storage engine configuration.
 #[derive(Debug, Clone)]
@@ -99,6 +99,9 @@ pub struct TsmStats {
     pub compactions: u64,
     /// WAL records replayed at the last open.
     pub recovered_records: u64,
+    /// True once the engine hit `ENOSPC` (WAL append or segment write)
+    /// and dropped to degraded read-only mode.
+    pub degraded: bool,
 }
 
 struct SegFile {
@@ -114,6 +117,9 @@ struct Faults {
     /// Sticky: skip WAL checkpoint removal (simulates a crash between
     /// segment fsync and WAL delete).
     skip_wal_remove: bool,
+    /// Sticky: every WAL append fails as if the disk were full
+    /// (`ErrorKind::StorageFull`), driving the degraded-mode transition.
+    fail_wal_append: bool,
 }
 
 /// Persistent storage engine for one database. See the module docs.
@@ -127,7 +133,18 @@ pub struct TsmEngine {
     next_seg_seq: AtomicU64,
     compactions: AtomicU64,
     recovered_records: u64,
+    /// Set on `ENOSPC` from WAL append or segment write: the engine stops
+    /// accepting writes ([`TsmEngine::append_wal`] returns
+    /// `Error::Unavailable`) instead of retrying a full disk forever.
+    /// Reads and already-sealed data stay available.
+    degraded: AtomicBool,
     faults: Mutex<Faults>,
+}
+
+/// True for I/O errors that mean "the disk is full": retrying cannot help
+/// until an operator frees space, so the engine degrades instead.
+fn is_storage_full(e: &Error) -> bool {
+    matches!(e, Error::Io(io) if io.kind() == std::io::ErrorKind::StorageFull)
 }
 
 fn segment_file_name(partition: i64, seq: u64) -> String {
@@ -195,14 +212,49 @@ impl TsmEngine {
             next_seg_seq: AtomicU64::new(next_seg_seq),
             compactions: AtomicU64::new(0),
             recovered_records: recovered.wal_records.len() as u64,
-            faults: Mutex::new(Faults { segment_write_after: None, skip_wal_remove: false }),
+            degraded: AtomicBool::new(false),
+            faults: Mutex::new(Faults {
+                segment_write_after: None,
+                skip_wal_remove: false,
+                fail_wal_append: false,
+            }),
         };
         Ok((engine, recovered))
     }
 
-    /// Appends one acknowledged write batch to the WAL.
+    /// Appends one acknowledged write batch to the WAL. In degraded
+    /// read-only mode (after `ENOSPC`) the append is refused up front with
+    /// `Error::Unavailable` — transient, so the delivery pipeline keeps
+    /// the data spooled instead of dropping it.
     pub fn append_wal(&self, batch: &str) -> Result<u64> {
-        self.wal.append(batch)
+        if self.degraded.load(Ordering::Acquire) {
+            return Err(Error::unavailable("storage degraded (disk full): writes refused"));
+        }
+        let result = if self.faults.lock().fail_wal_append {
+            Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "fault injection: no space left on device",
+            )))
+        } else {
+            self.wal.append(batch)
+        };
+        if let Err(e) = &result {
+            if is_storage_full(e) {
+                self.degraded.store(true, Ordering::Release);
+            }
+        }
+        result
+    }
+
+    /// True once the engine dropped to degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Clears degraded mode (operator freed disk space). Subsequent writes
+    /// are attempted again; another `ENOSPC` re-degrades.
+    pub fn clear_degraded(&self) {
+        self.degraded.store(false, Ordering::Release);
     }
 
     /// Allocates the next seal generation (monotonic across restarts).
@@ -251,7 +303,15 @@ impl TsmEngine {
             let path = self.cfg.dir.join(segment_file_name(partition, seq));
             let fail_after = self.faults.lock().segment_write_after.take();
             let owned: Vec<BlockEntry> = group.into_iter().cloned().collect();
-            let bytes = segment::write_segment(&path, &owned, fail_after)?;
+            let bytes = match segment::write_segment(&path, &owned, fail_after) {
+                Ok(b) => b,
+                Err(e) => {
+                    if is_storage_full(&e) {
+                        self.degraded.store(true, Ordering::Release);
+                    }
+                    return Err(e);
+                }
+            };
             written.push(SegFile { partition, seq, path, bytes });
         }
         Ok(written)
@@ -308,6 +368,7 @@ impl TsmEngine {
             segment_bytes,
             compactions: self.compactions.load(Ordering::Relaxed),
             recovered_records: self.recovered_records,
+            degraded: self.degraded.load(Ordering::Acquire),
         }
     }
 
@@ -326,6 +387,16 @@ impl TsmEngine {
     /// removal, as if the process died between segment fsync and delete.
     pub fn set_fail_wal_remove(&self, on: bool) {
         self.faults.lock().skip_wal_remove = on;
+    }
+
+    /// Fault injection: when set, every WAL append fails with a simulated
+    /// `ENOSPC`, driving the engine into degraded read-only mode (sticky;
+    /// clear with `inject_wal_append_failure(false)` + [`clear_degraded`]
+    /// to simulate an operator freeing space).
+    ///
+    /// [`clear_degraded`]: TsmEngine::clear_degraded
+    pub fn inject_wal_append_failure(&self, on: bool) {
+        self.faults.lock().fail_wal_append = on;
     }
 }
 
@@ -506,6 +577,33 @@ mod tests {
         assert_eq!(rec.blocks.len(), 0, "aborted segment never became visible");
         assert_eq!(rec.wal_records.len(), 1, "WAL covers the lost flush");
         assert_eq!(engine.segment_file_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_on_wal_append_degrades_to_read_only() {
+        let dir = tmp("enospc");
+        let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
+        engine.append_wal("m v=1 500").unwrap();
+        assert!(!engine.is_degraded());
+
+        engine.inject_wal_append_failure(true);
+        let err = engine.append_wal("m v=2 501").unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "first failure surfaces the ENOSPC: {err}");
+        assert!(engine.is_degraded());
+        assert!(engine.stats().degraded);
+
+        // Degraded mode refuses up front — no disk I/O, transient error.
+        let err = engine.append_wal("m v=3 502").unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err}");
+        assert!(err.is_transient(), "callers must keep the data spooled, not drop it");
+
+        // Operator frees space: clear the fault and degraded flag, writes
+        // resume.
+        engine.inject_wal_append_failure(false);
+        engine.clear_degraded();
+        engine.append_wal("m v=4 503").unwrap();
+        assert!(!engine.is_degraded());
         let _ = fs::remove_dir_all(&dir);
     }
 

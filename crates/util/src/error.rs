@@ -32,6 +32,12 @@ pub enum Error {
     /// The remote side answered with an application-level error
     /// (HTTP status >= 400); carries status and body.
     Remote { status: u16, message: String },
+    /// The component is temporarily refusing work to protect itself
+    /// (admission limit reached, storage degraded to read-only). The
+    /// operation was *not* attempted; retrying later may succeed, so the
+    /// delivery pipeline treats this as transient. HTTP servers map it to
+    /// `503 Service Unavailable` with a `Retry-After` hint.
+    Unavailable(String),
 }
 
 /// Delivery-oriented error taxonomy: what the forwarding pipeline should
@@ -67,6 +73,12 @@ impl Error {
         Error::Invalid(msg.into())
     }
 
+    /// Shorthand for a temporary refusal (overload shedding, degraded
+    /// storage).
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        Error::Unavailable(msg.into())
+    }
+
     /// Classifies the error for the delivery pipeline (see [`ErrorClass`]).
     /// I/O failures and remote 5xx/429 are transient; everything else —
     /// protocol violations, remote 4xx, config/invariant errors — is
@@ -77,6 +89,7 @@ impl Error {
             Error::Remote { status, .. } if *status >= 500 || *status == 429 => {
                 ErrorClass::Transient
             }
+            Error::Unavailable(_) => ErrorClass::Transient,
             _ => ErrorClass::Permanent,
         }
     }
@@ -104,6 +117,7 @@ impl fmt::Display for Error {
             Error::Remote { status, message } => {
                 write!(f, "remote error (status {status}): {message}")
             }
+            Error::Unavailable(m) => write!(f, "temporarily unavailable: {m}"),
         }
     }
 }
@@ -162,6 +176,7 @@ mod tests {
         assert!(Error::Remote { status: 429, message: String::new() }.is_transient());
         assert!(!Error::Remote { status: 400, message: String::new() }.is_transient());
         assert!(!Error::protocol("x").is_transient());
+        assert!(Error::unavailable("shedding").is_transient());
     }
 
     #[test]
@@ -174,6 +189,7 @@ mod tests {
             Error::invalid("x"),
             Error::Remote { status: 404, message: String::new() },
             Error::Remote { status: 500, message: String::new() },
+            Error::unavailable("x"),
         ];
         for e in &errors {
             assert_ne!(e.is_transient(), e.is_permanent(), "{e}");

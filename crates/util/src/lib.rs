@@ -13,7 +13,9 @@
 //! - [`config`]: an INI-style configuration parser used by the daemons,
 //! - [`rng`]: a tiny deterministic SplitMix64/XorShift generator for
 //!   simulator noise,
-//! - [`fmt`]: human-readable byte/duration/number formatting for reports.
+//! - [`fmt`]: human-readable byte/duration/number formatting for reports,
+//! - [`supervisor`]: panic-capturing restart supervision for background
+//!   worker threads.
 
 pub mod clock;
 pub mod config;
@@ -22,8 +24,10 @@ pub mod fmt;
 pub mod hash;
 pub mod json;
 pub mod rng;
+pub mod supervisor;
 
 pub use clock::{Clock, Timestamp};
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet};
 pub use json::Json;
+pub use supervisor::{Supervisor, SupervisorConfig, WorkerCtx, WorkerHealth, WorkerReport};
