@@ -4,6 +4,7 @@
 //! lms-influxd [--listen 127.0.0.1:8086] [--db lms]... [--retention-hours N]
 //!             [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]
 //!             [--partition-hours N] [--compact-min-files N] [--wal-fsync]
+//!             [--wal-group-commit-ms N] [--wal-group-commit-bytes N]
 //!             [--max-connections N] [--max-body-bytes N]
 //! ```
 //!
@@ -39,6 +40,8 @@ fn run() -> Result<()> {
     let mut partition_hours: Option<u64> = None;
     let mut compact_min_files: Option<usize> = None;
     let mut wal_fsync = false;
+    let mut wal_group_commit_ms: Option<u64> = None;
+    let mut wal_group_commit_bytes: Option<usize> = None;
     let mut server_config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -65,6 +68,12 @@ fn run() -> Result<()> {
                 compact_min_files = Some(parse_num(&mut it, "--compact-min-files")?)
             }
             "--wal-fsync" => wal_fsync = true,
+            "--wal-group-commit-ms" => {
+                wal_group_commit_ms = Some(parse_num(&mut it, "--wal-group-commit-ms")?)
+            }
+            "--wal-group-commit-bytes" => {
+                wal_group_commit_bytes = Some(parse_num(&mut it, "--wal-group-commit-bytes")?)
+            }
             "--max-connections" => {
                 server_config.max_connections = parse_num(&mut it, "--max-connections")?
             }
@@ -76,6 +85,7 @@ fn run() -> Result<()> {
                     "usage: lms-influxd [--listen addr:port] [--db name]... [--retention-hours N]\n\
                      \x20                 [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]\n\
                      \x20                 [--partition-hours N] [--compact-min-files N] [--wal-fsync]\n\
+                     \x20                 [--wal-group-commit-ms N] [--wal-group-commit-bytes N]\n\
                      \x20                 [--max-connections N] [--max-body-bytes N]"
                 );
                 return Ok(());
@@ -100,6 +110,12 @@ fn run() -> Result<()> {
                 cfg.compact_min_files = n;
             }
             cfg.wal_fsync = wal_fsync;
+            if let Some(ms) = wal_group_commit_ms {
+                cfg.wal_group_commit = Duration::from_millis(ms);
+            }
+            if let Some(b) = wal_group_commit_bytes {
+                cfg.wal_group_commit_bytes = b;
+            }
             Influx::open(Clock::system(), 8, cfg)?
         }
         None => Influx::new(Clock::system()),

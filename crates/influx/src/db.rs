@@ -12,12 +12,17 @@
 //! `db name → Database` map is read-mostly (`RwLock` around an
 //! [`Arc<Database>`] map: writes only when a database is created), and each
 //! database partitions its series across [`DEFAULT_SHARDS`] lock-striped
-//! shards selected by series-key hash. A batch write takes one short shard
-//! write lock per line; batches touching different series proceed fully in
-//! parallel.
+//! shards selected by series-key hash. A batch write *stages* its parsed
+//! points into per-shard append buffers (a brief mutex per touched shard)
+//! and whichever writer wins a shard's `data` lock drains everything
+//! staged there — N writers hammering one hot series never queue on a
+//! series lock; they hand their points to the running drainer and return.
+//! Read paths drain before reading, so every caller observes its own
+//! completed writes.
 //!
-//! Lock order is `meta` → shard (ascending), established in
-//! [`Database::create_and_write`] and [`Database::enforce_retention`]; the
+//! Lock order is `meta` → shard `data` → shard `pending` (ascending),
+//! established in [`Database::create_and_write`] and
+//! [`Database::enforce_retention`]; the
 //! hot path takes a single shard lock and nothing else. Series are stored
 //! as `Arc<Series>` so queries snapshot cheaply (clone the `Arc`s under a
 //! shard read lock) while writers mutate in place through `Arc::make_mut`
@@ -36,12 +41,26 @@ use lms_util::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Default number of lock-striped series shards per database.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Staged points a shard accumulates before a writer bothers draining it.
+///
+/// Applying a staged run costs O(run + overlap), where `overlap` is how far
+/// back into the sorted column the run's oldest timestamp reaches. Hot
+/// series written by concurrent batchers interleave timestamps, so *every*
+/// run overlaps the recent tail — draining after each 200-line batch pays
+/// that tail splice hundreds of times. Draining only once a shard holds a
+/// few thousand points pays it once per big combined run instead, bounding
+/// write amplification to O(1) splices per `DRAIN_BATCH_POINTS` points.
+/// Reads are unaffected: every read path drains all shards first, so the
+/// threshold trades only a bounded slice of staging memory (on the order
+/// of a megabyte per backlogged shard), never visibility.
+const DRAIN_BATCH_POINTS: usize = 8192;
 
 /// Configuration of the persistent storage layer (one `lms-tsm` engine per
 /// database, rooted at `data_dir/<db name>`). Absent entirely for the
@@ -62,11 +81,18 @@ pub struct StorageConfig {
     pub wal_fsync: bool,
     /// Compact once any partition accumulates this many segment files.
     pub compact_min_files: usize,
+    /// WAL group-commit window: with `wal_fsync`, concurrent appends
+    /// within this window share one fsync. Zero (together with a zero
+    /// byte bound) restores the legacy one-fsync-per-append path.
+    pub wal_group_commit: Duration,
+    /// WAL group-commit size bound: commit early once this many staged
+    /// bytes accumulate (`0` = no size bound).
+    pub wal_group_commit_bytes: usize,
 }
 
 impl StorageConfig {
     /// Defaults: flush at 50k points or 10s, 2h partitions, fsync on
-    /// rotation only, compact at 4 files.
+    /// rotation only, compact at 4 files, 2 ms / 1 MiB group commits.
     pub fn new(data_dir: impl Into<PathBuf>) -> Self {
         StorageConfig {
             data_dir: data_dir.into(),
@@ -75,6 +101,8 @@ impl StorageConfig {
             partition: Duration::from_secs(2 * 3600),
             wal_fsync: false,
             compact_min_files: 4,
+            wal_group_commit: Duration::from_millis(2),
+            wal_group_commit_bytes: 1024 * 1024,
         }
     }
 
@@ -83,6 +111,8 @@ impl StorageConfig {
             partition_ns: self.partition.as_nanos().clamp(1, i64::MAX as u128) as i64,
             wal_fsync: self.wal_fsync,
             compact_min_files: self.compact_min_files.max(2),
+            wal_group_commit_ms: self.wal_group_commit.as_millis().min(u64::MAX as u128) as u64,
+            wal_group_commit_bytes: self.wal_group_commit_bytes,
             ..TsmConfig::new(self.data_dir.join(db))
         }
     }
@@ -130,6 +160,15 @@ pub struct StorageStats {
     /// True when any database's engine is in degraded read-only mode
     /// (`ENOSPC` on WAL append or segment write).
     pub degraded: bool,
+    /// WAL record groups committed since open.
+    pub group_commits: u64,
+    /// WAL fsync calls since open.
+    pub wal_fsyncs: u64,
+    /// EWMA of points per committed WAL group.
+    pub batched_points_per_commit: f64,
+    /// Points currently staged in shard append buffers, not yet drained
+    /// into series heads.
+    pub shard_buffer_depth: u64,
 }
 
 impl StorageStats {
@@ -154,6 +193,12 @@ impl StorageStats {
         self.compactions += other.compactions;
         self.recovered_records += other.recovered_records;
         self.degraded |= other.degraded;
+        self.group_commits += other.group_commits;
+        self.wal_fsyncs += other.wal_fsyncs;
+        // An EWMA does not sum meaningfully; report the busiest database.
+        self.batched_points_per_commit =
+            self.batched_points_per_commit.max(other.batched_points_per_commit);
+        self.shard_buffer_depth += other.shard_buffer_depth;
     }
 }
 
@@ -182,6 +227,125 @@ struct Shard {
     series: FxHashMap<String, Arc<Series>>,
 }
 
+/// One staged point: a field-name range into the arena, timestamp, value.
+#[derive(Debug)]
+struct PendingPoint {
+    field: (u32, u32),
+    ts: i64,
+    value: FieldValue,
+}
+
+/// A staging buffer of parsed points bound for one shard. Series keys and
+/// field names live in a single string arena (`text`), so staging a point
+/// for a known series allocates nothing in steady state — buffers are
+/// recycled with their capacity intact.
+#[derive(Debug, Default)]
+struct PendingBuf {
+    /// Arena holding series keys and field names back to back.
+    text: String,
+    /// `((key range in text), (point range in points))`: one run per
+    /// maximal stretch of consecutive same-series lines.
+    runs: Vec<((u32, u32), (u32, u32))>,
+    points: Vec<PendingPoint>,
+}
+
+impl PendingBuf {
+    fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    fn clear(&mut self) {
+        self.text.clear();
+        self.runs.clear();
+        self.points.clear();
+    }
+
+    /// Stages one field point of `key`; consecutive pushes for the same
+    /// series share one run (and one copy of the key).
+    fn push(&mut self, key: &str, field: &str, ts: i64, value: FieldValue) {
+        let same_key = self
+            .runs
+            .last()
+            .is_some_and(|((ks, ke), _)| &self.text[*ks as usize..*ke as usize] == key);
+        if !same_key {
+            let ks = self.text.len() as u32;
+            self.text.push_str(key);
+            let ke = self.text.len() as u32;
+            let ps = self.points.len() as u32;
+            self.runs.push(((ks, ke), (ps, ps)));
+        }
+        let fs = self.text.len() as u32;
+        self.text.push_str(field);
+        let fe = self.text.len() as u32;
+        self.points.push(PendingPoint { field: (fs, fe), ts, value });
+        self.runs.last_mut().unwrap().1 .1 = self.points.len() as u32;
+    }
+
+    /// Moves every staged point from `other` into `self`, rebasing arena
+    /// offsets; `other` is left cleared with its capacity intact.
+    fn absorb(&mut self, other: &mut PendingBuf) {
+        let text_base = self.text.len() as u32;
+        let points_base = self.points.len() as u32;
+        self.text.push_str(&other.text);
+        self.points.extend(other.points.drain(..).map(|p| PendingPoint {
+            field: (p.field.0 + text_base, p.field.1 + text_base),
+            ts: p.ts,
+            value: p.value,
+        }));
+        self.runs.extend(other.runs.drain(..).map(|((ks, ke), (ps, pe))| {
+            ((ks + text_base, ke + text_base), (ps + points_base, pe + points_base))
+        }));
+        other.text.clear();
+    }
+}
+
+/// A staged point whose series vanished between staging and drain (a
+/// retention sweep GC'd it). Re-created under the `meta` lock.
+struct StagedLeftover {
+    key: String,
+    field: String,
+    ts: i64,
+    value: FieldValue,
+}
+
+/// One lock stripe plus its append buffer for batched writes.
+///
+/// Writers stage parsed points into `pending` under a brief mutex and then
+/// *try* to drain: whoever wins the shard's `data` write lock applies every
+/// staged point (its own and any concurrent writer's) in one pass, so N hot
+/// writers never queue on the series map — they hand off to the current
+/// drainer and return. Points left pending when no drainer is running are
+/// folded in by the next drain, and every read path drains first, so reads
+/// always observe their own completed writes.
+#[derive(Debug, Default)]
+struct ShardSlot {
+    data: RwLock<Shard>,
+    pending: Mutex<PendingBuf>,
+    /// Exact staged-point count (only mutated under `pending`); lock-free
+    /// loads serve as fast-path skip hints and the depth gauge.
+    pending_points: AtomicUsize,
+}
+
+thread_local! {
+    /// Per-thread scratch for [`Database::write_parsed_batch`]: key buffers
+    /// and per-shard staging areas reused across batches, so the steady
+    /// state of the hot write path performs zero allocations.
+    static INGEST_SCRATCH: std::cell::RefCell<IngestScratch> =
+        std::cell::RefCell::new(IngestScratch::default());
+}
+
+#[derive(Default)]
+struct IngestScratch {
+    key_buf: String,
+    prev_key: String,
+    stages: Vec<PendingBuf>,
+    touched: Vec<usize>,
+}
+
 /// Cross-shard metadata, guarded by its own lock (taken *before* any shard
 /// lock — see the module docs for the lock order).
 #[derive(Debug, Default)]
@@ -198,7 +362,7 @@ struct Meta {
 #[derive(Debug)]
 pub struct Database {
     /// The stripes; length is a power of two so shard selection is a mask.
-    shards: Box<[RwLock<Shard>]>,
+    shards: Box<[ShardSlot]>,
     meta: RwLock<Meta>,
     /// Persistence, when configured. The in-memory layer is always the
     /// source of truth for reads; the engine makes it durable.
@@ -227,7 +391,7 @@ impl Database {
     pub fn with_shards(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         Database {
-            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..n).map(|_| ShardSlot::default()).collect(),
             meta: RwLock::new(Meta::default()),
             engine: None,
             unflushed: Mutex::new(Vec::new()),
@@ -258,7 +422,7 @@ impl Database {
     fn install_recovered(&self, recovered: Recovered) {
         for entry in recovered.blocks {
             let mut meta = self.meta.write();
-            let mut shard = self.shard_of(&entry.series_key).write();
+            let mut shard = self.shard_of(&entry.series_key).data.write();
             let series = match shard.series.entry(entry.series_key.clone()) {
                 Entry::Occupied(slot) => Arc::make_mut(slot.into_mut()),
                 Entry::Vacant(slot) => {
@@ -289,8 +453,12 @@ impl Database {
         self.shards.len()
     }
 
-    fn shard_of(&self, key: &str) -> &RwLock<Shard> {
-        &self.shards[(fx_hash(key.as_bytes()) as usize) & (self.shards.len() - 1)]
+    fn shard_index(&self, key: &str) -> usize {
+        (fx_hash(key.as_bytes()) as usize) & (self.shards.len() - 1)
+    }
+
+    fn shard_of(&self, key: &str) -> &ShardSlot {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Sets the retention window (points older than `now - retention` are
@@ -307,7 +475,7 @@ impl Database {
         ts: i64,
         fields: impl Iterator<Item = (&'f str, &'f FieldValue)>,
     ) -> bool {
-        let mut shard = self.shard_of(key).write();
+        let mut shard = self.shard_of(key).data.write();
         let Some(series) = shard.series.get_mut(key) else { return false };
         let series = Arc::make_mut(series);
         for (field, value) in fields {
@@ -330,7 +498,7 @@ impl Database {
         fields: impl Iterator<Item = (&'f str, &'f FieldValue)>,
     ) {
         let mut meta = self.meta.write();
-        let mut shard = self.shard_of(key).write();
+        let mut shard = self.shard_of(key).data.write();
         let series = match shard.series.entry(key.to_string()) {
             Entry::Occupied(slot) => Arc::make_mut(slot.into_mut()),
             Entry::Vacant(slot) => {
@@ -373,17 +541,261 @@ impl Database {
         }
     }
 
+    /// Writes a whole parsed batch through the per-shard append buffers:
+    /// points are staged per shard (allocation-free in steady state, one
+    /// brief mutex per touched shard) and drained into the series maps in
+    /// `DRAIN_BATCH_POINTS`-sized gulps by whichever writer finds a shard
+    /// both backlogged and free — concurrent writers to a hot series hand
+    /// their points to the running drainer instead of queueing on its
+    /// lock. Returns the number of points written.
+    ///
+    /// Visibility: a point may remain staged briefly after this returns,
+    /// but every read path drains before reading, so callers always see
+    /// their own completed writes.
+    pub fn write_parsed_batch(
+        &self,
+        lines: &[ParsedLine<'_>],
+        opts: WriteOptions,
+        default_ts: i64,
+    ) -> usize {
+        if lines.is_empty() {
+            return 0;
+        }
+        INGEST_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            if scratch.stages.len() < self.shards.len() {
+                scratch.stages.resize_with(self.shards.len(), PendingBuf::default);
+            }
+            scratch.prev_key.clear();
+            let mut prev_idx = usize::MAX;
+            let mut written = 0usize;
+            for line in lines {
+                let ts =
+                    line.timestamp.map(|t| opts.precision.to_nanos(t)).unwrap_or(default_ts);
+                scratch.key_buf.clear();
+                line.series_key_into(&mut scratch.key_buf);
+                // Hot-series batches repeat one key: skip the rehash and
+                // existence check for consecutive identical keys.
+                let idx = if prev_idx != usize::MAX && scratch.key_buf == scratch.prev_key {
+                    prev_idx
+                } else {
+                    let idx = self.shard_index(&scratch.key_buf);
+                    self.ensure_series(idx, &scratch.key_buf, line);
+                    std::mem::swap(&mut scratch.prev_key, &mut scratch.key_buf);
+                    prev_idx = idx;
+                    idx
+                };
+                let stage = &mut scratch.stages[idx];
+                if stage.is_empty() {
+                    scratch.touched.push(idx);
+                }
+                for (field, value) in &line.fields {
+                    stage.push(&scratch.prev_key, field.as_ref(), ts, value.clone());
+                }
+                written += 1;
+            }
+            for &idx in &scratch.touched {
+                let slot = &self.shards[idx];
+                {
+                    let mut pending = slot.pending.lock();
+                    slot.pending_points
+                        .fetch_add(scratch.stages[idx].point_count(), Ordering::Release);
+                    pending.absorb(&mut scratch.stages[idx]);
+                }
+                // Drain only once the shard's backlog is worth a splice
+                // (see DRAIN_BATCH_POINTS) and the shard is free; otherwise
+                // the current lock holder or the next reader picks this up.
+                if slot.pending_points.load(Ordering::Acquire) >= DRAIN_BATCH_POINTS {
+                    if let Some(mut shard) = slot.data.try_write() {
+                        let leftovers = Self::drain_locked(slot, &mut shard);
+                        drop(shard);
+                        if !leftovers.is_empty() {
+                            let mut meta = self.meta.write();
+                            self.install_leftovers(&mut meta, idx, leftovers);
+                        }
+                    }
+                }
+            }
+            scratch.touched.clear();
+            written
+        })
+    }
+
+    /// Makes sure the series behind `key` exists (so the drain path almost
+    /// never sees a missing series, and `series_count` is exact without a
+    /// drain). Lock order `meta` → shard.
+    fn ensure_series(&self, idx: usize, key: &str, line: &ParsedLine<'_>) {
+        if self.shards[idx].data.read().series.contains_key(key) {
+            return;
+        }
+        let tags = line.canonical_tags();
+        let mut meta = self.meta.write();
+        let mut shard = self.shards[idx].data.write();
+        if let Entry::Vacant(slot) = shard.series.entry(key.to_string()) {
+            meta.measurements
+                .entry(line.measurement.to_string())
+                .or_default()
+                .push(key.to_string());
+            slot.insert(Arc::new(Series::new(line.measurement.as_ref(), &tags)));
+        }
+    }
+
+    /// Drains every staged point of one shard into its series map, holding
+    /// the shard's `data` write lock (passed in). Loops until the pending
+    /// buffer is observed empty, so points staged *while* this drainer was
+    /// applying a previous swap are folded in before the lock is released.
+    fn drain_locked(slot: &ShardSlot, shard: &mut Shard) -> Vec<StagedLeftover> {
+        let mut leftovers = Vec::new();
+        let mut work = PendingBuf::default();
+        loop {
+            {
+                let mut pending = slot.pending.lock();
+                if pending.is_empty() {
+                    // Hand the warm (larger) buffer back for the next batch.
+                    if pending.text.capacity() < work.text.capacity() {
+                        std::mem::swap(&mut *pending, &mut work);
+                    }
+                    break;
+                }
+                slot.pending_points.fetch_sub(pending.point_count(), Ordering::Release);
+                std::mem::swap(&mut *pending, &mut work);
+            }
+            Self::apply_pending(shard, &work, &mut leftovers);
+            work.clear();
+        }
+        leftovers
+    }
+
+    /// Applies one swapped-out staging buffer to the shard: consecutive
+    /// same-series runs share a single map lookup and copy-on-write clone.
+    fn apply_pending(shard: &mut Shard, buf: &PendingBuf, leftovers: &mut Vec<StagedLeftover>) {
+        let text = buf.text.as_str();
+        let key_of =
+            |r: &((u32, u32), (u32, u32))| &text[r.0 .0 as usize..r.0 .1 as usize];
+        let mut i = 0;
+        while i < buf.runs.len() {
+            let key = key_of(&buf.runs[i]);
+            let mut j = i + 1;
+            while j < buf.runs.len() && key_of(&buf.runs[j]) == key {
+                j += 1;
+            }
+            match shard.series.get_mut(key) {
+                Some(series) => Self::apply_runs(Arc::make_mut(series), buf, i, j),
+                None => {
+                    // Retention GC'd the series after staging: carry the
+                    // points out; the caller re-creates it under `meta`.
+                    for r in &buf.runs[i..j] {
+                        for p in &buf.points[r.1 .0 as usize..r.1 .1 as usize] {
+                            leftovers.push(StagedLeftover {
+                                key: key.to_string(),
+                                field: text[p.field.0 as usize..p.field.1 as usize]
+                                    .to_string(),
+                                ts: p.ts,
+                                value: p.value.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Applies runs `[i, j)` (all the same series) to one series: points
+    /// are grouped per field, sorted by timestamp (stable, so staging
+    /// order breaks ties — last write wins), and merged into the column
+    /// in one pass.
+    fn apply_runs(series: &mut Series, buf: &PendingBuf, i: usize, j: usize) {
+        let text = buf.text.as_str();
+        let mut per_field: Vec<(&str, Vec<(i64, FieldValue)>)> = Vec::new();
+        for r in &buf.runs[i..j] {
+            for p in &buf.points[r.1 .0 as usize..r.1 .1 as usize] {
+                let field = &text[p.field.0 as usize..p.field.1 as usize];
+                match per_field.iter_mut().find(|(f, _)| *f == field) {
+                    Some((_, v)) => v.push((p.ts, p.value.clone())),
+                    None => per_field.push((field, vec![(p.ts, p.value.clone())])),
+                }
+            }
+        }
+        for (field, mut run) in per_field {
+            run.sort_by_key(|&(t, _)| t);
+            series.field_mut_or_create(field).insert_many(&run);
+        }
+    }
+
+    /// Re-creates series that were GC'd while their points sat staged. The
+    /// series key is by construction a valid line-protocol series prefix,
+    /// so it round-trips through the parser to recover measurement and
+    /// canonical tags. Caller holds `meta` (lock order `meta` → shard).
+    fn install_leftovers(
+        &self,
+        meta: &mut Meta,
+        idx: usize,
+        leftovers: Vec<StagedLeftover>,
+    ) {
+        let mut shard = self.shards[idx].data.write();
+        for l in leftovers {
+            match shard.series.entry(l.key) {
+                Entry::Occupied(mut slot) => {
+                    Arc::make_mut(slot.get_mut()).insert(&l.field, l.ts, l.value);
+                }
+                Entry::Vacant(slot) => {
+                    let probe = format!("{} x=0", slot.key());
+                    let Ok(line) = lms_lineproto::parse_line(&probe) else { continue };
+                    let tags = line.canonical_tags();
+                    meta.measurements
+                        .entry(line.measurement.to_string())
+                        .or_default()
+                        .push(slot.key().clone());
+                    let mut series = Series::new(line.measurement.as_ref(), &tags);
+                    series.insert(&l.field, l.ts, l.value);
+                    slot.insert(Arc::new(series));
+                }
+            }
+        }
+    }
+
+    /// Drains one shard's staged points if any (read-path entry point).
+    fn drain_shard(&self, idx: usize) {
+        let slot = &self.shards[idx];
+        if slot.pending_points.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut shard = slot.data.write();
+        let leftovers = Self::drain_locked(slot, &mut shard);
+        drop(shard);
+        if !leftovers.is_empty() {
+            let mut meta = self.meta.write();
+            self.install_leftovers(&mut meta, idx, leftovers);
+        }
+    }
+
+    /// Drains every shard's staged points: called by read paths before
+    /// they take `meta`, so reads observe all completed writes. Must not
+    /// be called with `meta` or any shard lock held (drain may need
+    /// `meta` → shard for leftovers).
+    fn drain_all_pending(&self) {
+        for idx in 0..self.shards.len() {
+            self.drain_shard(idx);
+        }
+    }
+
     /// Snapshots all series of a measurement, in first-write order.
     ///
     /// The returned `Arc`s are consistent point-in-time views: a writer
     /// updating the same series afterwards copies it (`Arc::make_mut`)
     /// instead of mutating the snapshot.
     pub fn series_of(&self, measurement: &str) -> Vec<Arc<Series>> {
+        // Drain before locking meta so the snapshot includes every staged
+        // point (and because draining may itself need the meta lock).
+        self.drain_all_pending();
         let meta = self.meta.read();
         let Some(keys) = meta.measurements.get(measurement) else {
             return Vec::new();
         };
-        keys.iter().filter_map(|k| self.shard_of(k).read().series.get(k).cloned()).collect()
+        keys.iter()
+            .filter_map(|k| self.shard_of(k).data.read().series.get(k).cloned())
+            .collect()
     }
 
     /// All measurement names, sorted.
@@ -394,25 +806,29 @@ impl Database {
         names
     }
 
-    /// Total series count.
+    /// Total series count. Exact without draining: series are registered
+    /// eagerly at write time, before their points are staged.
     pub fn series_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().series.len()).sum()
+        self.shards.iter().map(|s| s.data.read().series.len()).sum()
     }
 
     /// Total stored points.
     pub fn point_count(&self) -> usize {
+        self.drain_all_pending();
         self.shards
             .iter()
-            .map(|s| s.read().series.values().map(|s| s.point_count()).sum::<usize>())
+            .map(|s| s.data.read().series.values().map(|s| s.point_count()).sum::<usize>())
             .sum()
     }
 
     /// Points currently in mutable heads (the flush trigger gauge).
     pub fn head_point_count(&self) -> usize {
+        self.drain_all_pending();
         self.shards
             .iter()
             .map(|s| {
-                s.read()
+                s.data
+                    .read()
                     .series
                     .values()
                     .map(|series| {
@@ -450,9 +866,15 @@ impl Database {
     pub fn flush_storage(&self) -> Result<usize> {
         let Some(engine) = &self.engine else { return Ok(0) };
         let mut session = engine.begin_flush()?;
+        // Drain AFTER rotating the WAL: any point staged before its WAL
+        // record landed in a now-frozen segment is applied (and sealed)
+        // below, so checkpointing those segments loses nothing. Points
+        // whose records land in the new active segment may be sealed *and*
+        // replayed — replay is idempotent.
+        self.drain_all_pending();
         let mut entries = std::mem::take(&mut *self.unflushed.lock());
         for key in self.keys_in_flush_order() {
-            let mut shard = self.shard_of(&key).write();
+            let mut shard = self.shard_of(&key).data.write();
             let Some(series) = shard.series.get_mut(&key) else { continue };
             let series = Arc::make_mut(series);
             let measurement = series.measurement().to_string();
@@ -500,7 +922,7 @@ impl Database {
         // write; an empty layer means every sealed point had expired.
         let mut installs: Vec<(String, String, Vec<Arc<SealedBlock>>)> = Vec::new();
         for key in self.keys_in_flush_order() {
-            let shard = self.shard_of(&key).read();
+            let shard = self.shard_of(&key).data.read();
             let Some(series) = shard.series.get(&key) else { continue };
             let measurement = series.measurement().to_string();
             let tags = series.tags().to_vec();
@@ -567,7 +989,7 @@ impl Database {
         // if the deletes fail, disk merely holds redundant versions that
         // last-write-wins hides at the next open.
         for (key, field, layer) in installs {
-            let mut shard = self.shard_of(&key).write();
+            let mut shard = self.shard_of(&key).data.write();
             let Some(series) = shard.series.get_mut(&key) else { continue };
             let series = Arc::make_mut(series);
             series.field_mut_or_create(&field).set_sealed(layer);
@@ -579,7 +1001,17 @@ impl Database {
     /// Storage gauges for this database (engine gauges plus a live sweep
     /// of the in-memory layer).
     pub fn storage_stats(&self) -> StorageStats {
-        let mut stats = StorageStats::default();
+        let mut stats = StorageStats {
+            // Capture the buffer depth before draining (afterwards it is 0
+            // by construction); the drain below completes the head sweep.
+            shard_buffer_depth: self
+                .shards
+                .iter()
+                .map(|s| s.pending_points.load(Ordering::Acquire) as u64)
+                .sum(),
+            ..StorageStats::default()
+        };
+        self.drain_all_pending();
         if let Some(engine) = &self.engine {
             let e = engine.stats();
             stats.wal_bytes = e.wal_bytes;
@@ -588,9 +1020,12 @@ impl Database {
             stats.compactions = e.compactions;
             stats.recovered_records = e.recovered_records;
             stats.degraded = e.degraded;
+            stats.group_commits = e.wal_group_commits;
+            stats.wal_fsyncs = e.wal_fsyncs;
+            stats.batched_points_per_commit = e.wal_points_per_commit;
         }
         for shard in self.shards.iter() {
-            let shard = shard.read();
+            let shard = shard.data.read();
             for series in shard.series.values() {
                 for field in series.field_names() {
                     let Some(col) = series.field(field) else { continue };
@@ -617,8 +1052,20 @@ impl Database {
         let cutoff = now_ns.saturating_sub(retention.as_nanos().min(i64::MAX as u128) as i64);
         let mut evicted = 0;
         let mut removed: FxHashSet<String> = FxHashSet::default();
-        for shard in self.shards.iter() {
-            let mut shard = shard.write();
+        for idx in 0..self.shards.len() {
+            let slot = &self.shards[idx];
+            // Drain staged writes first (with the already-held meta for
+            // leftover re-creation) so the sweep sees them — otherwise a
+            // stale staged point could resurrect a series just evicted.
+            if slot.pending_points.load(Ordering::Acquire) > 0 {
+                let mut shard = slot.data.write();
+                let leftovers = Self::drain_locked(slot, &mut shard);
+                drop(shard);
+                if !leftovers.is_empty() {
+                    self.install_leftovers(&mut meta, idx, leftovers);
+                }
+            }
+            let mut shard = slot.data.write();
             shard.series.retain(|key, series| {
                 let series = Arc::make_mut(series);
                 evicted += series.evict_before(cutoff);
@@ -828,9 +1275,11 @@ impl Influx {
     /// collector). Fails only when the database does not exist and
     /// auto-create is off.
     ///
-    /// Concurrent batches interleave at per-line granularity: each line
-    /// takes one shard write lock, so writers to disjoint series never
-    /// contend.
+    /// The whole batch is submitted through the per-shard append buffers
+    /// ([`Database::write_parsed_batch`]): concurrent writers — even to
+    /// one hot series — stage points and hand off to a single drainer per
+    /// shard instead of serializing on series locks, and the WAL append
+    /// joins a group commit shared with concurrent batches.
     pub fn write_lines(&self, db: &str, batch: &str, opts: WriteOptions) -> Result<WriteOutcome> {
         let parsed = parse_batch(batch);
         let default_ts = self.clock.now().nanos();
@@ -855,12 +1304,7 @@ impl Influx {
                 .first()
                 .map(|(line, e)| (*line, e.to_string())),
         };
-        let mut key_buf = String::with_capacity(64);
-        for line in &parsed.lines {
-            let ts = line.timestamp.map(|t| opts.precision.to_nanos(t)).unwrap_or(default_ts);
-            database.write_parsed(line, ts, &mut key_buf);
-            outcome.written += 1;
-        }
+        outcome.written = database.write_parsed_batch(&parsed.lines, opts, default_ts);
         // Durability: the batch is applied in memory first, then logged.
         // The WAL batch is normalized — every line carries its resolved
         // nanosecond timestamp — so replay after a crash is deterministic
@@ -884,7 +1328,7 @@ impl Influx {
                     }
                     wal_batch.push('\n');
                 }
-                engine.append_wal(&wal_batch)?;
+                engine.append_wal(&wal_batch, parsed.lines.len() as u64)?;
             }
         }
         Ok(outcome)
@@ -1436,7 +1880,8 @@ mod tests {
         // After 6000 series came and went, the shard maps must not retain
         // capacity proportional to the historical total.
         let db = ix.database("lms").unwrap();
-        let capacity: usize = db.shards.iter().map(|s| s.read().series.capacity()).sum();
+        let capacity: usize =
+            db.shards.iter().map(|s| s.data.read().series.capacity()).sum();
         assert!(
             capacity <= 2048,
             "shard map capacity {capacity} should be bounded, not ~6000"

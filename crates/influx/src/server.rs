@@ -122,6 +122,10 @@ fn handle(influx: &Influx, req: Request) -> Response {
                 ("segment_bytes", Json::Int(s.segment_bytes as i64)),
                 ("compactions", Json::Int(s.compactions as i64)),
                 ("recovered_records", Json::Int(s.recovered_records as i64)),
+                ("group_commits", Json::Int(s.group_commits as i64)),
+                ("wal_fsyncs", Json::Int(s.wal_fsyncs as i64)),
+                ("batched_points_per_commit", Json::Num(s.batched_points_per_commit)),
+                ("shard_buffer_depth", Json::Int(s.shard_buffer_depth as i64)),
                 ("storage_degraded", Json::Bool(s.degraded)),
                 ("workers_ready", Json::Bool(influx.workers_ready())),
             ]);
@@ -261,6 +265,12 @@ mod tests {
         assert_eq!(json.get("segment_files").unwrap().as_i64(), Some(1));
         assert!(json.get("segment_bytes").unwrap().as_i64().unwrap() > 0);
         assert!(json.get("compression_ratio").is_some());
+        // Write-path gauges: one batch went through, so at least one WAL
+        // group committed, and nothing can still be sitting staged.
+        assert!(json.get("group_commits").unwrap().as_i64().unwrap() >= 1);
+        assert!(json.get("wal_fsyncs").unwrap().as_i64().unwrap() >= 1, "flush rotation syncs");
+        assert!(json.get("batched_points_per_commit").is_some());
+        assert_eq!(json.get("shard_buffer_depth").unwrap().as_i64(), Some(0));
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -85,6 +85,65 @@ impl Column {
         }
     }
 
+    /// Inserts a run of points sorted ascending by timestamp (duplicates
+    /// allowed; later entries win, as do run entries over existing head
+    /// values — the run is "newer"). Equivalent to per-point [`insert`]
+    /// calls but with one splice-point search and one tail merge for the
+    /// whole run, so a batched hot-series write is O(run + overlap) rather
+    /// than O(run · log head).
+    ///
+    /// [`insert`]: Column::insert
+    pub fn insert_many(&mut self, run: &[(i64, FieldValue)]) {
+        debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0), "run must be sorted");
+        let Some(&(first, _)) = run.first() else { return };
+        fn push_lww(head: &mut Vec<(i64, FieldValue)>, ts: i64, value: FieldValue) {
+            match head.last_mut() {
+                Some(last) if last.0 == ts => last.1 = value,
+                _ => head.push((ts, value)),
+            }
+        }
+        if self.head.last().is_none_or(|&(last, _)| last < first) {
+            // Live-append fast path: the whole run lands after the head.
+            self.head.reserve(run.len());
+            for (ts, v) in run {
+                push_lww(&mut self.head, *ts, v.clone());
+            }
+            return;
+        }
+        // Backfill: merge the run with the overlapping head tail. The
+        // prefix below the run's first timestamp is untouched.
+        let split = self.head.partition_point(|&(t, _)| t < first);
+        let tail = self.head.split_off(split);
+        self.head.reserve(tail.len() + run.len());
+        let mut ti = tail.into_iter().peekable();
+        let mut ri = run.iter().peekable();
+        loop {
+            match (ti.peek(), ri.peek()) {
+                (Some(&(t, _)), Some(&&(r, _))) => {
+                    if t < r {
+                        let p = ti.next().unwrap();
+                        push_lww(&mut self.head, p.0, p.1);
+                    } else {
+                        if t == r {
+                            ti.next(); // run outranks the existing value
+                        }
+                        let p = ri.next().unwrap();
+                        push_lww(&mut self.head, p.0, p.1.clone());
+                    }
+                }
+                (Some(_), None) => {
+                    let p = ti.next().unwrap();
+                    push_lww(&mut self.head, p.0, p.1);
+                }
+                (None, Some(_)) => {
+                    let p = ri.next().unwrap();
+                    push_lww(&mut self.head, p.0, p.1.clone());
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
     /// The visible points in `[start, end)`, merged across head and sealed
     /// blocks with last-write-wins.
     pub fn points_in(&self, start: i64, end: i64) -> Points<'_> {
@@ -372,6 +431,63 @@ mod tests {
         c.insert(5, f(2.0));
         assert_eq!(c.len(), 1);
         assert_eq!(collect(c.iter_all()), vec![(5, f(2.0))]);
+    }
+
+    #[test]
+    fn insert_many_append_fast_path_and_run_dups() {
+        let mut c = Column::default();
+        c.insert(1, f(1.0));
+        // Run lands entirely after the head; in-run duplicate resolves to
+        // the later value.
+        c.insert_many(&[(2, f(2.0)), (3, f(3.0)), (3, f(33.0)), (4, f(4.0))]);
+        assert_eq!(
+            collect(c.iter_all()),
+            vec![(1, f(1.0)), (2, f(2.0)), (3, f(33.0)), (4, f(4.0))]
+        );
+    }
+
+    #[test]
+    fn insert_many_backfill_merges_with_lww() {
+        let mut c = Column::default();
+        for ts in [10, 20, 30, 40] {
+            c.insert(ts, f(ts as f64));
+        }
+        // Overlapping backfill: ts 20 collides (run wins), 15/35 interleave,
+        // 50 extends.
+        c.insert_many(&[(15, f(1.5)), (20, f(99.0)), (35, f(3.5)), (50, f(5.0))]);
+        assert_eq!(
+            collect(c.iter_all()),
+            vec![
+                (10, f(10.0)),
+                (15, f(1.5)),
+                (20, f(99.0)),
+                (30, f(30.0)),
+                (35, f(3.5)),
+                (40, f(40.0)),
+                (50, f(5.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_many_matches_per_point_inserts() {
+        let runs: Vec<Vec<(i64, FieldValue)>> = vec![
+            vec![(5, f(0.0)), (7, f(1.0))],
+            vec![(1, f(2.0)), (5, f(3.0)), (9, f(4.0))],
+            vec![(9, f(5.0)), (9, f(6.0)), (10, f(7.0))],
+            vec![],
+            vec![(0, f(8.0))],
+        ];
+        let mut batched = Column::default();
+        let mut single = Column::default();
+        for run in &runs {
+            batched.insert_many(run);
+            for (ts, v) in run {
+                single.insert(*ts, v.clone());
+            }
+        }
+        assert_eq!(collect(batched.iter_all()), collect(single.iter_all()));
+        assert_eq!(batched.len(), single.len());
     }
 
     #[test]

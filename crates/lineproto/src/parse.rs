@@ -10,6 +10,14 @@
 //! propagating per-line errors: one malformed line must not poison a batch
 //! (failure-injection tests rely on this; the paper's router keeps serving
 //! misbehaving collectors).
+//!
+//! The scanner walks raw bytes and only ever splits at single-byte ASCII
+//! delimiters, which are always UTF-8 character boundaries — the input is
+//! validated exactly once (when the HTTP body becomes a `&str`) and never
+//! re-checked per token. Batch parsing additionally pre-sizes the output to
+//! the newline count and seeds each line's tag/field vectors with the
+//! previous line's shape: collector batches are long and homogeneous, so
+//! steady state does one exact-size allocation per vector.
 
 use crate::escape::{
     escape_measurement_into, escape_tag_into, unescape, MEASUREMENT_ESCAPES, STRING_ESCAPES,
@@ -181,6 +189,13 @@ fn parse_field_value(token: &str) -> Result<FieldValue> {
 /// input. Empty lines and `#` comments are the *caller's* concern
 /// ([`parse_batch`] skips them).
 pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
+    parse_line_hinted(line, 0, 0)
+}
+
+/// [`parse_line`] with capacity hints for the tag and field vectors —
+/// [`parse_batch`] feeds each line the previous line's shape so homogeneous
+/// batches allocate exactly once per vector.
+fn parse_line_hinted(line: &str, tag_hint: usize, field_hint: usize) -> Result<ParsedLine<'_>> {
     let bytes = line.as_bytes();
     if bytes.is_empty() {
         return Err(Error::protocol("empty line"));
@@ -194,7 +209,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
     let measurement = take(line, 0, m_end, m_esc, MEASUREMENT_ESCAPES);
 
     // --- tags ---
-    let mut tags = Vec::new();
+    let mut tags = Vec::with_capacity(tag_hint);
     let mut pos = m_end;
     while pos < bytes.len() && bytes[pos] == b',' {
         pos += 1;
@@ -222,7 +237,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine<'_>> {
     pos += 1;
 
     // --- fields ---
-    let mut fields = Vec::new();
+    let mut fields = Vec::with_capacity(field_hint);
     loop {
         let (k_end, k_esc) = scan(bytes, pos, b"=, ");
         if k_end >= bytes.len() || bytes[k_end] != b'=' {
@@ -306,13 +321,21 @@ impl ParseOutcome<'_> {
 /// without aborting the batch.
 pub fn parse_batch(text: &str) -> ParseOutcome<'_> {
     let mut out = ParseOutcome::default();
+    // One allocation up front instead of log₂(n) grow-and-copy cycles on
+    // a large batch; trailing blanks/comments leave a little slack only.
+    out.lines.reserve(text.bytes().filter(|&b| b == b'\n').count() + 1);
+    let (mut tag_hint, mut field_hint) = (0, 0);
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim_end_matches('\r');
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match parse_line(line) {
-            Ok(p) => out.lines.push(p),
+        match parse_line_hinted(line, tag_hint, field_hint) {
+            Ok(p) => {
+                tag_hint = p.tags.len();
+                field_hint = p.fields.len();
+                out.lines.push(p);
+            }
             Err(e) => out.errors.push((idx + 1, e)),
         }
     }
@@ -433,6 +456,26 @@ mod tests {
         assert_eq!(out.lines.len(), 2);
         assert_eq!(out.errors.len(), 1);
         assert_eq!(out.errors[0].0, 2);
+    }
+
+    #[test]
+    fn batch_fast_path_matches_per_line_parsing() {
+        // A homogeneous batch (the hinted fast path) mixed with shape
+        // changes and a bad line: batch output must equal line-by-line
+        // parsing exactly.
+        let mut text = String::new();
+        for i in 0..64 {
+            text.push_str(&format!("cpu,hostname=h{i},cpu=0 usage={i}.5,n={i}i {i}000\n"));
+        }
+        text.push_str("m v=1\nbroken\nevents,hostname=h1 text=\"hi\" 5\n");
+        let out = parse_batch(&text);
+        assert_eq!(out.errors.len(), 1);
+        let per_line: Vec<ParsedLine<'_>> = text
+            .lines()
+            .filter(|l| !l.is_empty() && parse_line(l).is_ok())
+            .map(|l| parse_line(l).unwrap())
+            .collect();
+        assert_eq!(out.lines, per_line);
     }
 
     #[test]

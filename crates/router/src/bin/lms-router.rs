@@ -3,7 +3,7 @@
 //! ```text
 //! lms-router --db <host:port> [--listen 127.0.0.1:8087]
 //!            [--per-user] [--publish 127.0.0.1:5556]
-//!            [--spool-dir <path>]
+//!            [--spool-dir <path>] [--coalesce-bytes N]
 //!            [--max-connections N] [--max-body-bytes N]
 //!            [--gmond <host:port> --gmond-interval <secs>]
 //! ```
@@ -42,6 +42,7 @@ fn run() -> Result<()> {
     let mut gmond: Option<SocketAddr> = None;
     let mut gmond_interval = Duration::from_secs(60);
     let mut spool_dir: Option<String> = None;
+    let mut coalesce_bytes: Option<usize> = None;
     let mut server_config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -74,6 +75,14 @@ fn run() -> Result<()> {
                 spool_dir =
                     Some(it.next().ok_or_else(|| Error::config("--spool-dir needs a path"))?.clone())
             }
+            "--coalesce-bytes" => {
+                coalesce_bytes = Some(
+                    it.next()
+                        .ok_or_else(|| Error::config("--coalesce-bytes needs a value"))?
+                        .parse()
+                        .map_err(|_| Error::config("bad --coalesce-bytes"))?,
+                )
+            }
             "--publish" => {
                 publish = Some(resolve(
                     it.next().ok_or_else(|| Error::config("--publish needs an address"))?,
@@ -97,8 +106,9 @@ fn run() -> Result<()> {
             "--help" | "-h" => {
                 println!(
                     "usage: lms-router --db host:port [--listen addr] [--per-user] \
-                     [--spool-dir path] [--publish addr] [--max-connections N] \
-                     [--max-body-bytes N] [--gmond addr --gmond-interval secs]"
+                     [--spool-dir path] [--coalesce-bytes N] [--publish addr] \
+                     [--max-connections N] [--max-body-bytes N] \
+                     [--gmond addr --gmond-interval secs]"
                 );
                 return Ok(());
             }
@@ -115,11 +125,14 @@ fn run() -> Result<()> {
         }
         None => None,
     };
-    let config = RouterConfig {
+    let mut config = RouterConfig {
         per_user,
         spool: spool_dir.map(SpoolConfig::new),
         ..Default::default()
     };
+    if let Some(b) = coalesce_bytes {
+        config.coalesce_bytes = b;
+    }
     let router = Arc::new(Router::new(db, config, Clock::system(), publisher)?);
     let server = RouterServer::start_with(listen.as_str(), server_config, router.clone())?;
     println!("lms-router listening on http://{} → db http://{db}", server.addr());

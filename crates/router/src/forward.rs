@@ -60,6 +60,14 @@ pub struct ForwardConfig {
     pub backoff_cap: Duration,
     /// Per-request I/O timeout on worker/drainer connections.
     pub io_timeout: Duration,
+    /// Coalescing cap: after receiving a batch, a worker opportunistically
+    /// drains whatever else is already queued (up to this many body bytes)
+    /// and delivers runs of consecutive same-db batches as **one** HTTP
+    /// write — and therefore one WAL group commit downstream. `0` disables
+    /// coalescing. Line-level errors inside a merged run behave exactly as
+    /// they do inside a single batch: the database skips bad lines and
+    /// acknowledges the rest.
+    pub coalesce_bytes: usize,
     /// Drainer poll interval while the spool is empty or the breaker open.
     pub drain_idle: Duration,
     /// Seed for the per-worker jitter RNGs (workers derive distinct
@@ -84,6 +92,7 @@ impl ForwardConfig {
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
             io_timeout: Duration::from_secs(10),
+            coalesce_bytes: 256 * 1024,
             drain_idle: Duration::from_millis(100),
             seed: 0x1a55_eed7,
             supervisor: SupervisorConfig::default(),
@@ -107,6 +116,8 @@ pub struct ForwardStats {
     pub replayed: u64,
     /// Retry attempts performed.
     pub retries: u64,
+    /// Batches delivered as part of a coalesced (merged) write.
+    pub coalesced: u64,
     /// Spooled batches still awaiting replay.
     pub spool_pending: u64,
     /// Circuit-breaker state for the destination.
@@ -119,6 +130,7 @@ struct Shared {
     dropped: AtomicU64,
     spooled: AtomicU64,
     retries: AtomicU64,
+    coalesced: AtomicU64,
     /// Batches accepted into the queue and not yet fully processed
     /// (queued + in flight). `flush` waits for this to reach zero, which
     /// closes the old "queue empty but worker still writing" race.
@@ -191,6 +203,7 @@ impl Forwarder {
             dropped: AtomicU64::new(0),
             spooled: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             outstanding: AtomicU64::new(0),
             progress: Mutex::new(()),
             progress_cv: Condvar::new(),
@@ -272,6 +285,7 @@ impl Forwarder {
             spooled: self.shared.spooled.load(Ordering::Relaxed),
             replayed: spool.replayed,
             retries: self.shared.retries.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             spool_pending: spool.pending,
             breaker: self.shared.breaker.state(),
         }
@@ -335,23 +349,130 @@ fn worker_loop(rx: &Receiver<Batch>, config: &ForwardConfig, shared: &Shared, in
     let mut client: Option<InfluxClient> = None;
     let mut rng = XorShift64::new(config.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     loop {
-        let batch = match rx.recv_timeout(Duration::from_secs(1)) {
+        let first = match rx.recv_timeout(Duration::from_secs(1)) {
             Ok(b) => b,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        // A panic mid-delivery must not lose the accepted batch or leave
-        // `outstanding` stuck (which would wedge flush() forever): spill
-        // the batch, settle the counters, then re-raise so the supervisor
-        // records the panic and restarts this worker with backoff.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_batch(&batch, &mut client, config, shared, &mut rng);
-        }));
-        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
-        shared.notify_progress();
-        if let Err(panic) = result {
-            shared.spill(&batch.db, &batch.body);
-            std::panic::resume_unwind(panic);
+        // Opportunistic pickup: whatever is already queued rides along
+        // with the batch just received, up to the coalescing byte cap.
+        // Under a backlog this turns N queued batches into one delivery
+        // per db run instead of N round trips.
+        let mut group = vec![first];
+        if config.coalesce_bytes > 0 {
+            let mut bytes = group[0].body.len();
+            while bytes < config.coalesce_bytes {
+                match rx.try_recv() {
+                    Ok(b) => {
+                        bytes += b.body.len();
+                        group.push(b);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        // Deliver runs of consecutive same-db batches together; order
+        // within a db is preserved.
+        let mut i = 0;
+        while i < group.len() {
+            let mut j = i + 1;
+            while j < group.len() && group[j].db == group[i].db {
+                j += 1;
+            }
+            let run = &group[i..j];
+            // A panic mid-delivery must not lose accepted batches or
+            // leave `outstanding` stuck (which would wedge flush()
+            // forever): spill the run, settle the counters, then
+            // re-raise so the supervisor records the panic and restarts
+            // this worker with backoff.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                process_run(run, &mut client, config, shared, &mut rng);
+            }));
+            shared.outstanding.fetch_sub(run.len() as u64, Ordering::AcqRel);
+            shared.notify_progress();
+            if let Err(panic) = result {
+                for b in run {
+                    shared.spill(&b.db, &b.body);
+                }
+                std::panic::resume_unwind(panic);
+            }
+            i = j;
+        }
+    }
+}
+
+/// Delivers a run of same-db batches as one merged write. Accounting
+/// stays per-batch: success counts every batch delivered (and marks the
+/// merged ones `coalesced`); giving up spills each original body
+/// separately so spool replay granularity is unchanged.
+fn process_run(
+    run: &[Batch],
+    client: &mut Option<InfluxClient>,
+    config: &ForwardConfig,
+    shared: &Shared,
+    rng: &mut XorShift64,
+) {
+    if run.len() == 1 {
+        process_batch(&run[0], client, config, shared, rng);
+        return;
+    }
+    let spill_all = || {
+        for b in run {
+            shared.spill(&b.db, &b.body);
+        }
+    };
+    // Mirrors process_batch: breaker already open with a spool available
+    // means spill immediately instead of burning a retry budget.
+    if shared.spool.is_some() && !shared.breaker.allow() {
+        spill_all();
+        return;
+    }
+    let db = &run[0].db;
+    let mut body = String::with_capacity(run.iter().map(|b| b.body.len() + 1).sum());
+    for b in run {
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        body.push_str(&b.body);
+    }
+    let n = run.len() as u64;
+    let mut attempt = 0u32;
+    loop {
+        if attempt > 0 {
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(rng.backoff(config.backoff_base, config.backoff_cap, attempt - 1));
+            if shared.spool.is_some() && !shared.breaker.allow() {
+                spill_all();
+                return;
+            }
+        }
+        match try_write(client, config, db, &body) {
+            Ok(()) => {
+                shared.delivered.fetch_add(n, Ordering::Relaxed);
+                shared.coalesced.fetch_add(n, Ordering::Relaxed);
+                shared.breaker.record_success();
+                return;
+            }
+            Err(e) if e.is_transient() => {
+                shared.breaker.record_failure();
+                *client = None; // reconnect on next attempt
+                attempt += 1;
+                let give_up = attempt > config.max_retries
+                    || (shared.spool.is_some() && shared.breaker.state() == BreakerState::Open);
+                if give_up {
+                    spill_all();
+                    return;
+                }
+            }
+            Err(_) => {
+                // Permanent refusal of the merged body. The database
+                // rejects a write only when *nothing* in it parses, so
+                // every batch in the run was malformed — reject them all.
+                // (Mixed runs are partially accepted and land in Ok.)
+                shared.breaker.record_success();
+                shared.rejected.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
         }
     }
 }
@@ -673,6 +794,10 @@ mod tests {
         let (server, influx) = db();
         let f = Forwarder::start(ForwardConfig {
             spool: Some(tmp_spool("reject")),
+            // With one worker the two enqueues below could merge, and the
+            // database partially accepts a mixed body — disable coalescing
+            // so the malformed batch is refused on its own.
+            coalesce_bytes: 0,
             ..cfg(server.addr(), 64, 3, 1)
         })
         .unwrap();
@@ -760,6 +885,37 @@ mod tests {
         assert!(f.flush(Duration::from_secs(10)));
         assert_eq!(influx2.point_count("lms"), 5);
         assert_eq!(f.stats().replayed, 5);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn coalesces_queued_backlog_into_fewer_deliveries() {
+        // Reserve an address, then take the database down so the single
+        // worker's first batch sits in retry backoff while the rest of
+        // the burst queues up behind it.
+        let (server, _ix) = db();
+        let addr = server.addr();
+        server.shutdown();
+        let f = Forwarder::start(ForwardConfig {
+            backoff_base: Duration::from_millis(150),
+            ..cfg(addr, 64, 40, 1)
+        })
+        .unwrap();
+        f.enqueue("lms", "m v=0 100000000000".to_string());
+        for i in 1..21u32 {
+            f.enqueue("lms", format!("m v={i} {}000000000", 100 + i));
+        }
+        // Bring the database back: the worker delivers the first batch,
+        // then picks up the whole queued backlog as merged runs.
+        let influx2 = Influx::new(Clock::simulated(Timestamp::from_secs(5000)));
+        let server2 = InfluxServer::start(addr, influx2.clone()).unwrap();
+        assert!(f.flush(Duration::from_secs(15)));
+        let s = f.stats();
+        assert_eq!(s.delivered, 21, "{s:?}");
+        assert_eq!(s.dropped, 0, "{s:?}");
+        assert_eq!(s.rejected, 0, "{s:?}");
+        assert!(s.coalesced >= 2, "queued burst should merge: {s:?}");
+        assert_eq!(influx2.point_count("lms"), 21);
         server2.shutdown();
     }
 

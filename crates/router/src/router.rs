@@ -32,6 +32,10 @@ pub struct RouterConfig {
     pub spool: Option<SpoolConfig>,
     /// Circuit-breaker tuning for the database destination.
     pub breaker: BreakerConfig,
+    /// Forwarder coalescing cap in body bytes: queued batches merge into
+    /// one delivery (and one WAL group commit downstream) up to this
+    /// size. `0` disables coalescing.
+    pub coalesce_bytes: usize,
 }
 
 impl Default for RouterConfig {
@@ -44,6 +48,7 @@ impl Default for RouterConfig {
             forward_workers: crate::forward::default_workers(),
             spool: None,
             breaker: BreakerConfig::default(),
+            coalesce_bytes: 256 * 1024,
         }
     }
 }
@@ -96,6 +101,7 @@ impl Router {
             workers: config.forward_workers,
             spool: config.spool.clone(),
             breaker: config.breaker,
+            coalesce_bytes: config.coalesce_bytes,
             ..ForwardConfig::new(db_addr)
         })?;
         Ok(Router {

@@ -57,11 +57,17 @@ pub struct TsmConfig {
     /// Compaction trigger: rewrite once any partition holds at least this
     /// many segment files.
     pub compact_min_files: usize,
+    /// WAL group-commit window in milliseconds (see
+    /// [`WalConfig::group_commit_delay`]). Zero together with
+    /// `wal_group_commit_bytes == 0` restores the legacy per-append path.
+    pub wal_group_commit_ms: u64,
+    /// WAL group-commit size bound (see [`WalConfig::group_commit_bytes`]).
+    pub wal_group_commit_bytes: usize,
 }
 
 impl TsmConfig {
     /// Defaults: 2-hour partitions, 4 MiB WAL segments, fsync on rotate,
-    /// compact at 4 files per partition.
+    /// compact at 4 files per partition, 2 ms / 1 MiB group commits.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         TsmConfig {
             dir: dir.into(),
@@ -69,6 +75,8 @@ impl TsmConfig {
             wal_segment_bytes: 4 * 1024 * 1024,
             wal_fsync: false,
             compact_min_files: 4,
+            wal_group_commit_ms: 2,
+            wal_group_commit_bytes: 1024 * 1024,
         }
     }
 }
@@ -102,6 +110,12 @@ pub struct TsmStats {
     /// True once the engine hit `ENOSPC` (WAL append or segment write)
     /// and dropped to degraded read-only mode.
     pub degraded: bool,
+    /// WAL record groups committed since open.
+    pub wal_group_commits: u64,
+    /// `sync_data` calls on WAL files since open.
+    pub wal_fsyncs: u64,
+    /// EWMA of points per committed WAL group.
+    pub wal_points_per_commit: f64,
 }
 
 struct SegFile {
@@ -194,6 +208,8 @@ impl TsmEngine {
             dir: cfg.dir.join("wal"),
             segment_bytes: cfg.wal_segment_bytes,
             fsync_every_append: cfg.wal_fsync,
+            group_commit_delay: std::time::Duration::from_millis(cfg.wal_group_commit_ms),
+            group_commit_bytes: cfg.wal_group_commit_bytes,
         })?;
 
         let next_gen = blocks.last().map(|e| e.block.gen + 1).unwrap_or(0);
@@ -222,11 +238,14 @@ impl TsmEngine {
         Ok((engine, recovered))
     }
 
-    /// Appends one acknowledged write batch to the WAL. In degraded
+    /// Appends one acknowledged write batch of `points` points to the WAL
+    /// (the count only feeds the points-per-commit gauge). The call
+    /// returns once the record's commit group is durable; concurrent
+    /// appends share one write (and fsync) per group. In degraded
     /// read-only mode (after `ENOSPC`) the append is refused up front with
     /// `Error::Unavailable` — transient, so the delivery pipeline keeps
     /// the data spooled instead of dropping it.
-    pub fn append_wal(&self, batch: &str) -> Result<u64> {
+    pub fn append_wal(&self, batch: &str, points: u64) -> Result<u64> {
         if self.degraded.load(Ordering::Acquire) {
             return Err(Error::unavailable("storage degraded (disk full): writes refused"));
         }
@@ -236,7 +255,7 @@ impl TsmEngine {
                 "fault injection: no space left on device",
             )))
         } else {
-            self.wal.append(batch)
+            self.wal.append(batch, points)
         };
         if let Err(e) = &result {
             if is_storage_full(e) {
@@ -362,6 +381,7 @@ impl TsmEngine {
             let files = self.files.lock();
             (files.len() as u64, files.iter().map(|f| f.bytes).sum())
         };
+        let group = self.wal.group_stats();
         TsmStats {
             wal_bytes: self.wal.bytes(),
             segment_files,
@@ -369,6 +389,9 @@ impl TsmEngine {
             compactions: self.compactions.load(Ordering::Relaxed),
             recovered_records: self.recovered_records,
             degraded: self.degraded.load(Ordering::Acquire),
+            wal_group_commits: group.group_commits,
+            wal_fsyncs: group.fsyncs,
+            wal_points_per_commit: group.points_per_commit,
         }
     }
 
@@ -529,7 +552,7 @@ mod tests {
         let dir = tmp("flush");
         let (engine, rec) = TsmEngine::open(cfg(&dir)).unwrap();
         assert!(rec.blocks.is_empty() && rec.wal_records.is_empty());
-        engine.append_wal("m v=1 500").unwrap();
+        engine.append_wal("m v=1 500", 1).unwrap();
         let gen = engine.next_gen();
         let mut flush = engine.begin_flush().unwrap();
         flush.write(&[entry("m", gen, 500..501)]).unwrap();
@@ -549,7 +572,7 @@ mod tests {
         let dir = tmp("crash");
         {
             let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
-            engine.append_wal("m v=1 500").unwrap();
+            engine.append_wal("m v=1 500", 1).unwrap();
             let gen = engine.next_gen();
             let mut flush = engine.begin_flush().unwrap();
             flush.write(&[entry("m", gen, 500..501)]).unwrap();
@@ -567,7 +590,7 @@ mod tests {
         let dir = tmp("fault");
         {
             let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
-            engine.append_wal("m v=1 500").unwrap();
+            engine.append_wal("m v=1 500", 1).unwrap();
             engine.inject_segment_write_failure(4);
             let gen = engine.next_gen();
             let mut flush = engine.begin_flush().unwrap();
@@ -584,17 +607,17 @@ mod tests {
     fn enospc_on_wal_append_degrades_to_read_only() {
         let dir = tmp("enospc");
         let (engine, _) = TsmEngine::open(cfg(&dir)).unwrap();
-        engine.append_wal("m v=1 500").unwrap();
+        engine.append_wal("m v=1 500", 1).unwrap();
         assert!(!engine.is_degraded());
 
         engine.inject_wal_append_failure(true);
-        let err = engine.append_wal("m v=2 501").unwrap_err();
+        let err = engine.append_wal("m v=2 501", 1).unwrap_err();
         assert!(matches!(err, Error::Io(_)), "first failure surfaces the ENOSPC: {err}");
         assert!(engine.is_degraded());
         assert!(engine.stats().degraded);
 
         // Degraded mode refuses up front — no disk I/O, transient error.
-        let err = engine.append_wal("m v=3 502").unwrap_err();
+        let err = engine.append_wal("m v=3 502", 1).unwrap_err();
         assert!(matches!(err, Error::Unavailable(_)), "{err}");
         assert!(err.is_transient(), "callers must keep the data spooled, not drop it");
 
@@ -602,7 +625,7 @@ mod tests {
         // resume.
         engine.inject_wal_append_failure(false);
         engine.clear_degraded();
-        engine.append_wal("m v=4 503").unwrap();
+        engine.append_wal("m v=4 503", 1).unwrap();
         assert!(!engine.is_degraded());
         let _ = fs::remove_dir_all(&dir);
     }

@@ -11,13 +11,38 @@
 //! payload = [record_seq: u64 LE][batch: UTF-8 line protocol, explicit ns timestamps]
 //! ```
 //!
+//! ## Group commit
+//!
+//! Concurrent appends do not serialize on the file: each appender encodes
+//! its record into a shared staging buffer under a short mutex and then
+//! waits; the first-in appender becomes the *leader* and commits the whole
+//! group — one `write_all` (and one `sync_data`, when fsync is configured)
+//! for every record staged so far. While the leader is inside the write
+//! syscall the staging buffer keeps accepting records for the *next* group,
+//! so the commit pipeline never stalls arriving writers.
+//!
+//! An append only returns once its record's group is durably committed
+//! (acks release after the group fsync), so durability semantics are
+//! identical to the old record-at-a-time path — only the fsync *count*
+//! changes. With [`WalConfig::fsync_every_append`] set, the leader
+//! additionally holds the group open for up to
+//! [`WalConfig::group_commit_delay`] (or until
+//! [`WalConfig::group_commit_bytes`] accumulate), bounding the fsync rate
+//! under load; without per-append fsync there is no artificial delay —
+//! grouping is purely the natural coalescing of concurrent appends.
+//! Setting both knobs to zero disables grouping entirely and restores the
+//! legacy one-write-one-fsync-per-append path (the benchmark baseline).
+//!
 //! ## Recovery
 //!
 //! [`Wal::open`] scans segments in order, decodes every intact record, and
 //! truncates the first torn or corrupt frame and everything after it in
-//! that file (a crash mid-append leaves a half-written frame; only the
-//! unacknowledged tail record can be affected). Recovery therefore yields
-//! exactly the acknowledged prefix — zero silent loss, no torn records.
+//! that file (a crash mid-append leaves a half-written frame; only records
+//! of the unacknowledged tail group can be affected). Recovery therefore
+//! yields exactly the acknowledged prefix — zero silent loss, no torn
+//! records. Symmetrically, a group write that *fails* marks the active
+//! segment's tail dirty: the next commit rotates to a fresh segment first,
+//! so later acknowledged records are never stranded behind a torn middle.
 //!
 //! ## Checkpointing
 //!
@@ -31,11 +56,13 @@
 //! safe; only under-persisting would lose data.
 
 use lms_util::hash::crc32;
-use lms_util::Result;
+use lms_util::{Error, Result};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Frame header size: payload length + CRC.
 const HEADER_LEN: usize = 8;
@@ -50,16 +77,31 @@ pub struct WalConfig {
     pub dir: PathBuf,
     /// Rotate the active segment once it reaches this size.
     pub segment_bytes: usize,
-    /// `fsync` after every append (true durability across power loss) or
+    /// `fsync` after every commit (true durability across power loss) or
     /// only on rotation/flush (crash-safe against process death, the
     /// default throughput trade-off — same policy as `lms-spool`).
     pub fsync_every_append: bool,
+    /// How long the commit leader holds a group open waiting for more
+    /// appends (only when `fsync_every_append` is set — the delay exists
+    /// to amortize fsyncs, not writes). Zero together with
+    /// `group_commit_bytes == 0` disables grouping entirely.
+    pub group_commit_delay: Duration,
+    /// Commit the group early once this many staged bytes accumulate
+    /// (`0` = no size bound).
+    pub group_commit_bytes: usize,
 }
 
 impl WalConfig {
-    /// Defaults: 4 MiB segments, fsync on rotation only.
+    /// Defaults: 4 MiB segments, fsync on rotation only, 2 ms group window
+    /// bounded at 1 MiB.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        WalConfig { dir: dir.into(), segment_bytes: 4 * 1024 * 1024, fsync_every_append: false }
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: 4 * 1024 * 1024,
+            fsync_every_append: false,
+            group_commit_delay: Duration::from_millis(2),
+            group_commit_bytes: 1024 * 1024,
+        }
     }
 }
 
@@ -81,24 +123,73 @@ pub struct WalRecovery {
     pub torn_bytes: u64,
 }
 
+/// Group-commit gauges (monotonic counters since open).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalGroupStats {
+    /// Committed record groups.
+    pub group_commits: u64,
+    /// `sync_data` calls on WAL files (commits, rotations, explicit syncs).
+    pub fsyncs: u64,
+    /// Exponentially-weighted moving average of points per committed group.
+    pub points_per_commit: f64,
+}
+
 struct Frozen {
     seq: u64,
     path: PathBuf,
     bytes: u64,
 }
 
-struct Inner {
+/// Record staging and sequencing; guarded by `Wal::state` and never held
+/// across file I/O by the commit leader.
+struct GroupState {
+    /// Encoded frames of the group being formed.
+    buf: Vec<u8>,
+    /// Recycled buffer swapped in when the leader takes `buf`.
+    spare: Vec<u8>,
+    /// Points staged in `buf` (for the points-per-commit gauge).
+    buf_points: u64,
+    /// Sequence of the first record staged in `buf`.
+    buf_first_seq: u64,
+    /// When the current group's first record was staged (deadline base).
+    opened_at: Option<Instant>,
+    next_record_seq: u64,
+    /// Every record with `seq < durable_seq` is resolved: durably written,
+    /// or part of a failed group listed in `failed`.
+    durable_seq: u64,
+    /// True while one appender is committing a group.
+    leader: bool,
+    /// Seq ranges `[start, end)` whose group write failed, with the error
+    /// to report to their waiters (bounded; disk faults are rare and the
+    /// engine degrades on `ENOSPC` anyway).
+    failed: Vec<(u64, u64, std::io::ErrorKind, String)>,
+}
+
+/// The active segment file; guarded by `Wal::file`, acquired after (never
+/// before) releasing `Wal::state`.
+struct FileState {
     active: File,
     active_seq: u64,
     active_bytes: u64,
     frozen: Vec<Frozen>,
-    next_record_seq: u64,
+    /// A write to the active segment failed partway: recovery stops at the
+    /// torn frame, so nothing more may be appended to this file — the next
+    /// commit rotates first.
+    dirty_tail: bool,
 }
 
-/// A segmented, CRC-framed write-ahead log.
+/// A segmented, CRC-framed write-ahead log with group commit.
 pub struct Wal {
     cfg: WalConfig,
-    inner: Mutex<Inner>,
+    /// False when both group-commit knobs are zero: legacy per-append path.
+    grouped: bool,
+    state: Mutex<GroupState>,
+    cv: Condvar,
+    file: Mutex<FileState>,
+    fsyncs: AtomicU64,
+    group_commits: AtomicU64,
+    /// f64 bits of the points-per-commit EWMA.
+    ewma_bits: AtomicU64,
 }
 
 fn segment_path(dir: &Path, seq: u64) -> PathBuf {
@@ -188,44 +279,213 @@ impl Wal {
             .create(true)
             .append(true)
             .open(segment_path(&cfg.dir, active_seq))?;
-        let inner =
-            Inner { active, active_seq, active_bytes: 0, frozen, next_record_seq };
-        Ok((Wal { cfg, inner: Mutex::new(inner) }, recovery))
+        let grouped = !cfg.group_commit_delay.is_zero() || cfg.group_commit_bytes > 0;
+        let wal = Wal {
+            cfg,
+            grouped,
+            state: Mutex::new(GroupState {
+                buf: Vec::new(),
+                spare: Vec::new(),
+                buf_points: 0,
+                buf_first_seq: next_record_seq,
+                opened_at: None,
+                next_record_seq,
+                durable_seq: next_record_seq,
+                leader: false,
+                failed: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            file: Mutex::new(FileState {
+                active,
+                active_seq,
+                active_bytes: 0,
+                frozen,
+                dirty_tail: false,
+            }),
+            fsyncs: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            ewma_bits: AtomicU64::new(0),
+        };
+        Ok((wal, recovery))
     }
 
-    /// Appends one batch; returns once the record is written to the OS
-    /// (and fsynced, when configured). The record survives any subsequent
-    /// process crash.
-    pub fn append(&self, batch: &str) -> Result<u64> {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.active_bytes >= self.cfg.segment_bytes as u64 {
-            self.rotate_locked(&mut inner)?;
+    /// Appends one batch of `points` points; returns once the record's
+    /// group is written to the OS (and fsynced, when configured). The
+    /// record survives any subsequent process crash.
+    pub fn append(&self, batch: &str, points: u64) -> Result<u64> {
+        if !self.grouped {
+            return self.append_legacy(batch);
         }
-        let seq = inner.next_record_seq;
+        let mut st = self.state.lock().unwrap();
+        let seq = st.next_record_seq;
+        st.next_record_seq += 1;
+        if st.buf.is_empty() {
+            st.buf_first_seq = seq;
+            st.opened_at = Some(Instant::now());
+        }
+        encode_record(seq, batch, &mut st.buf);
+        st.buf_points += points;
+        if self.cfg.group_commit_bytes > 0 && st.buf.len() >= self.cfg.group_commit_bytes {
+            // Wake a leader blocked in its group window: the size bound is
+            // reached.
+            self.cv.notify_all();
+        }
+        loop {
+            if st.durable_seq > seq {
+                if let Some((_, _, kind, msg)) =
+                    st.failed.iter().find(|f| f.0 <= seq && seq < f.1)
+                {
+                    return Err(Error::Io(std::io::Error::new(*kind, msg.clone())));
+                }
+                return Ok(seq);
+            }
+            if !st.leader {
+                st.leader = true;
+                st = self.lead_commit(st);
+            } else {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    /// Commits the staged group as its leader: optionally holds the group
+    /// open (fsync amortization), then writes and syncs outside the state
+    /// lock so the next group can form during the I/O. Returns with the
+    /// state lock re-held, `durable_seq` advanced past the group and all
+    /// waiters notified.
+    fn lead_commit<'a>(&'a self, mut st: MutexGuard<'a, GroupState>) -> MutexGuard<'a, GroupState> {
+        if self.cfg.fsync_every_append && !self.cfg.group_commit_delay.is_zero() {
+            let deadline =
+                st.opened_at.unwrap_or_else(Instant::now) + self.cfg.group_commit_delay;
+            let size_bound =
+                if self.cfg.group_commit_bytes == 0 { usize::MAX } else { self.cfg.group_commit_bytes };
+            loop {
+                if st.buf.len() >= size_bound {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.cv.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+        let spare = std::mem::take(&mut st.spare);
+        let group = std::mem::replace(&mut st.buf, spare);
+        let points = std::mem::replace(&mut st.buf_points, 0);
+        let first_seq = st.buf_first_seq;
+        let end_seq = st.next_record_seq;
+        st.opened_at = None;
+        drop(st);
+
+        let result = self.write_group(&group);
+
+        let mut st = self.state.lock().unwrap();
+        let mut group = group;
+        group.clear();
+        st.spare = group;
+        st.durable_seq = end_seq;
+        st.leader = false;
+        match result {
+            Ok(()) => {
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+                let prev = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+                let next = if prev == 0.0 {
+                    points as f64
+                } else {
+                    prev + 0.2 * (points as f64 - prev)
+                };
+                self.ewma_bits.store(next.to_bits(), Ordering::Relaxed);
+            }
+            Err(e) => {
+                let (kind, msg) = match &e {
+                    Error::Io(io) => (io.kind(), io.to_string()),
+                    other => (std::io::ErrorKind::Other, other.to_string()),
+                };
+                st.failed.push((first_seq, end_seq, kind, msg));
+                if st.failed.len() > 16 {
+                    st.failed.remove(0);
+                }
+            }
+        }
+        self.cv.notify_all();
+        st
+    }
+
+    /// Writes one encoded group to the active segment.
+    fn write_group(&self, group: &[u8]) -> Result<()> {
+        let mut file = self.file.lock().unwrap();
+        if file.dirty_tail || file.active_bytes >= self.cfg.segment_bytes as u64 {
+            self.rotate_file_locked(&mut file)?;
+        }
+        if let Err(e) = file.active.write_all(group) {
+            file.dirty_tail = true;
+            return Err(e.into());
+        }
+        file.active_bytes += group.len() as u64;
+        if self.cfg.fsync_every_append {
+            if let Err(e) = file.active.sync_data() {
+                // The kernel may have dropped dirty pages: nothing after
+                // this point in the file can be trusted.
+                file.dirty_tail = true;
+                return Err(e.into());
+            }
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Legacy path (grouping disabled): sequence assignment and the file
+    /// write are serialized under one critical section, exactly the old
+    /// one-write-one-fsync-per-append behaviour.
+    fn append_legacy(&self, batch: &str) -> Result<u64> {
+        let mut st = self.state.lock().unwrap();
+        let seq = st.next_record_seq;
         let mut buf = Vec::with_capacity(HEADER_LEN + 8 + batch.len());
         encode_record(seq, batch, &mut buf);
-        inner.active.write_all(&buf)?;
-        if self.cfg.fsync_every_append {
-            inner.active.sync_data()?;
+        {
+            let mut file = self.file.lock().unwrap();
+            if file.dirty_tail || file.active_bytes >= self.cfg.segment_bytes as u64 {
+                self.rotate_file_locked(&mut file)?;
+            }
+            if let Err(e) = file.active.write_all(&buf) {
+                file.dirty_tail = true;
+                return Err(e.into());
+            }
+            file.active_bytes += buf.len() as u64;
+            if self.cfg.fsync_every_append {
+                if let Err(e) = file.active.sync_data() {
+                    file.dirty_tail = true;
+                    return Err(e.into());
+                }
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        inner.active_bytes += buf.len() as u64;
-        inner.next_record_seq = seq + 1;
+        st.next_record_seq = seq + 1;
+        st.durable_seq = seq + 1;
         Ok(seq)
     }
 
-    fn rotate_locked(&self, inner: &mut Inner) -> Result<u64> {
+    fn rotate_file_locked(&self, file: &mut FileState) -> Result<u64> {
         // Freeze the active segment (fsync so a checkpoint can trust it
         // existed) and start a new one.
-        inner.active.sync_data()?;
-        let old_seq = inner.active_seq;
-        let old_bytes = inner.active_bytes;
+        if let Err(e) = file.active.sync_data() {
+            file.dirty_tail = true;
+            return Err(e.into());
+        }
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let old_seq = file.active_seq;
+        let old_bytes = file.active_bytes;
         let new_seq = old_seq + 1;
-        inner.active = OpenOptions::new()
+        file.active = OpenOptions::new()
             .create(true)
             .append(true)
             .open(segment_path(&self.cfg.dir, new_seq))?;
-        if old_bytes > 0 {
-            inner.frozen.push(Frozen {
+        if old_bytes > 0 || file.dirty_tail {
+            // A dirty tail may hold a clean prefix worth replaying even
+            // when the byte counter says zero; recovery sorts it out.
+            file.frozen.push(Frozen {
                 seq: old_seq,
                 path: segment_path(&self.cfg.dir, old_seq),
                 bytes: old_bytes,
@@ -234,8 +494,9 @@ impl Wal {
             // Empty segment: nothing to replay, delete it eagerly.
             let _ = fs::remove_file(segment_path(&self.cfg.dir, old_seq));
         }
-        inner.active_seq = new_seq;
-        inner.active_bytes = 0;
+        file.active_seq = new_seq;
+        file.active_bytes = 0;
+        file.dirty_tail = false;
         Ok(new_seq)
     }
 
@@ -243,37 +504,47 @@ impl Wal {
     /// boundary: every record in segments `< boundary` is in memory now
     /// and may be deleted once sealed blocks covering them are durable.
     pub fn rotate(&self) -> Result<u64> {
-        let mut inner = self.inner.lock().unwrap();
-        self.rotate_locked(&mut inner)
+        let mut file = self.file.lock().unwrap();
+        self.rotate_file_locked(&mut file)
     }
 
     /// Deletes frozen segments below `boundary` (returned by
     /// [`rotate`](Self::rotate)) after their contents were durably sealed.
     pub fn remove_frozen(&self, boundary: u64) -> Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut file = self.file.lock().unwrap();
         let mut kept = Vec::new();
-        for f in inner.frozen.drain(..) {
+        for f in file.frozen.drain(..) {
             if f.seq < boundary {
                 fs::remove_file(&f.path)?;
             } else {
                 kept.push(f);
             }
         }
-        inner.frozen = kept;
+        file.frozen = kept;
         Ok(())
     }
 
     /// Total bytes currently on disk (frozen + active).
     pub fn bytes(&self) -> u64 {
-        let inner = self.inner.lock().unwrap();
-        inner.active_bytes + inner.frozen.iter().map(|f| f.bytes).sum::<u64>()
+        let file = self.file.lock().unwrap();
+        file.active_bytes + file.frozen.iter().map(|f| f.bytes).sum::<u64>()
     }
 
     /// Fsyncs the active segment (graceful-shutdown hook).
     pub fn sync(&self) -> Result<()> {
-        let inner = self.inner.lock().unwrap();
-        inner.active.sync_data()?;
+        let file = self.file.lock().unwrap();
+        file.active.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Group-commit gauges.
+    pub fn group_stats(&self) -> WalGroupStats {
+        WalGroupStats {
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            points_per_commit: f64::from_bits(self.ewma_bits.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -293,8 +564,8 @@ mod tests {
         {
             let (wal, rec) = Wal::open(WalConfig::new(&dir)).unwrap();
             assert!(rec.records.is_empty());
-            wal.append("m v=1 1").unwrap();
-            wal.append("m v=2 2\nm v=3 3").unwrap();
+            wal.append("m v=1 1", 1).unwrap();
+            wal.append("m v=2 2\nm v=3 3", 2).unwrap();
         }
         let (_, rec) = Wal::open(WalConfig::new(&dir)).unwrap();
         assert_eq!(rec.torn_bytes, 0);
@@ -309,8 +580,8 @@ mod tests {
     fn torn_tail_is_truncated_to_acknowledged_prefix() {
         let dir = tmp("torn");
         let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
-        wal.append("a v=1 1").unwrap();
-        wal.append("b v=2 2").unwrap();
+        wal.append("a v=1 1", 1).unwrap();
+        wal.append("b v=2 2", 1).unwrap();
         drop(wal);
         // Find the single non-empty segment and cut its tail mid-record.
         let seg = fs::read_dir(&dir)
@@ -335,10 +606,10 @@ mod tests {
         let cfg = WalConfig { segment_bytes: 64, ..WalConfig::new(&dir) };
         let (wal, _) = Wal::open(cfg.clone()).unwrap();
         for i in 0..20 {
-            wal.append(&format!("m v={i} {i}")).unwrap();
+            wal.append(&format!("m v={i} {i}"), 1).unwrap();
         }
         let boundary = wal.rotate().unwrap();
-        wal.append("m v=99 99").unwrap(); // lands after the checkpoint
+        wal.append("m v=99 99", 1).unwrap(); // lands after the checkpoint
         wal.remove_frozen(boundary).unwrap();
         drop(wal);
         let (_, rec) = Wal::open(cfg).unwrap();
@@ -351,9 +622,9 @@ mod tests {
     fn corrupt_middle_record_discards_suffix_not_prefix() {
         let dir = tmp("corrupt");
         let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
-        wal.append("a v=1 1").unwrap();
-        wal.append("b v=2 2").unwrap();
-        wal.append("c v=3 3").unwrap();
+        wal.append("a v=1 1", 1).unwrap();
+        wal.append("b v=2 2", 1).unwrap();
+        wal.append("c v=3 3", 1).unwrap();
         drop(wal);
         let seg = fs::read_dir(&dir)
             .unwrap()
@@ -369,6 +640,91 @@ mod tests {
         assert_eq!(rec.records.len(), 1);
         assert_eq!(rec.records[0].batch, "a v=1 1");
         assert!(rec.torn_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_group_appends_all_recovered_in_seq_order() {
+        let dir = tmp("group-concurrent");
+        {
+            let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+            std::thread::scope(|s| {
+                for t in 0..8 {
+                    let wal = &wal;
+                    s.spawn(move || {
+                        for i in 0..50 {
+                            wal.append(&format!("m,t=t{t} v={i} {i}"), 1).unwrap();
+                        }
+                    });
+                }
+            });
+            let stats = wal.group_stats();
+            assert!(stats.group_commits >= 1);
+            assert!(stats.group_commits <= 400);
+        }
+        let (_, rec) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.records.len(), 400, "every acknowledged append recovered");
+        let seqs: Vec<u64> = rec.records.iter().map(|r| r.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "file order is sequence order");
+        assert_eq!(seqs, (0..400).collect::<Vec<u64>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_group_window_coalesces_concurrent_appends() {
+        let dir = tmp("group-fsync");
+        let cfg = WalConfig {
+            fsync_every_append: true,
+            group_commit_delay: Duration::from_millis(250),
+            group_commit_bytes: 0, // time bound only
+            ..WalConfig::new(&dir)
+        };
+        let (wal, _) = Wal::open(cfg.clone()).unwrap();
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let wal = &wal;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    wal.append(&format!("m v={t} {t}"), 1).unwrap();
+                });
+            }
+        });
+        let stats = wal.group_stats();
+        assert!(
+            stats.fsyncs <= 3,
+            "8 simultaneous appends inside one 250ms window must share fsyncs, got {}",
+            stats.fsyncs
+        );
+        assert!(stats.points_per_commit > 1.0, "groups hold more than one point on average");
+        drop(wal);
+        let (_, rec) = Wal::open(cfg).unwrap();
+        assert_eq!(rec.records.len(), 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_knobs_disable_grouping() {
+        let dir = tmp("legacy");
+        let cfg = WalConfig {
+            fsync_every_append: true,
+            group_commit_delay: Duration::ZERO,
+            group_commit_bytes: 0,
+            ..WalConfig::new(&dir)
+        };
+        let (wal, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..10 {
+            wal.append(&format!("m v={i} {i}"), 1).unwrap();
+        }
+        let stats = wal.group_stats();
+        assert_eq!(stats.group_commits, 0, "legacy path never forms groups");
+        assert_eq!(stats.fsyncs, 10, "one fsync per append");
+        drop(wal);
+        let (_, rec) = Wal::open(cfg).unwrap();
+        assert_eq!(rec.records.len(), 10);
         let _ = fs::remove_dir_all(&dir);
     }
 }

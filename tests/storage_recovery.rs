@@ -12,6 +12,7 @@ use lms::util::{Clock, Timestamp};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 fn seed() -> u64 {
     std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
@@ -117,6 +118,91 @@ fn torn_wal_tail_recovers_to_record_boundary_prefix() {
         assert_eq!(sum, count * (count + 1) / 2, "recovered set is not the write prefix");
         let stats = ix.storage_stats();
         assert_eq!(stats.recovered_records, count as u64, "every intact record replayed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill mid-group: concurrent writers push batches through the grouped
+/// WAL (fsync on, a real commit window), then the process dies with a
+/// torn tail that may split a commit group in half. Group commit amplifies
+/// the blast radius of a torn byte — one bad offset can now cut through a
+/// multi-batch record run — so recovery must still yield an exact prefix
+/// of each writer's acknowledged batches: no holes, no reordering, no
+/// duplicates.
+#[test]
+fn torn_group_commit_recovers_exact_prefix_of_acked_batches() {
+    const WRITERS: usize = 8;
+    const BATCHES: usize = 10;
+    let mut rng = Rng::new(seed() ^ 0x6c0b);
+    for round in 0..3 {
+        let dir = tmp_dir(&format!("group-{round}"));
+        {
+            let mut cfg = StorageConfig::new(&dir);
+            cfg.wal_fsync = true;
+            cfg.wal_group_commit = Duration::from_millis(3);
+            let ix = Influx::open(Clock::simulated(Timestamp::from_secs(9_000)), 4, cfg)
+                .expect("open persistent influx");
+            std::thread::scope(|s| {
+                for t in 0..WRITERS {
+                    let ix = ix.clone();
+                    s.spawn(move || {
+                        for i in 1..=BATCHES {
+                            // A write returning Ok is an acknowledged
+                            // batch: its WAL group has been fsynced.
+                            let ts = (t * BATCHES + i) as i64 * 1_000_000_000;
+                            let line = format!("m{t},hostname=h{t} v={i}i {ts}");
+                            ix.write_lines("lms", &line, Default::default()).expect("acked write");
+                        }
+                    });
+                }
+            });
+            // The test is only meaningful if batches actually coalesced
+            // into shared commit groups.
+            let stats = ix.storage_stats();
+            assert!(
+                stats.group_commits < (WRITERS * BATCHES) as u64,
+                "no coalescing happened: {} commits for {} acked batches",
+                stats.group_commits,
+                WRITERS * BATCHES
+            );
+        }
+        let wal = active_wal(&dir);
+        let len = std::fs::metadata(&wal).expect("wal meta").len();
+        let cut = rng.below(len + 1); // 0..=len bytes survive the crash
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open wal")
+            .set_len(cut)
+            .expect("truncate");
+
+        let ix = open(&dir);
+        let mut total = 0;
+        for t in 0..WRITERS {
+            let r =
+                ix.query("lms", &format!("SELECT count(v), sum(v) FROM m{t}")).expect("query");
+            let (count, sum) = if r.series.is_empty() {
+                (0, 0)
+            } else {
+                let row = &r.series[0].values[0];
+                (row[1].as_i64().unwrap_or(0), row[2].as_i64().unwrap_or(0))
+            };
+            // Each writer issued batch i+1 only after batch i was acked,
+            // so its WAL sequence numbers are increasing: a torn-tail cut
+            // must leave each writer an exact prefix 1..=count.
+            assert!(count <= BATCHES as i64, "writer {t} gained batches: {count}");
+            assert_eq!(
+                sum,
+                count * (count + 1) / 2,
+                "writer {t}: recovered set is not its acknowledged prefix (round {round})"
+            );
+            total += count;
+        }
+        assert_eq!(
+            ix.storage_stats().recovered_records,
+            total as u64,
+            "every intact record replayed (round {round})"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
