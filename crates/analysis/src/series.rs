@@ -46,7 +46,7 @@ impl TimeSeries {
                     .find(|(k, _)| k == tag)
                     .map(|(_, v)| v.clone())
                     .unwrap_or_default();
-                let single = QueryResult { series: vec![s.clone()] };
+                let single = QueryResult { series: vec![s.clone()], partial: false };
                 (tag_value, TimeSeries::from_result(&single, column))
             })
             .collect()

@@ -426,6 +426,15 @@ fn render_json(rows: &[Row], legacy_fpp: f64, grouped_fpp: f64) -> String {
         "  \"wal_group_commit\": {{\"writers\": 8, \"legacy_fsyncs_per_point\": {legacy_fpp:.5}, \"grouped_fsyncs_per_point\": {grouped_fpp:.5}, \"reduction\": {:.1}}},\n",
         legacy_fpp / grouped_fpp.max(f64::MIN_POSITIVE)
     ));
+    // The cluster bench owns the `cluster_scaling` line; carry the current
+    // one over so a full ingest run does not erase it.
+    if let Some(line) = std::fs::read_to_string(BASELINE_PATH)
+        .ok()
+        .and_then(|s| s.lines().find(|l| l.trim_start().starts_with("\"cluster_scaling\"")).map(String::from))
+    {
+        out.push_str(&line);
+        out.push('\n');
+    }
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(

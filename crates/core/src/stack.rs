@@ -16,7 +16,7 @@ use lms_influx::{Influx, InfluxServer, StorageConfig, StorageWorker};
 use lms_jobsched::{HttpSignaler, JobId, JobSpec, JobState, Scheduler};
 use lms_lineproto::BatchBuilder;
 use lms_mq::Publisher;
-use lms_router::{Router, RouterConfig, RouterServer, RouterStats};
+use lms_router::{ClusterConfig, Router, RouterConfig, RouterServer, RouterStats};
 use lms_sysmon::{HostAgent, SimProc};
 use lms_topology::Topology;
 use lms_util::{Clock, Error, FxHashMap, Result, Timestamp};
@@ -30,6 +30,16 @@ use std::time::Duration;
 pub struct StackConfig {
     /// Number of compute nodes to simulate (named `h1`, `h2`, …).
     pub nodes: usize,
+    /// Number of database nodes. With more than one, the router places
+    /// each series on `replication` nodes via a seeded rendezvous hash
+    /// ring, acknowledges writes at `write_quorum`, and scatter-gathers
+    /// queries across all nodes (see `lms-router::delivery`).
+    pub db_nodes: usize,
+    /// Copies of each series across the database nodes (`R`).
+    pub replication: usize,
+    /// Node-batches that must be queued or durably spooled before a
+    /// write is acknowledged (`W`, `1 ≤ W ≤ R`).
+    pub write_quorum: usize,
     /// Node hardware model.
     pub topology: Topology,
     /// HPM performance groups the node collectors rotate through.
@@ -58,6 +68,9 @@ impl Default for StackConfig {
     fn default() -> Self {
         StackConfig {
             nodes: 4,
+            db_nodes: 1,
+            replication: 1,
+            write_quorum: 1,
             topology: Topology::preset_dual_socket_10c(),
             hpm_groups: vec!["FLOPS_DP".into(), "MEM".into()],
             per_user: false,
@@ -81,6 +94,9 @@ impl StackConfig {
     /// nodes = 8
     /// topology = dual_socket_10c   ; or desktop_4c
     /// seed = 7
+    /// db_nodes = 3        ; database nodes behind the router (default 1)
+    /// replication = 2     ; copies of each series (R)
+    /// write_quorum = 1    ; node-batches required to ack a write (W)
     ///
     /// [monitoring]
     /// hpm_groups = FLOPS_DP, MEM, ENERGY
@@ -108,6 +124,24 @@ impl StackConfig {
         }
         if let Some(seed) = ini.get_i64("cluster", "seed")? {
             config.seed = seed as u64;
+        }
+        if let Some(n) = ini.get_i64("cluster", "db_nodes")? {
+            if n < 1 {
+                return Err(Error::config("cluster.db_nodes must be >= 1"));
+            }
+            config.db_nodes = n as usize;
+        }
+        if let Some(r) = ini.get_i64("cluster", "replication")? {
+            if r < 1 {
+                return Err(Error::config("cluster.replication must be >= 1"));
+            }
+            config.replication = r as usize;
+        }
+        if let Some(w) = ini.get_i64("cluster", "write_quorum")? {
+            if w < 1 {
+                return Err(Error::config("cluster.write_quorum must be >= 1"));
+            }
+            config.write_quorum = w as usize;
         }
         let groups = ini.get_list("monitoring", "hpm_groups");
         if !groups.is_empty() {
@@ -167,13 +201,20 @@ struct NodeSim {
     hpm_client: HttpClient,
 }
 
+/// One database node: the embedded engine, its HTTP server, and its
+/// background storage worker (persistent configurations only).
+struct DbNode {
+    influx: Influx,
+    server: Option<InfluxServer>,
+    storage_worker: Option<StorageWorker>,
+}
+
 /// The assembled monitoring stack.
 pub struct LmsStack {
     config: StackConfig,
     clock: Clock,
-    influx: Influx,
-    influx_server: Option<InfluxServer>,
-    storage_worker: Option<StorageWorker>,
+    /// Database nodes; single-node stacks are a one-element vector.
+    db: Vec<DbNode>,
     router: Arc<Router>,
     router_server: Option<RouterServer>,
     publisher_addr: Option<SocketAddr>,
@@ -209,18 +250,37 @@ impl LmsStack {
     pub fn start(config: StackConfig) -> Result<Self> {
         let clock = Clock::simulated(config.start_time);
 
-        // Database: persistent (WAL + segment files, replaying any prior
-        // history) when `data_dir` is set, memory-only otherwise.
-        let influx = match &config.data_dir {
-            Some(dir) => Influx::open(clock.clone(), 8, StorageConfig::new(dir))?,
-            None => Influx::new(clock.clone()),
-        };
-        influx.create_database("lms");
-        if let Some(retention) = config.retention {
-            influx.set_retention("lms", Some(retention));
+        // Database nodes: persistent (WAL + segment files, replaying any
+        // prior history) when `data_dir` is set, memory-only otherwise.
+        // Multi-node stacks split `data_dir` into `node-<i>` subtrees so a
+        // restart on the same directory rehydrates every node.
+        if config.db_nodes < 1 {
+            return Err(Error::config("db_nodes must be >= 1"));
         }
-        let storage_worker = influx.spawn_storage_worker();
-        let influx_server = InfluxServer::start("127.0.0.1:0", influx.clone())?;
+        let mut db = Vec::with_capacity(config.db_nodes);
+        for i in 0..config.db_nodes {
+            let influx = match &config.data_dir {
+                Some(dir) => {
+                    let dir =
+                        if config.db_nodes == 1 { dir.clone() } else { dir.join(format!("node-{i}")) };
+                    Influx::open(clock.clone(), 8, StorageConfig::new(dir))?
+                }
+                None => Influx::new(clock.clone()),
+            };
+            influx.create_database("lms");
+            if let Some(retention) = config.retention {
+                influx.set_retention("lms", Some(retention));
+            }
+            let storage_worker = influx.spawn_storage_worker();
+            let server = InfluxServer::start("127.0.0.1:0", influx.clone())?;
+            db.push(DbNode { influx, server: Some(server), storage_worker });
+        }
+        let cluster = ClusterConfig {
+            nodes: db.iter().map(|n| n.server.as_ref().expect("running").addr()).collect(),
+            replication: config.replication,
+            write_quorum: config.write_quorum,
+            seed: config.seed,
+        };
 
         // Optional MQ publisher for stream analyzers.
         let (publisher, publisher_addr) = if config.publish {
@@ -237,12 +297,8 @@ impl LmsStack {
             per_user: config.per_user,
             ..Default::default()
         };
-        let router = Arc::new(Router::new(
-            influx_server.addr(),
-            router_config,
-            clock.clone(),
-            publisher,
-        )?);
+        let router =
+            Arc::new(Router::new_cluster(cluster, router_config, clock.clone(), publisher)?);
         let router_server = RouterServer::start("127.0.0.1:0", router.clone())?;
         let router_addr = router_server.addr();
 
@@ -278,9 +334,7 @@ impl LmsStack {
         Ok(LmsStack {
             config,
             clock,
-            influx,
-            influx_server: Some(influx_server),
-            storage_worker,
+            db,
             router,
             router_server: Some(router_server),
             publisher_addr,
@@ -301,7 +355,7 @@ impl LmsStack {
             return Ok(vs.addr());
         }
         let agent = Arc::new(self.viewer());
-        let influx = self.influx.clone();
+        let influx = self.influx().clone();
         let factory: SourceFactory =
             Arc::new(move || Box::new(influx.clone()) as Box<dyn QuerySource + Send>);
         let server = ViewerServer::start(
@@ -347,14 +401,31 @@ impl LmsStack {
     }
 
     /// The embedded database handle (also reachable over HTTP at
-    /// [`db_addr`](Self::db_addr)).
+    /// [`db_addr`](Self::db_addr)). In a multi-node stack this is node 0;
+    /// see [`influx_node`](Self::influx_node) and
+    /// [`db_addrs`](Self::db_addrs) for the rest.
     pub fn influx(&self) -> &Influx {
-        &self.influx
+        &self.db[0].influx
     }
 
-    /// Database server address.
+    /// The embedded database handle of node `i` (panics out of range).
+    pub fn influx_node(&self, i: usize) -> &Influx {
+        &self.db[i].influx
+    }
+
+    /// Number of database nodes.
+    pub fn db_node_count(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Database server address (node 0).
     pub fn db_addr(&self) -> SocketAddr {
-        self.influx_server.as_ref().expect("running").addr()
+        self.db[0].server.as_ref().expect("running").addr()
+    }
+
+    /// Every database node's server address, in ring order.
+    pub fn db_addrs(&self) -> Vec<SocketAddr> {
+        self.db.iter().map(|n| n.server.as_ref().expect("running").addr()).collect()
     }
 
     /// Router server address (agents and `umetric` POST here).
@@ -420,7 +491,9 @@ impl LmsStack {
         self.ticks += 1;
         // Retention sweep once per simulated hour (cheap; see bench influx).
         if self.config.retention.is_some() && self.ticks.is_multiple_of(60) {
-            self.influx.enforce_retention();
+            for node in &self.db {
+                node.influx.enforce_retention();
+            }
         }
     }
 
@@ -456,12 +529,14 @@ impl LmsStack {
         }
         let drained = self.router.flush(self.config.drain_timeout);
         // Final flush (the worker's stop path seals outstanding heads)
-        // before the database server goes away.
-        if let Some(w) = self.storage_worker.take() {
-            w.stop();
-        }
-        if let Some(s) = self.influx_server.take() {
-            s.shutdown();
+        // before the database servers go away.
+        for node in &mut self.db {
+            if let Some(w) = node.storage_worker.take() {
+                w.stop();
+            }
+            if let Some(s) = node.server.take() {
+                s.shutdown();
+            }
         }
         drained
     }
@@ -572,14 +647,14 @@ impl LmsStack {
         let info = self.job_info(id)?;
         let now = self.clock.now();
         let viewer = self.viewer();
-        viewer.job_dashboard(&mut self.influx.clone(), &info, now)
+        viewer.job_dashboard(&mut self.influx().clone(), &info, now)
     }
 
     /// Renders a job's dashboard to text (headless Grafana).
     pub fn render_job_dashboard(&mut self, id: JobId) -> Result<String> {
         let dashboard = self.job_dashboard(id)?;
         let viewer = self.viewer();
-        viewer.render_dashboard(&mut self.influx.clone(), &dashboard, RenderOptions::default())
+        viewer.render_dashboard(&mut self.influx().clone(), &dashboard, RenderOptions::default())
     }
 
     /// Runs the online evaluation of a job (the Fig. 2 header data).
@@ -587,7 +662,7 @@ impl LmsStack {
         let info = self.job_info(id)?;
         let end = info.end.unwrap_or_else(|| self.clock.now());
         JobEvaluation::evaluate(
-            &mut self.influx.clone(),
+            &mut self.influx().clone(),
             "lms",
             &info.jobid,
             &info.hosts,
@@ -618,7 +693,7 @@ impl LmsStack {
             })
             .collect();
         lms_analysis::UsageReport::build(
-            &mut self.influx.clone(),
+            &mut self.influx().clone(),
             "lms",
             &completed,
             self.peaks(),
@@ -632,7 +707,7 @@ impl LmsStack {
             ids.iter().map(|&id| self.job_info(id)).collect::<Result<_>>()?;
         let now = self.clock.now();
         let viewer = self.viewer();
-        viewer.admin_view(&mut self.influx.clone(), &jobs, now)
+        viewer.admin_view(&mut self.influx().clone(), &jobs, now)
     }
 
     /// Direct access to the scheduler (inspection in tests/examples).
@@ -640,12 +715,14 @@ impl LmsStack {
         &self.scheduler
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. In a multi-node stack, `db_points` and
+    /// `db_series` sum over every database node, so each replica copy
+    /// counts once.
     pub fn stats(&self) -> StackStats {
         StackStats {
             router: self.router.stats(),
-            db_points: self.influx.point_count("lms"),
-            db_series: self.influx.series_count("lms"),
+            db_points: self.db.iter().map(|n| n.influx.point_count("lms")).sum(),
+            db_series: self.db.iter().map(|n| n.influx.series_count("lms")).sum(),
             ticks: self.ticks,
         }
     }
@@ -786,15 +863,50 @@ mod tests {
     }
 
     #[test]
+    fn multi_node_db_cluster_replicates_and_merges_queries() {
+        let mut config = small_config();
+        config.db_nodes = 3;
+        config.replication = 2;
+        let mut stack = LmsStack::start(config).unwrap();
+        stack.run_for(Duration::from_secs(300), Duration::from_secs(60));
+
+        // The ring spreads series over every node, twice each.
+        for i in 0..stack.db_node_count() {
+            assert!(stack.influx_node(i).point_count("lms") > 0, "node {i} owns no series");
+        }
+        let per_node: usize =
+            (0..stack.db_node_count()).map(|i| stack.influx_node(i).point_count("lms")).sum();
+        assert_eq!(per_node, stack.stats().db_points);
+
+        // Scatter-gather through the router sees each raw sample exactly
+        // once: replicas deduplicate by LWW merge, and nothing is lost.
+        // The deterministic simulation produces the identical sample set
+        // on a single-node stack, which serves as the reference.
+        let r = stack.router().handle_query("lms", "SELECT busy FROM cpu_total").unwrap();
+        assert!(!r.partial);
+        let clustered: usize = r.series.iter().map(|s| s.values.len()).sum();
+
+        let mut reference = LmsStack::start(small_config()).unwrap();
+        reference.run_for(Duration::from_secs(300), Duration::from_secs(60));
+        let r = reference.router().handle_query("lms", "SELECT busy FROM cpu_total").unwrap();
+        let single: usize = r.series.iter().map(|s| s.values.len()).sum();
+        assert!(single > 0);
+        assert_eq!(clustered, single, "cluster read path lost or duplicated samples");
+        assert!(stack.shutdown(), "cluster drain completes");
+    }
+
+    #[test]
     fn config_from_ini() {
         let config = StackConfig::from_ini(
             "[cluster]\nnodes = 8\ntopology = desktop_4c\nseed = 7\n\
+             db_nodes = 3\nreplication = 2\nwrite_quorum = 2\n\
              [monitoring]\nhpm_groups = FLOPS_DP, MEM, ENERGY\nper_user = yes\n\
              publish = on\nretention_hours = 48\ndata_dir = /var/lib/lms\n\
              drain_timeout_secs = 3\n",
         )
         .unwrap();
         assert_eq!(config.nodes, 8);
+        assert_eq!((config.db_nodes, config.replication, config.write_quorum), (3, 2, 2));
         assert_eq!(config.topology.name(), "desktop-1s4c2t");
         assert_eq!(config.seed, 7);
         assert_eq!(config.hpm_groups, vec!["FLOPS_DP", "MEM", "ENERGY"]);
@@ -807,6 +919,13 @@ mod tests {
         assert_eq!(d.nodes, 4);
         // Validation.
         assert!(StackConfig::from_ini("[cluster]\nnodes = 0\n").is_err());
+        assert!(StackConfig::from_ini("[cluster]\ndb_nodes = 0\n").is_err());
+        assert!(StackConfig::from_ini("[cluster]\nreplication = 0\n").is_err());
+        assert!(StackConfig::from_ini("[cluster]\nwrite_quorum = 0\n").is_err());
+        // R > db_nodes is rejected at stack start (ClusterConfig::validate).
+        let mut bad = StackConfig::from_ini("[cluster]\ndb_nodes = 2\nreplication = 3\n").unwrap();
+        bad.topology = Topology::preset_desktop_4c();
+        assert!(LmsStack::start(bad).is_err());
         assert!(StackConfig::from_ini("[cluster]\ntopology = cray_xc40\n").is_err());
         assert!(StackConfig::from_ini("[monitoring]\nhpm_groups = NOPE\n").is_err());
         assert!(StackConfig::from_ini("[monitoring]\nretention_hours = 0\n").is_err());

@@ -68,8 +68,17 @@ impl InfluxClient {
             lms_http::url::percent_encode(q)
         );
         let resp = self.http.get(&target)?;
-        // 400 responses carry {"error": ...}; surface as Remote errors.
+        // Error responses carry {"error": ...}; surface them as Remote
+        // errors under their real HTTP status — cluster routers tell a
+        // node's "no such database" (404, an empty answer) apart from a
+        // malformed query (400) by exactly this status.
         let json = Json::parse(&resp.body_str())?;
+        if let Some(err) = json.get("error").and_then(Json::as_str) {
+            return Err(lms_util::Error::Remote {
+                status: resp.status,
+                message: err.to_string(),
+            });
+        }
         QueryResult::from_json(&json)
     }
 

@@ -1353,6 +1353,7 @@ impl Influx {
                         .map(|n| vec![lms_util::Json::str(n)])
                         .collect(),
                 }],
+                partial: false,
             }),
             other => {
                 let now = self.clock.now().nanos();

@@ -25,6 +25,13 @@ pub struct ResultSeries {
 pub struct QueryResult {
     /// Result series (one per group).
     pub series: Vec<ResultSeries>,
+    /// True when the result is incomplete: a cluster scatter-gather read
+    /// could not reach every replica, so series owned exclusively by the
+    /// unreachable node(s) may be missing. Single-node results are never
+    /// partial. Serialized as a top-level `"partial": true` (and the
+    /// router adds an `X-Lms-Partial` header); omitted when false so the
+    /// wire format stays InfluxDB-shaped in the common case.
+    pub partial: bool,
 }
 
 impl QueryResult {
@@ -62,13 +69,17 @@ impl QueryResult {
                 Json::Obj(obj)
             })
             .collect::<Vec<_>>();
-        Json::obj([(
-            "results",
+        let mut top = vec![(
+            "results".to_string(),
             Json::arr([Json::obj([
                 ("statement_id", Json::from(0i64)),
                 ("series", Json::Arr(series)),
             ])]),
-        )])
+        )];
+        if self.partial {
+            top.push(("partial".to_string(), Json::Bool(true)));
+        }
+        Json::Obj(top)
     }
 
     /// Parses the InfluxDB `/query` response JSON (client side). Also
@@ -78,6 +89,7 @@ impl QueryResult {
             return Err(Error::Remote { status: 400, message: err.to_string() });
         }
         let mut out = QueryResult::empty();
+        out.partial = json.get("partial").and_then(Json::as_bool).unwrap_or(false);
         let results = json
             .get("results")
             .and_then(Json::as_arr)
@@ -153,6 +165,7 @@ pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResu
                     columns: vec!["name".into()],
                     values,
                 }],
+                partial: false,
             })
         }
         Statement::ShowTagValues { measurement, key } => {
@@ -174,6 +187,7 @@ pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResu
                         .map(|v| vec![Json::str(key.as_str()), Json::str(v)])
                         .collect(),
                 }],
+                partial: false,
             })
         }
         Statement::ShowFieldKeys { measurement } => {
@@ -189,6 +203,7 @@ pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResu
                     columns: vec!["fieldKey".into()],
                     values: fields.into_iter().map(|f| vec![Json::str(f)]).collect(),
                 }],
+                partial: false,
             })
         }
         // Storage-level statements are handled by `Influx::query` before

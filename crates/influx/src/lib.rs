@@ -45,6 +45,7 @@ pub use client::InfluxClient;
 pub use db::{Database, Influx, StorageConfig, StorageStats, StorageWorker, WriteOptions};
 pub use exec::{QueryResult, ResultSeries};
 pub use query::Statement;
+pub use storage::lww_dedup;
 pub use server::InfluxServer;
 
 /// The persistent storage engine (re-exported for direct use in tests,

@@ -106,6 +106,13 @@ fn handle(influx: &Influx, req: Request) -> Response {
             let db = req.query_param("db").unwrap_or("");
             match influx.query(db, q) {
                 Ok(result) => Response::json(200, result.to_json().to_string()),
+                // A missing database is 404, not 400: cluster routers
+                // fan queries to every node and rely on the status to
+                // tell "this node does not hold that database" (an
+                // empty answer) apart from a malformed query.
+                Err(e @ lms_util::Error::NotFound(_)) => {
+                    Response::json(404, error_json(&e.to_string()))
+                }
                 Err(e) => Response::json(400, error_json(&e.to_string())),
             }
         }
@@ -229,7 +236,7 @@ mod tests {
         let (server, _ix, mut c) = start();
         assert_eq!(c.get("/query?db=lms").unwrap().status, 400);
         let r = c.get("/query?db=missing&q=SELECT%20v%20FROM%20m").unwrap();
-        assert_eq!(r.status, 400);
+        assert_eq!(r.status, 404, "missing database is 404 (cluster routers rely on it)");
         assert!(r.body_str().contains("error"));
         server.shutdown();
     }

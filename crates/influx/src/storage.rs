@@ -24,6 +24,29 @@ use lms_lineproto::FieldValue;
 use lms_tsm::SealedBlock;
 use std::sync::Arc;
 
+/// Last-write-wins merge of `(timestamp, generation, value)` versions:
+/// sorts by `(timestamp, generation)` and keeps the highest-generation
+/// version of each timestamp, returning `(timestamp, value)` ascending.
+///
+/// This is the one LWW rule of the whole stack. [`Column::points_in`] uses
+/// it to merge the mutable head (generation `u64::MAX`) with sealed block
+/// generations, and the cluster scatter-gather read path uses it to merge
+/// the same series fetched from several replicas (tagging each replica's
+/// rows with its node index as the generation) — so replicated reads
+/// resolve duplicates exactly like a single node resolves overlapping
+/// blocks.
+pub fn lww_dedup<V>(mut versions: Vec<(i64, u64, V)>) -> Vec<(i64, V)> {
+    versions.sort_by_key(|&(t, g, _)| (t, g));
+    let mut out: Vec<(i64, V)> = Vec::with_capacity(versions.len());
+    for (t, _, v) in versions {
+        match out.last_mut() {
+            Some(last) if last.0 == t => last.1 = v,
+            _ => out.push((t, v)),
+        }
+    }
+    out
+}
+
 /// One field's column: mutable head plus sealed compressed history.
 #[derive(Debug, Clone, Default)]
 pub struct Column {
@@ -171,15 +194,7 @@ impl Column {
             );
         }
         versions.extend(self.head[lo..hi].iter().map(|(t, v)| (*t, u64::MAX, v.clone())));
-        versions.sort_by_key(|&(t, g, _)| (t, g));
-        let mut out: Vec<(i64, FieldValue)> = Vec::with_capacity(versions.len());
-        for (t, _, v) in versions {
-            match out.last_mut() {
-                Some(last) if last.0 == t => last.1 = v,
-                _ => out.push((t, v)),
-            }
-        }
-        Points::Merged(out.into_iter())
+        Points::Merged(lww_dedup(versions).into_iter())
     }
 
     /// All visible points (merged).

@@ -6,6 +6,8 @@
 //!            [--spool-dir <path>] [--coalesce-bytes N]
 //!            [--max-connections N] [--max-body-bytes N]
 //!            [--gmond <host:port> --gmond-interval <secs>]
+//! lms-router --cluster-node <host:port> [--cluster-node <host:port> ...]
+//!            [--replication R] [--write-quorum W] [...]
 //! ```
 //!
 //! Accepts InfluxDB-style writes on `--listen`, enriches them with job
@@ -15,11 +17,19 @@
 //! overflow is dropped (and counted). With `--publish`, metrics and
 //! signals fan out on the message queue; with `--gmond`, a pulling proxy
 //! polls a Ganglia gmond.
+//!
+//! **Cluster mode:** pass `--cluster-node` once per database node instead
+//! of `--db`. Series are placed on `--replication R` nodes by a seeded
+//! rendezvous hash ring; a write is acknowledged once `--write-quorum W`
+//! node-batches are queued or durably spooled. A node behind an open
+//! circuit breaker has its share spilled to a per-node spool as hinted
+//! handoff and replayed after recovery. Queries scatter-gather across all
+//! nodes and merge last-writer-wins, degrading to partial results.
 
 use lms_http::ServerConfig;
 use lms_mq::Publisher;
 use lms_router::proxy::GangliaProxy;
-use lms_router::{Router, RouterConfig, RouterServer};
+use lms_router::{ClusterConfig, Router, RouterConfig, RouterServer};
 use lms_spool::SpoolConfig;
 use lms_util::{Clock, Error, Result};
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -37,6 +47,9 @@ fn run() -> Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen = "127.0.0.1:8087".to_string();
     let mut db: Option<SocketAddr> = None;
+    let mut cluster_nodes: Vec<SocketAddr> = Vec::new();
+    let mut replication: usize = 1;
+    let mut write_quorum: usize = 1;
     let mut per_user = false;
     let mut publish: Option<SocketAddr> = None;
     let mut gmond: Option<SocketAddr> = None;
@@ -55,6 +68,24 @@ fn run() -> Result<()> {
                     it.next().ok_or_else(|| Error::config("--db needs an address"))?,
                     "database",
                 )?)
+            }
+            "--cluster-node" => cluster_nodes.push(resolve(
+                it.next().ok_or_else(|| Error::config("--cluster-node needs an address"))?,
+                "cluster node",
+            )?),
+            "--replication" => {
+                replication = it
+                    .next()
+                    .ok_or_else(|| Error::config("--replication needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --replication"))?
+            }
+            "--write-quorum" => {
+                write_quorum = it
+                    .next()
+                    .ok_or_else(|| Error::config("--write-quorum needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --write-quorum"))?
             }
             "--per-user" => per_user = true,
             "--max-connections" => {
@@ -108,14 +139,27 @@ fn run() -> Result<()> {
                     "usage: lms-router --db host:port [--listen addr] [--per-user] \
                      [--spool-dir path] [--coalesce-bytes N] [--publish addr] \
                      [--max-connections N] [--max-body-bytes N] \
-                     [--gmond addr --gmond-interval secs]"
+                     [--gmond addr --gmond-interval secs]\n       \
+                     lms-router --cluster-node host:port [--cluster-node ...] \
+                     [--replication R] [--write-quorum W] [...]"
                 );
                 return Ok(());
             }
             other => return Err(Error::config(format!("unknown argument `{other}`"))),
         }
     }
-    let db = db.ok_or_else(|| Error::config("--db is required"))?;
+    let cluster = match (db, cluster_nodes.is_empty()) {
+        (Some(_), false) => {
+            return Err(Error::config("--db and --cluster-node are mutually exclusive"))
+        }
+        (Some(addr), true) => ClusterConfig::single(addr),
+        (None, false) => {
+            let mut c = ClusterConfig::new(cluster_nodes, replication);
+            c.write_quorum = write_quorum;
+            c
+        }
+        (None, true) => return Err(Error::config("--db or --cluster-node is required")),
+    };
 
     let publisher = match publish {
         Some(addr) => {
@@ -133,9 +177,19 @@ fn run() -> Result<()> {
     if let Some(b) = coalesce_bytes {
         config.coalesce_bytes = b;
     }
-    let router = Arc::new(Router::new(db, config, Clock::system(), publisher)?);
+    let describe = if cluster.nodes.len() == 1 {
+        format!("db http://{}", cluster.nodes[0])
+    } else {
+        format!(
+            "{} db nodes (R={}, W={})",
+            cluster.nodes.len(),
+            cluster.replication,
+            cluster.write_quorum
+        )
+    };
+    let router = Arc::new(Router::new_cluster(cluster, config, Clock::system(), publisher)?);
     let server = RouterServer::start_with(listen.as_str(), server_config, router.clone())?;
-    println!("lms-router listening on http://{} → db http://{db}", server.addr());
+    println!("lms-router listening on http://{} → {describe}", server.addr());
 
     let proxy = gmond.map(GangliaProxy::new).transpose()?;
     if let Some(addr) = gmond {

@@ -120,6 +120,13 @@ pub struct ForwardStats {
     pub coalesced: u64,
     /// Spooled batches still awaiting replay.
     pub spool_pending: u64,
+    /// Spooled batches the drainer is replaying *right now* (peeked and
+    /// being written, not yet acknowledged). Graceful drain waits for this
+    /// to reach zero so an in-flight hinted-handoff replay is never
+    /// abandoned mid-write.
+    pub replay_in_flight: u64,
+    /// Times the destination's circuit breaker has opened.
+    pub breaker_opens: u64,
     /// Circuit-breaker state for the destination.
     pub breaker: BreakerState,
 }
@@ -135,6 +142,12 @@ struct Shared {
     /// (queued + in flight). `flush` waits for this to reach zero, which
     /// closes the old "queue empty but worker still writing" race.
     outstanding: AtomicU64,
+    /// Spool entries the drainer has peeked and is currently delivering.
+    /// Graceful drain waits on this too: `spool_pending` alone can reach
+    /// zero via a permanent-error ack while the drainer is still mid-
+    /// iteration, and the cluster drain path skips the spool of an
+    /// unreachable node entirely — but never an actively replaying one.
+    replaying: AtomicU64,
     progress: Mutex<()>,
     progress_cv: Condvar,
     breaker: CircuitBreaker,
@@ -158,19 +171,25 @@ impl Shared {
     }
 
     /// Spills a batch to the spool, or counts it dropped when the spool
-    /// is absent or failing.
-    fn spill(&self, db: &str, body: &str) {
+    /// is absent or failing. Returns true when the batch is durably held
+    /// (spooled), false when it was dropped — the cluster write path uses
+    /// this to decide whether a node-batch still counts toward the write
+    /// quorum.
+    fn spill(&self, db: &str, body: &str) -> bool {
         match &self.spool {
             Some(spool) => match spool.append(db, body) {
                 Ok(()) => {
                     self.spooled.fetch_add(1, Ordering::Relaxed);
+                    true
                 }
                 Err(_) => {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
+                    false
                 }
             },
             None => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
             }
         }
     }
@@ -205,6 +224,7 @@ impl Forwarder {
             retries: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             outstanding: AtomicU64::new(0),
+            replaying: AtomicU64::new(0),
             progress: Mutex::new(()),
             progress_cv: Condvar::new(),
             breaker: CircuitBreaker::new(config.breaker),
@@ -233,18 +253,24 @@ impl Forwarder {
     /// Enqueues a batch. On a full queue the **new** batch spills to the
     /// spool (back-pressure would stall the HTTP handler; collectors must
     /// never block); without a spool it is dropped and counted.
-    pub fn enqueue(&self, db: &str, body: String) {
+    ///
+    /// Returns true when the batch was **accepted** — queued for delivery
+    /// or durably spooled. False means it was dropped on the floor (full
+    /// queue and no working spool); the cluster write path counts such a
+    /// node-batch against the write quorum.
+    pub fn enqueue(&self, db: &str, body: String) -> bool {
         if body.is_empty() {
-            return;
+            return true;
         }
         let tx = self.tx.as_ref().expect("forwarder running");
         self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         match tx.try_send(Batch { db: db.to_string(), body }) {
-            Ok(()) => {}
+            Ok(()) => true,
             Err(TrySendError::Full(b)) | Err(TrySendError::Disconnected(b)) => {
-                self.shared.spill(&b.db, &b.body);
+                let held = self.shared.spill(&b.db, &b.body);
                 self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
                 self.shared.notify_progress();
+                held
             }
         }
     }
@@ -287,20 +313,44 @@ impl Forwarder {
             retries: self.shared.retries.load(Ordering::Relaxed),
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             spool_pending: spool.pending,
+            replay_in_flight: self.shared.replaying.load(Ordering::Acquire),
+            breaker_opens: self.shared.breaker.opens(),
             breaker: self.shared.breaker.state(),
         }
     }
 
     /// Blocks until every accepted batch has been fully resolved —
-    /// queue empty, **no batch in flight in any worker**, and the spool
-    /// drained — or the timeout expires. Returns true when fully drained.
+    /// queue empty, **no batch in flight in any worker**, no replay in
+    /// flight in the drainer, and the spool drained — or the timeout
+    /// expires. Returns true when fully drained.
     pub fn flush(&self, timeout: Duration) -> bool {
+        self.flush_until(timeout, |s| {
+            s.outstanding.load(Ordering::Acquire) == 0
+                && s.replaying.load(Ordering::Acquire) == 0
+                && s.spool_pending() == 0
+        })
+    }
+
+    /// Graceful-drain variant for cluster destinations: like [`flush`],
+    /// but an **unreachable** destination (breaker open) does not block on
+    /// its spool — hinted handoff is durable on disk and replays after the
+    /// node recovers (or after a router restart). The drain still waits
+    /// for the queue, in-flight worker batches, and any replay the
+    /// drainer has already started, so no accepted batch is ever dropped
+    /// from memory.
+    pub fn flush_or_hinted(&self, timeout: Duration) -> bool {
+        self.flush_until(timeout, |s| {
+            s.outstanding.load(Ordering::Acquire) == 0
+                && s.replaying.load(Ordering::Acquire) == 0
+                && (s.spool_pending() == 0 || s.breaker.state() == BreakerState::Open)
+        })
+    }
+
+    fn flush_until(&self, timeout: Duration, done: impl Fn(&Shared) -> bool) -> bool {
         let deadline = Instant::now() + timeout;
         let mut guard = self.shared.progress.lock().expect("progress lock");
         loop {
-            if self.shared.outstanding.load(Ordering::Acquire) == 0
-                && self.shared.spool_pending() == 0
-            {
+            if done(&self.shared) {
                 return true;
             }
             let now = Instant::now();
@@ -388,14 +438,19 @@ fn worker_loop(rx: &Receiver<Batch>, config: &ForwardConfig, shared: &Shared, in
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 process_run(run, &mut client, config, shared, &mut rng);
             }));
-            shared.outstanding.fetch_sub(run.len() as u64, Ordering::AcqRel);
-            shared.notify_progress();
             if let Err(panic) = result {
+                // Spill *before* settling `outstanding`: a flush() racing
+                // this panic must not observe zero while the run exists
+                // only in memory — the spool write makes it durable first.
                 for b in run {
                     shared.spill(&b.db, &b.body);
                 }
+                shared.outstanding.fetch_sub(run.len() as u64, Ordering::AcqRel);
+                shared.notify_progress();
                 std::panic::resume_unwind(panic);
             }
+            shared.outstanding.fetch_sub(run.len() as u64, Ordering::AcqRel);
+            shared.notify_progress();
             i = j;
         }
     }
@@ -568,43 +623,79 @@ fn drainer_loop(config: &ForwardConfig, shared: &Shared) {
             sleep_unless_stopped(shared, config.drain_idle);
             continue;
         }
-        let result = (|| {
-            if client.is_none() {
-                let mut c = InfluxClient::connect(config.db_addr)?;
-                c.set_timeout(config.io_timeout);
-                c.ping()?; // health probe before replaying a backlog
-                client = Some(c);
+        // Mark the replay in flight for the whole deliver-and-ack window
+        // so a graceful drain never abandons a replay the destination may
+        // already be applying. The guard settles the gauge on every exit
+        // path, including a panic unwinding through the supervisor.
+        let backoff = {
+            let _replaying = ReplayGuard::enter(shared);
+            let result = (|| {
+                if client.is_none() {
+                    let mut c = InfluxClient::connect(config.db_addr)?;
+                    c.set_timeout(config.io_timeout);
+                    c.ping()?; // health probe before replaying a backlog
+                    client = Some(c);
+                }
+                client.as_mut().expect("just set").write(&entry.db, &entry.body)
+            })();
+            match result {
+                Ok(()) => {
+                    spool.ack(&entry);
+                    shared.breaker.record_success();
+                    failures = 0;
+                    None
+                }
+                Err(e) if e.is_transient() => {
+                    shared.breaker.record_failure();
+                    client = None;
+                    failures += 1;
+                    Some(rng.backoff(
+                        config.backoff_base,
+                        config.backoff_cap,
+                        (failures - 1).min(16),
+                    ))
+                }
+                Err(_) => {
+                    // Permanent: this batch would wedge the spool head
+                    // forever; reject it and move on. The destination
+                    // answered, so report success to release the half-open
+                    // probe this delivery may hold — otherwise the breaker
+                    // stays wedged HalfOpen and the spool never drains.
+                    shared.breaker.record_success();
+                    spool.ack(&entry);
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    failures = 0;
+                    None
+                }
             }
-            client.as_mut().expect("just set").write(&entry.db, &entry.body)
-        })();
-        match result {
-            Ok(()) => {
-                spool.ack(&entry);
-                shared.breaker.record_success();
-                failures = 0;
-                shared.notify_progress();
-            }
-            Err(e) if e.is_transient() => {
-                shared.breaker.record_failure();
-                client = None;
-                failures += 1;
-                let backoff =
-                    rng.backoff(config.backoff_base, config.backoff_cap, (failures - 1).min(16));
-                sleep_unless_stopped(shared, backoff);
-            }
-            Err(_) => {
-                // Permanent: this batch would wedge the spool head forever;
-                // reject it and move on. The destination answered, so
-                // report success to release the half-open probe this
-                // delivery may hold — otherwise the breaker stays wedged
-                // HalfOpen and the spool never drains.
-                shared.breaker.record_success();
-                spool.ack(&entry);
-                shared.rejected.fetch_add(1, Ordering::Relaxed);
-                failures = 0;
-                shared.notify_progress();
-            }
+            // Guard drops here: progress (incl. the gauge reaching zero)
+            // is notified by the guard itself, and the backoff sleep below
+            // must not count as "replay in flight".
+        };
+        if let Some(backoff) = backoff {
+            sleep_unless_stopped(shared, backoff);
         }
+    }
+}
+
+/// RAII marker for a drainer replay in flight: increments the gauge on
+/// entry and settles it (with a progress notification for waiting
+/// flushes) on every exit path, including panics.
+struct ReplayGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> ReplayGuard<'a> {
+    fn enter(shared: &'a Shared) -> Self {
+        shared.replaying.fetch_add(1, Ordering::AcqRel);
+        ReplayGuard { shared }
+    }
+}
+
+impl Drop for ReplayGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.replaying.fetch_sub(1, Ordering::AcqRel);
+        self.shared.notify_progress();
     }
 }
 

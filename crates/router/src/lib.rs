@@ -18,11 +18,14 @@
 //!   queue for stream analyzers.
 //!
 //! Modules: [`tagstore`] (hostname → job tags), [`forward`] (buffered,
-//! durable, retrying delivery to the database), [`breaker`] (the
+//! durable, retrying delivery to one database), [`delivery`] (the cluster
+//! fabric: per-node forwarders behind a seeded rendezvous ring, quorum
+//! writes, hinted handoff, scatter-gather reads), [`breaker`] (the
 //! per-destination circuit breaker), [`router`] (the enrichment core),
 //! [`server`] (HTTP endpoints), [`proxy`] (the Ganglia gmond pull proxy).
 
 pub mod breaker;
+pub mod delivery;
 pub mod forward;
 pub mod proxy;
 pub mod router;
@@ -30,7 +33,9 @@ pub mod server;
 pub mod tagstore;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use delivery::{ClusterForwarder, DestinationStats};
 pub use forward::{ForwardConfig, ForwardStats, Forwarder};
-pub use router::{Router, RouterConfig, RouterStats};
+pub use lms_cluster::ClusterConfig;
+pub use router::{Router, RouterConfig, RouterStats, WriteOutcome};
 pub use server::RouterServer;
 pub use tagstore::{JobSignal, TagStore};

@@ -1,12 +1,15 @@
 //! The enrichment core: parse → tag → forward → duplicate → publish.
 
-use crate::breaker::BreakerConfig;
-use crate::forward::{ForwardConfig, ForwardStats, Forwarder};
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::delivery::{ClusterForwarder, DestinationStats};
+use crate::forward::{ForwardConfig, ForwardStats};
 use crate::tagstore::{JobSignal, TagStore};
+use lms_cluster::{merge_results, ClusterConfig};
+use lms_influx::QueryResult;
 use lms_lineproto::{parse_batch, BatchBuilder, Point};
 use lms_mq::Publisher;
 use lms_spool::SpoolConfig;
-use lms_util::{Clock, FxHashMap, Result};
+use lms_util::{Clock, Error, FxHashMap, Result};
 use parking_lot::RwLock;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,7 +57,7 @@ impl Default for RouterConfig {
 }
 
 /// Router counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RouterStats {
     /// Lines accepted.
     pub lines_in: u64,
@@ -67,14 +70,36 @@ pub struct RouterStats {
     /// Bulk write requests shed because the delivery pipeline was
     /// saturated (job signals and events are never shed).
     pub writes_shed: u64,
-    /// Forwarder statistics.
+    /// Write requests that missed the cluster write quorum (answered 503).
+    pub quorum_failures: u64,
+    /// Scatter-gather queries answered with a partial result.
+    pub partial_queries: u64,
+    /// Aggregate forwarder statistics (summed across destinations; the
+    /// breaker field reports the worst state).
     pub forward: ForwardStats,
+    /// Per-destination forwarder statistics, in ring order. One entry for
+    /// the classic single-database stack.
+    pub destinations: Vec<DestinationStats>,
+}
+
+/// Outcome of one `/write` request.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOutcome {
+    /// Lines parsed and routed.
+    pub accepted: usize,
+    /// Malformed lines skipped.
+    pub rejected: usize,
+    /// True when every routed node-batch met the write quorum — the
+    /// request may be acknowledged with 204. False means too many owners
+    /// could neither queue nor spool their share; the HTTP layer answers
+    /// 503 so the collector retries.
+    pub acked: bool,
 }
 
 /// The metrics router.
 pub struct Router {
     tags: RwLock<TagStore>,
-    forwarder: Forwarder,
+    delivery: ClusterForwarder,
     publisher: Option<Publisher>,
     config: RouterConfig,
     clock: Clock,
@@ -83,30 +108,48 @@ pub struct Router {
     lines_rejected: AtomicU64,
     signals: AtomicU64,
     writes_shed: AtomicU64,
+    quorum_failures: AtomicU64,
+    partial_queries: AtomicU64,
 }
 
 impl Router {
-    /// Creates a router forwarding to the database server at `db_addr`.
-    /// `publisher` enables the stream-analysis feed. Fails only when a
-    /// configured spool directory is unusable.
+    /// Creates a router forwarding to the single database server at
+    /// `db_addr` — the degenerate one-node cluster. `publisher` enables
+    /// the stream-analysis feed. Fails only when a configured spool
+    /// directory is unusable.
     pub fn new(
         db_addr: SocketAddr,
         config: RouterConfig,
         clock: Clock,
         publisher: Option<Publisher>,
     ) -> Result<Self> {
-        let forwarder = Forwarder::start(ForwardConfig {
+        Self::new_cluster(ClusterConfig::single(db_addr), config, clock, publisher)
+    }
+
+    /// Creates a router spreading series over `cluster.nodes` with R-way
+    /// replication and hinted handoff (per-node spool subdirectories when
+    /// a spool is configured). Fails on invalid quorum arithmetic or an
+    /// unusable spool directory.
+    pub fn new_cluster(
+        cluster: ClusterConfig,
+        config: RouterConfig,
+        clock: Clock,
+        publisher: Option<Publisher>,
+    ) -> Result<Self> {
+        cluster.validate()?;
+        let template = ForwardConfig {
             queue_capacity: config.queue_capacity,
             max_retries: config.max_retries,
             workers: config.forward_workers,
             spool: config.spool.clone(),
             breaker: config.breaker,
             coalesce_bytes: config.coalesce_bytes,
-            ..ForwardConfig::new(db_addr)
-        })?;
+            ..ForwardConfig::new(cluster.nodes[0])
+        };
+        let delivery = ClusterForwarder::start(&cluster, &template)?;
         Ok(Router {
             tags: RwLock::new(TagStore::new()),
-            forwarder,
+            delivery,
             publisher,
             config,
             clock,
@@ -115,6 +158,8 @@ impl Router {
             lines_rejected: AtomicU64::new(0),
             signals: AtomicU64::new(0),
             writes_shed: AtomicU64::new(0),
+            quorum_failures: AtomicU64::new(0),
+            partial_queries: AtomicU64::new(0),
         })
     }
 
@@ -134,7 +179,7 @@ impl Router {
     /// work onto an overloaded queue. Job signals and annotation events
     /// never go through this gate — they are always admitted.
     pub fn try_admit_write(&self) -> bool {
-        if self.forwarder.saturated() {
+        if self.delivery.saturated() {
             self.writes_shed.fetch_add(1, Ordering::Relaxed);
             false
         } else {
@@ -142,42 +187,47 @@ impl Router {
         }
     }
 
-    /// Readiness of the supervised forwarder/drainer threads.
+    /// Readiness of the supervised forwarder/drainer threads (all nodes).
     pub fn workers_ready(&self) -> bool {
-        self.forwarder.workers_ready()
+        self.delivery.workers_ready()
     }
 
     /// Health reports of the supervised forwarder/drainer threads.
     pub fn worker_reports(&self) -> Vec<lms_util::WorkerReport> {
-        self.forwarder.worker_reports()
+        self.delivery.worker_reports()
     }
 
-    /// Fault injection: panic the spool drainer on its next `n` iterations.
+    /// Fault injection: panic the spool drainer(s) on the next `n`
+    /// iterations.
     pub fn inject_drainer_panics(&self, n: u64) {
-        self.forwarder.inject_drainer_panics(n);
+        self.delivery.inject_drainer_panics(n);
+    }
+
+    /// The delivery fabric (cluster tests and admin tooling).
+    pub fn delivery(&self) -> &ClusterForwarder {
+        &self.delivery
     }
 
     /// Handles an incoming line-protocol batch (the `/write` endpoint).
     ///
     /// Each line is enriched with its host's job tags, stamped with the
-    /// router clock when it carries no timestamp, forwarded to the global
-    /// database, duplicated per user when enabled, and published on the
-    /// queue. Malformed lines are skipped and counted.
-    ///
-    /// Returns `(accepted, rejected)` line counts.
-    pub fn handle_write(&self, db: Option<&str>, body: &str) -> (usize, usize) {
+    /// router clock when it carries no timestamp, routed to its series'
+    /// owner node(s), duplicated per user when enabled, and published on
+    /// the queue. Malformed lines are skipped and counted.
+    pub fn handle_write(&self, db: Option<&str>, body: &str) -> WriteOutcome {
         let parsed = parse_batch(body);
         let rejected = parsed.errors.len();
         self.lines_rejected.fetch_add(rejected as u64, Ordering::Relaxed);
         if parsed.lines.is_empty() {
-            return (0, rejected);
+            return WriteOutcome { accepted: 0, rejected, acked: true };
         }
         self.lines_in.fetch_add(parsed.lines.len() as u64, Ordering::Relaxed);
 
         let default_ts = self.clock.now().nanos();
         let global_db = db.unwrap_or(&self.config.global_db).to_string();
-        let mut global = BatchBuilder::with_capacity(body.len() + body.len() / 4);
-        let mut per_user: FxHashMap<String, BatchBuilder> = FxHashMap::default();
+        let mut accepted = 0usize;
+        let mut global = self.sink(&global_db, body.len() + body.len() / 4);
+        let mut per_user: FxHashMap<String, Sink<'_>> = FxHashMap::default();
         let mut enriched_count = 0u64;
 
         {
@@ -186,12 +236,15 @@ impl Router {
                 // Pass-through fast path: a line that already carries a
                 // timestamp, whose host has no job entry, and that per-user
                 // duplication would not touch is forwarded byte-for-byte —
-                // no Point materialization, no re-serialization.
+                // no Point materialization, no re-serialization. (In
+                // cluster mode the series key is still hashed for
+                // placement, but the raw bytes are never re-serialized.)
                 if line.timestamp.is_some()
                     && !self.config.per_user
                     && line.hostname().is_none_or(|host| tags.tags_of(host).is_empty())
                 {
-                    global.push_raw(line.raw);
+                    global.push_raw(line);
+                    accepted += 1;
                     if let Some(publisher) = &self.publisher {
                         publisher.publish(
                             &format!("metrics.{}", line.measurement),
@@ -217,13 +270,14 @@ impl Router {
                         }
                     }
                 }
-                global.push(&point);
+                global.push_point(&point);
+                accepted += 1;
                 if self.config.per_user {
                     if let Some(user) = user {
                         per_user
                             .entry(format!("user_{user}"))
-                            .or_insert_with(|| BatchBuilder::with_capacity(256))
-                            .push(&point);
+                            .or_insert_with_key(|user_db| self.sink(user_db, 256))
+                            .push_point(&point);
                     }
                 }
                 if let Some(publisher) = &self.publisher {
@@ -236,12 +290,76 @@ impl Router {
         }
         self.lines_enriched.fetch_add(enriched_count, Ordering::Relaxed);
 
-        let accepted = global.len();
-        self.forwarder.enqueue(&global_db, global.take());
-        for (user_db, mut batch) in per_user {
-            self.forwarder.enqueue(&user_db, batch.take());
+        let mut acked = global.submit(&self.delivery);
+        for (_, sink) in per_user {
+            acked &= sink.submit(&self.delivery);
         }
-        (accepted, rejected)
+        if !acked {
+            self.quorum_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        WriteOutcome { accepted, rejected, acked }
+    }
+
+    /// A batch sink for `db`: a plain builder on the single-node stack, a
+    /// ring-routed per-node accumulator on a cluster.
+    fn sink(&self, db: &str, capacity: usize) -> Sink<'_> {
+        if self.delivery.node_count() == 1 {
+            Sink::Single { db: db.to_string(), batch: BatchBuilder::with_capacity(capacity) }
+        } else {
+            Sink::Routed(self.delivery.batch(db))
+        }
+    }
+
+    /// Scatter-gather read over the cluster (the `/query` endpoint).
+    ///
+    /// Fans the query to every node and merges the answers with the
+    /// storage engine's LWW rule (replicated series deduplicate; divergent
+    /// replicas resolve deterministically). Unreachable nodes degrade the
+    /// result to `partial` instead of failing it: a breaker-open node is
+    /// skipped outright, a transient error is noted and skipped, and only
+    /// genuine query errors (or *zero* reachable nodes) surface as errors.
+    /// A node that does not know the database counts as an empty answer —
+    /// with R < N, databases exist only on the nodes that own some of
+    /// their series.
+    pub fn handle_query(&self, db: &str, q: &str) -> Result<QueryResult> {
+        let nodes = self.delivery.node_count();
+        let mut parts = Vec::with_capacity(nodes);
+        let mut partial = false;
+        let mut missing_db = 0usize;
+        let mut last_transient: Option<Error> = None;
+        for i in 0..nodes {
+            if nodes > 1 && self.delivery.breaker_state(i) == BreakerState::Open {
+                partial = true;
+                continue;
+            }
+            match self.delivery.query_node(i, db, q) {
+                Ok(r) => parts.push(r),
+                Err(Error::Remote { status: 404, .. }) => missing_db += 1,
+                Err(e) if e.is_transient() => {
+                    partial = true;
+                    last_transient = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if parts.is_empty() {
+            if missing_db > 0 {
+                // Every reachable node answered 404: surface it as the
+                // single-node stack would.
+                return Err(Error::Remote {
+                    status: 404,
+                    message: format!("database {db:?} not found"),
+                });
+            }
+            return Err(last_transient
+                .unwrap_or_else(|| Error::unavailable("no cluster node reachable")));
+        }
+        let mut merged = merge_results(parts);
+        merged.partial |= partial;
+        if merged.partial {
+            self.partial_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(merged)
     }
 
     /// Handles a job-start signal: updates the tag store, records an
@@ -277,7 +395,7 @@ impl Router {
     /// Writes the annotation events for a signal and publishes it.
     fn record_signal_event(&self, kind: &str, job_id: &str, user: &str, hosts: &[String]) {
         let ts = self.clock.now().nanos();
-        let mut batch = BatchBuilder::new();
+        let mut batch = self.sink(&self.config.global_db, 256);
         for host in hosts {
             let mut ev = Point::new("events");
             ev.add_tag("hostname", host.as_str())
@@ -285,7 +403,7 @@ impl Router {
                 .add_tag("kind", kind)
                 .add_field("text", format!("{kind} job {job_id} (user {user})"))
                 .set_timestamp(ts);
-            batch.push(&ev);
+            batch.push_point(&ev);
         }
         if let Some(publisher) = &self.publisher {
             publisher.publish(
@@ -293,7 +411,7 @@ impl Router {
                 format!("jobid={job_id} user={user} hosts={}", hosts.join(",")).as_bytes(),
             );
         }
-        self.forwarder.enqueue(&self.config.global_db, batch.take());
+        batch.submit(&self.delivery);
     }
 
     /// Current statistics.
@@ -304,13 +422,57 @@ impl Router {
             lines_rejected: self.lines_rejected.load(Ordering::Relaxed),
             signals: self.signals.load(Ordering::Relaxed),
             writes_shed: self.writes_shed.load(Ordering::Relaxed),
-            forward: self.forwarder.stats(),
+            quorum_failures: self.quorum_failures.load(Ordering::Relaxed),
+            partial_queries: self.partial_queries.load(Ordering::Relaxed),
+            forward: self.delivery.stats(),
+            destinations: self.delivery.destination_stats(),
         }
     }
 
-    /// Waits for the forwarding queue to drain (tests, shutdown).
+    /// Waits for every destination's forwarding queue (and spool) to drain
+    /// completely (tests, shutdown of a healthy stack).
     pub fn flush(&self, timeout: std::time::Duration) -> bool {
-        self.forwarder.flush(timeout)
+        self.delivery.flush(timeout)
+    }
+
+    /// Graceful-drain flush: like [`flush`](Self::flush), but does not
+    /// block on the hinted-handoff spool of an unreachable node — those
+    /// hints are durable and replay after the node (or router) returns.
+    /// In-flight replays are always waited for.
+    pub fn flush_or_hinted(&self, timeout: std::time::Duration) -> bool {
+        self.delivery.flush_or_hinted(timeout)
+    }
+}
+
+/// A per-db batch under construction: plain on one node, ring-routed on a
+/// cluster.
+enum Sink<'a> {
+    Single { db: String, batch: BatchBuilder },
+    Routed(crate::delivery::RoutedBatch<'a>),
+}
+
+impl Sink<'_> {
+    fn push_raw(&mut self, line: &lms_lineproto::ParsedLine<'_>) {
+        match self {
+            Sink::Single { batch, .. } => batch.push_raw(line.raw),
+            Sink::Routed(b) => b.push_raw(line),
+        }
+    }
+
+    fn push_point(&mut self, point: &Point) {
+        match self {
+            Sink::Single { batch, .. } => batch.push(point),
+            Sink::Routed(b) => b.push_point(point),
+        }
+    }
+
+    /// Enqueues the batch(es); true when the write quorum held (single
+    /// node: the batch was queued or spooled).
+    fn submit(self, delivery: &ClusterForwarder) -> bool {
+        match self {
+            Sink::Single { db, mut batch } => delivery.enqueue_single(&db, batch.take()),
+            Sink::Routed(b) => b.submit(),
+        }
     }
 }
 
@@ -416,8 +578,9 @@ mod tests {
         let (server, influx, router) = setup(RouterConfig::default());
         // h5 has no job entry and the line carries a timestamp: the router
         // forwards the original bytes without building a Point.
-        let (acc, rej) = router.handle_write(None, "cpu,hostname=h5 value=0.5 12345");
-        assert_eq!((acc, rej), (1, 0));
+        let o = router.handle_write(None, "cpu,hostname=h5 value=0.5 12345");
+        assert_eq!((o.accepted, o.rejected), (1, 0));
+        assert!(o.acked);
         assert!(router.flush(Duration::from_secs(5)));
         let r = influx.query("lms", "SELECT value FROM cpu").unwrap();
         assert_eq!(r.series[0].values[0][0].as_i64(), Some(12345));
@@ -439,12 +602,58 @@ mod tests {
     #[test]
     fn malformed_lines_counted_but_batch_continues() {
         let (server, influx, router) = setup(RouterConfig::default());
-        let (acc, rej) = router.handle_write(None, "m,hostname=h1 v=1 1\nbroken\nm,hostname=h1 v=2 2");
-        assert_eq!((acc, rej), (2, 1));
+        let o = router.handle_write(None, "m,hostname=h1 v=1 1\nbroken\nm,hostname=h1 v=2 2");
+        assert_eq!((o.accepted, o.rejected), (2, 1));
         assert!(router.flush(Duration::from_secs(5)));
         assert_eq!(influx.point_count("lms"), 2);
         assert_eq!(router.stats().lines_rejected, 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn scatter_gather_treats_missing_db_as_empty_answer() {
+        // R = 1 over 2 nodes: each series (and so each per-user database)
+        // exists only on its owner. A whole-db query must merge the
+        // owners' answers, treating the other nodes' 404s as empty — and
+        // a database on *no* node must still surface the 404.
+        let clock = Clock::simulated(Timestamp::from_secs(5000));
+        let mut servers = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let ix = Influx::new(clock.clone());
+            servers.push(InfluxServer::start("127.0.0.1:0", ix.clone()).unwrap());
+            handles.push(ix);
+        }
+        let cluster = ClusterConfig {
+            nodes: servers.iter().map(|s| s.addr()).collect(),
+            replication: 1,
+            write_quorum: 1,
+            seed: 7,
+        };
+        let router =
+            Router::new_cluster(cluster, RouterConfig::default(), clock, None).unwrap();
+        const N: usize = 32;
+        let body: String =
+            (1..=N).map(|i| format!("m,hostname=g{} v={i} {i}\n", i % 8)).collect();
+        let o = router.handle_write(None, &body);
+        assert!(o.acked);
+        assert_eq!((o.accepted, o.rejected), (N, 0));
+        assert!(router.flush(Duration::from_secs(10)));
+        // Both nodes own a share, so each sees the other's 404-free gap.
+        assert!(handles.iter().all(|h| h.point_count("lms") > 0));
+
+        let r = router.handle_query("lms", "SELECT v FROM m").unwrap();
+        assert!(!r.partial);
+        let rows: usize = r.series.iter().map(|s| s.values.len()).sum();
+        assert_eq!(rows, N, "union of both owners, nothing lost or duplicated");
+
+        match router.handle_query("nope", "SELECT v FROM m") {
+            Err(Error::Remote { status: 404, .. }) => {}
+            other => panic!("expected 404 for a database on no node, got {other:?}"),
+        }
+        for s in servers {
+            s.shutdown();
+        }
     }
 
     #[test]

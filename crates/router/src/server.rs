@@ -77,11 +77,45 @@ fn handle(router: &Router, req: Request) -> Response {
                 return Response::service_unavailable("delivery pipeline saturated", 1);
             }
             let db = req.query_param("db");
-            let (accepted, rejected) = router.handle_write(db, &req.body_str());
-            if accepted == 0 && rejected > 0 {
+            let outcome = router.handle_write(db, &req.body_str());
+            if outcome.accepted == 0 && outcome.rejected > 0 {
                 Response::bad_request("all lines malformed")
+            } else if !outcome.acked {
+                // The write quorum was missed: too many owner nodes could
+                // neither queue nor durably spool their share. The data
+                // was *not* acknowledged — the collector must retry.
+                Response::service_unavailable("write quorum not met", 1)
             } else {
                 Response::no_content()
+            }
+        }
+        // Scatter-gather read across the cluster (one node: plain proxy).
+        // Dashboards point here exactly like at the database; a partial
+        // answer (replica down) is flagged in the JSON and the
+        // `X-Lms-Partial` header instead of failing the query.
+        ("GET", "/query") | ("POST", "/query") => {
+            let Some(q) = req.query_param("q") else {
+                return Response::bad_request("missing `q`");
+            };
+            let db = req.query_param("db").unwrap_or("");
+            if db.is_empty() {
+                return Response::bad_request("missing `db`");
+            }
+            match router.handle_query(db, q) {
+                Ok(result) => {
+                    let mut resp = Response::json(200, result.to_json().to_string());
+                    if result.partial {
+                        resp.headers.push(("x-lms-partial".into(), "true".into()));
+                    }
+                    resp
+                }
+                Err(lms_util::Error::Remote { status, message }) => {
+                    Response::json(status, Json::obj([("error", Json::str(message))]).to_string())
+                }
+                Err(e) if e.is_transient() => {
+                    Response::service_unavailable(&format!("cluster unreachable: {e}"), 1)
+                }
+                Err(e) => Response::bad_request(&format!("{e}")),
             }
         }
         ("POST", "/signal/start") => {
@@ -143,6 +177,23 @@ fn handle(router: &Router, req: Request) -> Response {
         }
         ("GET", "/stats") => {
             let s = router.stats();
+            // Per-destination detail: a stuck replica (breaker open, spool
+            // depth growing, replay counters flat) is diagnosable from
+            // this one endpoint.
+            let destinations = Json::arr(s.destinations.iter().map(|d| {
+                Json::obj([
+                    ("addr", Json::str(d.addr.to_string())),
+                    ("breaker", Json::str(d.stats.breaker.as_str())),
+                    ("breaker_opens", Json::from(d.stats.breaker_opens as i64)),
+                    ("delivered", Json::from(d.stats.delivered as i64)),
+                    ("spooled", Json::from(d.stats.spooled as i64)),
+                    ("spool_pending", Json::from(d.stats.spool_pending as i64)),
+                    ("replayed", Json::from(d.stats.replayed as i64)),
+                    ("replay_in_flight", Json::from(d.stats.replay_in_flight as i64)),
+                    ("dropped", Json::from(d.stats.dropped as i64)),
+                    ("retries", Json::from(d.stats.retries as i64)),
+                ])
+            }));
             Response::json(
                 200,
                 Json::obj([
@@ -151,6 +202,8 @@ fn handle(router: &Router, req: Request) -> Response {
                     ("lines_rejected", Json::from(s.lines_rejected as i64)),
                     ("signals", Json::from(s.signals as i64)),
                     ("writes_shed", Json::from(s.writes_shed as i64)),
+                    ("quorum_failures", Json::from(s.quorum_failures as i64)),
+                    ("partial_queries", Json::from(s.partial_queries as i64)),
                     ("workers_ready", Json::Bool(router.workers_ready())),
                     ("forward_delivered", Json::from(s.forward.delivered as i64)),
                     ("forward_rejected", Json::from(s.forward.rejected as i64)),
@@ -159,7 +212,9 @@ fn handle(router: &Router, req: Request) -> Response {
                     ("forward_replayed", Json::from(s.forward.replayed as i64)),
                     ("forward_retries", Json::from(s.forward.retries as i64)),
                     ("spool_pending", Json::from(s.forward.spool_pending as i64)),
+                    ("replay_in_flight", Json::from(s.forward.replay_in_flight as i64)),
                     ("breaker", Json::str(s.forward.breaker.as_str())),
+                    ("destinations", destinations),
                 ])
                 .to_string(),
             )

@@ -7,6 +7,17 @@
 //! indirection-free and gives bit-for-bit reproducible traces across
 //! platforms.
 
+/// The chaos seed for this process, from `LMS_CHAOS_SEED` (default 1).
+///
+/// Every chaos/overload/recovery test derives its fault schedules, kill
+/// points, and workload noise from this one value, so a CI matrix failure
+/// reproduces locally with `LMS_CHAOS_SEED=<seed> cargo test ...`. An
+/// unparsable value falls back to the default rather than panicking, so a
+/// stray environment variable cannot mask a test run.
+pub fn chaos_seed() -> u64 {
+    std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
 /// xorshift64* generator seeded via SplitMix64.
 ///
 /// Not cryptographically secure — strictly for simulation noise.

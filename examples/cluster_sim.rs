@@ -13,6 +13,11 @@
 //! Set `LMS_DATA_DIR=/some/dir` to persist the database across runs: a
 //! second invocation on the same directory starts from the first run's
 //! history instead of an empty store.
+//!
+//! Set `LMS_CLUSTER_NODES=3` to run the database as a 3-node cluster:
+//! the router places each series on `LMS_REPLICATION` (default 2) nodes
+//! via its rendezvous hash ring and scatter-gathers queries across all of
+//! them, deduplicating replicas on read.
 
 use lms::analysis::rules::Rule;
 use lms::analysis::stream::{StreamAnalyzer, StreamRule};
@@ -24,14 +29,28 @@ use std::time::Duration;
 
 fn main() {
     let data_dir = std::env::var_os("LMS_DATA_DIR").map(std::path::PathBuf::from);
+    let db_nodes: usize = std::env::var("LMS_CLUSTER_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    let replication: usize = std::env::var("LMS_REPLICATION")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| 2.min(db_nodes));
     let config = StackConfig {
         nodes: 8,
+        db_nodes,
+        replication,
         per_user: true,
         publish: true,
         data_dir: data_dir.clone(),
         ..Default::default()
     };
     let mut stack = LmsStack::start(config).expect("stack boots");
+    if db_nodes > 1 {
+        println!("database cluster: {db_nodes} nodes, replication {replication}\n");
+    }
     if data_dir.is_some() {
         let carried = stack.stats().db_points;
         if carried > 0 {
@@ -99,17 +118,23 @@ fn main() {
     }
     assert!(!alerts.is_empty(), "the stalling job must trip the live rule");
 
-    // Proxied legacy metrics are in the database.
+    // Proxied legacy metrics are in the database — read through the
+    // router's scatter-gather path, which merges every database node.
     let r = stack
-        .influx()
-        .query("lms", "SELECT count(value) FROM ganglia_load_one")
+        .router()
+        .handle_query("lms", "SELECT value FROM ganglia_load_one")
         .expect("query");
-    let n = r.series.first().and_then(|s| s.values.first()).and_then(|v| v[1].as_i64()).unwrap_or(0);
+    let n = r.series.first().map(|s| s.values.len()).unwrap_or(0);
     println!("\nganglia-proxied samples stored: {n} (pulled {proxied_points} points total)");
     assert!(n > 0);
 
-    // Per-user duplication created user databases.
-    let dbs = stack.influx().database_names();
+    // Per-user duplication created user databases (on the nodes owning
+    // that user's series, in cluster mode).
+    let mut dbs: Vec<String> = (0..stack.db_node_count())
+        .flat_map(|i| stack.influx_node(i).database_names())
+        .collect();
+    dbs.sort();
+    dbs.dedup();
     println!("databases: {dbs:?}");
     assert!(dbs.iter().any(|d| d == "user_anna"));
 

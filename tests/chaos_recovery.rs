@@ -16,12 +16,9 @@ use lms::influx::{Influx, InfluxServer};
 use lms::router::{Router, RouterConfig, RouterServer};
 use lms::spool::SpoolConfig;
 use lms::util::{Clock, Timestamp};
+use lms::util::rng::chaos_seed;
 use std::sync::Arc;
 use std::time::Duration;
-
-fn seed() -> u64 {
-    std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
 
 fn clock() -> Clock {
     Clock::simulated(Timestamp::from_secs(7_000_000))
@@ -31,7 +28,7 @@ fn tmp_spool(tag: &str) -> SpoolConfig {
     let dir = std::env::temp_dir().join(format!(
         "lms-chaos-{}-{tag}-{}",
         std::process::id(),
-        seed()
+        chaos_seed()
     ));
     let _ = std::fs::remove_dir_all(&dir);
     SpoolConfig::new(dir)
@@ -67,7 +64,7 @@ fn rig(tag: &str, fault: FaultConfig) -> Rig {
 /// the database once `flush()` returns — zero loss, no settling sleeps.
 #[test]
 fn hard_outage_mid_stream_loses_nothing() {
-    let mut r = rig("outage", FaultConfig { seed: seed(), ..FaultConfig::default() });
+    let mut r = rig("outage", FaultConfig { seed: chaos_seed(), ..FaultConfig::default() });
     const N: usize = 150;
     for i in 1..=N {
         let resp = r
@@ -107,7 +104,7 @@ fn flapping_database_delivers_every_point() {
     let mut r = rig(
         "flap",
         FaultConfig {
-            seed: seed(),
+            seed: chaos_seed(),
             error_prob: 0.3,
             drop_prob: 0.2,
             delay_prob: 0.2,
@@ -146,7 +143,7 @@ fn spool_survives_router_restart() {
     let clk = clock();
     let influx = Influx::new(clk.clone());
     let db = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
-    let proxy = FaultProxy::start(db.addr(), FaultConfig { seed: seed(), ..Default::default() })
+    let proxy = FaultProxy::start(db.addr(), FaultConfig { seed: chaos_seed(), ..Default::default() })
         .unwrap();
     proxy.set_down(); // destination dead from the start
 
@@ -192,7 +189,7 @@ fn flush_waits_for_in_flight_batches() {
     let mut r = rig(
         "inflight",
         FaultConfig {
-            seed: seed(),
+            seed: chaos_seed(),
             delay_prob: 1.0,
             delay: Duration::from_millis(300),
             ..FaultConfig::default()

@@ -18,18 +18,15 @@ use lms::influx::{Influx, InfluxServer};
 use lms::router::{Router, RouterConfig, RouterServer};
 use lms::spool::SpoolConfig;
 use lms::util::{Clock, Timestamp};
+use lms::util::rng::chaos_seed;
 use std::sync::Arc;
 use std::time::Duration;
-
-fn seed() -> u64 {
-    std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
 
 fn tmp_spool(tag: &str) -> SpoolConfig {
     let dir = std::env::temp_dir().join(format!(
         "lms-overload-{}-{tag}-{}",
         std::process::id(),
-        seed()
+        chaos_seed()
     ));
     let _ = std::fs::remove_dir_all(&dir);
     SpoolConfig::new(dir)
@@ -47,7 +44,7 @@ fn overload_sheds_cleanly_and_acknowledged_points_survive_restart() {
     let proxy = FaultProxy::start(
         db.addr(),
         FaultConfig {
-            seed: seed(),
+            seed: chaos_seed(),
             error_prob: 0.25,
             drop_prob: 0.15,
             delay_prob: 0.2,
@@ -155,7 +152,7 @@ fn shedding_recovers_once_load_subsides() {
     let proxy = FaultProxy::start(
         db.addr(),
         FaultConfig {
-            seed: seed(),
+            seed: chaos_seed(),
             delay_prob: 1.0,
             delay: Duration::from_millis(50),
             ..Default::default()

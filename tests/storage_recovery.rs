@@ -8,36 +8,12 @@
 //! failure reproduces exactly by exporting the same seed.
 
 use lms::influx::{Influx, StorageConfig};
+use lms::util::rng::{chaos_seed, XorShift64};
 use lms::util::{Clock, Timestamp};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
-
-fn seed() -> u64 {
-    std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
-
-/// splitmix64 — the tests' only randomness source (seeded, reproducible).
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1234_5678)
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        ((self.next() as u128 * n as u128) >> 64) as u64
-    }
-}
 
 static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
 
@@ -45,7 +21,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "lms-storage-recovery-{}-{tag}-{}-{}",
         std::process::id(),
-        seed(),
+        chaos_seed(),
         DIR_SEQ.fetch_add(1, Ordering::Relaxed),
     ));
     let _ = std::fs::remove_dir_all(&dir);
@@ -92,7 +68,7 @@ fn active_wal(dir: &std::path::Path) -> PathBuf {
 /// record prefix — never a torn record, never dropping an earlier one.
 #[test]
 fn torn_wal_tail_recovers_to_record_boundary_prefix() {
-    let mut rng = Rng::new(seed());
+    let mut rng = XorShift64::new(chaos_seed());
     for round in 0..8 {
         let dir = tmp_dir(&format!("torn-{round}"));
         let n = 5 + rng.below(40) as usize;
@@ -133,7 +109,7 @@ fn torn_wal_tail_recovers_to_record_boundary_prefix() {
 fn torn_group_commit_recovers_exact_prefix_of_acked_batches() {
     const WRITERS: usize = 8;
     const BATCHES: usize = 10;
-    let mut rng = Rng::new(seed() ^ 0x6c0b);
+    let mut rng = XorShift64::new(chaos_seed() ^ 0x6c0b);
     for round in 0..3 {
         let dir = tmp_dir(&format!("group-{round}"));
         {
@@ -212,7 +188,7 @@ fn torn_group_commit_recovers_exact_prefix_of_acked_batches() {
 /// survive a reopen (WAL not checkpointed), and the next flush succeeds.
 #[test]
 fn seal_crash_at_arbitrary_offset_loses_nothing() {
-    let mut rng = Rng::new(seed() ^ 0xabcd);
+    let mut rng = XorShift64::new(chaos_seed() ^ 0xabcd);
     for round in 0..6 {
         let dir = tmp_dir(&format!("seal-{round}"));
         let n = 10 + rng.below(50) as usize;
@@ -245,7 +221,7 @@ fn seal_crash_at_arbitrary_offset_loses_nothing() {
 /// (last-write-wins), not double-count.
 #[test]
 fn crash_between_seal_and_checkpoint_does_not_duplicate() {
-    let mut rng = Rng::new(seed() ^ 0x5eed);
+    let mut rng = XorShift64::new(chaos_seed() ^ 0x5eed);
     let dir = tmp_dir("dup");
     let n = 10 + rng.below(50) as usize;
     let expect_sum = (n as i64) * (n as i64 + 1) / 2;

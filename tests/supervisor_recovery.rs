@@ -14,18 +14,15 @@ use lms::influx::{Influx, InfluxServer, StorageConfig};
 use lms::router::{Router, RouterConfig, RouterServer};
 use lms::spool::SpoolConfig;
 use lms::util::{Clock, SupervisorConfig, Timestamp, WorkerHealth, WorkerReport};
+use lms::util::rng::chaos_seed;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-fn seed() -> u64 {
-    std::env::var("LMS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "lms-superv-{}-{tag}-{}",
         std::process::id(),
-        seed()
+        chaos_seed()
     ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
@@ -59,7 +56,7 @@ fn storage_worker_panic_self_heals_and_budget_opens() {
         backoff_base: Duration::from_millis(10),
         backoff_cap: Duration::from_millis(50),
         reset_after: Duration::from_secs(600), // panics in this test are always "consecutive"
-        seed: seed(),
+        seed: chaos_seed(),
     };
     let _worker = influx.spawn_storage_worker_with(sup).expect("persistent database");
     let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
