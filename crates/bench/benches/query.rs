@@ -6,9 +6,21 @@
 //! in-memory representation (`Vec<(i64, FieldValue)>`) — the acceptance
 //! criterion is ≥ 4x.
 //!
+//! The query-engine v2 acceptance bars are asserted here: with block
+//! summaries answering fully-covered blocks and the binary-searched block
+//! time index skipping out-of-range ones, `aggregate-full` and
+//! `windowed-1h` over sealed blocks must run within 1.5x of the head
+//! engine (down from 7.7x / 6.2x on the seed executor), and the sealed
+//! range scan must not regress past 1.5x either.
+//!
 //! Custom harness (not criterion): the comparison needs the measured
 //! numbers programmatically to emit `BENCH_query.json` at the repository
 //! root.
+//!
+//! `LMS_BENCH_QUICK=1` switches to the CI smoke mode: same dataset, 3
+//! runs, no file overwrite — it exits non-zero when any query's
+//! sealed/head ratio regresses more than 30% against the checked-in
+//! `BENCH_query.json`, or when an acceptance bar above fails.
 
 use lms_influx::{Influx, StorageConfig};
 use lms_util::{Clock, Timestamp};
@@ -19,6 +31,20 @@ const SERIES: usize = 20;
 const POINTS_PER_SERIES: usize = 50_000; // 1M points total
 const STEP_NS: i64 = 1_000_000_000; // one sample per second per series
 const RUNS: usize = 5;
+const QUICK_RUNS: usize = 3;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+
+/// Sealed/head ceiling per query. The summary-served aggregates carry the
+/// ISSUE's 1.5x acceptance bar (seed: 7.7x / 6.2x); the range scan still
+/// decodes its straddling blocks, so its bar is "never regress to the
+/// seed's decode-everything 1.6x+" with headroom for scan jitter.
+fn sealed_over_head_max(name: &str) -> f64 {
+    match name {
+        "aggregate-full" | "windowed-1h" => 1.5,
+        _ => 2.0,
+    }
+}
 
 /// Loads the benchmark dataset: `SERIES` hosts, one sample per second,
 /// a slowly varying utilization-like float per sample.
@@ -40,9 +66,9 @@ fn load(ix: &Influx) {
     }
 }
 
-/// Median wall-clock milliseconds of `RUNS` executions of `q`.
-fn measure(ix: &Influx, q: &str) -> f64 {
-    let mut samples: Vec<f64> = (0..RUNS)
+/// Median wall-clock milliseconds of `runs` executions of `q`.
+fn measure(ix: &Influx, q: &str, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
         .map(|_| {
             let start = Instant::now();
             let r = ix.query("lms", black_box(q)).expect("query");
@@ -61,9 +87,9 @@ struct Row {
     sealed_ms: f64,
 }
 
-fn main() {
+fn queries() -> Vec<(&'static str, String)> {
     let total_ns = POINTS_PER_SERIES as i64 * STEP_NS;
-    let queries: Vec<(&'static str, String)> = vec![
+    vec![
         (
             "range-scan-10pct",
             format!(
@@ -79,8 +105,12 @@ fn main() {
                 "SELECT mean(busy) FROM cpu WHERE time >= 0 AND time < {total_ns} GROUP BY time(1h)"
             ),
         ),
-    ];
+    ]
+}
 
+/// Loads both engines and measures every query on each. Returns the rows
+/// plus the sealed engine's storage stats.
+fn run_measurements(runs: usize) -> (Vec<Row>, lms_influx::StorageStats) {
     // Head: memory-only database, every point in the mutable head.
     let head = Influx::new(Clock::simulated(Timestamp::from_secs(1)));
     println!("loading {} points into the head engine...", SERIES * POINTS_PER_SERIES);
@@ -90,8 +120,9 @@ fn main() {
     // blocks (the head is empty when the queries run).
     let dir = std::env::temp_dir().join(format!("lms-bench-query-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let sealed = Influx::open(Clock::simulated(Timestamp::from_secs(1)), 8, StorageConfig::new(&dir))
-        .expect("open persistent");
+    let sealed =
+        Influx::open(Clock::simulated(Timestamp::from_secs(1)), 8, StorageConfig::new(&dir))
+            .expect("open persistent");
     println!("loading {} points into the sealed engine...", SERIES * POINTS_PER_SERIES);
     load(&sealed);
     sealed.flush_storage().expect("flush");
@@ -99,7 +130,97 @@ fn main() {
     let stats = sealed.storage_stats();
     assert_eq!(stats.head_points, 0, "flush must seal every head point");
     assert_eq!(stats.sealed_points, (SERIES * POINTS_PER_SERIES) as u64);
-    let raw_bytes = stats.sealed_points * std::mem::size_of::<(i64, lms_lineproto::FieldValue)>() as u64;
+
+    let mut rows = Vec::new();
+    for (name, q) in queries() {
+        let head_ms = measure(&head, &q, runs);
+        let sealed_ms = measure(&sealed, &q, runs);
+        println!(
+            "{name:<18} head {head_ms:>8.2} ms   sealed {sealed_ms:>8.2} ms   sealed/head {:>5.2}x",
+            sealed_ms / head_ms
+        );
+        rows.push(Row { name, query: q, head_ms, sealed_ms });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (rows, stats)
+}
+
+/// The acceptance ceilings on sealed/head ratios. Returns false (and
+/// prints the failures) when one is blown.
+fn ratios_ok(rows: &[Row]) -> bool {
+    let mut ok = true;
+    for r in rows {
+        let ratio = r.sealed_ms / r.head_ms;
+        let max = sealed_over_head_max(r.name);
+        if ratio > max {
+            eprintln!(
+                "FAIL: {} sealed/head = {ratio:.2}x exceeds the {max}x acceptance ceiling",
+                r.name
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Extracts a numeric JSON field from a single line via substring scan —
+/// enough for the bench's own output format, no parser dependency.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The checked-in sealed/head ratio for one query, if present.
+fn baseline_ratio(json: &str, name: &str) -> Option<f64> {
+    json.lines()
+        .find(|l| l.contains(&format!("\"query\": \"{name}\"")))
+        .and_then(|l| json_num(l, "sealed_over_head"))
+}
+
+/// CI smoke mode: 3 runs, no file overwrite, fail fast on a >30%
+/// sealed/head regression vs the checked-in baseline or a blown
+/// acceptance ceiling.
+fn run_quick() -> bool {
+    let (rows, _) = run_measurements(QUICK_RUNS);
+    let mut ok = ratios_ok(&rows);
+    let baseline = std::fs::read_to_string(BASELINE_PATH).ok();
+    for r in &rows {
+        let now = r.sealed_ms / r.head_ms;
+        match baseline.as_deref().and_then(|json| baseline_ratio(json, r.name)) {
+            Some(base) => {
+                // 30% relative slack, floored at +0.25x absolute: the
+                // summary-served aggregates sit below 0.1x where a few
+                // hundredths of noise would otherwise trip a 30% gate.
+                let limit = (1.3 * base).max(base + 0.25);
+                println!("{:<18} sealed/head {now:.2}x (baseline {base:.2}x)", r.name);
+                if now > limit {
+                    eprintln!(
+                        "FAIL: {} regressed >30% vs checked-in BENCH_query.json \
+                         ({now:.2}x > {limit:.2}x)",
+                        r.name
+                    );
+                    ok = false;
+                }
+            }
+            None => println!(
+                "note: no baseline for {} in BENCH_query.json; skipping ratio check",
+                r.name
+            ),
+        }
+    }
+    if ok {
+        println!("bench-smoke OK");
+    }
+    ok
+}
+
+fn run_full() {
+    let (rows, stats) = run_measurements(RUNS);
+    let raw_bytes =
+        stats.sealed_points * std::mem::size_of::<(i64, lms_lineproto::FieldValue)>() as u64;
     let ratio = stats.compression_ratio();
     println!(
         "sealed: {} blocks, {} bytes on heap vs {} raw ({:.1}x), {} segment files ({} bytes)\n",
@@ -107,25 +228,23 @@ fn main() {
         stats.segment_bytes
     );
 
-    let mut rows = Vec::new();
-    for (name, q) in &queries {
-        let head_ms = measure(&head, q);
-        let sealed_ms = measure(&sealed, q);
-        println!(
-            "{name:<18} head {head_ms:>8.2} ms   sealed {sealed_ms:>8.2} ms   sealed/head {:>5.2}x",
-            sealed_ms / head_ms
-        );
-        rows.push(Row { name, query: q.clone(), head_ms, sealed_ms });
-    }
-
     let json = render_json(&rows, &stats, raw_bytes, ratio);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
-    std::fs::write(path, &json).expect("write BENCH_query.json");
-    println!("\nwrote {path}");
+    std::fs::write(BASELINE_PATH, &json).expect("write BENCH_query.json");
+    println!("wrote {BASELINE_PATH}");
     println!("acceptance: sealed-block compression = {ratio:.1}x raw (target ≥ 4x)");
     assert!(ratio >= 4.0, "compression ratio {ratio:.2} below the 4x acceptance bar");
+    assert!(ratios_ok(&rows), "a sealed/head ratio exceeds its acceptance ceiling");
+}
 
-    let _ = std::fs::remove_dir_all(&dir);
+fn main() {
+    let quick = std::env::var("LMS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    if quick {
+        if !run_quick() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    run_full();
 }
 
 fn render_json(

@@ -20,9 +20,11 @@
 //! cluster node.
 
 pub mod merge;
+pub mod partial;
 pub mod ring;
 
 pub use merge::merge_results;
+pub use partial::{partial_plan, PartialPlan};
 pub use ring::HashRing;
 
 use lms_util::{Error, Result};

@@ -22,12 +22,13 @@
 //! Meta results (`SHOW MEASUREMENTS`, `SHOW TAG VALUES`, …) have no time
 //! axis; their rows are unioned, sorted and deduplicated wholesale.
 //!
-//! Cross-node **aggregates** (`SELECT mean(...)`) are merged with the same
-//! row-timestamp rule: identical replica answers collapse to one, and with
-//! full replication (R = N) every aggregate is exact. With R < N an
-//! aggregate computed over a node's partial view is resolved by LWW rather
-//! than recombined algebraically — dashboards that need exact cross-node
-//! aggregates should query raw points and aggregate client-side.
+//! Cross-node **aggregates** (`SELECT mean(...)`) do not go through this
+//! merge at all: the router decomposes them into per-node partials
+//! (`count`/`sum`/`min`/`max` per series) and recombines algebraically via
+//! [`crate::partial`], which is exact at any replication factor R ≤ N.
+//! Only non-decomposable aggregates (`first`/`last`/`stddev`, or a
+//! non-default `FILL`) still land here and resolve by the LWW rule —
+//! exact when R = N, last-part-wins otherwise.
 
 use lms_influx::{lww_dedup, QueryResult, ResultSeries};
 use lms_util::Json;

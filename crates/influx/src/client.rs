@@ -82,6 +82,74 @@ impl InfluxClient {
         QueryResult::from_json(&json)
     }
 
+    /// Runs a range query: a SELECT over the half-open `[start, end)` ns
+    /// range, optionally bucketed to `step` ns windows (`/query_range`).
+    pub fn query_range(
+        &mut self,
+        db: &str,
+        q: &str,
+        start: i64,
+        end: i64,
+        step: Option<i64>,
+    ) -> Result<QueryResult> {
+        let mut target = format!(
+            "/query_range?db={}&q={}&start={start}&end={end}",
+            lms_http::url::percent_encode(db),
+            lms_http::url::percent_encode(q)
+        );
+        if let Some(step) = step {
+            target.push_str(&format!("&step={step}"));
+        }
+        let resp = self.http.get(&target)?;
+        let json = Json::parse(&resp.body_str())?;
+        if let Some(err) = json.get("error").and_then(Json::as_str) {
+            return Err(lms_util::Error::Remote {
+                status: resp.status,
+                message: err.to_string(),
+            });
+        }
+        QueryResult::from_json(&json)
+    }
+
+    /// Lists the measurement names of a database (`/metrics`).
+    pub fn metrics(&mut self, db: &str) -> Result<Vec<String>> {
+        let target = format!("/metrics?db={}", lms_http::url::percent_encode(db));
+        self.string_listing(&target, "metrics")
+    }
+
+    /// Lists the tag keys of one measurement (`/labels/{measurement}`).
+    pub fn labels(&mut self, db: &str, measurement: &str) -> Result<Vec<String>> {
+        let target = format!(
+            "/labels/{}?db={}",
+            lms_http::url::percent_encode(measurement),
+            lms_http::url::percent_encode(db)
+        );
+        self.string_listing(&target, "labels")
+    }
+
+    fn string_listing(&mut self, target: &str, key: &str) -> Result<Vec<String>> {
+        let resp = self.http.get(target)?;
+        let json = Json::parse(&resp.body_str())?;
+        if let Some(err) = json.get("error").and_then(Json::as_str) {
+            return Err(lms_util::Error::Remote {
+                status: resp.status,
+                message: err.to_string(),
+            });
+        }
+        let mut names = Vec::new();
+        let Some(arr) = json.get(key) else {
+            return Err(lms_util::Error::protocol(format!("missing `{key}` in listing")));
+        };
+        let mut i = 0;
+        while let Some(item) = arr.idx(i) {
+            if let Some(s) = item.as_str() {
+                names.push(s.to_string());
+            }
+            i += 1;
+        }
+        Ok(names)
+    }
+
     /// Creates a database.
     pub fn create_database(&mut self, name: &str) -> Result<()> {
         let target = format!(
@@ -124,6 +192,26 @@ mod tests {
         c.write_with_precision("udb", "m v=5 42", Precision::Seconds).unwrap();
         let r = c.query("udb", "SELECT v FROM m").unwrap();
         assert_eq!(r.series[0].values[0][0].as_i64(), Some(42_000_000_000));
+        server.shutdown();
+    }
+
+    #[test]
+    fn range_query_and_listings() {
+        let (server, mut c) = start();
+        c.write(
+            "lms",
+            "cpu,hostname=h1 value=1 10000000000\ncpu,hostname=h1 value=2 70000000000",
+        )
+        .unwrap();
+        let r = c
+            .query_range("lms", "SELECT sum(value) FROM cpu", 0, 120_000_000_000, Some(60_000_000_000))
+            .unwrap();
+        assert_eq!(r.series[0].values.len(), 2);
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(1.0));
+        assert_eq!(c.metrics("lms").unwrap(), vec!["cpu"]);
+        assert_eq!(c.labels("lms", "cpu").unwrap(), vec!["hostname"]);
+        let err = c.query_range("ghost", "SELECT v FROM m", 0, 10, None).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
         server.shutdown();
     }
 

@@ -30,7 +30,7 @@
 //! series concurrently.
 
 use crate::exec::{self, QueryResult};
-use crate::query::Statement;
+use crate::query::{Condition, Statement, TimeValue};
 use crate::storage::Series;
 use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Precision};
 use lms_tsm::{BlockEntry, Recovered, SealedBlock, TsmConfig, TsmEngine};
@@ -41,7 +41,7 @@ use lms_util::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -118,13 +118,19 @@ impl StorageConfig {
     }
 }
 
-/// Splits a sorted point run into contiguous per-partition sub-runs, so
-/// sealed blocks never straddle a segment-file time partition.
+/// Splits a sorted point run into contiguous sub-runs that neither
+/// straddle a segment-file time partition (retention drops whole files)
+/// nor an epoch-aligned block span (a `GROUP BY time(w)` window with `w` a
+/// multiple of the span fully contains every interior block, so the
+/// executor answers it from the block summary without decoding).
 fn partition_runs<'a>(
     engine: &'a TsmEngine,
     points: &'a [(i64, FieldValue)],
 ) -> impl Iterator<Item = &'a [(i64, FieldValue)]> {
-    points.chunk_by(move |a, b| engine.partition_of(a.0) == engine.partition_of(b.0))
+    points.chunk_by(move |a, b| {
+        engine.partition_of(a.0) == engine.partition_of(b.0)
+            && engine.span_of(a.0) == engine.span_of(b.0)
+    })
 }
 
 /// A database name that is safe to use verbatim as a directory name (and
@@ -357,6 +363,25 @@ struct Meta {
     retention: Option<Duration>,
 }
 
+/// Executor tuning knobs, per database. Both default on; tests and the
+/// equivalence suite flip them to force the full-decode reference path
+/// (`cargo test` shares one process, so these are runtime switches rather
+/// than compile-time features).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTuning {
+    /// Answer aggregates over fully-covered sealed blocks from their
+    /// pre-computed summaries instead of decoding.
+    pub use_summaries: bool,
+    /// Scan the columns of a large group on a small worker pool.
+    pub parallel_scan: bool,
+}
+
+impl Default for QueryTuning {
+    fn default() -> Self {
+        QueryTuning { use_summaries: true, parallel_scan: true }
+    }
+}
+
 /// One logical database with lock-striped series storage and an optional
 /// persistent engine beneath it.
 #[derive(Debug)]
@@ -371,6 +396,10 @@ pub struct Database {
     /// next flush so the on-disk state catches up (the WAL still covers
     /// them in the meantime).
     unflushed: Mutex<Vec<BlockEntry>>,
+    /// [`QueryTuning::use_summaries`].
+    use_summaries: AtomicBool,
+    /// [`QueryTuning::parallel_scan`].
+    parallel_scan: AtomicBool,
 }
 
 impl Default for Database {
@@ -395,7 +424,23 @@ impl Database {
             meta: RwLock::new(Meta::default()),
             engine: None,
             unflushed: Mutex::new(Vec::new()),
+            use_summaries: AtomicBool::new(true),
+            parallel_scan: AtomicBool::new(true),
         }
+    }
+
+    /// The executor tuning knobs currently in effect.
+    pub fn query_tuning(&self) -> QueryTuning {
+        QueryTuning {
+            use_summaries: self.use_summaries.load(Ordering::Relaxed),
+            parallel_scan: self.parallel_scan.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replaces the executor tuning knobs (takes effect on the next query).
+    pub fn set_query_tuning(&self, tuning: QueryTuning) {
+        self.use_summaries.store(tuning.use_summaries, Ordering::Relaxed);
+        self.parallel_scan.store(tuning.parallel_scan, Ordering::Relaxed);
     }
 
     /// Opens (or creates) a persistent database: sealed blocks are loaded
@@ -804,6 +849,20 @@ impl Database {
         let mut names: Vec<String> = meta.measurements.keys().cloned().collect();
         names.sort_unstable();
         names
+    }
+
+    /// Sorted, deduplicated tag keys across all series of a measurement
+    /// (the label set of a metric, in Prometheus terms). Empty when the
+    /// measurement is unknown.
+    pub fn tag_keys(&self, measurement: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .series_of(measurement)
+            .iter()
+            .flat_map(|s| s.tags().iter().map(|(k, _)| k.clone()))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
     }
 
     /// Total series count. Exact without draining: series are registered
@@ -1363,6 +1422,60 @@ impl Influx {
                 exec::execute(&other, &database, now)
             }
         }
+    }
+
+    /// Runs a SELECT over an explicit half-open time range `[start, end)`
+    /// ns, optionally re-bucketed to `step` ns windows — the first-class
+    /// range-query API behind `/query_range`.
+    ///
+    /// The bounds and step are *injected into the parsed statement* (extra
+    /// `time >=` / `time <` conjuncts intersect with any bounds already in
+    /// the query; `step` overrides `GROUP BY time(...)`), so the request
+    /// goes through the exact same planner and executor as `/query` —
+    /// including summary pruning and parallel scans.
+    pub fn query_range(
+        &self,
+        db: &str,
+        q: &str,
+        start: i64,
+        end: i64,
+        step: Option<i64>,
+    ) -> Result<QueryResult> {
+        if start >= end {
+            return Err(Error::protocol("query_range: start must be < end"));
+        }
+        let Statement::Select(mut sel) = Statement::parse(q)? else {
+            return Err(Error::protocol("query_range: only SELECT statements are supported"));
+        };
+        sel.conditions.push(Condition::TimeGe(TimeValue::Abs(start)));
+        sel.conditions.push(Condition::TimeLt(TimeValue::Abs(end)));
+        if let Some(step) = step {
+            if step <= 0 {
+                return Err(Error::protocol("query_range: step must be positive"));
+            }
+            sel.group_time = Some(step);
+        }
+        let now = self.clock.now().nanos();
+        let database = self
+            .database(db)
+            .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
+        exec::execute(&Statement::Select(sel), &database, now)
+    }
+
+    /// Sorted measurement names of a database (the `/metrics` listing).
+    pub fn measurements(&self, db: &str) -> Result<Vec<String>> {
+        let database = self
+            .database(db)
+            .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
+        Ok(database.measurement_names())
+    }
+
+    /// Sorted tag keys of one measurement (the `/labels/{m}` listing).
+    pub fn tag_keys(&self, db: &str, measurement: &str) -> Result<Vec<String>> {
+        let database = self
+            .database(db)
+            .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
+        Ok(database.tag_keys(measurement))
     }
 
     /// Applies retention across all databases; returns evicted point count.

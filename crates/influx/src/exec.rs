@@ -1,9 +1,10 @@
 //! Query execution over [`Database`] storage, with InfluxDB-shaped results.
 
-use crate::db::Database;
+use crate::db::{Database, QueryTuning};
 use crate::query::{AggFunc, Condition, Fill, Projection, Select, Statement};
-use crate::storage::Series;
+use crate::storage::{Column, Series};
 use lms_lineproto::FieldValue;
+use lms_tsm::SealedBlock;
 use lms_util::{Error, Json, Result};
 use std::collections::BTreeMap;
 
@@ -241,6 +242,7 @@ fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
     if start >= end {
         return Ok(QueryResult::empty());
     }
+    let tuning = db.query_tuning();
     // Snapshot fans out across the database's shards; the measurement
     // index fixes the series order, so results are identical regardless
     // of shard count.
@@ -254,14 +256,19 @@ fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
         return Ok(QueryResult::empty());
     }
 
-    // Group series by the values of the GROUP BY tags.
+    // Group series by the values of the GROUP BY tags; `GROUP BY *` pins
+    // each full tag set to its own group (used by the router to keep
+    // per-series identity when recombining cross-node partials).
     let mut groups: BTreeMap<Vec<(String, String)>, Vec<&Series>> = BTreeMap::new();
     for s in matching {
-        let key: Vec<(String, String)> = sel
-            .group_tags
-            .iter()
-            .map(|t| (t.clone(), s.tag(t).unwrap_or("").to_string()))
-            .collect();
+        let key: Vec<(String, String)> = if sel.group_all {
+            s.tags().to_vec()
+        } else {
+            sel.group_tags
+                .iter()
+                .map(|t| (t.clone(), s.tag(t).unwrap_or("").to_string()))
+                .collect()
+        };
         groups.entry(key).or_default().push(s);
     }
 
@@ -276,14 +283,15 @@ fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
         return Err(Error::invalid("query: GROUP BY time requires aggregations"));
     }
 
+    let grouped = !sel.group_tags.is_empty() || sel.group_all;
     let mut out = QueryResult::empty();
     for (tags, group) in groups {
         let mut rs = if all_agg {
-            aggregate_group(sel, &group, start, end, now_ns)
+            aggregate_group(sel, &group, start, end, now_ns, tuning)
         } else {
             raw_group(sel, &group, start, end)
         };
-        if rs.values.is_empty() && !sel.group_tags.is_empty() {
+        if rs.values.is_empty() && grouped {
             continue; // groups emptied by the time range vanish
         }
         if sel.order_desc {
@@ -343,13 +351,243 @@ fn raw_group(sel: &Select, group: &[&Series], start: i64, end: i64) -> ResultSer
     }
 }
 
+/// A streaming aggregate accumulator: exactly the state one pass of the
+/// original per-window executor built, so finalization is byte-for-byte
+/// identical when fed the same values in the same order.
+#[derive(Debug, Clone)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    first: Option<(i64, FieldValue)>,
+    last: Option<(i64, FieldValue)>,
+}
+
+impl Default for Acc {
+    fn default() -> Self {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first: None,
+            last: None,
+        }
+    }
+}
+
+impl Acc {
+    fn add_point(&mut self, ts: i64, value: &FieldValue) {
+        self.count += 1;
+        if self.first.as_ref().is_none_or(|f| ts < f.0) {
+            self.first = Some((ts, value.clone()));
+        }
+        if self.last.as_ref().is_none_or(|l| ts >= l.0) {
+            self.last = Some((ts, value.clone()));
+        }
+        if let Some(v) = value.as_f64() {
+            self.sum += v;
+            self.sum_sq += v * v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Consumes a block's pre-aggregated summary. Valid only for blocks the
+    /// scan planner proved fully-covered and unshadowed — the block's
+    /// points are then exactly the visible points of its time span.
+    fn add_summary(&mut self, block: &SealedBlock) {
+        let Some(s) = block.summary() else { return };
+        self.count += block.count as u64;
+        if self.first.as_ref().is_none_or(|f| block.min_ts < f.0) {
+            self.first = Some((block.min_ts, s.first.clone()));
+        }
+        if self.last.as_ref().is_none_or(|l| block.max_ts >= l.0) {
+            self.last = Some((block.max_ts, s.last.clone()));
+        }
+        if s.numeric {
+            self.sum += s.sum;
+            self.sum_sq += s.sum_sq;
+            self.min = self.min.min(s.min);
+            self.max = self.max.max(s.max);
+        }
+    }
+
+    /// Folds a later column's accumulator into this one. `other` must come
+    /// from a series later in group order: `first` keeps the earlier
+    /// timestamp (first-seen wins ties), `last` the later (last-seen wins),
+    /// matching the sequential executor's series iteration order.
+    fn merge(&mut self, other: Acc) {
+        self.count += other.count;
+        if let Some((ts, v)) = other.first {
+            if self.first.as_ref().is_none_or(|f| ts < f.0) {
+                self.first = Some((ts, v));
+            }
+        }
+        if let Some((ts, v)) = other.last {
+            if self.last.as_ref().is_none_or(|l| ts >= l.0) {
+                self.last = Some((ts, v));
+            }
+        }
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn finalize(&self, func: AggFunc) -> Json {
+        if self.count == 0 {
+            return Json::Null;
+        }
+        let numeric = self.min.is_finite();
+        match func {
+            AggFunc::Count => Json::Int(self.count as i64),
+            AggFunc::First => {
+                self.first.as_ref().map(|(_, v)| json_of(v)).unwrap_or(Json::Null)
+            }
+            AggFunc::Last => self.last.as_ref().map(|(_, v)| json_of(v)).unwrap_or(Json::Null),
+            AggFunc::Mean if numeric => Json::Num(self.sum / self.count as f64),
+            AggFunc::Sum if numeric => Json::Num(self.sum),
+            AggFunc::Min if numeric => Json::Num(self.min),
+            AggFunc::Max if numeric => Json::Num(self.max),
+            AggFunc::Stddev if numeric => {
+                let n = self.count as f64;
+                let var = (self.sum_sq / n - (self.sum / n) * (self.sum / n)).max(0.0);
+                Json::Num(var.sqrt())
+            }
+            _ => Json::Null, // numeric agg over non-numeric values
+        }
+    }
+}
+
+/// Accumulates one column's `[start, end)` scan into per-window buckets
+/// (key = epoch-aligned window start; `0` when unwindowed). Summaries and
+/// residual points interleave in timestamp order so first/last tie-breaking
+/// matches a full sequential decode.
+fn column_accs(
+    col: &Column,
+    start: i64,
+    end: i64,
+    window: Option<i64>,
+    use_summaries: bool,
+) -> BTreeMap<i64, Acc> {
+    let scan = col.scan(start, end, window, use_summaries);
+    let key = |ts: i64| match window {
+        Some(w) => ts.div_euclid(w) * w,
+        None => 0,
+    };
+    let mut accs: BTreeMap<i64, Acc> = BTreeMap::new();
+    let mut blocks = scan.summarized.into_iter().peekable();
+    for (ts, value) in scan.residual {
+        while blocks.peek().is_some_and(|b| b.min_ts < ts) {
+            let b = blocks.next().expect("peeked");
+            accs.entry(key(b.min_ts)).or_default().add_summary(b);
+        }
+        accs.entry(key(ts)).or_default().add_point(ts, &value);
+    }
+    for b in blocks {
+        accs.entry(key(b.min_ts)).or_default().add_summary(b);
+    }
+    accs
+}
+
+/// Sealed points in range that a scan may have to decode: the threshold
+/// input for going parallel. Uses the block time index, not a decode.
+fn decode_estimate(col: &Column, start: i64, end: i64) -> usize {
+    col.sealed_points_in(start, end)
+}
+
+/// Minimum estimated sealed points in range before a group scan fans out
+/// to threads: below this, spawn overhead beats the decode savings.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Scans every `(field, series)` column of the group and merges the
+/// per-column window accumulators in group order. Columns scan in parallel
+/// across a small worker pool when enough sealed data overlaps the range;
+/// the merge order is fixed by `(field, series)` index, so the result is
+/// identical to the sequential path.
+fn scan_group(
+    group: &[&Series],
+    fields: &[&str],
+    start: i64,
+    end: i64,
+    window: Option<i64>,
+    tuning: QueryTuning,
+) -> Vec<BTreeMap<i64, Acc>> {
+    let jobs: Vec<(usize, &Column)> = fields
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| {
+            group.iter().filter_map(move |s| s.field(f)).map(move |c| (fi, c))
+        })
+        .collect();
+    let mut merged: Vec<BTreeMap<i64, Acc>> = (0..fields.len()).map(|_| BTreeMap::new()).collect();
+    let parallel = tuning.parallel_scan
+        && jobs.len() > 1
+        && jobs.iter().map(|&(_, c)| decode_estimate(c, start, end)).sum::<usize>()
+            >= PARALLEL_THRESHOLD;
+    let maps: Vec<(usize, BTreeMap<i64, Acc>)> = if parallel {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(jobs.len())
+            .min(8);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, usize, BTreeMap<i64, Acc>)>();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    for (ji, &(fi, col)) in jobs.iter().enumerate().skip(w).step_by(workers) {
+                        let accs = column_accs(col, start, end, window, tuning.use_summaries);
+                        if tx.send((ji, fi, accs)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut out: Vec<(usize, usize, BTreeMap<i64, Acc>)> = rx.into_iter().collect();
+        // Deterministic merge order regardless of thread scheduling.
+        out.sort_by_key(|&(ji, _, _)| ji);
+        out.into_iter().map(|(_, fi, accs)| (fi, accs)).collect()
+    } else {
+        jobs.iter()
+            .map(|&(fi, col)| (fi, column_accs(col, start, end, window, tuning.use_summaries)))
+            .collect()
+    };
+    for (fi, accs) in maps {
+        for (w, acc) in accs {
+            match merged[fi].get_mut(&w) {
+                Some(m) => m.merge(acc),
+                None => {
+                    merged[fi].insert(w, acc);
+                }
+            }
+        }
+    }
+    merged
+}
+
 /// Aggregated projection, optionally windowed by `GROUP BY time(w)`.
+///
+/// One planned scan per `(field, series)` column covers the whole query
+/// range: summaries of fully-covered blocks feed their window's
+/// accumulator without a decode, residual points stream into theirs, and
+/// the per-window rows are emitted from the finished accumulators — where
+/// the previous executor re-decoded every overlapping block once per
+/// window per aggregate.
 fn aggregate_group(
     sel: &Select,
     group: &[&Series],
     start: i64,
     end: i64,
     now_ns: i64,
+    tuning: QueryTuning,
 ) -> ResultSeries {
     struct AggSpec {
         func: AggFunc,
@@ -367,14 +605,27 @@ fn aggregate_group(
     let mut columns = vec!["time".to_string()];
     columns.extend(specs.iter().map(|s| s.func.column_name().to_string()));
 
+    // Distinct aggregated fields share one accumulator per window.
+    let mut fields: Vec<&str> = Vec::new();
+    for spec in &specs {
+        if !fields.contains(&spec.field.as_str()) {
+            fields.push(&spec.field);
+        }
+    }
+    let field_idx = |spec: &AggSpec| {
+        fields.iter().position(|f| *f == spec.field).expect("collected above")
+    };
+
     let values = match sel.group_time {
         None => {
-            // Single bucket over the whole range.
+            let accs = scan_group(group, &fields, start, end, None, tuning);
+            let empty = Acc::default();
             let row_time = if start == i64::MIN { 0 } else { start };
             let mut row = vec![Json::Int(row_time)];
             let mut any = false;
             for spec in &specs {
-                let agg = aggregate_points(group, &spec.field, start, end, spec.func);
+                let acc = accs[field_idx(spec)].get(&0).unwrap_or(&empty);
+                let agg = acc.finalize(spec.func);
                 if !agg.is_null() {
                     any = true;
                 }
@@ -416,16 +667,29 @@ fn aggregate_group(
             } else {
                 end.min(now_ns.saturating_add(1).max(start))
             };
+            let first_w = range_start.div_euclid(window) * window;
+            let accs = if first_w < range_end {
+                // One scan covers every emitted window: the first window is
+                // clamped to `start` below, and the last reaches at most
+                // `end` — exactly the per-window `[lo, hi)` bounds of the
+                // emission loop.
+                let last_w = (range_end - 1).div_euclid(window) * window;
+                let scan_lo = first_w.max(start);
+                let scan_hi = last_w.saturating_add(window).min(end);
+                scan_group(group, &fields, scan_lo, scan_hi, Some(window), tuning)
+            } else {
+                Vec::new()
+            };
+            let empty = Acc::default();
             let mut rows = Vec::new();
-            let mut w_start = range_start.div_euclid(window) * window;
+            let mut w_start = first_w;
             while w_start < range_end {
                 let w_end = w_start.saturating_add(window);
-                let lo = w_start.max(start);
-                let hi = w_end.min(end);
                 let mut row = vec![Json::Int(w_start)];
                 let mut any = false;
                 for spec in &specs {
-                    let agg = aggregate_points(group, &spec.field, lo, hi, spec.func);
+                    let acc = accs[field_idx(spec)].get(&w_start).unwrap_or(&empty);
+                    let agg = acc.finalize(spec.func);
                     if !agg.is_null() {
                         any = true;
                     }
@@ -449,63 +713,6 @@ fn aggregate_group(
     };
 
     ResultSeries { name: sel.measurement.clone(), tags: Vec::new(), columns, values }
-}
-
-/// Computes one aggregate over the group's points of `field` in `[lo, hi)`.
-fn aggregate_points(
-    group: &[&Series],
-    field: &str,
-    lo: i64,
-    hi: i64,
-    func: AggFunc,
-) -> Json {
-    // first/last need timestamps; numeric aggs need values.
-    let mut count: u64 = 0;
-    let mut sum = 0.0;
-    let mut sum_sq = 0.0;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    let mut first: Option<(i64, FieldValue)> = None;
-    let mut last: Option<(i64, FieldValue)> = None;
-
-    for series in group {
-        let Some(col) = series.field(field) else { continue };
-        for (ts, value) in col.points_in(lo, hi) {
-            count += 1;
-            if first.as_ref().is_none_or(|f| ts < f.0) {
-                first = Some((ts, value.clone()));
-            }
-            if last.as_ref().is_none_or(|l| ts >= l.0) {
-                last = Some((ts, value.clone()));
-            }
-            if let Some(v) = value.as_f64() {
-                sum += v;
-                sum_sq += v * v;
-                min = min.min(v);
-                max = max.max(v);
-            }
-        }
-    }
-
-    if count == 0 {
-        return Json::Null;
-    }
-    let numeric = min.is_finite();
-    match func {
-        AggFunc::Count => Json::Int(count as i64),
-        AggFunc::First => first.map(|(_, v)| json_of(&v)).unwrap_or(Json::Null),
-        AggFunc::Last => last.map(|(_, v)| json_of(&v)).unwrap_or(Json::Null),
-        AggFunc::Mean if numeric => Json::Num(sum / count as f64),
-        AggFunc::Sum if numeric => Json::Num(sum),
-        AggFunc::Min if numeric => Json::Num(min),
-        AggFunc::Max if numeric => Json::Num(max),
-        AggFunc::Stddev if numeric => {
-            let n = count as f64;
-            let var = (sum_sq / n - (sum / n) * (sum / n)).max(0.0);
-            Json::Num(var.sqrt())
-        }
-        _ => Json::Null, // numeric agg over non-numeric values
-    }
 }
 
 #[cfg(test)]

@@ -42,10 +42,12 @@ pub mod server;
 pub mod storage;
 
 pub use client::InfluxClient;
-pub use db::{Database, Influx, StorageConfig, StorageStats, StorageWorker, WriteOptions};
+pub use db::{
+    Database, Influx, QueryTuning, StorageConfig, StorageStats, StorageWorker, WriteOptions,
+};
 pub use exec::{QueryResult, ResultSeries};
 pub use query::Statement;
-pub use storage::lww_dedup;
+pub use storage::{lww_dedup, Scan};
 pub use server::InfluxServer;
 
 /// The persistent storage engine (re-exported for direct use in tests,

@@ -143,12 +143,114 @@ pub struct Select {
     pub group_time: Option<i64>,
     /// `GROUP BY <tags>`.
     pub group_tags: Vec<String>,
+    /// `GROUP BY *`: group by the full tag set, one group per series.
+    /// Used by the cluster router's partial-aggregate rewrite to keep
+    /// per-series identity so replica copies deduplicate exactly.
+    pub group_all: bool,
     /// Fill policy.
     pub fill: Fill,
     /// `ORDER BY time DESC`.
     pub order_desc: bool,
     /// `LIMIT n`.
     pub limit: Option<usize>,
+}
+
+fn render_ident(out: &mut String, ident: &str) {
+    out.push('"');
+    out.push_str(ident);
+    out.push('"');
+}
+
+fn render_time(out: &mut String, v: &TimeValue) {
+    match v {
+        TimeValue::Abs(ns) => out.push_str(&ns.to_string()),
+        TimeValue::NowOffset(0) => out.push_str("now()"),
+        TimeValue::NowOffset(off) if *off < 0 => {
+            out.push_str(&format!("now() - {}ns", off.unsigned_abs()))
+        }
+        TimeValue::NowOffset(off) => out.push_str(&format!("now() + {off}ns")),
+    }
+}
+
+impl Select {
+    /// Renders the statement back to parseable InfluxQL. The output
+    /// round-trips: `Statement::parse(sel.render())` yields `sel` again
+    /// (relative `now()` bounds stay relative). Used by the router to
+    /// rewrite aggregate queries into per-node partial queries.
+    pub fn render(&self) -> String {
+        let mut out = String::from("SELECT ");
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match p {
+                Projection::Field(f) => render_ident(&mut out, f),
+                Projection::Agg(func, f) => {
+                    out.push_str(func.column_name());
+                    out.push('(');
+                    render_ident(&mut out, f);
+                    out.push(')');
+                }
+            }
+        }
+        out.push_str(" FROM ");
+        render_ident(&mut out, &self.measurement);
+        for (i, c) in self.conditions.iter().enumerate() {
+            out.push_str(if i == 0 { " WHERE " } else { " AND " });
+            match c {
+                Condition::TimeGe(v) => {
+                    out.push_str("time >= ");
+                    render_time(&mut out, v);
+                }
+                Condition::TimeGt(v) => {
+                    out.push_str("time > ");
+                    render_time(&mut out, v);
+                }
+                Condition::TimeLe(v) => {
+                    out.push_str("time <= ");
+                    render_time(&mut out, v);
+                }
+                Condition::TimeLt(v) => {
+                    out.push_str("time < ");
+                    render_time(&mut out, v);
+                }
+                Condition::TagEq(k, v) => {
+                    render_ident(&mut out, k);
+                    out.push_str(&format!(" = '{}'", v.replace('\'', "''")));
+                }
+                Condition::TagNe(k, v) => {
+                    render_ident(&mut out, k);
+                    out.push_str(&format!(" != '{}'", v.replace('\'', "''")));
+                }
+            }
+        }
+        let mut group_items: Vec<String> = Vec::new();
+        if let Some(w) = self.group_time {
+            group_items.push(format!("time({w}ns)"));
+        }
+        if self.group_all {
+            group_items.push("*".to_string());
+        }
+        for t in &self.group_tags {
+            group_items.push(format!("\"{t}\""));
+        }
+        if !group_items.is_empty() {
+            out.push_str(" GROUP BY ");
+            out.push_str(&group_items.join(", "));
+        }
+        match self.fill {
+            Fill::None => {}
+            Fill::Null => out.push_str(" FILL(null)"),
+            Fill::Zero => out.push_str(" FILL(0)"),
+        }
+        if self.order_desc {
+            out.push_str(" ORDER BY time DESC");
+        }
+        if let Some(n) = self.limit {
+            out.push_str(&format!(" LIMIT {n}"));
+        }
+        out
+    }
 }
 
 /// Any parsed statement.
@@ -499,9 +601,17 @@ impl P<'_> {
 
         let mut group_time = None;
         let mut group_tags = Vec::new();
+        let mut group_all = false;
         if self.keyword("GROUP") {
             self.expect_keyword("BY")?;
             loop {
+                if self.sym("*") {
+                    group_all = true;
+                    if !self.sym(",") {
+                        break;
+                    }
+                    continue;
+                }
                 if let Some(Tok::Ident(name, false)) = self.peek() {
                     if name.eq_ignore_ascii_case("time") && self.t.get(self.i + 1) == Some(&Tok::Sym("(")) {
                         self.i += 2;
@@ -583,6 +693,7 @@ impl P<'_> {
             conditions,
             group_time,
             group_tags,
+            group_all,
             fill,
             order_desc,
             limit,
@@ -782,6 +893,33 @@ mod tests {
         let s = sel("SELECT mean(v) FROM m GROUP BY hostname");
         assert_eq!(s.group_time, None);
         assert_eq!(s.group_tags, vec!["hostname"]);
+    }
+
+    #[test]
+    fn group_by_star() {
+        let s = sel("SELECT mean(v) FROM m GROUP BY *");
+        assert!(s.group_all);
+        assert!(s.group_tags.is_empty());
+
+        let s = sel("SELECT mean(v) FROM m GROUP BY time(1m), *");
+        assert!(s.group_all);
+        assert_eq!(s.group_time, Some(60_000_000_000));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for q in [
+            "SELECT v FROM m",
+            "SELECT \"v\", mean(\"v\") FROM \"m\"",
+            "SELECT count(v) FROM m WHERE time >= now() - 600000000000ns AND h = 'a''b'",
+            "SELECT mean(v) FROM m WHERE time >= 0 AND time < 100 \
+             GROUP BY time(30s), *, \"hostname\" FILL(0) ORDER BY time DESC LIMIT 5",
+            "SELECT sum(v) FROM m WHERE time > now() AND s != 'x' GROUP BY time(1h) FILL(null)",
+        ] {
+            let parsed = sel(q);
+            let rendered = parsed.render();
+            assert_eq!(sel(&rendered), parsed, "render of `{q}` -> `{rendered}`");
+        }
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! | `GET /ping` | `204` with `X-Influxdb-Version` header |
 //! | `POST /write?db=<db>&precision=<p>` | line-protocol batch → `204`; `400` with a JSON error when every line failed or the db is missing |
 //! | `GET/POST /query?db=<db>&q=<stmt>` | InfluxDB-shaped JSON result |
+//! | `GET/POST /query_range?db=<db>&q=<stmt>&start=<ns>&end=<ns>&step=<dur>` | SELECT over an explicit `[start, end)` range, bucketed to `step` |
+//! | `GET /metrics?db=<db>` | sorted measurement names |
+//! | `GET /labels/<measurement>?db=<db>` | sorted tag keys of one measurement |
 //! | `GET /stats` | storage-engine gauges (WAL bytes, sealed blocks, compression ratio, …) |
 //! | `GET /health/live` | `204` while the process runs |
 //! | `GET /health/ready` | `204` when workers are healthy and storage is not degraded; `503` otherwise |
@@ -58,6 +61,23 @@ impl InfluxServer {
 
 fn error_json(msg: &str) -> String {
     Json::obj([("error", Json::str(msg))]).to_string()
+}
+
+/// Parses a nanosecond time parameter: a plain integer, or a duration
+/// like `30s`/`5m`. `Ok(None)` when the parameter is absent; an error
+/// response when present but malformed.
+fn parse_ns(req: &Request, name: &str) -> std::result::Result<Option<i64>, Response> {
+    let Some(raw) = req.query_param(name) else { return Ok(None) };
+    if let Ok(n) = raw.parse::<i64>() {
+        return Ok(Some(n));
+    }
+    match crate::query::parse_duration_ns(raw) {
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(Response::json(
+            400,
+            error_json(&format!("bad `{name}` parameter `{raw}`: expected ns or duration")),
+        )),
+    }
 }
 
 fn handle(influx: &Influx, req: Request) -> Response {
@@ -114,6 +134,57 @@ fn handle(influx: &Influx, req: Request) -> Response {
                     Response::json(404, error_json(&e.to_string()))
                 }
                 Err(e) => Response::json(400, error_json(&e.to_string())),
+            }
+        }
+        ("GET", "/query_range") | ("POST", "/query_range") => {
+            let Some(q) = req.query_param("q") else {
+                return Response::json(400, error_json("missing `q` parameter"));
+            };
+            let db = req.query_param("db").unwrap_or("");
+            let (start, end) = match (parse_ns(&req, "start"), parse_ns(&req, "end")) {
+                (Ok(Some(s)), Ok(Some(e))) => (s, e),
+                (Ok(None), _) | (_, Ok(None)) => {
+                    return Response::json(400, error_json("missing `start`/`end` parameter"))
+                }
+                (Err(r), _) | (_, Err(r)) => return r,
+            };
+            let step = match parse_ns(&req, "step") {
+                Ok(step) => step,
+                Err(r) => return r,
+            };
+            match influx.query_range(db, q, start, end, step) {
+                Ok(result) => Response::json(200, result.to_json().to_string()),
+                Err(e @ lms_util::Error::NotFound(_)) => {
+                    Response::json(404, error_json(&e.to_string()))
+                }
+                Err(e) => Response::json(400, error_json(&e.to_string())),
+            }
+        }
+        ("GET", "/metrics") => {
+            let db = req.query_param("db").unwrap_or("");
+            match influx.measurements(db) {
+                Ok(names) => {
+                    let body = Json::obj([(
+                        "metrics",
+                        Json::Arr(names.into_iter().map(Json::str).collect()),
+                    )]);
+                    Response::json(200, body.to_string())
+                }
+                Err(e) => Response::json(404, error_json(&e.to_string())),
+            }
+        }
+        ("GET", path) if path.starts_with("/labels/") => {
+            let measurement = &path["/labels/".len()..];
+            let db = req.query_param("db").unwrap_or("");
+            match influx.tag_keys(db, measurement) {
+                Ok(keys) => {
+                    let body = Json::obj([(
+                        "labels",
+                        Json::Arr(keys.into_iter().map(Json::str).collect()),
+                    )]);
+                    Response::json(200, body.to_string())
+                }
+                Err(e) => Response::json(404, error_json(&e.to_string())),
             }
         }
         ("GET", "/stats") => {
@@ -334,6 +405,84 @@ mod tests {
         assert_eq!(c.post_text("/write?db=lms", "cpu v=4 900000000004").unwrap().status, 204);
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_range_over_http() {
+        let (server, _ix, mut c) = start();
+        c.post_text(
+            "/write?db=lms",
+            "cpu,hostname=h1 value=1 10000000000\n\
+             cpu,hostname=h1 value=2 70000000000\n\
+             cpu,hostname=h1 value=9 200000000000",
+        )
+        .unwrap();
+        // [0s, 120s) at 60s steps: two buckets, the 200s point excluded.
+        let r = c
+            .get("/query_range?db=lms&q=SELECT%20sum(value)%20FROM%20cpu&start=0&end=120000000000&step=1m")
+            .unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        let values = json
+            .get("results").unwrap().idx(0).unwrap()
+            .get("series").unwrap().idx(0).unwrap()
+            .get("values").unwrap();
+        assert_eq!(values.idx(0).unwrap().idx(1).unwrap().as_f64(), Some(1.0));
+        assert_eq!(values.idx(1).unwrap().idx(1).unwrap().as_f64(), Some(2.0));
+        assert!(values.idx(2).is_none());
+
+        // Missing bounds and malformed step are 400s.
+        assert_eq!(c.get("/query_range?db=lms&q=SELECT%20value%20FROM%20cpu").unwrap().status, 400);
+        assert_eq!(
+            c.get("/query_range?db=lms&q=SELECT%20value%20FROM%20cpu&start=0&end=10&step=bogus")
+                .unwrap()
+                .status,
+            400
+        );
+        // Missing database stays 404 so routers can tell it apart.
+        assert_eq!(
+            c.get("/query_range?db=ghost&q=SELECT%20value%20FROM%20cpu&start=0&end=10")
+                .unwrap()
+                .status,
+            404
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_labels_listings() {
+        let (server, _ix, mut c) = start();
+        c.post_text(
+            "/write?db=lms",
+            "cpu,hostname=h1,socket=0 value=1 1\nmem,hostname=h1 used=2 2",
+        )
+        .unwrap();
+        let r = c.get("/metrics?db=lms").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        let names: Vec<&str> = (0..)
+            .map_while(|i| json.get("metrics").unwrap().idx(i))
+            .map(|j| j.as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["cpu", "mem"]);
+
+        let r = c.get("/labels/cpu?db=lms").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        let labels: Vec<&str> = (0..)
+            .map_while(|i| json.get("labels").unwrap().idx(i))
+            .map(|j| j.as_str().unwrap())
+            .collect();
+        assert_eq!(labels, vec!["hostname", "socket"]);
+
+        // Unknown measurement: empty label set, still 200.
+        let r = c.get("/labels/ghost?db=lms").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(Json::parse(&r.body_str()).unwrap().get("labels").unwrap().idx(0).is_none());
+        // Unknown database: 404.
+        assert_eq!(c.get("/metrics?db=ghost").unwrap().status, 404);
+        assert_eq!(c.get("/labels/cpu?db=ghost").unwrap().status, 404);
+        server.shutdown();
     }
 
     #[test]

@@ -24,6 +24,51 @@ use lms_lineproto::FieldValue;
 use lms_tsm::SealedBlock;
 use std::sync::Arc;
 
+/// Time index over a column's sealed blocks: block positions sorted by
+/// `min_ts` plus a running maximum of `max_ts`, so a range query finds its
+/// overlapping blocks by binary search + a bounded backward walk instead of
+/// testing every block of the column. Blocks arrive from flushes in time
+/// order, so the walk almost always stops after one step past the range.
+#[derive(Debug, Clone, Default)]
+struct TimeIndex {
+    /// Indices into `sealed`, sorted ascending by block `min_ts`.
+    order: Vec<u32>,
+    /// `prefix_max[i]` = max `max_ts` over `order[..=i]`.
+    prefix_max: Vec<i64>,
+}
+
+impl TimeIndex {
+    fn build(sealed: &[Arc<SealedBlock>]) -> TimeIndex {
+        let mut order: Vec<u32> = (0..sealed.len() as u32).collect();
+        order.sort_by_key(|&i| sealed[i as usize].min_ts);
+        let mut prefix_max = Vec::with_capacity(order.len());
+        let mut running = i64::MIN;
+        for &i in &order {
+            running = running.max(sealed[i as usize].max_ts);
+            prefix_max.push(running);
+        }
+        TimeIndex { order, prefix_max }
+    }
+
+    /// Indices (into `sealed`) of blocks overlapping `[start, end)`, in
+    /// ascending `min_ts` order.
+    fn overlapping(&self, sealed: &[Arc<SealedBlock>], start: i64, end: i64) -> Vec<usize> {
+        // Candidates: blocks with min_ts < end (a sorted prefix of `order`).
+        let k = self.order.partition_point(|&i| sealed[i as usize].min_ts < end);
+        let mut out = Vec::new();
+        for j in (0..k).rev() {
+            if self.prefix_max[j] < start {
+                break; // nothing earlier can reach `start` either
+            }
+            if sealed[self.order[j] as usize].max_ts >= start {
+                out.push(self.order[j] as usize);
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
 /// Last-write-wins merge of `(timestamp, generation, value)` versions:
 /// sorts by `(timestamp, generation)` and keeps the highest-generation
 /// version of each timestamp, returning `(timestamp, value)` ascending.
@@ -60,6 +105,21 @@ pub struct Column {
     /// scrape but are still representable, so the floor starts at `i64::MIN`
     /// semantically — we store the raw cutoff and only raise it.
     floor: Option<i64>,
+    /// Binary-search index over `sealed`, rebuilt whenever it changes.
+    index: TimeIndex,
+}
+
+/// The planned read of one column range: blocks whose pre-aggregated
+/// summaries answer the query without decoding, plus the merged residual
+/// points (head + decoded straddling blocks).
+pub struct Scan<'a> {
+    /// Fully-covered, unshadowed blocks — consume `block.summary()`
+    /// instead of decoding. For windowed scans each block fits entirely
+    /// inside one window.
+    pub summarized: Vec<&'a SealedBlock>,
+    /// Everything else, merged with last-write-wins. Timestamps covered by
+    /// `summarized` blocks never appear here.
+    pub residual: Points<'a>,
 }
 
 /// Iterator over the visible points of a column range.
@@ -170,22 +230,72 @@ impl Column {
     /// The visible points in `[start, end)`, merged across head and sealed
     /// blocks with last-write-wins.
     pub fn points_in(&self, start: i64, end: i64) -> Points<'_> {
+        self.scan(start, end, None, false).residual
+    }
+
+    /// Plans the read of `[start, end)`: overlapping blocks are found by
+    /// binary search on the time index; with `use_summaries`, blocks that
+    /// are fully covered by the range, unshadowed by the head or by any
+    /// other overlapping block, and (for windowed scans) contained in a
+    /// single `window`-aligned bucket are answered from their pre-aggregated
+    /// summaries. The rest decodes and merges with the head under
+    /// last-write-wins.
+    ///
+    /// Correctness of the split: a summarized block is unshadowed, so no
+    /// newer version of any of its timestamps exists anywhere — the
+    /// residual merge and the summary cover disjoint timestamp sets whose
+    /// union is exactly the visible range.
+    pub fn scan(&self, start: i64, end: i64, window: Option<i64>, use_summaries: bool) -> Scan<'_> {
         let start = match self.floor {
             Some(floor) => start.max(floor),
             None => start,
         };
         if start >= end {
-            return Points::Merged(Vec::new().into_iter());
+            return Scan { summarized: Vec::new(), residual: Points::Merged(Vec::new().into_iter()) };
         }
         let lo = self.head.partition_point(|&(t, _)| t < start);
         let hi = self.head.partition_point(|&(t, _)| t < end);
-        if !self.sealed.iter().any(|b| b.overlaps(start, end)) {
-            return Points::Head(self.head[lo..hi].iter());
+        let overlapping = self.index.overlapping(&self.sealed, start, end);
+        if overlapping.is_empty() {
+            return Scan { summarized: Vec::new(), residual: Points::Head(self.head[lo..hi].iter()) };
+        }
+        let head = &self.head[lo..hi];
+        let mut summarized: Vec<&SealedBlock> = Vec::new();
+        let mut decode: Vec<&Arc<SealedBlock>> = Vec::new();
+        // Running max of max_ts over the blocks before `pos` — `overlapping`
+        // is min_ts-ascending, so an earlier block intersects b's span iff
+        // this maximum reaches b.min_ts, and a later block intersects iff
+        // the *next* one starts at or before b.max_ts.
+        let mut prev_max = i64::MIN;
+        for (pos, &i) in overlapping.iter().enumerate() {
+            let b = &self.sealed[i];
+            let ok = use_summaries
+                && b.summary().is_some()
+                // Fully covered by the (floor-clamped) range.
+                && b.min_ts >= start
+                && b.max_ts < end
+                // Inside one window, when windowed.
+                && window.is_none_or(|w| b.min_ts.div_euclid(w) == b.max_ts.div_euclid(w))
+                // No head point shadows (or extends into) the block's span.
+                && {
+                    let h_lo = head.partition_point(|&(t, _)| t < b.min_ts);
+                    head.get(h_lo).is_none_or(|&(t, _)| t > b.max_ts)
+                }
+                // No other overlapping block shares any of the span.
+                && prev_max < b.min_ts
+                && (pos + 1 == overlapping.len()
+                    || self.sealed[overlapping[pos + 1]].min_ts > b.max_ts);
+            prev_max = prev_max.max(b.max_ts);
+            if ok {
+                summarized.push(b);
+            } else {
+                decode.push(b);
+            }
         }
         // Tag every version with its generation (head outranks all blocks),
         // sort by (ts, gen), keep the newest version per timestamp.
         let mut versions: Vec<(i64, u64, FieldValue)> = Vec::new();
-        for b in self.sealed.iter().filter(|b| b.overlaps(start, end)) {
+        for b in decode {
             versions.extend(
                 b.decode()
                     .into_iter()
@@ -193,8 +303,25 @@ impl Column {
                     .map(|(t, v)| (t, b.gen, v)),
             );
         }
-        versions.extend(self.head[lo..hi].iter().map(|(t, v)| (*t, u64::MAX, v.clone())));
-        Points::Merged(lww_dedup(versions).into_iter())
+        versions.extend(head.iter().map(|(t, v)| (*t, u64::MAX, v.clone())));
+        Scan { summarized, residual: Points::Merged(lww_dedup(versions).into_iter()) }
+    }
+
+    /// Total stored points of sealed blocks overlapping `[start, end)`
+    /// (an upper bound on decode work — found via the time index, cheap).
+    pub fn sealed_points_in(&self, start: i64, end: i64) -> usize {
+        let start = match self.floor {
+            Some(floor) => start.max(floor),
+            None => start,
+        };
+        if start >= end {
+            return 0;
+        }
+        self.index
+            .overlapping(&self.sealed, start, end)
+            .into_iter()
+            .map(|i| self.sealed[i].count as usize)
+            .sum()
     }
 
     /// All visible points (merged).
@@ -246,6 +373,7 @@ impl Column {
         let n = self.head.partition_point(|&(t, _)| t < cutoff);
         self.head.drain(..n);
         let mut dropped = n;
+        let sealed_before = self.sealed.len();
         self.sealed.retain(|b| {
             if b.max_ts < cutoff {
                 dropped += b.count as usize;
@@ -254,6 +382,9 @@ impl Column {
                 true
             }
         });
+        if self.sealed.len() != sealed_before {
+            self.index = TimeIndex::build(&self.sealed);
+        }
         if self.sealed.iter().any(|b| b.min_ts < cutoff) {
             self.floor = Some(self.floor.map_or(cutoff, |f| f.max(cutoff)));
         }
@@ -275,11 +406,13 @@ impl Column {
     pub fn push_sealed(&mut self, block: Arc<SealedBlock>) {
         debug_assert!(self.sealed.last().is_none_or(|b| b.gen <= block.gen));
         self.sealed.push(block);
+        self.index = TimeIndex::build(&self.sealed);
     }
 
     /// Replaces the sealed layer (compaction install).
     pub fn set_sealed(&mut self, blocks: Vec<Arc<SealedBlock>>) {
         self.sealed = blocks;
+        self.index = TimeIndex::build(&self.sealed);
     }
 
     /// The sealed blocks, ascending generation.
@@ -591,6 +724,116 @@ mod tests {
         let (count, bytes) = c.sealed_sizes();
         assert_eq!(count, 50);
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn scan_summarizes_fully_covered_unshadowed_blocks() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(10, f(1.0)), (20, f(2.0))]);
+        seal_into(&mut c, 1, &[(30, f(3.0)), (40, f(4.0))]);
+        // Fully covered, disjoint, no head: both answered by summary.
+        let scan = c.scan(0, 100, None, true);
+        assert_eq!(scan.summarized.len(), 2);
+        assert_eq!(scan.residual.count(), 0);
+        // Partially covered: block 0 straddles the range start and decodes.
+        let scan = c.scan(15, 100, None, true);
+        assert_eq!(scan.summarized.len(), 1);
+        assert_eq!(collect(scan.residual), vec![(20, f(2.0))]);
+        // Summaries disabled: everything decodes.
+        let scan = c.scan(0, 100, None, false);
+        assert!(scan.summarized.is_empty());
+        assert_eq!(scan.residual.count(), 4);
+    }
+
+    #[test]
+    fn scan_head_shadowing_forces_decode() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(10, f(1.0)), (20, f(2.0))]);
+        c.insert(20, f(99.0)); // head overwrites a sealed timestamp
+        let scan = c.scan(0, 100, None, true);
+        assert!(scan.summarized.is_empty(), "shadowed block must decode");
+        assert_eq!(collect(scan.residual), vec![(10, f(1.0)), (20, f(99.0))]);
+        // A head point merely *between* block timestamps also blocks the
+        // summary (count would be wrong otherwise).
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(10, f(1.0)), (20, f(2.0))]);
+        c.insert(15, f(1.5));
+        let scan = c.scan(0, 100, None, true);
+        assert!(scan.summarized.is_empty());
+        assert_eq!(scan.residual.count(), 3);
+    }
+
+    #[test]
+    fn scan_overlapping_blocks_force_decode() {
+        let mut c = Column::default();
+        seal_into(&mut c, 1, &[(10, f(1.0)), (30, f(3.0))]);
+        seal_into(&mut c, 2, &[(20, f(22.0)), (25, f(2.5))]);
+        let scan = c.scan(0, 100, None, true);
+        assert!(scan.summarized.is_empty(), "mutually overlapping blocks decode");
+        assert_eq!(
+            collect(scan.residual),
+            vec![(10, f(1.0)), (20, f(22.0)), (25, f(2.5)), (30, f(3.0))]
+        );
+        // A long early block shadowing a non-adjacent later one: only the
+        // middle (disjoint) block may summarize.
+        let mut c = Column::default();
+        seal_into(&mut c, 1, &[(0, f(0.0)), (100, f(1.0))]);
+        seal_into(&mut c, 2, &[(10, f(0.1)), (20, f(0.2))]);
+        seal_into(&mut c, 3, &[(90, f(0.9)), (95, f(0.95))]);
+        let scan = c.scan(0, 200, None, true);
+        assert!(scan.summarized.is_empty(), "gen-1 span intersects both later blocks");
+    }
+
+    #[test]
+    fn scan_windowed_requires_single_bucket() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(10, f(1.0)), (19, f(2.0))]); // inside window [10, 20)
+        seal_into(&mut c, 1, &[(25, f(3.0)), (35, f(4.0))]); // straddles 30
+        let scan = c.scan(0, 100, Some(10), true);
+        assert_eq!(scan.summarized.len(), 1);
+        assert_eq!(scan.summarized[0].min_ts, 10);
+        assert_eq!(scan.residual.count(), 2);
+        // Unwindowed: both summarize.
+        assert_eq!(c.scan(0, 100, None, true).summarized.len(), 2);
+    }
+
+    #[test]
+    fn scan_respects_retention_floor() {
+        let mut c = Column::default();
+        seal_into(&mut c, 0, &[(0, f(0.0)), (10, f(1.0))]);
+        seal_into(&mut c, 1, &[(20, f(2.0)), (40, f(4.0))]);
+        c.evict_before(30); // block 0 dropped, block 1 straddles → floor 30
+        let scan = c.scan(i64::MIN, i64::MAX, None, true);
+        assert!(scan.summarized.is_empty(), "floor-clipped block must decode");
+        assert_eq!(collect(scan.residual), vec![(40, f(4.0))]);
+    }
+
+    #[test]
+    fn time_index_finds_overlaps_like_linear_scan() {
+        let mut c = Column::default();
+        // Deliberately interleaved spans, inserted in gen order.
+        let spans: &[(i64, i64)] = &[(0, 50), (10, 20), (60, 70), (40, 65), (80, 90)];
+        for (g, &(lo, hi)) in spans.iter().enumerate() {
+            seal_into(&mut c, g as u64, &[(lo, f(lo as f64)), (hi, f(hi as f64))]);
+        }
+        for (start, end) in
+            [(0, 100), (55, 62), (21, 39), (91, 100), (i64::MIN, i64::MAX), (70, 71), (50, 51)]
+        {
+            let by_index: Vec<u64> = c
+                .index
+                .overlapping(&c.sealed, start, end)
+                .into_iter()
+                .map(|i| c.sealed[i].gen)
+                .collect();
+            let mut linear: Vec<u64> =
+                c.sealed.iter().filter(|b| b.overlaps(start, end)).map(|b| b.gen).collect();
+            linear.sort_by_key(|&g| c.sealed.iter().position(|b| b.gen == g).unwrap());
+            let mut by_index_sorted = by_index.clone();
+            by_index_sorted.sort();
+            let mut linear_sorted = linear.clone();
+            linear_sorted.sort();
+            assert_eq!(by_index_sorted, linear_sorted, "range [{start}, {end})");
+        }
     }
 
     #[test]

@@ -181,9 +181,40 @@ impl ClusterForwarder {
 
     /// One node's `/query`, with the delivery I/O timeout.
     pub fn query_node(&self, i: usize, db: &str, q: &str) -> Result<QueryResult> {
+        let mut client = self.client(i)?;
+        client.query(db, q)
+    }
+
+    /// One node's `/query_range`, with the delivery I/O timeout.
+    pub fn query_range_node(
+        &self,
+        i: usize,
+        db: &str,
+        q: &str,
+        start: i64,
+        end: i64,
+        step: Option<i64>,
+    ) -> Result<QueryResult> {
+        let mut client = self.client(i)?;
+        client.query_range(db, q, start, end, step)
+    }
+
+    /// One node's `/metrics` listing.
+    pub fn metrics_node(&self, i: usize, db: &str) -> Result<Vec<String>> {
+        let mut client = self.client(i)?;
+        client.metrics(db)
+    }
+
+    /// One node's `/labels/{measurement}` listing.
+    pub fn labels_node(&self, i: usize, db: &str, measurement: &str) -> Result<Vec<String>> {
+        let mut client = self.client(i)?;
+        client.labels(db, measurement)
+    }
+
+    fn client(&self, i: usize) -> Result<InfluxClient> {
         let mut client = InfluxClient::connect(self.nodes[i].addr)?;
         client.set_timeout(self.io_timeout);
-        client.query(db, q)
+        Ok(client)
     }
 
     /// Flushes every node completely (queue + in-flight + replay + spool).

@@ -4,7 +4,7 @@ use crate::breaker::{BreakerConfig, BreakerState};
 use crate::delivery::{ClusterForwarder, DestinationStats};
 use crate::forward::{ForwardConfig, ForwardStats};
 use crate::tagstore::{JobSignal, TagStore};
-use lms_cluster::{merge_results, ClusterConfig};
+use lms_cluster::{merge_results, partial_plan, ClusterConfig, PartialPlan};
 use lms_influx::QueryResult;
 use lms_lineproto::{parse_batch, BatchBuilder, Point};
 use lms_mq::Publisher;
@@ -312,16 +312,77 @@ impl Router {
 
     /// Scatter-gather read over the cluster (the `/query` endpoint).
     ///
-    /// Fans the query to every node and merges the answers with the
-    /// storage engine's LWW rule (replicated series deduplicate; divergent
-    /// replicas resolve deterministically). Unreachable nodes degrade the
-    /// result to `partial` instead of failing it: a breaker-open node is
-    /// skipped outright, a transient error is noted and skipped, and only
-    /// genuine query errors (or *zero* reachable nodes) surface as errors.
-    /// A node that does not know the database counts as an empty answer —
-    /// with R < N, databases exist only on the nodes that own some of
-    /// their series.
+    /// Fans the query to every node and merges the answers. Decomposable
+    /// aggregates (`mean`/`sum`/`min`/`max`/`count` with default FILL) are
+    /// rewritten into per-node `count`/`sum`/`min`/`max` partials grouped
+    /// by the full tag set and recombined algebraically
+    /// ([`lms_cluster::partial`]) — exact at any replication factor R ≤ N.
+    /// Everything else merges with the storage engine's LWW rule
+    /// (replicated series deduplicate; divergent replicas resolve
+    /// deterministically). Unreachable nodes degrade the result to
+    /// `partial` instead of failing it: a breaker-open node is skipped
+    /// outright, a transient error is noted and skipped, and only genuine
+    /// query errors (or *zero* reachable nodes) surface as errors. A node
+    /// that does not know the database counts as an empty answer — with
+    /// R < N, databases exist only on the nodes that own some of their
+    /// series.
     pub fn handle_query(&self, db: &str, q: &str) -> Result<QueryResult> {
+        let plan = self.plan_for(q);
+        let sent = plan.as_ref().map_or(q, PartialPlan::partial_query);
+        let (parts, partial) = self.scatter(db, |i| self.delivery.query_node(i, db, sent))?;
+        Ok(self.merge(plan, parts, partial))
+    }
+
+    /// Scatter-gather range read over the cluster (the `/query_range`
+    /// endpoint): each node bounds the query to `[start, end)` ns and
+    /// buckets to `step` ns windows before answering; the merge is the
+    /// same as [`handle_query`](Self::handle_query), including the exact
+    /// partial-aggregate path.
+    pub fn handle_query_range(
+        &self,
+        db: &str,
+        q: &str,
+        start: i64,
+        end: i64,
+        step: Option<i64>,
+    ) -> Result<QueryResult> {
+        let plan = self.plan_for(q);
+        let sent = plan.as_ref().map_or(q, PartialPlan::partial_query);
+        let (parts, partial) = self
+            .scatter(db, |i| self.delivery.query_range_node(i, db, sent, start, end, step))?;
+        Ok(self.merge(plan, parts, partial))
+    }
+
+    /// Cluster-wide measurement listing (the `/metrics` endpoint): the
+    /// union of every reachable node's measurements, sorted.
+    pub fn handle_metrics(&self, db: &str) -> Result<Vec<String>> {
+        let (parts, _) = self.scatter(db, |i| self.delivery.metrics_node(i, db))?;
+        Ok(union_sorted(parts))
+    }
+
+    /// Cluster-wide tag-key listing for one measurement (the
+    /// `/labels/{measurement}` endpoint).
+    pub fn handle_labels(&self, db: &str, measurement: &str) -> Result<Vec<String>> {
+        let (parts, _) = self.scatter(db, |i| self.delivery.labels_node(i, db, measurement))?;
+        Ok(union_sorted(parts))
+    }
+
+    /// The partial-aggregate plan for `q`, when the cluster has more than
+    /// one node and the query decomposes. On a single node the node's own
+    /// answer is already exact — no rewrite.
+    fn plan_for(&self, q: &str) -> Option<PartialPlan> {
+        if self.delivery.node_count() > 1 {
+            partial_plan(q)
+        } else {
+            None
+        }
+    }
+
+    /// The shared scatter skeleton: one request per node via `call`,
+    /// breaker-open and transient nodes degrade to a partial answer, 404s
+    /// count as empty answers, and zero reachable answers surface as the
+    /// single-node stack's error.
+    fn scatter<T>(&self, db: &str, call: impl Fn(usize) -> Result<T>) -> Result<(Vec<T>, bool)> {
         let nodes = self.delivery.node_count();
         let mut parts = Vec::with_capacity(nodes);
         let mut partial = false;
@@ -332,7 +393,7 @@ impl Router {
                 partial = true;
                 continue;
             }
-            match self.delivery.query_node(i, db, q) {
+            match call(i) {
                 Ok(r) => parts.push(r),
                 Err(Error::Remote { status: 404, .. }) => missing_db += 1,
                 Err(e) if e.is_transient() => {
@@ -354,12 +415,21 @@ impl Router {
             return Err(last_transient
                 .unwrap_or_else(|| Error::unavailable("no cluster node reachable")));
         }
-        let mut merged = merge_results(parts);
+        Ok((parts, partial))
+    }
+
+    /// Recombines per-node answers — algebraically through `plan` when the
+    /// query decomposed, by the LWW rule otherwise — and counts partials.
+    fn merge(&self, plan: Option<PartialPlan>, parts: Vec<QueryResult>, partial: bool) -> QueryResult {
+        let mut merged = match plan {
+            Some(plan) => plan.merge(parts),
+            None => merge_results(parts),
+        };
         merged.partial |= partial;
         if merged.partial {
             self.partial_queries.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(merged)
+        merged
     }
 
     /// Handles a job-start signal: updates the tag store, records an
@@ -474,6 +544,14 @@ impl Sink<'_> {
             Sink::Routed(b) => b.submit(),
         }
     }
+}
+
+/// Union of per-node name listings, sorted and deduplicated.
+fn union_sorted(parts: Vec<Vec<String>>) -> Vec<String> {
+    let mut all: Vec<String> = parts.into_iter().flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    all
 }
 
 /// Parses a `hosts` signal parameter: comma-separated hostnames.
@@ -650,6 +728,96 @@ mod tests {
         match router.handle_query("nope", "SELECT v FROM m") {
             Err(Error::Remote { status: 404, .. }) => {}
             other => panic!("expected 404 for a database on no node, got {other:?}"),
+        }
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    /// An N-node cluster with R-way replication, pre-loaded with 32 points
+    /// over 8 series: `m,hostname=g{i%8} v=i i` for i in 1..=32.
+    fn loaded_cluster(n: usize, replication: usize) -> (Vec<InfluxServer>, Router) {
+        let clock = Clock::simulated(Timestamp::from_secs(5000));
+        let servers: Vec<InfluxServer> = (0..n)
+            .map(|_| InfluxServer::start("127.0.0.1:0", Influx::new(clock.clone())).unwrap())
+            .collect();
+        let cluster = ClusterConfig {
+            nodes: servers.iter().map(|s| s.addr()).collect(),
+            replication,
+            write_quorum: 1,
+            seed: 7,
+        };
+        let router =
+            Router::new_cluster(cluster, RouterConfig::default(), clock, None).unwrap();
+        let body: String =
+            (1..=32).map(|i| format!("m,hostname=g{} v={i} {i}\n", i % 8)).collect();
+        assert!(router.handle_write(None, &body).acked);
+        assert!(router.flush(Duration::from_secs(10)));
+        (servers, router)
+    }
+
+    #[test]
+    fn cluster_aggregates_recombine_exactly_at_r_less_than_n() {
+        // R = 2 over 3 nodes: every series lives on two owners, no node
+        // holds everything. A mean-of-means (or the old LWW merge of
+        // per-node aggregate rows) would be wrong whenever the owners'
+        // shares are unbalanced; the partial path recombines Σsum/Σcount
+        // algebraically, so the answer matches a single node holding all
+        // the data: mean 16.5, count 32, min 1, max 32.
+        let (servers, router) = loaded_cluster(3, 2);
+        let r = router
+            .handle_query("lms", "SELECT mean(v), count(v), min(v), max(v) FROM m")
+            .unwrap();
+        assert!(!r.partial);
+        assert_eq!(r.series.len(), 1, "{:?}", r.series);
+        assert_eq!(
+            r.series[0].columns,
+            vec!["time", "mean", "count", "min", "max"]
+        );
+        let row = &r.series[0].values[0];
+        assert_eq!(row[1].as_f64(), Some(16.5));
+        assert_eq!(row[2].as_i64(), Some(32));
+        assert_eq!(row[3].as_f64(), Some(1.0));
+        assert_eq!(row[4].as_f64(), Some(32.0));
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn range_queries_scatter_gather_through_the_cluster() {
+        // R = 1 over 2 nodes: each series on exactly one owner, so every
+        // window's sum needs contributions from both — exactness here
+        // means the range endpoint rode the same partial-aggregate path.
+        let (servers, router) = loaded_cluster(2, 1);
+        let r = router
+            .handle_query_range("lms", "SELECT sum(v) FROM m", 0, 17, None)
+            .unwrap();
+        assert!(!r.partial);
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(136.0)); // 1+…+16
+
+        // step buckets: [0,8) → 1+…+7, [8,16) → 8+…+15, [16,17) → 16.
+        let r = router
+            .handle_query_range("lms", "SELECT sum(v) FROM m", 0, 17, Some(8))
+            .unwrap();
+        let rows: Vec<(i64, f64)> = r.series[0]
+            .values
+            .iter()
+            .map(|row| (row[0].as_i64().unwrap(), row[1].as_f64().unwrap()))
+            .collect();
+        assert_eq!(rows, vec![(0, 28.0), (8, 92.0), (16, 16.0)]);
+
+        // Listings union across owners; a database on no node is a 404.
+        assert_eq!(router.handle_metrics("lms").unwrap(), vec!["m"]);
+        assert_eq!(router.handle_labels("lms", "m").unwrap(), vec!["hostname"]);
+        match router.handle_query_range("nope", "SELECT v FROM m", 0, 10, None) {
+            Err(Error::Remote { status: 404, .. }) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+        match router.handle_metrics("nope") {
+            Err(Error::Remote { status: 404, .. }) => {}
+            other => panic!("expected 404, got {other:?}"),
         }
         for s in servers {
             s.shutdown();

@@ -6,6 +6,9 @@
 //! | `POST /write?db=<db>` | line-protocol batch → enrich → forward (`204`) |
 //! | `POST /signal/start?job=<id>&user=<u>&hosts=<h1,h2>&<k>=<v>…` | job-start signal; extra query params become job tags |
 //! | `POST /signal/end?job=<id>` | job-end signal |
+//! | `GET/POST /query_range?db=&q=&start=&end=&step=` | bounded, bucketed scatter-gather read |
+//! | `GET /metrics?db=<db>` | union of the cluster's measurement names |
+//! | `GET /labels/<measurement>?db=<db>` | union of a measurement's tag keys |
 //! | `GET /jobs` | running jobs with hosts (admin view source) |
 //! | `GET /stats` | router counters as JSON |
 //! | `GET /health/live` | process liveness (`204` while serving) |
@@ -101,22 +104,48 @@ fn handle(router: &Router, req: Request) -> Response {
             if db.is_empty() {
                 return Response::bad_request("missing `db`");
             }
-            match router.handle_query(db, q) {
-                Ok(result) => {
-                    let mut resp = Response::json(200, result.to_json().to_string());
-                    if result.partial {
-                        resp.headers.push(("x-lms-partial".into(), "true".into()));
-                    }
-                    resp
-                }
-                Err(lms_util::Error::Remote { status, message }) => {
-                    Response::json(status, Json::obj([("error", Json::str(message))]).to_string())
-                }
-                Err(e) if e.is_transient() => {
-                    Response::service_unavailable(&format!("cluster unreachable: {e}"), 1)
-                }
-                Err(e) => Response::bad_request(&format!("{e}")),
+            query_response(router.handle_query(db, q))
+        }
+        // Bounded, bucketed read: `start`/`end` (required) and `step`
+        // (optional) are nanosecond integers or duration literals; the
+        // nodes apply the bounds before answering, and the merge is the
+        // same as `/query` — including the exact partial-aggregate path
+        // and the `X-Lms-Partial` degradation flag.
+        ("GET", "/query_range") | ("POST", "/query_range") => {
+            let Some(q) = req.query_param("q") else {
+                return Response::bad_request("missing `q`");
+            };
+            let db = req.query_param("db").unwrap_or("");
+            if db.is_empty() {
+                return Response::bad_request("missing `db`");
             }
+            let (start, end) = match (parse_ns(&req, "start"), parse_ns(&req, "end")) {
+                (Ok(Some(s)), Ok(Some(e))) => (s, e),
+                (Ok(None), _) | (_, Ok(None)) => {
+                    return Response::bad_request("missing `start` or `end`")
+                }
+                (Err(resp), _) | (_, Err(resp)) => return resp,
+            };
+            let step = match parse_ns(&req, "step") {
+                Ok(step) => step,
+                Err(resp) => return resp,
+            };
+            query_response(router.handle_query_range(db, q, start, end, step))
+        }
+        ("GET", "/metrics") => {
+            let db = req.query_param("db").unwrap_or("");
+            if db.is_empty() {
+                return Response::bad_request("missing `db`");
+            }
+            listing_response(router.handle_metrics(db), "metrics")
+        }
+        ("GET", path) if path.starts_with("/labels/") => {
+            let db = req.query_param("db").unwrap_or("");
+            if db.is_empty() {
+                return Response::bad_request("missing `db`");
+            }
+            let measurement = &path["/labels/".len()..];
+            listing_response(router.handle_labels(db, measurement), "labels")
         }
         ("POST", "/signal/start") => {
             let Some(job) = req.query_param("job") else {
@@ -245,6 +274,63 @@ fn handle(router: &Router, req: Request) -> Response {
     }
 }
 
+/// A scatter-gather query outcome as an HTTP response: partial answers
+/// carry the `X-Lms-Partial` header, node-side errors keep their real
+/// status, transient cluster failures answer 503 + Retry-After.
+fn query_response(result: lms_util::Result<lms_influx::QueryResult>) -> Response {
+    match result {
+        Ok(result) => {
+            let mut resp = Response::json(200, result.to_json().to_string());
+            if result.partial {
+                resp.headers.push(("x-lms-partial".into(), "true".into()));
+            }
+            resp
+        }
+        Err(lms_util::Error::Remote { status, message }) => {
+            Response::json(status, Json::obj([("error", Json::str(message))]).to_string())
+        }
+        Err(e) if e.is_transient() => {
+            Response::service_unavailable(&format!("cluster unreachable: {e}"), 1)
+        }
+        Err(e) => Response::bad_request(&format!("{e}")),
+    }
+}
+
+/// A name-listing outcome as `{"<key>": [...]}` with the same error
+/// mapping as [`query_response`].
+fn listing_response(result: lms_util::Result<Vec<String>>, key: &str) -> Response {
+    match result {
+        Ok(names) => Response::json(
+            200,
+            Json::obj([(key, Json::arr(names.iter().map(|n| Json::str(n.as_str()))))])
+                .to_string(),
+        ),
+        Err(lms_util::Error::Remote { status, message }) => {
+            Response::json(status, Json::obj([("error", Json::str(message))]).to_string())
+        }
+        Err(e) if e.is_transient() => {
+            Response::service_unavailable(&format!("cluster unreachable: {e}"), 1)
+        }
+        Err(e) => Response::bad_request(&format!("{e}")),
+    }
+}
+
+/// Parses a nanosecond query parameter: a plain integer or a duration
+/// literal (`15m`, `1h`). Absent → `Ok(None)`; malformed → the 400 to
+/// answer with.
+fn parse_ns(req: &Request, name: &str) -> std::result::Result<Option<i64>, Response> {
+    let Some(raw) = req.query_param(name) else {
+        return Ok(None);
+    };
+    if let Ok(ns) = raw.parse::<i64>() {
+        return Ok(Some(ns));
+    }
+    match lms_influx::query::parse_duration_ns(raw) {
+        Ok(ns) => Ok(Some(ns)),
+        Err(_) => Err(Response::bad_request(&format!("bad `{name}`: {raw:?}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +447,44 @@ mod tests {
         let stats = Json::parse(&c.get("/stats").unwrap().body_str()).unwrap();
         assert!(stats.get("writes_shed").unwrap().as_i64().unwrap() >= 1);
         rs.shutdown();
+    }
+
+    #[test]
+    fn range_and_listing_endpoints_over_http() {
+        let (db, _ix, rs, mut c) = stack();
+        let body = "cpu,hostname=h1 value=1 2000000000\ncpu,hostname=h1 value=2 70000000000";
+        assert_eq!(c.post_text("/write?db=lms", body).unwrap().status, 204);
+        assert!(rs.router().flush(Duration::from_secs(5)));
+
+        // start/end/step accept both raw nanoseconds and duration literals.
+        let q = lms_http::url::percent_encode("SELECT sum(value) FROM cpu");
+        let r = c
+            .get(&format!("/query_range?db=lms&q={q}&start=0&end=2m&step=1m"))
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body_str());
+        let json = Json::parse(&r.body_str()).unwrap();
+        let series = json.get("results").unwrap().idx(0).unwrap().get("series").unwrap();
+        let values = series.idx(0).unwrap().get("values").unwrap();
+        assert_eq!(values.idx(0).unwrap().idx(1).unwrap().as_f64(), Some(1.0));
+        assert_eq!(values.idx(1).unwrap().idx(1).unwrap().as_f64(), Some(2.0));
+
+        let r = c.get(&format!("/query_range?db=lms&q={q}&start=0")).unwrap();
+        assert_eq!(r.status, 400);
+        let r = c.get(&format!("/query_range?db=lms&q={q}&start=0&end=bogus")).unwrap();
+        assert_eq!(r.status, 400);
+
+        let r = c.get("/metrics?db=lms").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        assert_eq!(json.get("metrics").unwrap().idx(0).unwrap().as_str(), Some("cpu"));
+        let r = c.get("/labels/cpu?db=lms").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        assert_eq!(json.get("labels").unwrap().idx(0).unwrap().as_str(), Some("hostname"));
+        assert_eq!(c.get("/metrics?db=ghost").unwrap().status, 404);
+        assert_eq!(c.get("/metrics").unwrap().status, 400);
+        rs.shutdown();
+        db.shutdown();
     }
 
     #[test]

@@ -13,6 +13,67 @@
 use crate::encode::{decode_block, encode_block};
 use lms_lineproto::FieldValue;
 
+/// Pre-aggregated statistics over one sealed block, computed at seal time
+/// and persisted in the segment footer (format V2).
+///
+/// The fields mirror what a single streaming pass over the decoded points
+/// would accumulate, so an aggregate over a fully-covered, unshadowed block
+/// can consume the summary instead of decoding: `sum`/`sum_sq`/`min`/`max`
+/// run over the numeric view of each value (`Float` as-is, `Integer` and
+/// `Boolean` widened), while `first`/`last` keep the raw boundary values of
+/// the run. Point count and time bounds already live on [`SealedBlock`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSummary {
+    /// True when at least one point had a numeric view (min/max/sum valid).
+    pub numeric: bool,
+    /// Sum of numeric values.
+    pub sum: f64,
+    /// Sum of squared numeric values (for stddev recombination).
+    pub sum_sq: f64,
+    /// Smallest numeric value (meaningless unless `numeric`).
+    pub min: f64,
+    /// Largest numeric value (meaningless unless `numeric`).
+    pub max: f64,
+    /// Value at the block's earliest timestamp.
+    pub first: FieldValue,
+    /// Value at the block's latest timestamp.
+    pub last: FieldValue,
+}
+
+impl BlockSummary {
+    /// Computes the summary a full decode-and-accumulate pass would produce
+    /// over a timestamp-ascending run. Returns `None` on an empty run.
+    pub fn compute(points: &[(i64, FieldValue)]) -> Option<BlockSummary> {
+        let first = points.first()?.1.clone();
+        let last = points[points.len() - 1].1.clone();
+        let mut s = BlockSummary {
+            numeric: false,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first,
+            last,
+        };
+        for (_, v) in points {
+            if let Some(x) = numeric_view(v) {
+                s.numeric = true;
+                s.sum += x;
+                s.sum_sq += x * x;
+                s.min = s.min.min(x);
+                s.max = s.max.max(x);
+            }
+        }
+        Some(s)
+    }
+}
+
+/// The numeric view aggregates use: floats as-is, integers and booleans
+/// widened. Text yields `None` (counted but excluded from numeric stats).
+pub fn numeric_view(v: &FieldValue) -> Option<f64> {
+    v.as_f64()
+}
+
 /// One immutable, compressed run of a field column.
 #[derive(Debug, Clone)]
 pub struct SealedBlock {
@@ -26,6 +87,9 @@ pub struct SealedBlock {
     /// Number of encoded points.
     pub count: u32,
     bytes: Vec<u8>,
+    /// Pre-aggregated stats; `None` only for blocks loaded from legacy V1
+    /// segments whose points failed to decode (corrupt payloads).
+    summary: Option<BlockSummary>,
 }
 
 impl SealedBlock {
@@ -40,12 +104,33 @@ impl SealedBlock {
             max_ts: points[points.len() - 1].0,
             count: points.len() as u32,
             bytes: encode_block(points),
+            summary: BlockSummary::compute(points),
         }
     }
 
     /// Reconstructs a block from already-encoded bytes (segment file load).
+    /// The summary is recomputed with one decode pass — used for legacy V1
+    /// segments that carry no persisted summaries.
     pub fn from_parts(gen: u64, min_ts: i64, max_ts: i64, count: u32, bytes: Vec<u8>) -> Self {
-        SealedBlock { gen, min_ts, max_ts, count, bytes }
+        let summary = decode_block(&bytes).as_deref().and_then(BlockSummary::compute);
+        SealedBlock { gen, min_ts, max_ts, count, bytes, summary }
+    }
+
+    /// Reconstructs a block with a persisted summary (segment V2 load).
+    pub fn from_parts_with_summary(
+        gen: u64,
+        min_ts: i64,
+        max_ts: i64,
+        count: u32,
+        bytes: Vec<u8>,
+        summary: Option<BlockSummary>,
+    ) -> Self {
+        SealedBlock { gen, min_ts, max_ts, count, bytes, summary }
+    }
+
+    /// The pre-aggregated stats, when available.
+    pub fn summary(&self) -> Option<&BlockSummary> {
+        self.summary.as_ref()
     }
 
     /// The compressed payload.

@@ -63,6 +63,13 @@ pub struct TsmConfig {
     pub wal_group_commit_ms: u64,
     /// WAL group-commit size bound (see [`WalConfig::group_commit_bytes`]).
     pub wal_group_commit_bytes: usize,
+    /// Maximum time span of one sealed block in nanoseconds, aligned to
+    /// epoch multiples. Sealing splits runs at these boundaries so a
+    /// `GROUP BY time(w)` window with `w` a multiple of the span fully
+    /// contains every interior block and can consume its pre-aggregated
+    /// summary without decoding. Default: 1 hour (dashboards bucket by
+    /// hours far more often than by partition widths).
+    pub block_span_ns: i64,
 }
 
 impl TsmConfig {
@@ -77,6 +84,7 @@ impl TsmConfig {
             compact_min_files: 4,
             wal_group_commit_ms: 2,
             wal_group_commit_bytes: 1024 * 1024,
+            block_span_ns: 3600 * 1_000_000_000,
         }
     }
 }
@@ -284,6 +292,13 @@ impl TsmEngine {
     /// The partition a block with this `max_ts` belongs to.
     pub fn partition_of(&self, max_ts: i64) -> i64 {
         max_ts.div_euclid(self.cfg.partition_ns)
+    }
+
+    /// The epoch-aligned block-span bucket of a timestamp: sealing splits
+    /// point runs where this changes, bounding every block to one span so
+    /// window-aligned queries can answer interior blocks from summaries.
+    pub fn span_of(&self, ts: i64) -> i64 {
+        ts.div_euclid(self.cfg.block_span_ns.max(1))
     }
 
     /// Starts a flush: rotates the WAL and returns a session to write the

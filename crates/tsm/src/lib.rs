@@ -33,7 +33,7 @@ pub mod engine;
 pub mod segment;
 pub mod wal;
 
-pub use block::SealedBlock;
+pub use block::{BlockSummary, SealedBlock};
 pub use engine::{FlushSession, Recovered, RewriteSession, TsmConfig, TsmEngine, TsmStats};
 pub use segment::BlockEntry;
 pub use wal::{Wal, WalConfig, WalRecord, WalRecovery};

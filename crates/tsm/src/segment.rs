@@ -18,7 +18,23 @@
 //! [ntags: u16] ntags * ([klen: u16][key][vlen: u16][value])
 //! [field_len: u16][field]
 //! [block_len: u32][compressed block bytes]
+//! (V2 only) [summary: see below]
 //! ```
+//!
+//! Format V2 appends the block's pre-aggregated summary after the block
+//! bytes, so queries can answer `mean`/`min`/`max`/`sum`/`count` over a
+//! fully-covered block without ever decoding it:
+//!
+//! ```text
+//! [present: u8]                      0 = no summary (corrupt legacy block)
+//! [numeric: u8][sum: f64][sum_sq: f64][min: f64][max: f64]
+//! [first: tagged value][last: tagged value]
+//! ```
+//!
+//! Tagged values reuse the mixed-block tags: `0` float (8-byte LE bits),
+//! `1` integer (zigzag varint), `2` bool (1 byte), `3` text (varint
+//! length + UTF-8 bytes). V1 files (magic `LMSTSM1\n`) remain readable:
+//! their blocks get summaries recomputed by a one-time decode at load.
 //!
 //! Segments are written to a `.tmp` sibling, fsynced, then atomically
 //! renamed into place — readers never observe a half-written `.tsm` file,
@@ -26,15 +42,20 @@
 //! still prefix-safe (stop at the first corrupt frame) as defense in
 //! depth against storage-level corruption.
 
-use crate::block::SealedBlock;
+use crate::block::{BlockSummary, SealedBlock};
+use crate::encode::{get_uvarint, put_uvarint, unzigzag, zigzag};
+use lms_lineproto::FieldValue;
 use lms_util::hash::crc32;
 use lms_util::{Error, Result};
 use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 
+/// Legacy file magic (V1): entries carry no block summaries.
+pub const MAGIC_V1: &[u8; 8] = b"LMSTSM1\n";
+
 /// File magic: identifies format + version.
-pub const MAGIC: &[u8; 8] = b"LMSTSM1\n";
+pub const MAGIC: &[u8; 8] = b"LMSTSM2\n";
 
 const HEADER_LEN: usize = 8;
 const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
@@ -60,7 +81,43 @@ fn put_str16(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn encode_entry(entry: &BlockEntry, out: &mut Vec<u8>) {
+fn put_value(out: &mut Vec<u8>, v: &FieldValue) {
+    match v {
+        FieldValue::Float(f) => {
+            out.push(0);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        FieldValue::Integer(n) => {
+            out.push(1);
+            put_uvarint(out, zigzag(*n));
+        }
+        FieldValue::Boolean(b) => {
+            out.push(2);
+            out.push(*b as u8);
+        }
+        FieldValue::Text(s) => {
+            out.push(3);
+            put_uvarint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn put_summary(out: &mut Vec<u8>, summary: Option<&BlockSummary>) {
+    let Some(s) = summary else {
+        out.push(0);
+        return;
+    };
+    out.push(1);
+    out.push(s.numeric as u8);
+    for x in [s.sum, s.sum_sq, s.min, s.max] {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    put_value(out, &s.first);
+    put_value(out, &s.last);
+}
+
+fn encode_entry(entry: &BlockEntry, out: &mut Vec<u8>, with_summary: bool) {
     let payload_start = out.len() + HEADER_LEN;
     out.extend_from_slice(&[0; HEADER_LEN]); // length + CRC back-patched
     let b = &entry.block;
@@ -79,6 +136,9 @@ fn encode_entry(entry: &BlockEntry, out: &mut Vec<u8>) {
     put_str16(out, &entry.field);
     out.extend_from_slice(&(b.bytes().len() as u32).to_le_bytes());
     out.extend_from_slice(b.bytes());
+    if with_summary {
+        put_summary(out, b.summary());
+    }
     let payload_len = out.len() - payload_start;
     assert!(payload_len <= MAX_PAYLOAD, "block entry too large for one frame");
     let crc = crc32(&out[payload_start..]);
@@ -123,9 +183,54 @@ impl<'a> Cursor<'a> {
         let len = self.u16()? as usize;
         std::str::from_utf8(self.take(len)?).ok().map(str::to_string)
     }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().unwrap())))
+    }
+
+    fn uvarint(&mut self) -> Option<u64> {
+        let v = get_uvarint(self.buf, &mut self.off)?;
+        Some(v)
+    }
+
+    fn value(&mut self) -> Option<FieldValue> {
+        Some(match self.u8()? {
+            0 => FieldValue::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            1 => FieldValue::Integer(unzigzag(self.uvarint()?)),
+            2 => FieldValue::Boolean(self.u8()? != 0),
+            3 => {
+                let len = self.uvarint()? as usize;
+                FieldValue::Text(std::str::from_utf8(self.take(len)?).ok()?.to_string())
+            }
+            _ => return None,
+        })
+    }
+
+    fn summary(&mut self) -> Option<Option<BlockSummary>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => {
+                let numeric = self.u8()? != 0;
+                let sum = self.f64()?;
+                let sum_sq = self.f64()?;
+                let min = self.f64()?;
+                let max = self.f64()?;
+                let first = self.value()?;
+                let last = self.value()?;
+                Some(Some(BlockSummary { numeric, sum, sum_sq, min, max, first, last }))
+            }
+            _ => None,
+        }
+    }
 }
 
-fn decode_entry(payload: &[u8]) -> Option<BlockEntry> {
+fn decode_entry(payload: &[u8], with_summary: bool) -> Option<BlockEntry> {
     let mut c = Cursor { buf: payload, off: 0 };
     let gen = c.u64()?;
     let min_ts = c.i64()?;
@@ -141,16 +246,17 @@ fn decode_entry(payload: &[u8]) -> Option<BlockEntry> {
     let field = c.str16()?;
     let block_len = c.u32()? as usize;
     let bytes = c.take(block_len)?.to_vec();
+    let block = if with_summary {
+        let summary = c.summary()?;
+        SealedBlock::from_parts_with_summary(gen, min_ts, max_ts, count, bytes, summary)
+    } else {
+        // Legacy V1 entry: recompute the summary with one decode pass.
+        SealedBlock::from_parts(gen, min_ts, max_ts, count, bytes)
+    };
     if c.off != payload.len() {
         return None; // trailing garbage inside a CRC-clean frame
     }
-    Some(BlockEntry {
-        series_key,
-        measurement,
-        tags,
-        field,
-        block: SealedBlock::from_parts(gen, min_ts, max_ts, count, bytes),
-    })
+    Some(BlockEntry { series_key, measurement, tags, field, block })
 }
 
 /// Writes `entries` to `path` atomically (tmp + fsync + rename). Returns the
@@ -164,10 +270,25 @@ pub fn write_segment(
     entries: &[BlockEntry],
     fail_after_bytes: Option<u64>,
 ) -> Result<u64> {
+    write_segment_impl(path, entries, fail_after_bytes, true)
+}
+
+/// Writes a legacy V1 segment (no summaries). Kept for backward-compat
+/// tests: every reader must keep accepting files older deployments wrote.
+pub fn write_segment_v1(path: &Path, entries: &[BlockEntry]) -> Result<u64> {
+    write_segment_impl(path, entries, None, false)
+}
+
+fn write_segment_impl(
+    path: &Path,
+    entries: &[BlockEntry],
+    fail_after_bytes: Option<u64>,
+    with_summary: bool,
+) -> Result<u64> {
     let mut buf = Vec::with_capacity(4096);
-    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(if with_summary { MAGIC } else { MAGIC_V1 });
     for e in entries {
-        encode_entry(e, &mut buf);
+        encode_entry(e, &mut buf, with_summary);
     }
     let tmp = path.with_extension("tmp");
     {
@@ -192,9 +313,13 @@ pub fn write_segment(
 /// rather than failing, so one bad sector loses one block, not the file.
 pub fn read_segment(path: &Path) -> Result<Vec<BlockEntry>> {
     let buf = fs::read(path)?;
-    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+    let with_summary = if buf.len() >= MAGIC.len() && &buf[..MAGIC.len()] == MAGIC {
+        true
+    } else if buf.len() >= MAGIC_V1.len() && &buf[..MAGIC_V1.len()] == MAGIC_V1 {
+        false
+    } else {
         return Err(Error::invalid(format!("{}: bad segment magic", path.display())));
-    }
+    };
     let mut entries = Vec::new();
     let mut off = MAGIC.len();
     loop {
@@ -211,7 +336,7 @@ pub fn read_segment(path: &Path) -> Result<Vec<BlockEntry>> {
         if crc32(payload) != crc {
             return Ok(entries);
         }
-        let Some(entry) = decode_entry(payload) else {
+        let Some(entry) = decode_entry(payload, with_summary) else {
             return Ok(entries);
         };
         entries.push(entry);
@@ -287,6 +412,69 @@ mod tests {
         let back = read_segment(&path).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].series_key, "a");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_round_trips_summaries() {
+        let dir = tmp("v2sum");
+        let path = dir.join("seg-0-0000000000000004.tsm");
+        let entries = vec![entry("cpu,host=n01", "usage", 1, 0..100)];
+        write_segment(&path, &entries, None).unwrap();
+        let back = read_segment(&path).unwrap();
+        let s = back[0].block.summary().expect("V2 carries a summary");
+        assert_eq!(s, entries[0].block.summary().unwrap());
+        assert!(s.numeric);
+        // Values are t * 0.5 for t in 0..100.
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 49.5);
+        assert_eq!(s.sum, (0..100).map(|t| t as f64 * 0.5).sum::<f64>());
+        assert_eq!(s.first, FieldValue::Float(0.0));
+        assert_eq!(s.last, FieldValue::Float(49.5));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_segments_still_open_and_get_summaries() {
+        let dir = tmp("v1compat");
+        let path = dir.join("seg-0-0000000000000005.tsm");
+        let entries =
+            vec![entry("cpu,host=n01", "usage", 1, 0..50), entry("cpu,host=n01", "temp", 2, 5..25)];
+        write_segment_v1(&path, &entries).unwrap();
+        assert_eq!(&fs::read(&path).unwrap()[..8], MAGIC_V1);
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].block.decode(), entries[0].block.decode());
+        // Summaries are recomputed at load, so V1 files benefit from
+        // pruning too.
+        let s = back[1].block.summary().expect("recomputed at load");
+        assert_eq!(s, entries[1].block.summary().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn text_and_mixed_summaries_survive_the_footer() {
+        let dir = tmp("textsum");
+        let path = dir.join("seg-0-0000000000000006.tsm");
+        let points = vec![
+            (10, FieldValue::Text("job start".into())),
+            (20, FieldValue::Integer(7)),
+            (30, FieldValue::Boolean(true)),
+        ];
+        let e = BlockEntry {
+            series_key: "events,jobid=9".into(),
+            measurement: "events".into(),
+            tags: vec![("jobid".into(), "9".into())],
+            field: "text".into(),
+            block: SealedBlock::seal(3, &points),
+        };
+        write_segment(&path, &[e.clone()], None).unwrap();
+        let back = read_segment(&path).unwrap();
+        let s = back[0].block.summary().unwrap();
+        assert_eq!(s.first, FieldValue::Text("job start".into()));
+        assert_eq!(s.last, FieldValue::Boolean(true));
+        assert!(s.numeric); // integer + boolean are numeric-viewed
+        assert_eq!(s.sum, 8.0);
         let _ = fs::remove_dir_all(&dir);
     }
 
