@@ -22,7 +22,7 @@
 //! sealed/head ratio regresses more than 30% against the checked-in
 //! `BENCH_query.json`, or when an acceptance bar above fails.
 
-use lms_influx::{Influx, StorageConfig};
+use lms_influx::{Influx, QueryTuning, RollupPolicy, StorageConfig, Tier};
 use lms_util::{Clock, Timestamp};
 use std::hint::black_box;
 use std::time::Instant;
@@ -32,6 +32,15 @@ const POINTS_PER_SERIES: usize = 50_000; // 1M points total
 const STEP_NS: i64 = 1_000_000_000; // one sample per second per series
 const RUNS: usize = 5;
 const QUICK_RUNS: usize = 3;
+
+// Month-of-data rollup comparison: 4 hosts sampled every 30s for 30
+// days, queried with a 1h-windowed aggregate served raw vs from the 1m
+// vs the 1h rollup tier. Acceptance: the 1h tier answers ≥ 10x faster
+// than the raw full decode.
+const ROLLUP_SERIES: usize = 4;
+const ROLLUP_STEP_NS: i64 = 30 * 1_000_000_000;
+const ROLLUP_POINTS_PER_SERIES: usize = 86_400; // 30 days at 30s
+const ROLLUP_SPEEDUP_MIN: f64 = 10.0;
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
 
@@ -112,7 +121,9 @@ fn queries() -> Vec<(&'static str, String)> {
 /// plus the sealed engine's storage stats.
 fn run_measurements(runs: usize) -> (Vec<Row>, lms_influx::StorageStats) {
     // Head: memory-only database, every point in the mutable head.
-    let head = Influx::new(Clock::simulated(Timestamp::from_secs(1)));
+    // The clock sits past the data: windowed queries clamp their bounded
+    // end to `now`, so a lagging clock would collapse the emission range.
+    let head = Influx::new(Clock::simulated(Timestamp::from_secs(60_000)));
     println!("loading {} points into the head engine...", SERIES * POINTS_PER_SERIES);
     load(&head);
 
@@ -121,7 +132,7 @@ fn run_measurements(runs: usize) -> (Vec<Row>, lms_influx::StorageStats) {
     let dir = std::env::temp_dir().join(format!("lms-bench-query-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let sealed =
-        Influx::open(Clock::simulated(Timestamp::from_secs(1)), 8, StorageConfig::new(&dir))
+        Influx::open(Clock::simulated(Timestamp::from_secs(60_000)), 8, StorageConfig::new(&dir))
             .expect("open persistent");
     println!("loading {} points into the sealed engine...", SERIES * POINTS_PER_SERIES);
     load(&sealed);
@@ -143,6 +154,112 @@ fn run_measurements(runs: usize) -> (Vec<Row>, lms_influx::StorageStats) {
     }
     let _ = std::fs::remove_dir_all(&dir);
     (rows, stats)
+}
+
+/// Raw vs tier costs of the month-of-data windowed aggregate.
+struct RollupCosts {
+    query: String,
+    raw_decode_ms: f64,
+    raw_fast_ms: f64,
+    tier_1m_ms: f64,
+    tier_1h_ms: f64,
+}
+
+impl RollupCosts {
+    fn speedup_1h(&self) -> f64 {
+        self.raw_decode_ms / self.tier_1h_ms
+    }
+}
+
+/// Loads a month of data into a fresh persistent database, rolls it up,
+/// and measures the windowed aggregate under each tier policy. The
+/// answers are asserted identical across policies (quarter-step values
+/// are dyadic, so the decomposed sums are bit-exact).
+fn run_rollup_measurements(runs: usize) -> RollupCosts {
+    let dir = std::env::temp_dir().join(format!("lms-bench-rollup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A month of 30s samples ends at ~2,592,030s; the clock must sit past
+    // that or the windowed emission clamps to `now` and measures nothing.
+    let ix =
+        Influx::open(Clock::simulated(Timestamp::from_secs(2_700_000)), 8, StorageConfig::new(&dir))
+            .expect("open persistent");
+    println!(
+        "loading month-of-data rollup dataset ({} points)...",
+        ROLLUP_SERIES * ROLLUP_POINTS_PER_SERIES
+    );
+    const CHUNK: usize = 5_000;
+    let mut body = String::with_capacity(CHUNK * 64);
+    for series in 0..ROLLUP_SERIES {
+        for start in (0..ROLLUP_POINTS_PER_SERIES).step_by(CHUNK) {
+            body.clear();
+            for i in start..(start + CHUNK).min(ROLLUP_POINTS_PER_SERIES) {
+                let ts = (i as i64 + 1) * ROLLUP_STEP_NS;
+                let busy = ((i * 37 + series * 11) % 400) as f64 * 0.25;
+                body.push_str(&format!("cpu,hostname=h{series} busy={busy} {ts}\n"));
+            }
+            ix.write_lines("lms", &body, Default::default()).expect("load");
+        }
+    }
+    ix.flush_storage().expect("flush");
+    println!("rolling up into 1m and 1h tiers...");
+    ix.enable_rollups(RollupPolicy::default()).expect("enable rollups");
+    let (_, tier_rows) = ix.rollup_counters();
+    println!("rollup complete: {tier_rows} tier rows");
+
+    let total_ns = (ROLLUP_POINTS_PER_SERIES as i64 + 1) * ROLLUP_STEP_NS;
+    // Unquoted tag key: the recorded query is embedded verbatim in
+    // BENCH_query.json, where inner quotes would break the JSON string.
+    let q = format!(
+        "SELECT mean(busy), max(busy) FROM cpu WHERE time >= 0 AND time < {total_ns} \
+         GROUP BY time(1h), hostname"
+    );
+    let db = ix.database("lms").expect("lms exists");
+
+    // Answers must agree exactly before timing anything.
+    ix.set_query_tiers(Some(vec![]));
+    let raw_answer = ix.query("lms", &q).expect("raw");
+    for tiers in [vec![Tier::Minute], vec![Tier::Hour]] {
+        ix.set_query_tiers(Some(tiers.clone()));
+        let got = ix.query("lms", &q).expect("tiered");
+        assert_eq!(got, raw_answer, "tier answer diverges under {tiers:?}");
+    }
+
+    // Raw full decode (the pre-rollup cost of a month-long window).
+    ix.set_query_tiers(Some(vec![]));
+    db.set_query_tuning(QueryTuning { use_summaries: false, parallel_scan: false });
+    let raw_decode_ms = measure(&ix, &q, runs);
+    // Raw with the v2 fast paths on — the strongest no-rollup baseline.
+    db.set_query_tuning(QueryTuning::default());
+    let raw_fast_ms = measure(&ix, &q, runs);
+    ix.set_query_tiers(Some(vec![Tier::Minute]));
+    let tier_1m_ms = measure(&ix, &q, runs);
+    ix.set_query_tiers(Some(vec![Tier::Hour]));
+    let tier_1h_ms = measure(&ix, &q, runs);
+    ix.set_query_tiers(None);
+
+    let costs = RollupCosts { query: q, raw_decode_ms, raw_fast_ms, tier_1m_ms, tier_1h_ms };
+    println!(
+        "windowed-30d        raw-decode {raw_decode_ms:>8.2} ms   raw-fast {raw_fast_ms:>8.2} ms   \
+         1m {tier_1m_ms:>8.2} ms   1h {tier_1h_ms:>8.2} ms   1h speedup {:>5.1}x",
+        costs.speedup_1h()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    costs
+}
+
+/// The rollup acceptance bar: the 1h tier must serve the month-long
+/// windowed aggregate ≥ 10x faster than the raw full decode.
+fn rollup_ok(costs: &RollupCosts) -> bool {
+    let speedup = costs.speedup_1h();
+    if speedup < ROLLUP_SPEEDUP_MIN {
+        eprintln!(
+            "FAIL: 1h-tier speedup {speedup:.1}x below the {ROLLUP_SPEEDUP_MIN}x acceptance bar \
+             (raw-decode {:.2} ms, 1h tier {:.2} ms)",
+            costs.raw_decode_ms, costs.tier_1h_ms
+        );
+        return false;
+    }
+    true
 }
 
 /// The acceptance ceilings on sealed/head ratios. Returns false (and
@@ -186,6 +303,7 @@ fn baseline_ratio(json: &str, name: &str) -> Option<f64> {
 fn run_quick() -> bool {
     let (rows, _) = run_measurements(QUICK_RUNS);
     let mut ok = ratios_ok(&rows);
+    ok &= rollup_ok(&run_rollup_measurements(QUICK_RUNS));
     let baseline = std::fs::read_to_string(BASELINE_PATH).ok();
     for r in &rows {
         let now = r.sealed_ms / r.head_ms;
@@ -227,13 +345,19 @@ fn run_full() {
         stats.sealed_blocks, stats.sealed_bytes, raw_bytes, ratio, stats.segment_files,
         stats.segment_bytes
     );
+    let rollup = run_rollup_measurements(RUNS);
 
-    let json = render_json(&rows, &stats, raw_bytes, ratio);
+    let json = render_json(&rows, &stats, raw_bytes, ratio, &rollup);
     std::fs::write(BASELINE_PATH, &json).expect("write BENCH_query.json");
     println!("wrote {BASELINE_PATH}");
     println!("acceptance: sealed-block compression = {ratio:.1}x raw (target ≥ 4x)");
     assert!(ratio >= 4.0, "compression ratio {ratio:.2} below the 4x acceptance bar");
     assert!(ratios_ok(&rows), "a sealed/head ratio exceeds its acceptance ceiling");
+    println!(
+        "acceptance: 1h-tier month-window speedup = {:.1}x raw decode (target ≥ {ROLLUP_SPEEDUP_MIN}x)",
+        rollup.speedup_1h()
+    );
+    assert!(rollup_ok(&rollup), "the 1h-tier speedup is below the acceptance bar");
 }
 
 fn main() {
@@ -252,6 +376,7 @@ fn render_json(
     stats: &lms_influx::StorageStats,
     raw_bytes: u64,
     ratio: f64,
+    rollup: &RollupCosts,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -274,6 +399,16 @@ fn render_json(
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"rollup\": {{\"series\": {ROLLUP_SERIES}, \"points_per_series\": {ROLLUP_POINTS_PER_SERIES}, \"step_ns\": {ROLLUP_STEP_NS}, \"influxql\": \"{}\", \"raw_decode_ms\": {:.3}, \"raw_fast_ms\": {:.3}, \"tier_1m_ms\": {:.3}, \"tier_1h_ms\": {:.3}, \"speedup_1h_vs_raw_decode\": {:.1}}}\n",
+        rollup.query,
+        rollup.raw_decode_ms,
+        rollup.raw_fast_ms,
+        rollup.tier_1m_ms,
+        rollup.tier_1h_ms,
+        rollup.speedup_1h(),
+    ));
+    out.push_str("}\n");
     out
 }

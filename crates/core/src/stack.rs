@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use lms_hpm::collector::HpmCollector;
 use lms_hpm::simulate::Simulator;
 use lms_http::HttpClient;
-use lms_influx::{Influx, InfluxServer, StorageConfig, StorageWorker};
+use lms_influx::{Influx, InfluxServer, RollupPolicy, StorageConfig, StorageWorker};
 use lms_jobsched::{HttpSignaler, JobId, JobSpec, JobState, Scheduler};
 use lms_lineproto::BatchBuilder;
 use lms_mq::Publisher;
@@ -50,6 +50,11 @@ pub struct StackConfig {
     pub publish: bool,
     /// Database retention window (None = keep everything).
     pub retention: Option<Duration>,
+    /// Tiered retention: when set, the database nodes run the continuous
+    /// downsampling pipeline (raw → 1m → 1h rollup siblings, each with its
+    /// own retention) and the agents emit a second, pre-aggregated 60s
+    /// stream alongside the 1s raw stream.
+    pub rollup: Option<RollupPolicy>,
     /// Persist the database under this directory (WAL + compressed
     /// segment files); a stack restarted on the same directory serves
     /// its pre-restart history. None = memory-only.
@@ -76,6 +81,7 @@ impl Default for StackConfig {
             per_user: false,
             publish: false,
             retention: None,
+            rollup: None,
             data_dir: None,
             // The paper's arXiv date makes a recognizable epoch in plots.
             start_time: Timestamp::from_secs(1_501_804_800),
@@ -105,6 +111,11 @@ impl StackConfig {
     /// retention_hours = 48
     /// data_dir = /var/lib/lms    ; persist the database (omit = memory-only)
     /// drain_timeout_secs = 10    ; graceful-drain budget on shutdown
+    ///
+    /// [retention]
+    /// raw = 7d      ; tiered retention: any key enables downsampling
+    /// 1m  = 90d     ; durations use the query literal grammar (90d, 6h, 30m)
+    /// 1h  = 52w
     /// ```
     pub fn from_ini(text: &str) -> Result<Self> {
         let ini = lms_util::config::Config::parse(text)?;
@@ -172,6 +183,29 @@ impl StackConfig {
                 return Err(Error::config("drain_timeout_secs must be >= 0"));
             }
             config.drain_timeout = Duration::from_secs(s as u64);
+        }
+        // Tiered retention: any `[retention]` key turns the downsampling
+        // pipeline on; values use the query duration grammar (`90d`, `6h`).
+        let parse_tier_retention = |key: &str| -> Result<Option<Duration>> {
+            let Some(raw) = ini.get("retention", key) else { return Ok(None) };
+            let ns = lms_influx::query::parse_duration_ns(raw).map_err(|_| {
+                Error::config(format!("bad retention.{key} `{raw}`: expected e.g. 90d, 6h, 30m"))
+            })?;
+            if ns <= 0 {
+                return Err(Error::config(format!("retention.{key} must be positive")));
+            }
+            Ok(Some(Duration::from_nanos(ns as u64)))
+        };
+        let policy = RollupPolicy {
+            retention_raw: parse_tier_retention("raw")?,
+            retention_1m: parse_tier_retention("1m")?,
+            retention_1h: parse_tier_retention("1h")?,
+        };
+        if policy.retention_raw.is_some()
+            || policy.retention_1m.is_some()
+            || policy.retention_1h.is_some()
+        {
+            config.rollup = Some(policy);
         }
         Ok(config)
     }
@@ -271,6 +305,9 @@ impl LmsStack {
             if let Some(retention) = config.retention {
                 influx.set_retention("lms", Some(retention));
             }
+            if let Some(policy) = &config.rollup {
+                influx.enable_rollups(policy.clone())?;
+            }
             let storage_worker = influx.spawn_storage_worker();
             let server = InfluxServer::start("127.0.0.1:0", influx.clone())?;
             db.push(DbNode { influx, server: Some(server), storage_worker });
@@ -320,6 +357,13 @@ impl LmsStack {
             let mut hpm = HpmCollector::new(config.topology.clone(), hostname.clone(), clock.clone());
             for group in &config.hpm_groups {
                 hpm.add_group(group)?;
+            }
+            if config.rollup.is_some() {
+                // Agent-side pre-aggregation: both collectors additionally
+                // ship closed 60s windows to the router tagged for the 1m
+                // tier (`/write?db=lms&tier=1m`).
+                agent.enable_pre_aggregation();
+                hpm.enable_pre_aggregation();
             }
             nodes.push(NodeSim {
                 hostname: hostname.clone(),
@@ -487,10 +531,20 @@ impl LmsStack {
                     let _ = node.hpm_client.post_text("/write?db=lms", batch.as_str());
                 }
             }
+            let rollups = node.hpm.take_rollups();
+            if !rollups.is_empty() {
+                let mut batch = BatchBuilder::with_capacity(512);
+                for p in &rollups {
+                    batch.push(p);
+                }
+                let _ = node.hpm_client.post_text("/write?db=lms&tier=1m", batch.as_str());
+            }
         }
         self.ticks += 1;
         // Retention sweep once per simulated hour (cheap; see bench influx).
-        if self.config.retention.is_some() && self.ticks.is_multiple_of(60) {
+        if (self.config.retention.is_some() || self.config.rollup.is_some())
+            && self.ticks.is_multiple_of(60)
+        {
             for node in &self.db {
                 node.influx.enforce_retention();
             }
@@ -521,6 +575,11 @@ impl LmsStack {
     /// fully emptied within the drain budget. Idempotent — `Drop` runs
     /// the same sequence for stacks that are simply dropped.
     fn drain(&mut self) -> bool {
+        // A partial pre-aggregation window beats a lost one; ship while
+        // the router is still accepting.
+        for node in &mut self.nodes {
+            node.agent.flush_pre_aggregation();
+        }
         if let Some(s) = self.viewer_server.take() {
             s.shutdown();
         }
@@ -896,6 +955,67 @@ mod tests {
     }
 
     #[test]
+    fn tiered_retention_rolls_up_through_the_stack() {
+        let mut config = small_config();
+        config.rollup = Some(RollupPolicy {
+            retention_raw: Some(Duration::from_secs(7 * 24 * 3600)),
+            retention_1m: Some(Duration::from_secs(90 * 24 * 3600)),
+            retention_1h: None,
+        });
+        let mut stack = LmsStack::start(config).unwrap();
+        stack.run_for(Duration::from_secs(900), Duration::from_secs(60));
+        // Seal heads and run a rollup pass over everything ingested.
+        stack.influx().flush_storage().unwrap();
+
+        // The agents' pre-aggregated 60s stream and the database-side pass
+        // both feed the 1m tier sibling.
+        assert!(
+            stack.influx().point_count("lms__rollup_1m") > 0,
+            "1m tier empty: {:?}",
+            stack.influx().database_names()
+        );
+
+        // Tier-served aggregates match the raw-decode answer exactly.
+        let q = "SELECT mean(busy), count(busy) FROM cpu_total \
+                 WHERE time >= 0 GROUP BY time(5m), hostname";
+        stack.influx().set_query_tiers(Some(vec![]));
+        let raw = stack.influx().query("lms", q).unwrap();
+        stack.influx().set_query_tiers(None);
+        let tiered = stack.influx().query("lms", q).unwrap();
+        assert_eq!(format!("{raw:?}"), format!("{tiered:?}"), "tier answer diverges from raw");
+    }
+
+    #[test]
+    fn per_user_slices_get_tier_siblings() {
+        let mut config = small_config();
+        config.per_user = true;
+        config.rollup = Some(RollupPolicy {
+            retention_raw: Some(Duration::from_secs(24 * 3600)),
+            ..Default::default()
+        });
+        let mut stack = LmsStack::start(config).unwrap();
+        stack.submit_job("dave", "x", 1, Duration::from_secs(900), AppProfile::Stream);
+        stack.run_for(Duration::from_secs(600), Duration::from_secs(60));
+        stack.influx().flush_storage().unwrap();
+
+        // The user's raw slice exists and its tier siblings materialize —
+        // fed by the router's tier-aware duplication (agent 1m stream) and
+        // the database-side rollup pass over the raw slice.
+        assert!(stack.influx().point_count("user_dave") > 0);
+        assert!(
+            stack.influx().point_count("user_dave__rollup_1m") > 0,
+            "per-user 1m slice empty: {:?}",
+            stack.influx().database_names()
+        );
+        // The raw slice holds no stat-field rows (tier rows must not leak).
+        let r = stack.influx().query("user_dave", "SHOW MEASUREMENTS").unwrap();
+        for row in &r.series[0].values {
+            let m = row[0].as_str().unwrap();
+            assert!(!m.starts_with("__rollup"), "tier row leaked into raw slice: {m}");
+        }
+    }
+
+    #[test]
     fn config_from_ini() {
         let config = StackConfig::from_ini(
             "[cluster]\nnodes = 8\ntopology = desktop_4c\nseed = 7\n\
@@ -930,6 +1050,14 @@ mod tests {
         assert!(StackConfig::from_ini("[monitoring]\nhpm_groups = NOPE\n").is_err());
         assert!(StackConfig::from_ini("[monitoring]\nretention_hours = 0\n").is_err());
         assert!(StackConfig::from_ini("[monitoring]\ndrain_timeout_secs = -1\n").is_err());
+        // Tiered retention section (query duration grammar).
+        let t = StackConfig::from_ini("[retention]\nraw = 7d\n1m = 90d\n1h = 52w\n").unwrap();
+        let policy = t.rollup.unwrap();
+        assert_eq!(policy.retention_raw, Some(Duration::from_secs(7 * 24 * 3600)));
+        assert_eq!(policy.retention_1m, Some(Duration::from_secs(90 * 24 * 3600)));
+        assert_eq!(policy.retention_1h, Some(Duration::from_secs(52 * 7 * 24 * 3600)));
+        assert!(StackConfig::from_ini("").unwrap().rollup.is_none());
+        assert!(StackConfig::from_ini("[retention]\nraw = bogus\n").is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::groups::builtin;
 use crate::perfmon::Perfmon;
 use crate::simulate::Simulator;
 use lms_lineproto::Point;
+use lms_rollup::WindowAggregator;
 use lms_topology::Topology;
 use lms_util::{Clock, Result};
 
@@ -40,6 +41,10 @@ pub struct HpmCollector {
     hostname: String,
     clock: Clock,
     started: bool,
+    /// 60s pre-aggregation over collected points; closed windows are
+    /// drained by [`HpmCollector::take_rollups`] and bound for the 1m
+    /// rollup tier.
+    pre_agg: Option<WindowAggregator>,
 }
 
 impl HpmCollector {
@@ -50,6 +55,23 @@ impl HpmCollector {
             hostname: hostname.into(),
             clock,
             started: false,
+            pre_agg: None,
+        }
+    }
+
+    /// Enables the 1-minute pre-aggregation stream: every collected point
+    /// also feeds a per-series 60s window; [`HpmCollector::take_rollups`]
+    /// drains closed windows as rollup rows for direct 1m-tier ingestion.
+    pub fn enable_pre_aggregation(&mut self) {
+        self.pre_agg = Some(WindowAggregator::minute());
+    }
+
+    /// Drains every closed 1-minute window as rollup rows (stat fields,
+    /// window-start timestamps). Empty when pre-aggregation is off.
+    pub fn take_rollups(&mut self) -> Vec<Point> {
+        match &mut self.pre_agg {
+            Some(agg) => agg.close_before(self.clock.now().nanos()),
+            None => Vec::new(),
         }
     }
 
@@ -105,7 +127,14 @@ impl HpmCollector {
         self.perfmon.set_active(next)?;
         self.perfmon.start(sim);
 
-        Ok(if point.is_valid() { vec![point] } else { Vec::new() })
+        if point.is_valid() {
+            if let Some(agg) = &mut self.pre_agg {
+                agg.push(&point, ts);
+            }
+            Ok(vec![point])
+        } else {
+            Ok(Vec::new())
+        }
     }
 }
 

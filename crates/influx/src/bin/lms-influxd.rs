@@ -18,7 +18,7 @@
 //! queries as before the restart.
 
 use lms_http::ServerConfig;
-use lms_influx::{Influx, InfluxServer, StorageConfig};
+use lms_influx::{Influx, InfluxServer, RollupPolicy, StorageConfig};
 use lms_util::{Clock, Error, Result};
 use std::time::Duration;
 
@@ -29,11 +29,24 @@ fn parse_num<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: 
         .map_err(|_| Error::config(format!("bad {flag}")))
 }
 
+/// Parses a `--retention-*` duration value like `90d`, `6h`, `30m`
+/// (the same literal grammar queries use).
+fn parse_retention(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<Duration> {
+    let raw = it.next().ok_or_else(|| Error::config(format!("{flag} needs a duration")))?;
+    let ns = lms_influx::query::parse_duration_ns(raw)
+        .map_err(|_| Error::config(format!("bad {flag} `{raw}`: expected e.g. 90d, 6h, 30m")))?;
+    if ns <= 0 {
+        return Err(Error::config(format!("{flag} must be positive")));
+    }
+    Ok(Duration::from_nanos(ns as u64))
+}
+
 fn run() -> Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen = "127.0.0.1:8086".to_string();
     let mut databases: Vec<String> = Vec::new();
     let mut retention: Option<Duration> = None;
+    let mut rollup: Option<RollupPolicy> = None;
     let mut data_dir: Option<String> = None;
     let mut flush_points: Option<usize> = None;
     let mut flush_interval: Option<u64> = None;
@@ -54,6 +67,20 @@ fn run() -> Result<()> {
             "--retention-hours" => {
                 let h: u64 = parse_num(&mut it, "--retention-hours")?;
                 retention = Some(Duration::from_secs(h * 3600));
+            }
+            // Tiered retention: any of these turns the downsampling
+            // pipeline on (raw → 1m → 1h rollup databases).
+            "--retention-raw" => {
+                rollup.get_or_insert_with(RollupPolicy::default).retention_raw =
+                    Some(parse_retention(&mut it, "--retention-raw")?);
+            }
+            "--retention-1m" => {
+                rollup.get_or_insert_with(RollupPolicy::default).retention_1m =
+                    Some(parse_retention(&mut it, "--retention-1m")?);
+            }
+            "--retention-1h" => {
+                rollup.get_or_insert_with(RollupPolicy::default).retention_1h =
+                    Some(parse_retention(&mut it, "--retention-1h")?);
             }
             "--data-dir" => {
                 data_dir =
@@ -83,10 +110,12 @@ fn run() -> Result<()> {
             "--help" | "-h" => {
                 println!(
                     "usage: lms-influxd [--listen addr:port] [--db name]... [--retention-hours N]\n\
+                     \x20                 [--retention-raw DUR] [--retention-1m DUR] [--retention-1h DUR]\n\
                      \x20                 [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]\n\
                      \x20                 [--partition-hours N] [--compact-min-files N] [--wal-fsync]\n\
                      \x20                 [--wal-group-commit-ms N] [--wal-group-commit-bytes N]\n\
-                     \x20                 [--max-connections N] [--max-body-bytes N]"
+                     \x20                 [--max-connections N] [--max-body-bytes N]\n\
+                     durations accept query-style literals: 90d, 6h, 30m, 45s"
                 );
                 return Ok(());
             }
@@ -129,6 +158,10 @@ fn run() -> Result<()> {
             influx.set_retention(db, retention);
         }
     }
+    if let Some(policy) = &rollup {
+        influx.enable_rollups(policy.clone())?;
+        println!("rollups: raw={:?} 1m={:?} 1h={:?}", policy.retention_raw, policy.retention_1m, policy.retention_1h);
+    }
     // Held for the daemon's lifetime: flushes and compacts in the
     // background when persistence is enabled.
     let _worker = influx.spawn_storage_worker();
@@ -147,7 +180,7 @@ fn run() -> Result<()> {
     // persistent) flushes and compacts on its own cadence.
     loop {
         std::thread::sleep(Duration::from_secs(60));
-        if retention.is_some() {
+        if retention.is_some() || rollup.is_some() {
             let evicted = influx.enforce_retention();
             if evicted > 0 {
                 println!("retention: evicted {evicted} points");

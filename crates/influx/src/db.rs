@@ -33,6 +33,7 @@ use crate::exec::{self, QueryResult};
 use crate::query::{Condition, Statement, TimeValue};
 use crate::storage::Series;
 use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Precision};
+use lms_rollup::{align_down, align_up, is_rollup_db, rollup_db_name, Tier, WindowAcc, TIERS};
 use lms_tsm::{BlockEntry, Recovered, SealedBlock, TsmConfig, TsmEngine};
 use lms_util::{
     hash::fx_hash, Clock, Error, FxHashMap, FxHashSet, Result, Supervisor, SupervisorConfig,
@@ -41,7 +42,7 @@ use lms_util::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -400,6 +401,26 @@ pub struct Database {
     use_summaries: AtomicBool,
     /// [`QueryTuning::parallel_scan`].
     parallel_scan: AtomicBool,
+    /// True when this database feeds rollup tiers: flushes then record the
+    /// time ranges they sealed in [`Self::rollup_dirty`] so the next rollup
+    /// pass recomputes exactly the touched windows.
+    rollup_tracked: AtomicBool,
+    /// Closed `[min_ts, max_ts]` ranges sealed since the last rollup pass.
+    rollup_dirty: Mutex<Vec<(i64, i64)>>,
+    /// Rollup watermark: every raw point with `ts < watermark` has been
+    /// incorporated into the rollup tiers (`i64::MIN` = no rollups yet).
+    /// Recovered from the 1m tier database at startup.
+    rollup_watermark: AtomicI64,
+    /// Ceiling on retention cutoffs: [`Self::enforce_retention`] never
+    /// evicts at or past this timestamp (`i64::MAX` = unclamped). Set from
+    /// the rollup watermark so raw data outlives its un-rolled tail and the
+    /// tier window it straddles.
+    retention_clamp: AtomicI64,
+    /// High-water mark of applied retention cutoffs: raw points below this
+    /// may already be gone, so rollup recomputation must never touch
+    /// windows starting under it (a late backfill would otherwise replace
+    /// an exact tier row with a partial recompute).
+    raw_drop_cutoff: AtomicI64,
 }
 
 impl Default for Database {
@@ -426,6 +447,11 @@ impl Database {
             unflushed: Mutex::new(Vec::new()),
             use_summaries: AtomicBool::new(true),
             parallel_scan: AtomicBool::new(true),
+            rollup_tracked: AtomicBool::new(false),
+            rollup_dirty: Mutex::new(Vec::new()),
+            rollup_watermark: AtomicI64::new(i64::MIN),
+            retention_clamp: AtomicI64::new(i64::MAX),
+            raw_drop_cutoff: AtomicI64::new(i64::MIN),
         }
     }
 
@@ -510,6 +536,39 @@ impl Database {
     /// dropped by [`enforce_retention`](Self::enforce_retention)).
     pub fn set_retention(&self, retention: Option<Duration>) {
         self.meta.write().retention = retention;
+    }
+
+    /// Marks this database as a rollup source: flushes record the sealed
+    /// time ranges so rollup passes can recompute the touched windows.
+    pub fn set_rollup_tracked(&self, tracked: bool) {
+        self.rollup_tracked.store(tracked, Ordering::Release);
+    }
+
+    /// The rollup watermark: every raw point with `ts` below it is covered
+    /// by the rollup tiers. `None` before the first rollup pass.
+    pub fn rollup_watermark(&self) -> Option<i64> {
+        match self.rollup_watermark.load(Ordering::Acquire) {
+            i64::MIN => None,
+            wm => Some(wm),
+        }
+    }
+
+    /// Installs a recovered or freshly advanced rollup watermark.
+    pub fn set_rollup_watermark(&self, watermark: i64) {
+        self.rollup_watermark.fetch_max(watermark, Ordering::AcqRel);
+    }
+
+    /// Clamps future retention cutoffs to at most `floor` ([`i64::MAX`] to
+    /// unclamp): the rollup layer pins this to the last tier-complete
+    /// boundary so raw eviction cannot outrun rollup coverage.
+    pub fn set_retention_clamp(&self, floor: i64) {
+        self.retention_clamp.store(floor, Ordering::Release);
+    }
+
+    /// The highest retention cutoff ever applied to this database
+    /// (`i64::MIN` before the first eviction).
+    pub fn raw_drop_cutoff(&self) -> i64 {
+        self.raw_drop_cutoff.load(Ordering::Acquire)
     }
 
     /// Fast path: the series exists — one shard write lock, zero
@@ -966,7 +1025,27 @@ impl Database {
             return Err(e);
         }
         session.commit()?;
+        if self.rollup_tracked.load(Ordering::Acquire) && !entries.is_empty() {
+            // Record what this flush sealed; the next rollup pass recomputes
+            // every tier window these ranges touch (exact under backfill —
+            // recomputation reads the full column, not just the new blocks).
+            let mut dirty = self.rollup_dirty.lock();
+            for e in &entries {
+                dirty.push((e.block.min_ts, e.block.max_ts));
+            }
+        }
         Ok(sealed)
+    }
+
+    /// Claims the sealed-range backlog for a rollup pass. Call
+    /// [`Self::restore_rollup_dirty`] if the pass fails so no range is lost.
+    pub fn take_rollup_dirty(&self) -> Vec<(i64, i64)> {
+        std::mem::take(&mut *self.rollup_dirty.lock())
+    }
+
+    /// Returns claimed sealed ranges after a failed rollup pass.
+    pub fn restore_rollup_dirty(&self, ranges: Vec<(i64, i64)>) {
+        self.rollup_dirty.lock().extend(ranges);
     }
 
     /// Major compaction: merges every column's sealed blocks into one
@@ -1108,7 +1187,17 @@ impl Database {
     pub fn enforce_retention(&self, now_ns: i64) -> usize {
         let mut meta = self.meta.write();
         let Some(retention) = meta.retention else { return 0 };
-        let cutoff = now_ns.saturating_sub(retention.as_nanos().min(i64::MAX as u128) as i64);
+        // The rollup layer clamps the cutoff to the last tier-complete
+        // boundary: points past the clamp are either not yet rolled up or
+        // sit in a tier window that would be recomputed partially if its
+        // raw points vanished, so they must survive this sweep.
+        let clamp = self.retention_clamp.load(Ordering::Acquire);
+        let cutoff = now_ns
+            .saturating_sub(retention.as_nanos().min(i64::MAX as u128) as i64)
+            .min(clamp);
+        if cutoff == i64::MIN {
+            return 0; // clamped to "nothing rolled up yet": keep everything
+        }
         let mut evicted = 0;
         let mut removed: FxHashSet<String> = FxHashSet::default();
         for idx in 0..self.shards.len() {
@@ -1160,12 +1249,41 @@ impl Database {
                 meta.measurements.shrink_to_fit();
             }
         }
+        self.raw_drop_cutoff.fetch_max(cutoff, Ordering::AcqRel);
         if let Some(engine) = &self.engine {
+            // Defense in depth: the engine refuses to unlink partitions
+            // reaching past the rollup clamp even if a future caller passes
+            // a miscomputed cutoff.
+            engine.set_drop_floor(clamp);
             // Best-effort: whole expired segment files are unlinked without
             // scanning; a failed unlink retries next sweep.
             let _ = engine.drop_expired(cutoff);
         }
         evicted
+    }
+}
+
+/// Tiered-retention policy: how long each resolution tier keeps data.
+/// Raw retention applies to every base (non-rollup) database; the 1m/1h
+/// retentions apply to the corresponding tier databases. `None` keeps a
+/// tier forever.
+#[derive(Debug, Clone, Default)]
+pub struct RollupPolicy {
+    /// Retention of raw points in base databases.
+    pub retention_raw: Option<Duration>,
+    /// Retention of the 1-minute rollup tier.
+    pub retention_1m: Option<Duration>,
+    /// Retention of the 1-hour rollup tier.
+    pub retention_1h: Option<Duration>,
+}
+
+impl RollupPolicy {
+    /// The retention of one tier database.
+    fn tier_retention(&self, tier: Tier) -> Option<Duration> {
+        match tier {
+            Tier::Minute => self.retention_1m,
+            Tier::Hour => self.retention_1h,
+        }
     }
 }
 
@@ -1182,6 +1300,12 @@ struct Inner {
     /// Supervisor of the background storage worker, installed by
     /// [`Influx::spawn_storage_worker`]; drives `/health/ready`.
     supervisor: Option<Supervisor>,
+    /// Downsampling policy; `None` disables the rollup pipeline entirely.
+    rollup: Option<RollupPolicy>,
+    /// Which tiers queries may read from: `None` = every available tier
+    /// (the default); `Some(vec![])` forces raw-only. Tests and benches
+    /// flip this to compare tier-served against raw-decoded answers.
+    query_tiers: Option<Vec<Tier>>,
 }
 
 impl Inner {
@@ -1189,13 +1313,31 @@ impl Inner {
     /// name is directory-safe (other names stay memory-only — they cannot
     /// round-trip through a path).
     fn make_database(&self, name: &str) -> Result<Arc<Database>> {
-        match &self.storage {
-            Some(cfg) if is_safe_db_name(name) => Ok(Arc::new(Database::open_persistent(
+        let db = match &self.storage {
+            Some(cfg) if is_safe_db_name(name) => Arc::new(Database::open_persistent(
                 self.shard_count,
                 cfg.tsm_config(name),
-            )?)),
-            _ => Ok(Arc::new(Database::with_shards(self.shard_count))),
+            )?),
+            _ => Arc::new(Database::with_shards(self.shard_count)),
+        };
+        if let Some(policy) = &self.rollup {
+            match lms_rollup::base_db_of(name) {
+                // A tier sibling created after enable_rollups (e.g. for a
+                // per-user slice) inherits the per-tier retention.
+                Some((_, tier)) => {
+                    if policy.tier_retention(tier).is_some() {
+                        db.set_retention(policy.tier_retention(tier));
+                    }
+                }
+                None => {
+                    db.set_rollup_tracked(true);
+                    if policy.retention_raw.is_some() {
+                        db.set_retention(policy.retention_raw);
+                    }
+                }
+            }
         }
+        Ok(db)
     }
 }
 
@@ -1207,6 +1349,10 @@ pub struct Influx {
     /// Fault injection: pending storage-worker panics (each tick consumes
     /// one); exercises the supervisor's restart path in tests.
     worker_panics: Arc<AtomicU64>,
+    /// Rollup passes completed (the `/stats` gauge).
+    rollup_passes: Arc<AtomicU64>,
+    /// Tier rows written by rollup passes (the `/stats` gauge).
+    rollup_windows: Arc<AtomicU64>,
 }
 
 impl Influx {
@@ -1227,9 +1373,13 @@ impl Influx {
                 shard_count: shards.max(1).next_power_of_two(),
                 storage: None,
                 supervisor: None,
+                rollup: None,
+                query_tiers: None,
             })),
             clock,
             worker_panics: Arc::new(AtomicU64::new(0)),
+            rollup_passes: Arc::new(AtomicU64::new(0)),
+            rollup_windows: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -1290,6 +1440,269 @@ impl Influx {
         if let Some(found) = self.database(db) {
             found.set_retention(retention);
         }
+    }
+
+    /// Turns on the downsampling pipeline: every existing and future base
+    /// database gets 1m/1h rollup tier siblings (`X__rollup_1m`,
+    /// `X__rollup_1h` — ordinary databases with their own engine, WAL and
+    /// retention), per-tier retention from `policy`, watermark recovery
+    /// from disk, and an immediate catch-up rollup pass over everything
+    /// already stored.
+    pub fn enable_rollups(&self, policy: RollupPolicy) -> Result<()> {
+        self.inner.write().rollup = Some(policy.clone());
+        for name in self.database_names() {
+            if let Some((_, tier)) = lms_rollup::base_db_of(&name) {
+                if let Some(db) = self.database(&name) {
+                    if policy.tier_retention(tier).is_some() {
+                        db.set_retention(policy.tier_retention(tier));
+                    }
+                }
+                continue;
+            }
+            let Some(db) = self.database(&name) else { continue };
+            db.set_rollup_tracked(true);
+            if policy.retention_raw.is_some() {
+                db.set_retention(policy.retention_raw);
+            }
+            // Watermark recovery: the newest `__rollup_watermark` point in
+            // the 1m tier database carries the pre-restart watermark as its
+            // timestamp. Everything above it is re-rolled by the catch-up
+            // pass below; recomputation is idempotent, so overshooting
+            // after a crash merely rewrites identical rows.
+            if let Some(tier_db) = self.database(&rollup_db_name(&name, Tier::Minute)) {
+                if let Some(series) =
+                    tier_db.series_of(lms_rollup::WATERMARK_MEASUREMENT).first()
+                {
+                    if let Some(ts) = series
+                        .field(lms_rollup::WATERMARK_FIELD)
+                        .and_then(|c| c.last_ts())
+                    {
+                        db.set_rollup_watermark(ts);
+                    }
+                }
+            }
+            self.rollup_pass(&name)?;
+        }
+        Ok(())
+    }
+
+    /// True when the downsampling pipeline is enabled.
+    pub fn rollups_enabled(&self) -> bool {
+        self.inner.read().rollup.is_some()
+    }
+
+    /// Restricts which rollup tiers queries may consult: `None` = every
+    /// available tier (the default), `Some(vec![])` = raw only. Tests and
+    /// benches flip this to compare tier-served against raw answers.
+    pub fn set_query_tiers(&self, tiers: Option<Vec<Tier>>) {
+        self.inner.write().query_tiers = tiers;
+    }
+
+    /// `(passes completed, tier rows written)` by the rollup pipeline.
+    pub fn rollup_counters(&self) -> (u64, u64) {
+        (
+            self.rollup_passes.load(Ordering::Relaxed),
+            self.rollup_windows.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs one rollup pass for base database `base`: recomputes every
+    /// 1m/1h tier window touched by ranges sealed since the last pass
+    /// (plus the catch-up range above the watermark), writes the tier rows
+    /// through the normal write path of the sibling tier databases (their
+    /// WAL makes rollups crash-recoverable like any other write), and
+    /// advances the persisted watermark. Returns tier rows written.
+    ///
+    /// Windows are recomputed from the *full* in-memory column, not just
+    /// the newly sealed blocks, so backfill and overwrites converge to the
+    /// exact aggregate; agent-pre-aggregated rows landing in the same
+    /// window are superseded by last-write-wins.
+    pub fn rollup_pass(&self, base: &str) -> Result<u64> {
+        let policy = self.inner.read().rollup.clone();
+        let Some(policy) = policy else { return Ok(0) };
+        if is_rollup_db(base) {
+            return Ok(0);
+        }
+        let Some(db) = self.database(base) else { return Ok(0) };
+        let dirty = db.take_rollup_dirty();
+        match self.rollup_pass_inner(base, &db, &policy, &dirty) {
+            Ok(rows) => {
+                self.rollup_passes.fetch_add(1, Ordering::Relaxed);
+                self.rollup_windows.fetch_add(rows, Ordering::Relaxed);
+                Ok(rows)
+            }
+            Err(e) => {
+                // Give the claimed ranges back so no sealed range is lost;
+                // the next pass retries them.
+                db.restore_rollup_dirty(dirty);
+                Err(e)
+            }
+        }
+    }
+
+    fn rollup_pass_inner(
+        &self,
+        base: &str,
+        db: &Database,
+        policy: &RollupPolicy,
+        dirty: &[(i64, i64)],
+    ) -> Result<u64> {
+        // Snapshot every series (drains staged writes) and the data extent.
+        let measurements = db.measurement_names();
+        let mut snapshots: Vec<Vec<Arc<Series>>> = Vec::with_capacity(measurements.len());
+        let mut data_lo = i64::MAX;
+        let mut data_hi = i64::MIN;
+        for m in &measurements {
+            let series = db.series_of(m);
+            for s in &series {
+                for col in s.field_names().filter_map(|f| s.field(f)) {
+                    if let Some(t) = col.first_ts() {
+                        data_lo = data_lo.min(t);
+                    }
+                    if let Some(t) = col.last_ts() {
+                        data_hi = data_hi.max(t);
+                    }
+                }
+            }
+            snapshots.push(series);
+        }
+        let wm = db.rollup_watermark().unwrap_or(i64::MIN);
+        let mut ranges: Vec<(i64, i64)> =
+            dirty.iter().map(|&(lo, hi)| (lo, hi.saturating_add(1))).collect();
+        if data_hi != i64::MIN {
+            // Catch-up: everything between the watermark and the newest
+            // point — covers crash-lost dirty ranges, first-enable
+            // backlogs, and head points rolled ahead of their flush.
+            let lo = if wm == i64::MIN { data_lo } else { wm };
+            let hi = data_hi.saturating_add(1);
+            if lo < hi {
+                ranges.push((lo, hi));
+            }
+        }
+        if ranges.is_empty() {
+            return Ok(0);
+        }
+        let floor = db.raw_drop_cutoff();
+        let mut rows_written = 0u64;
+        for tier in TIERS {
+            let w = tier.window_ns();
+            // Align each range out to whole windows, then coalesce so no
+            // window is recomputed (and emitted) twice in one pass.
+            let mut aligned: Vec<(i64, i64)> =
+                ranges.iter().map(|&(lo, hi)| (align_down(lo, w), align_up(hi, w))).collect();
+            aligned.sort_unstable();
+            let mut merged: Vec<(i64, i64)> = Vec::with_capacity(aligned.len());
+            for (lo, hi) in aligned {
+                match merged.last_mut() {
+                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            let tier_name = rollup_db_name(base, tier);
+            self.create_database(&tier_name);
+            if policy.tier_retention(tier).is_some() {
+                if let Some(t) = self.database(&tier_name) {
+                    t.set_retention(policy.tier_retention(tier));
+                }
+            }
+            for (m, series_list) in measurements.iter().zip(&snapshots) {
+                for series in series_list {
+                    // window start → (field, accumulator) rows.
+                    let mut windows: std::collections::BTreeMap<i64, Vec<(String, WindowAcc)>> =
+                        std::collections::BTreeMap::new();
+                    let fields: Vec<String> =
+                        series.field_names().map(str::to_string).collect();
+                    for field in &fields {
+                        let Some(col) = series.field(field) else { continue };
+                        for &(lo, hi) in &merged {
+                            let mut cur: Option<(i64, WindowAcc)> = None;
+                            for (ts, value) in col.points_in(lo, hi) {
+                                let ws = align_down(ts, w);
+                                if ws < floor {
+                                    // Raw below the drop cutoff is gone: a
+                                    // recompute would be partial, so the
+                                    // existing tier row stays authoritative.
+                                    continue;
+                                }
+                                match &mut cur {
+                                    Some((s, acc)) if *s == ws => acc.add(ts, &value),
+                                    _ => {
+                                        if let Some((s, acc)) = cur.take() {
+                                            windows
+                                                .entry(s)
+                                                .or_default()
+                                                .push((field.clone(), acc));
+                                        }
+                                        let mut acc = WindowAcc::default();
+                                        acc.add(ts, &value);
+                                        cur = Some((ws, acc));
+                                    }
+                                }
+                            }
+                            if let Some((s, acc)) = cur.take() {
+                                windows.entry(s).or_default().push((field.clone(), acc));
+                            }
+                        }
+                    }
+                    let mut batch = String::new();
+                    for (ws, accs) in windows {
+                        if let Some(point) =
+                            lms_rollup::rollup_fields(m, series.tags(), ws, &accs)
+                        {
+                            batch.push_str(&point.to_line());
+                            batch.push('\n');
+                            rows_written += 1;
+                        }
+                    }
+                    if !batch.is_empty() {
+                        self.write_lines(&tier_name, &batch, WriteOptions::default())?;
+                    }
+                }
+            }
+        }
+        // Advance and persist the watermark (a point whose *timestamp* is
+        // the watermark, in the 1m tier database — recovered at startup).
+        let new_wm = data_hi.saturating_add(1).max(wm);
+        if new_wm > wm && new_wm != i64::MIN {
+            let tier_name = rollup_db_name(base, Tier::Minute);
+            self.create_database(&tier_name);
+            let line = format!(
+                "{} {}=1i {new_wm}\n",
+                lms_rollup::WATERMARK_MEASUREMENT,
+                lms_rollup::WATERMARK_FIELD
+            );
+            self.write_lines(&tier_name, &line, WriteOptions::default())?;
+            db.set_rollup_watermark(new_wm);
+        }
+        Ok(rows_written)
+    }
+
+    /// The tier read context for queries against `db_name`: the available
+    /// tier databases (coarsest first) and the base watermark. `None` when
+    /// rollups are off, the database is itself a tier, no tier has data,
+    /// or the query-tier override excludes everything.
+    fn tier_ctx(&self, db_name: &str) -> Option<exec::TierCtx> {
+        let inner = self.inner.read();
+        inner.rollup.as_ref()?;
+        if is_rollup_db(db_name) {
+            return None;
+        }
+        let db = inner.databases.get(db_name)?;
+        let watermark = db.rollup_watermark()?;
+        let allowed = inner.query_tiers.clone();
+        let mut tiers = Vec::new();
+        for tier in [Tier::Hour, Tier::Minute] {
+            if allowed.as_ref().is_some_and(|a| !a.contains(&tier)) {
+                continue;
+            }
+            if let Some(t) = inner.databases.get(&rollup_db_name(db_name, tier)) {
+                tiers.push((tier.window_ns(), t.clone()));
+            }
+        }
+        if tiers.is_empty() {
+            return None;
+        }
+        Some(exec::TierCtx { tiers, watermark })
     }
 
     /// Names of all databases, sorted.
@@ -1419,7 +1832,8 @@ impl Influx {
                 let database = self
                     .database(db)
                     .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
-                exec::execute(&other, &database, now)
+                let tiers = self.tier_ctx(db);
+                exec::execute_tiered(&other, &database, tiers.as_ref(), now)
             }
         }
     }
@@ -1459,7 +1873,8 @@ impl Influx {
         let database = self
             .database(db)
             .ok_or_else(|| Error::not_found(format!("database `{db}`")))?;
-        exec::execute(&Statement::Select(sel), &database, now)
+        let tiers = self.tier_ctx(db);
+        exec::execute_tiered(&Statement::Select(sel), &database, tiers.as_ref(), now)
     }
 
     /// Sorted measurement names of a database (the `/metrics` listing).
@@ -1479,21 +1894,50 @@ impl Influx {
     }
 
     /// Applies retention across all databases; returns evicted point count.
+    /// With rollups enabled, raw eviction in each base database is clamped
+    /// to the last 1h-window boundary below its rollup watermark, so raw
+    /// points are never dropped before the coarsest tier has absorbed them
+    /// (the tier-boundary straddle guarantee).
     pub fn enforce_retention(&self) -> usize {
         let now = self.clock.now().nanos();
-        let databases: Vec<Arc<Database>> =
-            self.inner.read().databases.values().cloned().collect();
-        databases.iter().map(|d| d.enforce_retention(now)).sum()
+        let rollup_on = self.inner.read().rollup.is_some();
+        let databases: Vec<(String, Arc<Database>)> = self
+            .inner
+            .read()
+            .databases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.clone()))
+            .collect();
+        let mut evicted = 0;
+        for (name, db) in databases {
+            if rollup_on && !is_rollup_db(&name) {
+                let clamp = match db.rollup_watermark() {
+                    Some(wm) => align_down(wm, Tier::Hour.window_ns()),
+                    None => i64::MIN,
+                };
+                db.set_retention_clamp(clamp);
+            }
+            evicted += db.enforce_retention(now);
+        }
+        evicted
     }
 
     /// Flushes every database's mutable heads to disk; returns total
-    /// blocks sealed. No-op (0) without persistence.
+    /// blocks sealed. No-op (0) without persistence. With rollups enabled,
+    /// each base flush is followed by a rollup pass over the sealed
+    /// ranges, keeping the tiers continuously current.
     pub fn flush_storage(&self) -> Result<usize> {
-        let databases: Vec<Arc<Database>> =
-            self.inner.read().databases.values().cloned().collect();
+        let databases: Vec<(String, Arc<Database>)> = self
+            .inner
+            .read()
+            .databases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.clone()))
+            .collect();
         let mut sealed = 0;
-        for db in databases {
+        for (name, db) in databases {
             sealed += db.flush_storage()?;
+            self.rollup_pass(&name)?;
         }
         Ok(sealed)
     }
@@ -1552,9 +1996,14 @@ impl Influx {
                     panic!("injected storage worker panic");
                 }
                 let due = last_flush.elapsed() >= cfg.flush_interval;
-                let databases: Vec<Arc<Database>> =
-                    ix.inner.read().databases.values().cloned().collect();
-                for db in databases {
+                let databases: Vec<(String, Arc<Database>)> = ix
+                    .inner
+                    .read()
+                    .databases
+                    .iter()
+                    .map(|(n, d)| (n.clone(), d.clone()))
+                    .collect();
+                for (name, db) in databases {
                     let Some(engine) = db.engine() else { continue };
                     // Degraded (disk full): flushing or compacting would
                     // just hit ENOSPC again — park until an operator
@@ -1563,8 +2012,13 @@ impl Influx {
                         continue;
                     }
                     let heads = db.head_point_count();
-                    if heads > 0 && (due || heads >= cfg.flush_points) {
-                        let _ = db.flush_storage();
+                    if heads > 0
+                        && (due || heads >= cfg.flush_points)
+                        && db.flush_storage().is_ok()
+                    {
+                        // Downsample the freshly sealed ranges; an
+                        // error leaves them claimed-back for retry.
+                        let _ = ix.rollup_pass(&name);
                     }
                     if db.engine().is_some_and(|e| e.needs_compaction()) {
                         let _ = db.compact_storage();
@@ -1751,6 +2205,80 @@ mod tests {
         assert_eq!(ix.series_count("lms"), 0);
         let r = ix.query("lms", "SHOW MEASUREMENTS").unwrap();
         assert!(r.series.is_empty() || r.series[0].values.is_empty());
+    }
+
+    #[test]
+    fn retention_clamps_at_the_tier_boundary() {
+        // Regression: with rollups on, raw eviction stops at the last
+        // *complete* 1h window below the rollup watermark — a retention
+        // cutoff straddling a tier window must not strand a partially
+        // rolled hour. Aggressive raw retention (100s, now = 36000s)
+        // would otherwise evict everything.
+        let ix = Influx::new(Clock::simulated(Timestamp::from_secs(36_000)));
+        let body: String = (0..7000i64)
+            .map(|s| format!("m v={} {}\n", s % 10, s * 1_000_000_000))
+            .collect();
+        ix.write_lines("lms", &body, Default::default()).unwrap();
+        ix.enable_rollups(RollupPolicy {
+            retention_raw: Some(Duration::from_secs(100)),
+            ..Default::default()
+        })
+        .unwrap();
+        let evicted = ix.enforce_retention();
+        // Watermark ≈ 7000s → clamp = align_down(7000s, 1h) = 3600s:
+        // the first full hour goes, the straddled second hour stays.
+        assert_eq!(evicted, 3600, "eviction must stop at the 1h tier boundary");
+        assert_eq!(ix.point_count("lms"), 7000 - 3600);
+        // The evicted hour is still fully answerable through the tiers.
+        let r = ix.query("lms", "SELECT count(v) FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_i64().unwrap(), 7000);
+    }
+
+    #[test]
+    fn unrolled_points_survive_retention() {
+        // Rollups enabled but no pass has run yet (no watermark): raw
+        // eviction must hold off entirely rather than drop points no
+        // tier covers.
+        let ix = Influx::new(Clock::simulated(Timestamp::from_secs(36_000)));
+        ix.enable_rollups(RollupPolicy {
+            retention_raw: Some(Duration::from_secs(100)),
+            ..Default::default()
+        })
+        .unwrap();
+        // Two stale points in hour 0, one fresh point past the hour mark
+        // (so the post-pass clamp = align_down(watermark, 1h) = 3600s).
+        ix.write_lines(
+            "lms",
+            "m v=1 1000000000\nm v=2 2000000000\nm v=3 7201000000000",
+            Default::default(),
+        )
+        .unwrap();
+        assert_eq!(ix.enforce_retention(), 0, "unrolled points must not be evicted");
+        assert_eq!(ix.point_count("lms"), 3);
+        // After a rollup pass covers them, eviction proceeds up to the clamp.
+        ix.flush_storage().unwrap();
+        assert_eq!(ix.enforce_retention(), 2);
+        let r = ix.query("lms", "SELECT count(v) FROM m").unwrap();
+        assert_eq!(r.series[0].values[0][1].as_i64().unwrap(), 3, "tier coverage lost");
+    }
+
+    #[test]
+    fn per_user_slice_gets_tier_siblings() {
+        // A base database created *after* enable_rollups (the per-user
+        // materialized slice case) is tracked and rolled like any other.
+        let ix = influx();
+        ix.enable_rollups(RollupPolicy::default()).unwrap();
+        let body: String = (0..180i64)
+            .map(|s| format!("m v={} {}\n", s % 10, s * 1_000_000_000))
+            .collect();
+        ix.write_lines("user_dave", &body, Default::default()).unwrap();
+        ix.flush_storage().unwrap();
+        assert!(ix.point_count("user_dave__rollup_1m") > 0, "per-user 1m tier missing");
+        ix.set_query_tiers(Some(vec![]));
+        let raw = ix.query("user_dave", "SELECT mean(v), count(v) FROM m GROUP BY time(60s)").unwrap();
+        ix.set_query_tiers(None);
+        let tiered = ix.query("user_dave", "SELECT mean(v), count(v) FROM m GROUP BY time(60s)").unwrap();
+        assert_eq!(tiered, raw);
     }
 
     #[test]

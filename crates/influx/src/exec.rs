@@ -4,9 +4,23 @@ use crate::db::{Database, QueryTuning};
 use crate::query::{AggFunc, Condition, Fill, Projection, Select, Statement};
 use crate::storage::{Column, Series};
 use lms_lineproto::FieldValue;
+use lms_rollup::{align_down, align_up, stat_field};
 use lms_tsm::SealedBlock;
 use lms_util::{Error, Json, Result};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The rollup tier databases available to serve aggregate queries for one
+/// base database, plus its watermark. Built by `Influx::tier_ctx`.
+pub struct TierCtx {
+    /// `(window_ns, tier database)`, coarsest tier first — the planner
+    /// takes the first tier whose window divides the requested output
+    /// window.
+    pub tiers: Vec<(i64, Arc<Database>)>,
+    /// Rollup watermark of the base database: every raw point with
+    /// `ts < watermark` has been incorporated into every tier.
+    pub watermark: i64,
+}
 
 /// One result series (matches InfluxDB's JSON `series` element).
 #[derive(Debug, Clone, PartialEq)]
@@ -154,8 +168,20 @@ fn json_of(v: &FieldValue) -> Json {
 
 /// Executes a statement against one database. `now_ns` anchors `now()`.
 pub fn execute(stmt: &Statement, db: &Database, now_ns: i64) -> Result<QueryResult> {
+    execute_tiered(stmt, db, None, now_ns)
+}
+
+/// [`execute`] with an optional rollup tier context: aggregate SELECTs
+/// transparently resolve each time range to the coarsest tier that
+/// satisfies the requested window and stitch raw edges around it.
+pub fn execute_tiered(
+    stmt: &Statement,
+    db: &Database,
+    tiers: Option<&TierCtx>,
+    now_ns: i64,
+) -> Result<QueryResult> {
     match stmt {
-        Statement::Select(sel) => select(sel, db, now_ns),
+        Statement::Select(sel) => select(sel, db, tiers, now_ns),
         Statement::ShowMeasurements => {
             let values: Vec<Vec<Json>> =
                 db.measurement_names().iter().map(|m| vec![Json::str(m.as_str())]).collect();
@@ -237,7 +263,12 @@ fn series_matches(series: &Series, sel: &Select) -> bool {
     })
 }
 
-fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
+fn select(
+    sel: &Select,
+    db: &Database,
+    tiers: Option<&TierCtx>,
+    now_ns: i64,
+) -> Result<QueryResult> {
     let (start, end) = time_range(sel, now_ns);
     if start >= end {
         return Ok(QueryResult::empty());
@@ -252,28 +283,61 @@ fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
         .map(AsRef::as_ref)
         .filter(|s| series_matches(s, sel))
         .collect();
-    if matching.is_empty() {
+
+    let has_agg = sel.projections.iter().any(|p| matches!(p, Projection::Agg(..)));
+    let all_agg = sel.projections.iter().all(|p| matches!(p, Projection::Agg(..)));
+
+    // Tier eligibility: only decomposable aggregates can be answered from
+    // rollups, and an output window must be a whole multiple of the tier
+    // window. The first (coarsest) eligible tier wins.
+    let tier_sel: Option<(i64, Arc<Database>)> = tiers.filter(|_| all_agg).and_then(|ctx| {
+        ctx.tiers
+            .iter()
+            .find(|(w, _)| sel.group_time.is_none_or(|g| g % *w == 0))
+            .cloned()
+    });
+    let tier_snapshot: Vec<Arc<Series>> = tier_sel
+        .as_ref()
+        .map(|(_, tdb)| tdb.series_of(&sel.measurement))
+        .unwrap_or_default();
+    // Tier series carry the same tag sets as their base series, so tag
+    // predicates and GROUP BY keys apply unchanged.
+    let tier_matching: Vec<&Series> = tier_snapshot
+        .iter()
+        .map(AsRef::as_ref)
+        .filter(|s| series_matches(s, sel))
+        .collect();
+
+    // A series may survive only in the tiers (raw evicted by retention):
+    // the query is still answerable, so emptiness requires both layers.
+    if matching.is_empty() && tier_matching.is_empty() {
         return Ok(QueryResult::empty());
     }
 
     // Group series by the values of the GROUP BY tags; `GROUP BY *` pins
     // each full tag set to its own group (used by the router to keep
-    // per-series identity when recombining cross-node partials).
-    let mut groups: BTreeMap<Vec<(String, String)>, Vec<&Series>> = BTreeMap::new();
-    for s in matching {
-        let key: Vec<(String, String)> = if sel.group_all {
+    // per-series identity when recombining cross-node partials). Base and
+    // tier series land in the same group when their keys agree.
+    let group_key = |s: &Series| -> Vec<(String, String)> {
+        if sel.group_all {
             s.tags().to_vec()
         } else {
             sel.group_tags
                 .iter()
                 .map(|t| (t.clone(), s.tag(t).unwrap_or("").to_string()))
                 .collect()
-        };
-        groups.entry(key).or_default().push(s);
+        }
+    };
+    // Raw and tier series of one tag-key group, in series order.
+    type GroupPair<'a> = (Vec<&'a Series>, Vec<&'a Series>);
+    let mut groups: BTreeMap<Vec<(String, String)>, GroupPair<'_>> = BTreeMap::new();
+    for s in matching {
+        groups.entry(group_key(s)).or_default().0.push(s);
+    }
+    for s in tier_matching {
+        groups.entry(group_key(s)).or_default().1.push(s);
     }
 
-    let has_agg = sel.projections.iter().any(|p| matches!(p, Projection::Agg(..)));
-    let all_agg = sel.projections.iter().all(|p| matches!(p, Projection::Agg(..)));
     if has_agg && !all_agg {
         return Err(Error::invalid(
             "query: cannot mix aggregated and raw projections",
@@ -285,9 +349,17 @@ fn select(sel: &Select, db: &Database, now_ns: i64) -> Result<QueryResult> {
 
     let grouped = !sel.group_tags.is_empty() || sel.group_all;
     let mut out = QueryResult::empty();
-    for (tags, group) in groups {
+    for (tags, (group, tier_group)) in groups {
         let mut rs = if all_agg {
-            aggregate_group(sel, &group, start, end, now_ns, tuning)
+            let part = match &tier_sel {
+                Some((w, _)) if !tier_group.is_empty() => Some(TierPart {
+                    series: &tier_group,
+                    window_ns: *w,
+                    cap: tier_cap(&group, tiers.expect("tier_sel implies ctx").watermark),
+                }),
+                _ => None,
+            };
+            aggregate_group(sel, &group, part.as_ref(), start, end, now_ns, tuning)
         } else {
             raw_group(sel, &group, start, end)
         };
@@ -573,6 +645,188 @@ fn scan_group(
     merged
 }
 
+/// The tier slice available to one group's aggregation: the group's tier
+/// series, the tier window, and the cap below which the tier is
+/// authoritative.
+struct TierPart<'a> {
+    series: &'a [&'a Series],
+    window_ns: i64,
+    /// Timestamps `< cap` may be served from the tier; `[cap, ...)` must
+    /// come from raw. `min(watermark, earliest unflushed head point)` —
+    /// head points may have arrived after the last rollup pass.
+    cap: i64,
+}
+
+/// The tier-serve cap for one group: the base watermark, pulled down to
+/// the earliest head (unflushed) point of any column in the group.
+fn tier_cap(group: &[&Series], watermark: i64) -> i64 {
+    let mut cap = watermark;
+    for s in group {
+        let fields: Vec<String> = s.field_names().map(str::to_string).collect();
+        for f in &fields {
+            if let Some(&(ts, _)) = s.field(f).and_then(|c| c.head().first()) {
+                cap = cap.min(ts);
+            }
+        }
+    }
+    cap
+}
+
+/// Per-field window accumulators over `[start, end)`: raw-only, or — when
+/// a tier slice covers a whole-window middle `[a, b)` of the range — raw
+/// edge scans stitched around a fold of the tier's pre-aggregated rows.
+/// The stitched result is exact for decomposable aggregates because the
+/// tier rows carry complete per-window state (count/sum/sumsq/min/max and
+/// first/last with their original timestamps) and the three sub-ranges
+/// partition the visible timestamps.
+#[allow(clippy::too_many_arguments)]
+fn stitched_accs(
+    group: &[&Series],
+    tier: Option<&TierPart>,
+    fields: &[&str],
+    needed: &[Vec<&'static str>],
+    start: i64,
+    end: i64,
+    window: Option<i64>,
+    tuning: QueryTuning,
+) -> Vec<BTreeMap<i64, Acc>> {
+    if let Some(t) = tier {
+        // An unbounded start needs no alignment: there is no raw left
+        // edge below the first tier row.
+        let a = if start == i64::MIN { start } else { align_up(start, t.window_ns) };
+        let b = align_down(end.min(t.cap), t.window_ns);
+        if a < b {
+            let mut accs = scan_group(group, fields, start, a, window, tuning);
+            let right = scan_group(group, fields, b, end, window, tuning);
+            for (fi, m) in right.into_iter().enumerate() {
+                for (w, acc) in m {
+                    match accs[fi].get_mut(&w) {
+                        Some(cur) => cur.merge(acc),
+                        None => {
+                            accs[fi].insert(w, acc);
+                        }
+                    }
+                }
+            }
+            tier_fold(t.series, fields, needed, a, b, window, &mut accs);
+            return accs;
+        }
+    }
+    scan_group(group, fields, start, end, window, tuning)
+}
+
+/// The tier stat columns one aggregate function reads. `count` gates
+/// window emptiness and `min` doubles as `finalize()`'s numeric flag, so
+/// both ride along with every numeric aggregate.
+fn tier_stats_for(func: AggFunc) -> &'static [&'static str] {
+    match func {
+        AggFunc::Count => &["count"],
+        AggFunc::First => &["count", "first", "first_ts"],
+        AggFunc::Last => &["count", "last", "last_ts"],
+        AggFunc::Mean | AggFunc::Sum => &["count", "min", "sum"],
+        AggFunc::Min => &["count", "min"],
+        AggFunc::Max => &["count", "min", "max"],
+        AggFunc::Stddev => &["count", "min", "sum", "sumsq"],
+    }
+}
+
+/// Folds the tier rows with window starts in `[a, b)` into the per-field
+/// accumulators. Each tier row's stat fields reconstruct the exact
+/// accumulator state a raw decode of that window would have produced;
+/// `first`/`last` use the stored original timestamps so cross-layer
+/// tie-breaking matches a full raw scan. Only the stat columns in
+/// `needed[fi]` are decoded — the rest cannot reach the finalized output
+/// of the requested aggregates.
+fn tier_fold(
+    tier: &[&Series],
+    fields: &[&str],
+    needed: &[Vec<&'static str>],
+    a: i64,
+    b: i64,
+    out_window: Option<i64>,
+    accs: &mut [BTreeMap<i64, Acc>],
+) {
+    #[derive(Default)]
+    struct Partial {
+        count: i64,
+        sum: Option<f64>,
+        sum_sq: Option<f64>,
+        min: Option<f64>,
+        max: Option<f64>,
+        first: Option<FieldValue>,
+        first_ts: Option<i64>,
+        last: Option<FieldValue>,
+        last_ts: Option<i64>,
+    }
+    let key = |ts: i64| match out_window {
+        Some(w) => ts.div_euclid(w) * w,
+        None => 0,
+    };
+    for series in tier {
+        for (fi, field) in fields.iter().enumerate() {
+            let Some(count_col) = series.field(&stat_field(field, "count")) else { continue };
+            // Every rollup row writes `count`, so its ordered scan is the
+            // row spine; the other needed stat scans advance in lockstep
+            // (their timestamp sets are subsets of the spine's), avoiding
+            // a map lookup per decoded stat point.
+            let mut others: Vec<(&str, _)> = Vec::new();
+            for stat in lms_rollup::STATS {
+                if stat == "count" || !needed[fi].contains(&stat) {
+                    continue;
+                }
+                if let Some(col) = series.field(&stat_field(field, stat)) {
+                    others.push((stat, col.points_in(a, b).peekable()));
+                }
+            }
+            for (ts, value) in count_col.points_in(a, b) {
+                let FieldValue::Integer(count) = value else { continue };
+                if count <= 0 {
+                    continue;
+                }
+                let mut p = Partial { count, ..Default::default() };
+                for (stat, it) in others.iter_mut() {
+                    while it.peek().is_some_and(|&(t, _)| t < ts) {
+                        it.next();
+                    }
+                    if it.peek().is_none_or(|&(t, _)| t != ts) {
+                        continue;
+                    }
+                    let (_, value) = it.next().expect("peeked above");
+                    match (*stat, &value) {
+                        ("sum", _) => p.sum = value.as_f64(),
+                        ("sumsq", _) => p.sum_sq = value.as_f64(),
+                        ("min", _) => p.min = value.as_f64(),
+                        ("max", _) => p.max = value.as_f64(),
+                        ("first", _) => p.first = Some(value),
+                        ("first_ts", FieldValue::Integer(t)) => p.first_ts = Some(*t),
+                        ("last", _) => p.last = Some(value),
+                        ("last_ts", FieldValue::Integer(t)) => p.last_ts = Some(*t),
+                        _ => {}
+                    }
+                }
+                // Non-numeric windows carry no sum/min/max: the defaults
+                // leave `min` infinite, which finalize() already treats
+                // as "not numeric" (count/first/last still work).
+                let acc = Acc {
+                    count: p.count as u64,
+                    sum: p.sum.unwrap_or(0.0),
+                    sum_sq: p.sum_sq.unwrap_or(0.0),
+                    min: p.min.unwrap_or(f64::INFINITY),
+                    max: p.max.unwrap_or(f64::NEG_INFINITY),
+                    first: p.first.map(|v| (p.first_ts.unwrap_or(ts), v)),
+                    last: p.last.map(|v| (p.last_ts.unwrap_or(ts), v)),
+                };
+                match accs[fi].get_mut(&key(ts)) {
+                    Some(cur) => cur.merge(acc),
+                    None => {
+                        accs[fi].insert(key(ts), acc);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Aggregated projection, optionally windowed by `GROUP BY time(w)`.
 ///
 /// One planned scan per `(field, series)` column covers the whole query
@@ -580,10 +834,12 @@ fn scan_group(
 /// accumulator without a decode, residual points stream into theirs, and
 /// the per-window rows are emitted from the finished accumulators — where
 /// the previous executor re-decoded every overlapping block once per
-/// window per aggregate.
+/// window per aggregate. With a tier slice, the whole-window middle of
+/// the range is answered from rollup rows instead of raw decodes.
 fn aggregate_group(
     sel: &Select,
     group: &[&Series],
+    tier: Option<&TierPart>,
     start: i64,
     end: i64,
     now_ns: i64,
@@ -615,10 +871,21 @@ fn aggregate_group(
     let field_idx = |spec: &AggSpec| {
         fields.iter().position(|f| *f == spec.field).expect("collected above")
     };
+    // Union of tier stat columns every aggregate on a field reads — the
+    // tier fold skips the rest.
+    let mut needed: Vec<Vec<&'static str>> = vec![Vec::new(); fields.len()];
+    for spec in &specs {
+        let fi = field_idx(spec);
+        for stat in tier_stats_for(spec.func) {
+            if !needed[fi].contains(stat) {
+                needed[fi].push(stat);
+            }
+        }
+    }
 
     let values = match sel.group_time {
         None => {
-            let accs = scan_group(group, &fields, start, end, None, tuning);
+            let accs = stitched_accs(group, tier, &fields, &needed, start, end, None, tuning);
             let empty = Acc::default();
             let row_time = if start == i64::MIN { 0 } else { start };
             let mut row = vec![Json::Int(row_time)];
@@ -639,31 +906,59 @@ fn aggregate_group(
         }
         Some(window) => {
             // Window boundaries are aligned to the epoch (InfluxDB default).
+            // Unbounded ranges clamp to the data extent — including the
+            // tier extent, since raw below the retention cutoff survives
+            // only as rollup rows (a tier row at window start `t` covers
+            // points up to `t + tier_w`).
             let range_start = if start == i64::MIN {
-                // Unbounded start with windows: clamp to data start.
-                group
-                    .iter()
-                    .flat_map(|s| {
-                        specs.iter().filter_map(|sp| {
-                            s.field(&sp.field).and_then(|c| c.first_ts())
-                        })
-                    })
-                    .min()
-                    .unwrap_or(0)
+                let mut lo: Option<i64> = None;
+                for s in group {
+                    for sp in &specs {
+                        if let Some(t) = s.field(&sp.field).and_then(|c| c.first_ts()) {
+                            lo = Some(lo.map_or(t, |m| m.min(t)));
+                        }
+                    }
+                }
+                if let Some(t) = tier {
+                    for s in t.series {
+                        for sp in &specs {
+                            if let Some(ts) = s
+                                .field(&stat_field(&sp.field, "count"))
+                                .and_then(|c| c.first_ts())
+                            {
+                                lo = Some(lo.map_or(ts, |m| m.min(ts)));
+                            }
+                        }
+                    }
+                }
+                lo.unwrap_or(0)
             } else {
                 start
             };
             let range_end = if end == i64::MAX {
-                group
-                    .iter()
-                    .flat_map(|s| {
-                        specs.iter().filter_map(|sp| {
-                            s.field(&sp.field).and_then(|c| c.last_ts())
-                        })
-                    })
-                    .max()
-                    .map(|t| t.saturating_add(1))
-                    .unwrap_or(0)
+                let mut hi: Option<i64> = None;
+                for s in group {
+                    for sp in &specs {
+                        if let Some(t) = s.field(&sp.field).and_then(|c| c.last_ts()) {
+                            let t = t.saturating_add(1);
+                            hi = Some(hi.map_or(t, |m| m.max(t)));
+                        }
+                    }
+                }
+                if let Some(t) = tier {
+                    for s in t.series {
+                        for sp in &specs {
+                            if let Some(ts) = s
+                                .field(&stat_field(&sp.field, "count"))
+                                .and_then(|c| c.last_ts())
+                            {
+                                let e = ts.saturating_add(t.window_ns);
+                                hi = Some(hi.map_or(e, |m| m.max(e)));
+                            }
+                        }
+                    }
+                }
+                hi.unwrap_or(0)
             } else {
                 end.min(now_ns.saturating_add(1).max(start))
             };
@@ -676,7 +971,7 @@ fn aggregate_group(
                 let last_w = (range_end - 1).div_euclid(window) * window;
                 let scan_lo = first_w.max(start);
                 let scan_hi = last_w.saturating_add(window).min(end);
-                scan_group(group, &fields, scan_lo, scan_hi, Some(window), tuning)
+                stitched_accs(group, tier, &fields, &needed, scan_lo, scan_hi, Some(window), tuning)
             } else {
                 Vec::new()
             };

@@ -43,9 +43,10 @@ pub mod storage;
 
 pub use client::InfluxClient;
 pub use db::{
-    Database, Influx, QueryTuning, StorageConfig, StorageStats, StorageWorker, WriteOptions,
+    Database, Influx, QueryTuning, RollupPolicy, StorageConfig, StorageStats, StorageWorker,
+    WriteOptions,
 };
-pub use exec::{QueryResult, ResultSeries};
+pub use exec::{QueryResult, ResultSeries, TierCtx};
 pub use query::Statement;
 pub use storage::{lww_dedup, Scan};
 pub use server::InfluxServer;
@@ -53,6 +54,11 @@ pub use server::InfluxServer;
 /// The persistent storage engine (re-exported for direct use in tests,
 /// benches, and tooling).
 pub use lms_tsm as tsm;
+
+/// The downsampling tier vocabulary (re-exported so callers configuring
+/// [`RollupPolicy`] or [`Influx::set_query_tiers`] need no extra dep).
+pub use lms_rollup as rollup;
+pub use lms_rollup::Tier;
 
 /// Anything that can answer InfluxQL queries: the embedded [`Influx`]
 /// handle (in-process stack) or an [`InfluxClient`] (remote database).

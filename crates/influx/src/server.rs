@@ -91,13 +91,29 @@ fn handle(influx: &Influx, req: Request) -> Response {
             let Some(db) = req.query_param("db") else {
                 return Response::json(400, error_json("missing `db` parameter"));
             };
+            // `tier=1m`/`tier=1h` routes a pre-aggregated batch (rollup
+            // stat fields, window-start timestamps) straight into the
+            // database's rollup tier sibling — the agent-side
+            // pre-aggregation path that skips raw ingestion entirely.
+            let db = match req.query_param("tier") {
+                None => db.to_string(),
+                Some(raw) => match lms_rollup::Tier::parse(raw) {
+                    Some(tier) => lms_rollup::rollup_db_name(db, tier),
+                    None => {
+                        return Response::json(
+                            400,
+                            error_json(&format!("bad `tier` parameter `{raw}`: expected 1m or 1h")),
+                        )
+                    }
+                },
+            };
             let precision = match req.query_param("precision").map(Precision::parse) {
                 None => Precision::Nanoseconds,
                 Some(Ok(p)) => p,
                 Some(Err(e)) => return Response::json(400, error_json(&e.to_string())),
             };
             let body = req.body_str();
-            match influx.write_lines(db, &body, WriteOptions { precision }) {
+            match influx.write_lines(&db, &body, WriteOptions { precision }) {
                 Ok(outcome) if outcome.written > 0 || outcome.rejected == 0 => {
                     // Partial success still answers 204 (matching InfluxDB's
                     // lenient handling); full failure reports the first error.
@@ -189,7 +205,11 @@ fn handle(influx: &Influx, req: Request) -> Response {
         }
         ("GET", "/stats") => {
             let s = influx.storage_stats();
+            let (rollup_passes, rollup_rows) = influx.rollup_counters();
             let body = Json::obj([
+                ("rollups_enabled", Json::Bool(influx.rollups_enabled())),
+                ("rollup_passes", Json::Int(rollup_passes as i64)),
+                ("rollup_rows", Json::Int(rollup_rows as i64)),
                 ("head_points", Json::Int(s.head_points as i64)),
                 ("sealed_points", Json::Int(s.sealed_points as i64)),
                 ("sealed_blocks", Json::Int(s.sealed_blocks as i64)),

@@ -1,0 +1,511 @@
+//! # lms-rollup
+//!
+//! Downsampling and tiered retention: the continuous rollup pipeline that
+//! turns "drop expired segment files" into a storage hierarchy.
+//!
+//! The paper's per-user database duplication keeps long-horizon,
+//! job-specific views cheap while raw data ages out; PerSyst and the MPCDF
+//! monitoring system survive production scale the same way — aggregate
+//! near the source, retain summaries long-term. This crate holds the
+//! pieces every layer of that pipeline shares:
+//!
+//! - [`Tier`] — the rollup resolutions (1 minute, 1 hour) and their
+//!   window math,
+//! - [`WindowAcc`] — the per-window accumulator
+//!   (count/min/max/sum/sum²/first/last), the same math as the block
+//!   summaries of `lms-tsm`,
+//! - the **rollup field codec** ([`rollup_fields`], [`RollupValue`]) —
+//!   how one raw field's window aggregate is laid out as suffixed fields
+//!   (`v` → `v__count`, `v__sum`, …) of an ordinary point whose timestamp
+//!   is the window start, so rollup tiers are plain databases served by
+//!   the unmodified write/query machinery,
+//! - **tier database naming** ([`rollup_db_name`], [`is_rollup_db`],
+//!   [`base_db_of`]) — a base database `lms` materializes into sibling
+//!   databases `lms__rollup_1m` / `lms__rollup_1h`, each with its own
+//!   engine directory, WAL (crash recovery for free) and retention,
+//! - [`WindowAggregator`] — the agent-side pre-aggregation window: a node
+//!   emits its 1 s raw stream plus a 60 s aggregate stream tagged for
+//!   direct ingestion into the 1 m tier.
+//!
+//! Who writes a tier row is irrelevant: flush-side recomputation, an
+//! agent's pre-aggregated stream and a backfill all produce the same
+//! schema, and last-write-wins converges them to the exact value computed
+//! from the full raw column.
+
+use lms_lineproto::{FieldValue, Point};
+use lms_tsm::BlockSummary;
+
+/// The measurement holding the per-database rollup watermark. One point is
+/// written into the 1 m tier database per completed rollup pass, with the
+/// point's *timestamp* equal to the watermark (every sealed raw point
+/// below it is incorporated into the tiers); recovery reads the latest
+/// timestamp back.
+pub const WATERMARK_MEASUREMENT: &str = "__rollup_watermark";
+
+/// The field carried by watermark points (the value is irrelevant; the
+/// timestamp is the payload).
+pub const WATERMARK_FIELD: &str = "v";
+
+/// Suffix separator between a raw field name and its rollup statistic.
+pub const FIELD_SEP: &str = "__";
+
+/// The rollup statistics stored per raw field, in fixed order. `first_ts`
+/// and `last_ts` carry the *original* timestamps of the window's first and
+/// last points — the tier row itself is timestamped at the window start,
+/// and stitched `first()`/`last()` across several series needs the real
+/// timestamps to break ties the same way a raw decode would.
+pub const STATS: [&str; 9] =
+    ["count", "sum", "sumsq", "min", "max", "first", "last", "first_ts", "last_ts"];
+
+/// A rollup resolution tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// 1-minute windows.
+    Minute,
+    /// 1-hour windows.
+    Hour,
+}
+
+/// All tiers, finest first.
+pub const TIERS: [Tier; 2] = [Tier::Minute, Tier::Hour];
+
+impl Tier {
+    /// Window width in nanoseconds.
+    pub fn window_ns(self) -> i64 {
+        match self {
+            Tier::Minute => 60 * 1_000_000_000,
+            Tier::Hour => 3600 * 1_000_000_000,
+        }
+    }
+
+    /// The tier's name as used in database suffixes and config keys.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Tier::Minute => "1m",
+            Tier::Hour => "1h",
+        }
+    }
+
+    /// Parses a tier name (`1m` / `1h`).
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "1m" => Some(Tier::Minute),
+            "1h" => Some(Tier::Hour),
+            _ => None,
+        }
+    }
+
+    /// Epoch-aligned window start containing `ts`.
+    pub fn window_start(self, ts: i64) -> i64 {
+        let w = self.window_ns();
+        ts.div_euclid(w) * w
+    }
+}
+
+/// Smallest multiple of `unit` that is `>= ts` (saturating).
+pub fn align_up(ts: i64, unit: i64) -> i64 {
+    let down = ts.div_euclid(unit) * unit;
+    if down == ts {
+        ts
+    } else {
+        down.saturating_add(unit)
+    }
+}
+
+/// Largest multiple of `unit` that is `<= ts`.
+pub fn align_down(ts: i64, unit: i64) -> i64 {
+    ts.div_euclid(unit) * unit
+}
+
+/// The sibling database holding `base`'s rollup tier, e.g.
+/// `lms` → `lms__rollup_1h`. The name stays directory-safe whenever the
+/// base name is, so tier databases persist under the same data root.
+pub fn rollup_db_name(base: &str, tier: Tier) -> String {
+    format!("{base}{FIELD_SEP}rollup_{}", tier.suffix())
+}
+
+/// True when `name` is a rollup tier database (which must never itself be
+/// rolled up — no rollup-of-rollup).
+pub fn is_rollup_db(name: &str) -> bool {
+    base_db_of(name).is_some()
+}
+
+/// Splits a rollup database name into its base database and tier;
+/// `None` for ordinary databases.
+pub fn base_db_of(name: &str) -> Option<(&str, Tier)> {
+    let (base, rest) = name.rsplit_once(FIELD_SEP)?;
+    let tier = Tier::parse(rest.strip_prefix("rollup_")?)?;
+    if base.is_empty() {
+        return None;
+    }
+    Some((base, tier))
+}
+
+/// The rollup field name of one statistic of a raw field
+/// (`v` + `count` → `v__count`).
+pub fn stat_field(field: &str, stat: &str) -> String {
+    format!("{field}{FIELD_SEP}{stat}")
+}
+
+/// Splits a rollup field name back into `(raw field, statistic)`;
+/// `None` when the name carries no known statistic suffix.
+pub fn split_stat_field(name: &str) -> Option<(&str, &str)> {
+    let (field, stat) = name.rsplit_once(FIELD_SEP)?;
+    if field.is_empty() || !STATS.contains(&stat) {
+        return None;
+    }
+    Some((field, stat))
+}
+
+/// One window's aggregate of one raw field: exactly the state a decode of
+/// the window's points accumulates, reusing the block-summary math of
+/// `lms-tsm` so flush-side rollups and query-side summaries agree
+/// bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct WindowAcc {
+    /// Points in the window.
+    pub count: u64,
+    /// True once a point had a numeric view (min/max/sum/sum_sq valid).
+    pub numeric: bool,
+    /// Sum of numeric views.
+    pub sum: f64,
+    /// Sum of squared numeric views (stddev recombination).
+    pub sum_sq: f64,
+    /// Smallest numeric view.
+    pub min: f64,
+    /// Largest numeric view.
+    pub max: f64,
+    /// `(ts, value)` at the earliest timestamp.
+    pub first: Option<(i64, FieldValue)>,
+    /// `(ts, value)` at the latest timestamp.
+    pub last: Option<(i64, FieldValue)>,
+}
+
+impl Default for WindowAcc {
+    fn default() -> Self {
+        WindowAcc {
+            count: 0,
+            numeric: false,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first: None,
+            last: None,
+        }
+    }
+}
+
+impl WindowAcc {
+    /// Accumulates one point (same tie-breaking as the query executor:
+    /// `first` keeps the strictly-earlier timestamp, `last` keeps
+    /// timestamps `>=` so the last-seen value wins ties).
+    pub fn add(&mut self, ts: i64, value: &FieldValue) {
+        self.count += 1;
+        if self.first.as_ref().is_none_or(|f| ts < f.0) {
+            self.first = Some((ts, value.clone()));
+        }
+        if self.last.as_ref().is_none_or(|l| ts >= l.0) {
+            self.last = Some((ts, value.clone()));
+        }
+        if let Some(x) = lms_tsm::block::numeric_view(value) {
+            self.numeric = true;
+            self.sum += x;
+            self.sum_sq += x * x;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+    }
+
+    /// Builds the accumulator from a timestamp-ascending run — the same
+    /// pass [`BlockSummary::compute`] makes, so a window covered exactly
+    /// by one sealed block yields identical floats.
+    pub fn from_run(points: &[(i64, FieldValue)]) -> Option<WindowAcc> {
+        let summary = BlockSummary::compute(points)?;
+        let (first_ts, _) = points[0];
+        let (last_ts, _) = points[points.len() - 1];
+        Some(WindowAcc {
+            count: points.len() as u64,
+            numeric: summary.numeric,
+            sum: summary.sum,
+            sum_sq: summary.sum_sq,
+            min: summary.min,
+            max: summary.max,
+            first: Some((first_ts, summary.first)),
+            last: Some((last_ts, summary.last)),
+        })
+    }
+
+    /// True when nothing was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends the rollup fields of this accumulator for raw field
+    /// `field` onto `out` (the wire/storage schema of a tier row).
+    /// Non-numeric fields carry only `count`/`first`/`last`.
+    pub fn append_fields(&self, field: &str, out: &mut Vec<(String, FieldValue)>) {
+        if self.count == 0 {
+            return;
+        }
+        out.push((stat_field(field, "count"), FieldValue::Integer(self.count as i64)));
+        if self.numeric {
+            out.push((stat_field(field, "sum"), FieldValue::Float(self.sum)));
+            out.push((stat_field(field, "sumsq"), FieldValue::Float(self.sum_sq)));
+            out.push((stat_field(field, "min"), FieldValue::Float(self.min)));
+            out.push((stat_field(field, "max"), FieldValue::Float(self.max)));
+        }
+        if let Some((ts, v)) = &self.first {
+            out.push((stat_field(field, "first"), v.clone()));
+            out.push((stat_field(field, "first_ts"), FieldValue::Integer(*ts)));
+        }
+        if let Some((ts, v)) = &self.last {
+            out.push((stat_field(field, "last"), v.clone()));
+            out.push((stat_field(field, "last_ts"), FieldValue::Integer(*ts)));
+        }
+    }
+}
+
+/// Renders one tier row: the rollup fields of `accs` (raw field name →
+/// accumulator) as a [`Point`] on the *same* measurement and tag set as
+/// the raw series, timestamped at the window start.
+pub fn rollup_fields(
+    measurement: &str,
+    tags: &[(String, String)],
+    window_start: i64,
+    accs: &[(String, WindowAcc)],
+) -> Option<Point> {
+    let mut fields = Vec::new();
+    for (field, acc) in accs {
+        acc.append_fields(field, &mut fields);
+    }
+    if fields.is_empty() {
+        return None;
+    }
+    let mut point = Point::new(measurement);
+    for (k, v) in tags {
+        point.add_tag(k.clone(), v.clone());
+    }
+    for (k, v) in fields {
+        point.add_field_value(k, v);
+    }
+    point.set_timestamp(window_start);
+    Some(point)
+}
+
+/// Agent-side pre-aggregation: an open set of windows per
+/// `(series key, field)`, fed one collected point at a time. Windows close
+/// when the clock passes their end (plus nothing arrives out of order on
+/// an agent — collectors stamp one tick time), and closing emits tier rows
+/// ready to POST at the 1 m tier ingest endpoint.
+///
+/// This gives a node the paper-prescribed two streams: the 1 s raw batch
+/// and a 60 s aggregate batch that lands directly in the 1 m tier.
+#[derive(Debug, Default)]
+pub struct WindowAggregator {
+    window_ns: i64,
+    /// Open windows: (series key, window start) → per-field accumulators,
+    /// plus the measurement/tags needed to re-emit the row.
+    open: Vec<OpenWindow>,
+    windows_emitted: u64,
+}
+
+#[derive(Debug)]
+struct OpenWindow {
+    series_key: String,
+    measurement: String,
+    tags: Vec<(String, String)>,
+    window_start: i64,
+    accs: Vec<(String, WindowAcc)>,
+}
+
+impl WindowAggregator {
+    /// An aggregator with `window_ns`-wide epoch-aligned windows
+    /// (60 s for the 1 m tier).
+    pub fn new(window_ns: i64) -> Self {
+        assert!(window_ns > 0, "aggregation window must be positive");
+        WindowAggregator { window_ns, open: Vec::new(), windows_emitted: 0 }
+    }
+
+    /// The canonical 1 m tier aggregator.
+    pub fn minute() -> Self {
+        Self::new(Tier::Minute.window_ns())
+    }
+
+    /// Feeds one collected point (timestamp `ts` ns).
+    pub fn push(&mut self, point: &Point, ts: i64) {
+        let w_start = align_down(ts, self.window_ns);
+        let key = point.series_key();
+        let open = match self
+            .open
+            .iter_mut()
+            .find(|w| w.window_start == w_start && w.series_key == key)
+        {
+            Some(w) => w,
+            None => {
+                self.open.push(OpenWindow {
+                    series_key: key,
+                    measurement: point.measurement().to_string(),
+                    tags: point.tags().to_vec(),
+                    window_start: w_start,
+                    accs: Vec::new(),
+                });
+                self.open.last_mut().expect("just pushed")
+            }
+        };
+        for (field, value) in point.fields() {
+            let acc = match open.accs.iter_mut().find(|(f, _)| f == field) {
+                Some((_, acc)) => acc,
+                None => {
+                    open.accs.push((field.clone(), WindowAcc::default()));
+                    &mut open.accs.last_mut().expect("just pushed").1
+                }
+            };
+            acc.add(ts, value);
+        }
+    }
+
+    /// Closes every window whose end is `<= now_ns` and returns their tier
+    /// rows. Call once per tick with the tick's timestamp.
+    pub fn close_before(&mut self, now_ns: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        let window_ns = self.window_ns;
+        let mut kept = Vec::with_capacity(self.open.len());
+        for w in self.open.drain(..) {
+            if w.window_start.saturating_add(window_ns) <= now_ns {
+                if let Some(p) =
+                    rollup_fields(&w.measurement, &w.tags, w.window_start, &w.accs)
+                {
+                    out.push(p);
+                }
+            } else {
+                kept.push(w);
+            }
+        }
+        self.open = kept;
+        self.windows_emitted += out.len() as u64;
+        out
+    }
+
+    /// Flushes every open window regardless of the clock (agent shutdown).
+    pub fn flush(&mut self) -> Vec<Point> {
+        self.close_before(i64::MAX)
+    }
+
+    /// Number of currently open windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Windows emitted over the aggregator's lifetime.
+    pub fn windows_emitted(&self) -> u64 {
+        self.windows_emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_window_math() {
+        assert_eq!(Tier::Minute.window_ns(), 60_000_000_000);
+        assert_eq!(Tier::Hour.window_ns(), 3_600_000_000_000);
+        assert_eq!(Tier::Minute.window_start(61_000_000_000), 60_000_000_000);
+        assert_eq!(Tier::Minute.window_start(-1), -60_000_000_000);
+        assert_eq!(align_up(0, 60), 0);
+        assert_eq!(align_up(1, 60), 60);
+        assert_eq!(align_down(119, 60), 60);
+        assert_eq!(align_down(-1, 60), -60);
+    }
+
+    #[test]
+    fn db_naming_round_trips() {
+        let name = rollup_db_name("lms", Tier::Hour);
+        assert_eq!(name, "lms__rollup_1h");
+        assert!(is_rollup_db(&name));
+        assert_eq!(base_db_of(&name), Some(("lms", Tier::Hour)));
+        assert!(!is_rollup_db("lms"));
+        assert!(!is_rollup_db("user_dave"));
+        assert_eq!(base_db_of("user_dave__rollup_1m"), Some(("user_dave", Tier::Minute)));
+        // A rollup db never rolls up again, whatever the nesting looks like.
+        assert!(base_db_of("__rollup_1m").is_none());
+    }
+
+    #[test]
+    fn stat_field_round_trips() {
+        assert_eq!(stat_field("busy", "sum"), "busy__sum");
+        assert_eq!(split_stat_field("busy__sum"), Some(("busy", "sum")));
+        assert_eq!(split_stat_field("busy__sumsq"), Some(("busy", "sumsq")));
+        assert_eq!(split_stat_field("busy"), None);
+        assert_eq!(split_stat_field("busy__median"), None);
+        // Raw fields containing the separator still split at the last one.
+        assert_eq!(split_stat_field("a__b__count"), Some(("a__b", "count")));
+    }
+
+    #[test]
+    fn window_acc_matches_block_summary() {
+        let points: Vec<(i64, FieldValue)> =
+            (0..100).map(|i| (i, FieldValue::Float((i * 7 % 13) as f64))).collect();
+        let acc = WindowAcc::from_run(&points).unwrap();
+        let mut streamed = WindowAcc::default();
+        for (t, v) in &points {
+            streamed.add(*t, v);
+        }
+        assert_eq!(acc.count, streamed.count);
+        assert_eq!(acc.sum.to_bits(), streamed.sum.to_bits(), "same accumulation order");
+        assert_eq!(acc.sum_sq.to_bits(), streamed.sum_sq.to_bits());
+        assert_eq!(acc.min, streamed.min);
+        assert_eq!(acc.max, streamed.max);
+        assert_eq!(acc.first, streamed.first);
+        assert_eq!(acc.last, streamed.last);
+    }
+
+    #[test]
+    fn non_numeric_fields_carry_count_first_last_only() {
+        let mut acc = WindowAcc::default();
+        acc.add(1, &FieldValue::Text("a".into()));
+        acc.add(2, &FieldValue::Text("b".into()));
+        let mut fields = Vec::new();
+        acc.append_fields("msg", &mut fields);
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["msg__count", "msg__first", "msg__first_ts", "msg__last", "msg__last_ts"]
+        );
+        assert_eq!(fields[0].1, FieldValue::Integer(2));
+        assert_eq!(fields[3].1, FieldValue::Text("b".into()));
+        assert_eq!(fields[4].1, FieldValue::Integer(2));
+    }
+
+    #[test]
+    fn aggregator_emits_closed_windows() {
+        let mut agg = WindowAggregator::minute();
+        let w = Tier::Minute.window_ns();
+        let mut p = Point::new("cpu");
+        p.add_tag("hostname", "h1").add_field("busy", 10.0);
+        agg.push(&p, 1_000_000_000);
+        agg.push(&p, 2_000_000_000);
+        let mut p2 = Point::new("cpu");
+        p2.add_tag("hostname", "h1").add_field("busy", 30.0);
+        agg.push(&p2, w + 1_000_000_000);
+        assert_eq!(agg.open_windows(), 2);
+
+        // Nothing closes before the first window's end.
+        assert!(agg.close_before(w - 1).is_empty());
+        let rows = agg.close_before(w);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.measurement(), "cpu");
+        assert_eq!(row.tag("hostname"), Some("h1"));
+        assert_eq!(row.timestamp(), Some(0));
+        assert_eq!(row.field("busy__count"), Some(&FieldValue::Integer(2)));
+        assert_eq!(row.field("busy__sum"), Some(&FieldValue::Float(20.0)));
+        assert_eq!(row.field("busy__min"), Some(&FieldValue::Float(10.0)));
+        assert_eq!(row.field("busy__first"), Some(&FieldValue::Float(10.0)));
+        assert_eq!(agg.open_windows(), 1);
+        assert_eq!(agg.flush().len(), 1);
+        assert_eq!(agg.open_windows(), 0);
+        assert_eq!(agg.windows_emitted(), 2);
+    }
+}

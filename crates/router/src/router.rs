@@ -228,6 +228,10 @@ impl Router {
         let mut accepted = 0usize;
         let mut global = self.sink(&global_db, body.len() + body.len() / 4);
         let mut per_user: FxHashMap<String, Sink<'_>> = FxHashMap::default();
+        // Per-user duplication follows the tier: rollup rows bound for
+        // `X__rollup_1m` land in `user_<name>__rollup_1m`, keeping each
+        // user slice's raw and tier databases as clean siblings.
+        let user_tier = lms_rollup::base_db_of(&global_db).map(|(_, tier)| tier);
         let mut enriched_count = 0u64;
 
         {
@@ -274,8 +278,14 @@ impl Router {
                 accepted += 1;
                 if self.config.per_user {
                     if let Some(user) = user {
+                        let user_db = match user_tier {
+                            Some(tier) => {
+                                lms_rollup::rollup_db_name(&format!("user_{user}"), tier)
+                            }
+                            None => format!("user_{user}"),
+                        };
                         per_user
-                            .entry(format!("user_{user}"))
+                            .entry(user_db)
                             .or_insert_with_key(|user_db| self.sink(user_db, 256))
                             .push_point(&point);
                     }

@@ -80,7 +80,21 @@ fn handle(router: &Router, req: Request) -> Response {
                 return Response::service_unavailable("delivery pipeline saturated", 1);
             }
             let db = req.query_param("db");
-            let outcome = router.handle_write(db, &req.body_str());
+            // `tier=1m`/`tier=1h`: an agent-side pre-aggregated batch bound
+            // for the database's rollup tier sibling. Rewriting the target
+            // name here reuses the whole enrich/forward pipeline — tier
+            // rows carry the same tags, so job enrichment applies equally.
+            let tier_db = match req.query_param("tier") {
+                None => None,
+                Some(raw) => match (lms_rollup::Tier::parse(raw), db) {
+                    (Some(tier), Some(db)) => Some(lms_rollup::rollup_db_name(db, tier)),
+                    (Some(_), None) => return Response::bad_request("`tier` requires `db`"),
+                    (None, _) => {
+                        return Response::bad_request("bad `tier`: expected 1m or 1h")
+                    }
+                },
+            };
+            let outcome = router.handle_write(tier_db.as_deref().or(db), &req.body_str());
             if outcome.accepted == 0 && outcome.rejected > 0 {
                 Response::bad_request("all lines malformed")
             } else if !outcome.acked {

@@ -11,8 +11,12 @@ use crate::collectors::Collector;
 use crate::procfs::SimProc;
 use lms_http::HttpClient;
 use lms_lineproto::BatchBuilder;
+use lms_rollup::WindowAggregator;
 use lms_util::{Clock, Result};
 use std::net::SocketAddr;
+
+/// Closure sink for 1m rollup-row batches (embedded stack, tests).
+type RollupSink = Box<dyn FnMut(&str) + Send>;
 
 /// Where a finished batch goes.
 enum Sink {
@@ -31,8 +35,15 @@ pub struct HostAgent {
     collectors: Vec<Box<dyn Collector>>,
     batch: BatchBuilder,
     sink: Sink,
+    /// 60s pre-aggregation windows over the raw stream; closed windows
+    /// ship as a second, rollup-row batch tagged for the 1m tier.
+    pre_agg: Option<WindowAggregator>,
+    /// Where 1m batches go when the raw sink is a closure (the embedded
+    /// stack routes them into the tier database itself).
+    rollup_sink: Option<RollupSink>,
     ticks: u64,
     points_sent: u64,
+    rollup_rows: u64,
     send_errors: u64,
 }
 
@@ -45,8 +56,11 @@ impl HostAgent {
             collectors: Vec::new(),
             batch: BatchBuilder::with_capacity(4096),
             sink: Sink::Null,
+            pre_agg: None,
+            rollup_sink: None,
             ticks: 0,
             points_sent: 0,
+            rollup_rows: 0,
             send_errors: 0,
         }
     }
@@ -80,6 +94,26 @@ impl HostAgent {
         self.sink = Sink::Func(Box::new(f));
     }
 
+    /// Enables the agent-side pre-aggregation stream: alongside the 1s raw
+    /// batches, the agent folds every point into per-series 1-minute
+    /// windows and ships each closed window as rollup rows (count / sum /
+    /// min / max / first / last stat fields, window-start timestamps) for
+    /// direct ingestion into the 1m tier. The HTTP sink posts them to
+    /// `/write?db=...&tier=1m`; closure sinks receive them through
+    /// [`HostAgent::send_rollups_to_fn`].
+    ///
+    /// The database-side rollup pass recomputes any window it also saw raw
+    /// points for (last-write-wins), so the two streams converge — the
+    /// pre-aggregated rows matter when raw ingestion is shed or sampled.
+    pub fn enable_pre_aggregation(&mut self) {
+        self.pre_agg = Some(WindowAggregator::minute());
+    }
+
+    /// Sends 1m pre-aggregated batches to a closure (embedded mode).
+    pub fn send_rollups_to_fn(&mut self, f: impl FnMut(&str) + Send + 'static) {
+        self.rollup_sink = Some(Box::new(f));
+    }
+
     /// The node's hostname.
     pub fn hostname(&self) -> &str {
         &self.hostname
@@ -92,32 +126,85 @@ impl HostAgent {
         self.batch.clear();
         for collector in &mut self.collectors {
             for point in collector.collect(proc_fs, &self.hostname, ts) {
+                if let Some(agg) = &mut self.pre_agg {
+                    agg.push(&point, point.timestamp().unwrap_or(ts.nanos()));
+                }
                 self.batch.push(&point);
             }
         }
         self.ticks += 1;
         let n = self.batch.len();
-        if n == 0 {
-            return 0;
+        if n > 0 {
+            self.points_sent += n as u64;
+            match &mut self.sink {
+                Sink::Http { client, db } => {
+                    let target = format!("/write?db={db}");
+                    match client.post_text(&target, self.batch.as_str()) {
+                        Ok(resp) if resp.is_success() => {}
+                        _ => self.send_errors += 1,
+                    }
+                }
+                Sink::Func(f) => f(self.batch.as_str()),
+                Sink::Null => {}
+            }
         }
-        self.points_sent += n as u64;
+        if let Some(agg) = &mut self.pre_agg {
+            let closed = agg.close_before(ts.nanos());
+            if !closed.is_empty() {
+                let mut batch = String::new();
+                for p in &closed {
+                    batch.push_str(&p.to_line());
+                    batch.push('\n');
+                }
+                self.rollup_rows += closed.len() as u64;
+                self.ship_rollups(&batch);
+            }
+        }
+        n
+    }
+
+    /// Force-closes every open pre-aggregation window and ships the rows
+    /// (agent shutdown: a partial window beats a lost one).
+    pub fn flush_pre_aggregation(&mut self) {
+        let Some(agg) = &mut self.pre_agg else { return };
+        let open = agg.flush();
+        if open.is_empty() {
+            return;
+        }
+        let mut batch = String::new();
+        for p in &open {
+            batch.push_str(&p.to_line());
+            batch.push('\n');
+        }
+        self.rollup_rows += open.len() as u64;
+        self.ship_rollups(&batch);
+    }
+
+    fn ship_rollups(&mut self, batch: &str) {
         match &mut self.sink {
             Sink::Http { client, db } => {
-                let target = format!("/write?db={db}");
-                match client.post_text(&target, self.batch.as_str()) {
+                let target = format!("/write?db={db}&tier=1m");
+                match client.post_text(&target, batch) {
                     Ok(resp) if resp.is_success() => {}
                     _ => self.send_errors += 1,
                 }
             }
-            Sink::Func(f) => f(self.batch.as_str()),
-            Sink::Null => {}
+            _ => {
+                if let Some(f) = &mut self.rollup_sink {
+                    f(batch);
+                }
+            }
         }
-        n
     }
 
     /// `(ticks, points, send errors)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.ticks, self.points_sent, self.send_errors)
+    }
+
+    /// 1m pre-aggregated rollup rows shipped so far.
+    pub fn rollup_rows_sent(&self) -> u64 {
+        self.rollup_rows
     }
 }
 

@@ -40,7 +40,7 @@ use lms_util::{Error, Result};
 use parking_lot::Mutex;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// Storage engine configuration.
 #[derive(Debug, Clone)]
@@ -160,6 +160,11 @@ pub struct TsmEngine {
     /// `Error::Unavailable`) instead of retrying a full disk forever.
     /// Reads and already-sealed data stay available.
     degraded: AtomicBool,
+    /// Hard ceiling on retention cutoffs ([`TsmEngine::set_drop_floor`]):
+    /// `drop_expired` never unlinks a partition reaching at or past this
+    /// timestamp, whatever cutoff the caller computed. `i64::MAX` = no
+    /// floor.
+    drop_floor: AtomicI64,
     faults: Mutex<Faults>,
 }
 
@@ -237,6 +242,7 @@ impl TsmEngine {
             compactions: AtomicU64::new(0),
             recovered_records: recovered.wal_records.len() as u64,
             degraded: AtomicBool::new(false),
+            drop_floor: AtomicI64::new(i64::MAX),
             faults: Mutex::new(Faults {
                 segment_write_after: None,
                 skip_wal_remove: false,
@@ -351,9 +357,19 @@ impl TsmEngine {
         Ok(written)
     }
 
+    /// Sets the retention drop floor: [`TsmEngine::drop_expired`] clamps
+    /// every cutoff to at most `floor_ns`. The rollup layer uses this as
+    /// defense in depth — raw segments holding points not yet covered by a
+    /// durable rollup tier must survive even a miscomputed cutoff.
+    pub fn set_drop_floor(&self, floor_ns: i64) {
+        self.drop_floor.store(floor_ns, Ordering::Release);
+    }
+
     /// Deletes every segment file whose partition is entirely older than
-    /// `cutoff_ns`. Returns the number of files removed.
+    /// `cutoff_ns` (clamped to the drop floor, see
+    /// [`TsmEngine::set_drop_floor`]). Returns the number of files removed.
     pub fn drop_expired(&self, cutoff_ns: i64) -> Result<usize> {
+        let cutoff_ns = cutoff_ns.min(self.drop_floor.load(Ordering::Acquire));
         let _g = self.maint.lock();
         let mut files = self.files.lock();
         let mut kept = Vec::new();

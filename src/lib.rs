@@ -37,6 +37,9 @@ pub use lms_sysmon as sysmon;
 /// The time-series database (`lms-influx`).
 pub use lms_influx as influx;
 
+/// Downsampling: rollup tiers, window aggregation (`lms-rollup`).
+pub use lms_rollup as rollup;
+
 /// Minimal HTTP/1.1 (`lms-http`).
 pub use lms_http as http;
 
