@@ -243,6 +243,112 @@ fn measure_wal_fsync_reduction() -> (f64, f64) {
     (run(false), run(true))
 }
 
+/// Ingest throughput with and without the background integrity scrubber
+/// running concurrently, on a persistent database pre-seeded with sealed
+/// segments (so the scrubber has real files to re-verify). The scrub
+/// thread runs far hotter than production (a 256 KiB pass every 50 ms —
+/// a ~5 MiB/s scan rate vs the default 8 MiB per 60 s), so passing the
+/// 5% overhead gate here
+/// leaves a wide margin for the deployed configuration.
+/// Returns `(plain_pts_per_s, scrubbed_pts_per_s)`, each a median of 3.
+fn measure_scrub_overhead() -> (f64, f64) {
+    const WRITERS: usize = 4;
+    const BATCHES: usize = 100;
+    const LINES: usize = 500;
+
+    let run = |scrub: bool, round: usize| -> f64 {
+        let dir = std::env::temp_dir().join(format!(
+            "lms-bench-scrub-{}-{}-{round}",
+            std::process::id(),
+            if scrub { "on" } else { "off" }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = StorageConfig::new(&dir);
+        // Scrub verification is whole-file granular, so cap WAL segments
+        // at the pass budget — otherwise every pass overshoots its budget
+        // by one 4 MiB frozen WAL file and the duty cycle explodes.
+        cfg.wal_segment_bytes = 256 * 1024;
+        let ix = Influx::open(Clock::simulated(Timestamp::from_secs(1_000)), DEFAULT_SHARDS, cfg)
+            .expect("open persistent influx");
+        // Seed sealed segments: five flushes of 2k points each.
+        for r in 0..5 {
+            let mut body = String::with_capacity(2_000 * 40);
+            for i in 0..2_000 {
+                body.push_str(&format!(
+                    "seed,hostname=s{} v={i} {}\n",
+                    i % 16,
+                    (r * 2_000 + i + 1) as i64 * 1_000
+                ));
+            }
+            ix.write_lines("lms", &body, WriteOptions::default()).expect("seed write");
+            ix.flush_storage().expect("seed flush");
+        }
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let pts_per_s = std::thread::scope(|s| {
+            if scrub {
+                let ix = ix.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let _ = ix.scrub_storage(256 * 1024);
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                });
+            }
+            let start = Instant::now();
+            std::thread::scope(|w| {
+                for t in 0..WRITERS {
+                    let ix = ix.clone();
+                    w.spawn(move || {
+                        for b in 0..BATCHES {
+                            let mut body = String::with_capacity(LINES * 40);
+                            for i in 0..LINES {
+                                let ts = ((t * BATCHES + b) * LINES + i + 1) as i64 * 1_000
+                                    + 1_000_000_000_000;
+                                body.push_str(&format!("cpu,hostname=h{t} busy={i} {ts}\n"));
+                            }
+                            ix.write_lines("lms", &body, WriteOptions::default())
+                                .expect("acked write");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            (WRITERS * BATCHES * LINES) as f64 / elapsed
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        pts_per_s
+    };
+
+    // Paired runs with alternating order: single-run throughput on a
+    // loaded machine swings far more than the 5% gate, but drift hits
+    // both sides of a back-to-back pair equally, so the median of the
+    // per-pair ratios isolates the scrubber's actual cost.
+    let mut plains = Vec::new();
+    let mut scrubbeds = Vec::new();
+    let mut ratios = Vec::new();
+    for round in 0..5 {
+        let (plain, scrubbed) = if round % 2 == 0 {
+            let p = run(false, round);
+            (p, run(true, round))
+        } else {
+            let s = run(true, round);
+            (run(false, round), s)
+        };
+        plains.push(plain);
+        scrubbeds.push(scrubbed);
+        ratios.push(scrubbed / plain);
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+        v[v.len() / 2]
+    };
+    let (p, r) = (median(plains), median(ratios));
+    (p, p * r)
+}
+
 /// Extracts a numeric JSON field from a single line via substring scan —
 /// enough for the bench's own output format, no parser dependency.
 fn json_num(line: &str, key: &str) -> Option<f64> {
@@ -333,6 +439,19 @@ fn run_quick() -> bool {
         }
         None => println!("note: no batched baseline in BENCH_ingest.json; skipping ratio check"),
     }
+
+    let (plain, scrubbed) = measure_scrub_overhead();
+    let overhead = (1.0 - scrubbed / plain) * 100.0;
+    println!(
+        "scrub overhead: plain {plain:>9.0} pts/s   scrubbed {scrubbed:>9.0} pts/s   ({overhead:.1}%, target < 5%)"
+    );
+    if scrubbed < 0.95 * plain {
+        eprintln!(
+            "FAIL: background scrub costs ingest more than 5% \
+             ({scrubbed:.0} pts/s < 0.95 × {plain:.0} pts/s)"
+        );
+        ok = false;
+    }
     if ok {
         println!("bench-smoke OK");
     }
@@ -379,7 +498,14 @@ fn run_full() {
         "\nwal group commit @ 8 writers: legacy {legacy_fpp:.4} fsyncs/pt, grouped {grouped_fpp:.4} fsyncs/pt — {reduction:.1}x fewer (target ≥ 10x)"
     );
 
-    let json = render_json(&rows, legacy_fpp, grouped_fpp);
+    let (plain, scrubbed) = measure_scrub_overhead();
+    println!(
+        "scrub overhead @ {WRITERS} writers: plain {plain:.0} pts/s, scrubbed {scrubbed:.0} pts/s — {:.1}% (target < 5%)",
+        (1.0 - scrubbed / plain) * 100.0,
+        WRITERS = 4
+    );
+
+    let json = render_json(&rows, legacy_fpp, grouped_fpp, plain, scrubbed);
     std::fs::write(BASELINE_PATH, &json).expect("write BENCH_ingest.json");
     println!("wrote {BASELINE_PATH}");
 
@@ -416,7 +542,13 @@ fn main() {
     run_full();
 }
 
-fn render_json(rows: &[Row], legacy_fpp: f64, grouped_fpp: f64) -> String {
+fn render_json(
+    rows: &[Row],
+    legacy_fpp: f64,
+    grouped_fpp: f64,
+    scrub_plain: f64,
+    scrub_scrubbed: f64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"config\": {{\"lines_per_batch\": {LINES_PER_BATCH}, \"batches_per_thread\": {BATCHES_PER_THREAD}, \"runs\": {RUNS}, \"default_shards\": {DEFAULT_SHARDS}}},\n"
@@ -425,6 +557,10 @@ fn render_json(rows: &[Row], legacy_fpp: f64, grouped_fpp: f64) -> String {
     out.push_str(&format!(
         "  \"wal_group_commit\": {{\"writers\": 8, \"legacy_fsyncs_per_point\": {legacy_fpp:.5}, \"grouped_fsyncs_per_point\": {grouped_fpp:.5}, \"reduction\": {:.1}}},\n",
         legacy_fpp / grouped_fpp.max(f64::MIN_POSITIVE)
+    ));
+    out.push_str(&format!(
+        "  \"scrub_overhead\": {{\"writers\": 4, \"plain_pts_per_s\": {scrub_plain:.0}, \"scrubbed_pts_per_s\": {scrub_scrubbed:.0}, \"overhead_pct\": {:.2}}},\n",
+        (1.0 - scrub_scrubbed / scrub_plain.max(f64::MIN_POSITIVE)) * 100.0
     ));
     // The cluster bench owns the `cluster_scaling` line; carry the current
     // one over so a full ingest run does not erase it.

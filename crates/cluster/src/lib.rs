@@ -23,6 +23,12 @@ pub mod merge;
 pub mod partial;
 pub mod ring;
 
+/// Anti-entropy digest vocabulary — lives in `lms-util` (so storage nodes
+/// can compute digests without a cluster dependency), re-exported here
+/// because the repair protocol is cluster machinery.
+pub use lms_util::digest;
+
+pub use digest::{diff_digests, BucketDigest, RepairTask, DIGEST_BUCKET_NS};
 pub use merge::merge_results;
 pub use partial::{partial_plan, PartialPlan};
 pub use ring::HashRing;

@@ -67,6 +67,15 @@ pub struct StackConfig {
     /// router's delivery pipeline (queue + spool) to empty into the
     /// database before the final storage flush.
     pub drain_timeout: Duration,
+    /// Background CRC-scrub cadence on persistent database nodes
+    /// (`Duration::ZERO` disables scrubbing).
+    pub scrub_interval: Duration,
+    /// Byte budget per scrub cycle (`0` disables scrubbing).
+    pub scrub_rate_bytes: u64,
+    /// Anti-entropy repair cadence for the router (None = disabled; only
+    /// meaningful with `db_nodes ≥ 2` and `replication ≥ 2`). The stack
+    /// exposes [`LmsStack::run_repair_pass`] for manual passes either way.
+    pub repair_interval: Option<Duration>,
 }
 
 impl Default for StackConfig {
@@ -87,6 +96,9 @@ impl Default for StackConfig {
             start_time: Timestamp::from_secs(1_501_804_800),
             seed: 42,
             drain_timeout: Duration::from_secs(10),
+            scrub_interval: Duration::from_secs(60),
+            scrub_rate_bytes: 8 * 1024 * 1024,
+            repair_interval: None,
         }
     }
 }
@@ -116,6 +128,11 @@ impl StackConfig {
     /// raw = 7d      ; tiered retention: any key enables downsampling
     /// 1m  = 90d     ; durations use the query literal grammar (90d, 6h, 30m)
     /// 1h  = 52w
+    ///
+    /// [integrity]
+    /// scrub_interval_secs = 60      ; CRC-scrub cadence (0 = off)
+    /// scrub_rate_bytes = 8388608    ; scrub byte budget per cycle (0 = off)
+    /// repair_interval_secs = 300    ; anti-entropy repair cadence (0 = off)
     /// ```
     pub fn from_ini(text: &str) -> Result<Self> {
         let ini = lms_util::config::Config::parse(text)?;
@@ -207,6 +224,25 @@ impl StackConfig {
         {
             config.rollup = Some(policy);
         }
+        // Self-healing knobs; zeros disable the corresponding loop.
+        if let Some(s) = ini.get_i64("integrity", "scrub_interval_secs")? {
+            if s < 0 {
+                return Err(Error::config("integrity.scrub_interval_secs must be >= 0"));
+            }
+            config.scrub_interval = Duration::from_secs(s as u64);
+        }
+        if let Some(b) = ini.get_i64("integrity", "scrub_rate_bytes")? {
+            if b < 0 {
+                return Err(Error::config("integrity.scrub_rate_bytes must be >= 0"));
+            }
+            config.scrub_rate_bytes = b as u64;
+        }
+        if let Some(s) = ini.get_i64("integrity", "repair_interval_secs")? {
+            if s < 0 {
+                return Err(Error::config("integrity.repair_interval_secs must be >= 0"));
+            }
+            config.repair_interval = (s > 0).then(|| Duration::from_secs(s as u64));
+        }
         Ok(config)
     }
 }
@@ -297,7 +333,10 @@ impl LmsStack {
                 Some(dir) => {
                     let dir =
                         if config.db_nodes == 1 { dir.clone() } else { dir.join(format!("node-{i}")) };
-                    Influx::open(clock.clone(), 8, StorageConfig::new(dir))?
+                    let mut storage = StorageConfig::new(dir);
+                    storage.scrub_interval = config.scrub_interval;
+                    storage.scrub_rate_bytes = config.scrub_rate_bytes;
+                    Influx::open(clock.clone(), 8, storage)?
                 }
                 None => Influx::new(clock.clone()),
             };
@@ -485,6 +524,15 @@ impl LmsStack {
     /// The router (admin views, stats).
     pub fn router(&self) -> &Arc<Router> {
         &self.router
+    }
+
+    /// One anti-entropy repair pass over the global database: diffs the
+    /// database nodes' integrity digests and replays divergent hours from
+    /// their healthiest replica (a no-op below two nodes or two replicas).
+    /// Deployments set `integrity.repair_interval_secs` to run this on a
+    /// cadence; in-process stacks call it explicitly.
+    pub fn run_repair_pass(&self) -> lms_router::RepairOutcome {
+        self.router.run_repair_pass(&[self.router.config().global_db.as_str()])
     }
 
     /// The node topology.
@@ -1058,6 +1106,23 @@ mod tests {
         assert_eq!(policy.retention_1h, Some(Duration::from_secs(52 * 7 * 24 * 3600)));
         assert!(StackConfig::from_ini("").unwrap().rollup.is_none());
         assert!(StackConfig::from_ini("[retention]\nraw = bogus\n").is_err());
+        // Integrity section: scrub knobs and the repair cadence.
+        let i = StackConfig::from_ini(
+            "[integrity]\nscrub_interval_secs = 30\nscrub_rate_bytes = 1048576\n\
+             repair_interval_secs = 300\n",
+        )
+        .unwrap();
+        assert_eq!(i.scrub_interval, Duration::from_secs(30));
+        assert_eq!(i.scrub_rate_bytes, 1024 * 1024);
+        assert_eq!(i.repair_interval, Some(Duration::from_secs(300)));
+        // Zeros disable; defaults hold when the section is absent.
+        let z = StackConfig::from_ini("[integrity]\nrepair_interval_secs = 0\n").unwrap();
+        assert_eq!(z.repair_interval, None);
+        assert_eq!(z.scrub_interval, Duration::from_secs(60));
+        assert_eq!(z.scrub_rate_bytes, 8 * 1024 * 1024);
+        assert!(StackConfig::from_ini("[integrity]\nscrub_interval_secs = -1\n").is_err());
+        assert!(StackConfig::from_ini("[integrity]\nscrub_rate_bytes = -1\n").is_err());
+        assert!(StackConfig::from_ini("[integrity]\nrepair_interval_secs = -1\n").is_err());
     }
 
     #[test]

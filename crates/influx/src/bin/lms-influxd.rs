@@ -5,6 +5,7 @@
 //!             [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]
 //!             [--partition-hours N] [--compact-min-files N] [--wal-fsync]
 //!             [--wal-group-commit-ms N] [--wal-group-commit-bytes N]
+//!             [--scrub-interval-secs N] [--scrub-rate-bytes N]
 //!             [--max-connections N] [--max-body-bytes N]
 //! ```
 //!
@@ -55,6 +56,8 @@ fn run() -> Result<()> {
     let mut wal_fsync = false;
     let mut wal_group_commit_ms: Option<u64> = None;
     let mut wal_group_commit_bytes: Option<usize> = None;
+    let mut scrub_interval_secs: Option<u64> = None;
+    let mut scrub_rate_bytes: Option<u64> = None;
     let mut server_config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -101,6 +104,13 @@ fn run() -> Result<()> {
             "--wal-group-commit-bytes" => {
                 wal_group_commit_bytes = Some(parse_num(&mut it, "--wal-group-commit-bytes")?)
             }
+            // Background CRC scrub cadence and byte budget (0 disables).
+            "--scrub-interval-secs" => {
+                scrub_interval_secs = Some(parse_num(&mut it, "--scrub-interval-secs")?)
+            }
+            "--scrub-rate-bytes" => {
+                scrub_rate_bytes = Some(parse_num(&mut it, "--scrub-rate-bytes")?)
+            }
             "--max-connections" => {
                 server_config.max_connections = parse_num(&mut it, "--max-connections")?
             }
@@ -114,6 +124,7 @@ fn run() -> Result<()> {
                      \x20                 [--data-dir DIR] [--flush-points N] [--flush-interval-secs N]\n\
                      \x20                 [--partition-hours N] [--compact-min-files N] [--wal-fsync]\n\
                      \x20                 [--wal-group-commit-ms N] [--wal-group-commit-bytes N]\n\
+                     \x20                 [--scrub-interval-secs N] [--scrub-rate-bytes N]\n\
                      \x20                 [--max-connections N] [--max-body-bytes N]\n\
                      durations accept query-style literals: 90d, 6h, 30m, 45s"
                 );
@@ -144,6 +155,12 @@ fn run() -> Result<()> {
             }
             if let Some(b) = wal_group_commit_bytes {
                 cfg.wal_group_commit_bytes = b;
+            }
+            if let Some(s) = scrub_interval_secs {
+                cfg.scrub_interval = Duration::from_secs(s);
+            }
+            if let Some(b) = scrub_rate_bytes {
+                cfg.scrub_rate_bytes = b;
             }
             Influx::open(Clock::system(), 8, cfg)?
         }

@@ -150,6 +150,52 @@ impl InfluxClient {
         Ok(names)
     }
 
+    /// Fetches the anti-entropy range digests of one database
+    /// (`/integrity`). The caller supplies the cluster ring geometry so the
+    /// node groups series by the same owner sets the router places by.
+    pub fn integrity(
+        &mut self,
+        db: &str,
+        nodes: usize,
+        replication: usize,
+        seed: u64,
+    ) -> Result<Vec<lms_util::digest::BucketDigest>> {
+        let target = format!(
+            "/integrity?db={}&nodes={nodes}&replication={replication}&seed={seed}",
+            lms_http::url::percent_encode(db)
+        );
+        let resp = self.http.get(&target)?;
+        let json = Json::parse(&resp.body_str())?;
+        if let Some(err) = json.get("error").and_then(Json::as_str) {
+            return Err(lms_util::Error::Remote {
+                status: resp.status,
+                message: err.to_string(),
+            });
+        }
+        let digests = json
+            .get("digests")
+            .ok_or_else(|| lms_util::Error::protocol("missing `digests` in /integrity"))?;
+        lms_util::digest::digests_from_json(digests)
+    }
+
+    /// Fetches the canonical line-protocol export of `[start, end)` ns
+    /// (`/integrity/export`), for replay through the write path.
+    pub fn integrity_export(&mut self, db: &str, start: i64, end: i64) -> Result<String> {
+        let target = format!(
+            "/integrity/export?db={}&start={start}&end={end}",
+            lms_http::url::percent_encode(db)
+        );
+        let resp = self.http.get(&target)?;
+        if resp.status >= 400 {
+            let message = Json::parse(&resp.body_str())
+                .ok()
+                .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or_else(|| format!("HTTP {}", resp.status));
+            return Err(lms_util::Error::Remote { status: resp.status, message });
+        }
+        Ok(resp.body_str().into_owned())
+    }
+
     /// Creates a database.
     pub fn create_database(&mut self, name: &str) -> Result<()> {
         let target = format!(

@@ -32,9 +32,11 @@
 use crate::exec::{self, QueryResult};
 use crate::query::{Condition, Statement, TimeValue};
 use crate::storage::Series;
-use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Precision};
+use lms_lineproto::{parse_batch, FieldValue, ParsedLine, Point, Precision};
 use lms_rollup::{align_down, align_up, is_rollup_db, rollup_db_name, Tier, WindowAcc, TIERS};
-use lms_tsm::{BlockEntry, Recovered, SealedBlock, TsmConfig, TsmEngine};
+use lms_tsm::{BlockEntry, Recovered, ScrubOutcome, Scrubber, SealedBlock, TsmConfig, TsmEngine};
+use lms_util::digest::{bucket_of, owner_mask, point_hash, BucketDigest};
+use lms_util::ring::HashRing;
 use lms_util::{
     hash::fx_hash, Clock, Error, FxHashMap, FxHashSet, Result, Supervisor, SupervisorConfig,
     WorkerReport,
@@ -89,11 +91,23 @@ pub struct StorageConfig {
     /// WAL group-commit size bound: commit early once this many staged
     /// bytes accumulate (`0` = no size bound).
     pub wal_group_commit_bytes: usize,
+    /// Background integrity-scrub cadence: how often the storage worker
+    /// re-verifies sealed segment CRCs. Zero disables scrubbing.
+    pub scrub_interval: Duration,
+    /// Byte budget per scrub pass; bounds the read-bandwidth the scrubber
+    /// steals from queries. Zero disables scrubbing.
+    pub scrub_rate_bytes: u64,
+    /// WAL segment size: the active segment rotates (freezes) past this
+    /// many bytes. Scrub verification is whole-file granular, so keep
+    /// this at or below `scrub_rate_bytes` — a frozen WAL file larger
+    /// than the pass budget makes every WAL-phase pass overshoot it.
+    pub wal_segment_bytes: usize,
 }
 
 impl StorageConfig {
     /// Defaults: flush at 50k points or 10s, 2h partitions, fsync on
-    /// rotation only, compact at 4 files, 2 ms / 1 MiB group commits.
+    /// rotation only, compact at 4 files, 2 ms / 1 MiB group commits,
+    /// scrub 8 MiB per minute.
     pub fn new(data_dir: impl Into<PathBuf>) -> Self {
         StorageConfig {
             data_dir: data_dir.into(),
@@ -104,6 +118,9 @@ impl StorageConfig {
             compact_min_files: 4,
             wal_group_commit: Duration::from_millis(2),
             wal_group_commit_bytes: 1024 * 1024,
+            scrub_interval: Duration::from_secs(60),
+            scrub_rate_bytes: 8 * 1024 * 1024,
+            wal_segment_bytes: 4 * 1024 * 1024,
         }
     }
 
@@ -114,6 +131,7 @@ impl StorageConfig {
             compact_min_files: self.compact_min_files.max(2),
             wal_group_commit_ms: self.wal_group_commit.as_millis().min(u64::MAX as u128) as u64,
             wal_group_commit_bytes: self.wal_group_commit_bytes,
+            wal_segment_bytes: self.wal_segment_bytes.max(1),
             ..TsmConfig::new(self.data_dir.join(db))
         }
     }
@@ -176,6 +194,14 @@ pub struct StorageStats {
     /// Points currently staged in shard append buffers, not yet drained
     /// into series heads.
     pub shard_buffer_depth: u64,
+    /// Bytes re-verified by the background integrity scrubber since open.
+    pub scrubbed_bytes: u64,
+    /// CRC-failed frames observed (at segment load or by the scrubber).
+    pub corrupt_frames: u64,
+    /// Segment files quarantined after failing verification.
+    pub quarantined_segments: u64,
+    /// Time ranges currently marked damaged and awaiting repair.
+    pub damaged_ranges: u64,
 }
 
 impl StorageStats {
@@ -206,6 +232,10 @@ impl StorageStats {
         self.batched_points_per_commit =
             self.batched_points_per_commit.max(other.batched_points_per_commit);
         self.shard_buffer_depth += other.shard_buffer_depth;
+        self.scrubbed_bytes += other.scrubbed_bytes;
+        self.corrupt_frames += other.corrupt_frames;
+        self.quarantined_segments += other.quarantined_segments;
+        self.damaged_ranges += other.damaged_ranges;
     }
 }
 
@@ -421,6 +451,8 @@ pub struct Database {
     /// windows starting under it (a late backfill would otherwise replace
     /// an exact tier row with a partial recompute).
     raw_drop_cutoff: AtomicI64,
+    /// Incremental CRC-scrub cursor over this database's segment files.
+    scrubber: Mutex<Scrubber>,
 }
 
 impl Default for Database {
@@ -452,6 +484,7 @@ impl Database {
             rollup_watermark: AtomicI64::new(i64::MIN),
             retention_clamp: AtomicI64::new(i64::MAX),
             raw_drop_cutoff: AtomicI64::new(i64::MIN),
+            scrubber: Mutex::new(Scrubber::new()),
         }
     }
 
@@ -1136,6 +1169,134 @@ impl Database {
         Ok(written)
     }
 
+    /// Runs one budgeted pass of the background integrity scrubber:
+    /// re-verifies sealed segment CRCs (and frozen WAL segments at the end
+    /// of each full cycle), quarantines any file that fails, and replaces
+    /// the quarantined partitions' in-memory sealed blocks with whatever
+    /// the surviving files still hold — so reads stop serving data whose
+    /// backing file is gone, and the damaged range is visible for repair.
+    /// No-op without a persistent engine.
+    pub fn scrub_storage(&self, budget_bytes: u64) -> Result<ScrubOutcome> {
+        let Some(engine) = &self.engine else { return Ok(ScrubOutcome::default()) };
+        let outcome = self.scrubber.lock().run(engine, budget_bytes)?;
+        for report in &outcome.quarantined {
+            let reloaded = engine.reload_partition(report.partition).unwrap_or_default();
+            self.replace_partition_blocks(report.start_ns, report.end_ns, reloaded);
+        }
+        Ok(outcome)
+    }
+
+    /// Replaces every column's sealed blocks inside `[start_ns, end_ns)`
+    /// with `reloaded` (the blocks re-read from the partition's surviving
+    /// segment files after a quarantine). Blocks outside the range are
+    /// untouched; flushes seal one block per partition, so a block's
+    /// `min_ts` decides membership for the whole block.
+    fn replace_partition_blocks(&self, start_ns: i64, end_ns: i64, reloaded: Vec<BlockEntry>) {
+        let mut by_col: FxHashMap<(String, String), Vec<Arc<SealedBlock>>> = FxHashMap::default();
+        for e in reloaded {
+            by_col.entry((e.series_key, e.field)).or_default().push(Arc::new(e.block));
+        }
+        for idx in 0..self.shards.len() {
+            let mut shard = self.shards[idx].data.write();
+            for (key, series) in shard.series.iter_mut() {
+                let series = Arc::make_mut(series);
+                for (field, col) in series.fields_mut() {
+                    let in_range =
+                        |b: &Arc<SealedBlock>| b.min_ts >= start_ns && b.min_ts < end_ns;
+                    let replacement = by_col.remove(&(key.clone(), field.to_string()));
+                    if replacement.is_none() && !col.sealed().iter().any(in_range) {
+                        continue;
+                    }
+                    let mut layer: Vec<Arc<SealedBlock>> =
+                        col.sealed().iter().filter(|b| !in_range(b)).cloned().collect();
+                    layer.extend(replacement.unwrap_or_default());
+                    layer.sort_by_key(|b| b.gen);
+                    col.set_sealed(layer);
+                }
+            }
+        }
+    }
+
+    /// The stable bits of one field value for integrity hashing. Replicas
+    /// compare point sets by XORed hashes, so this must be identical on
+    /// every node and invariant under an export → write-back round trip.
+    fn field_value_bits(v: &FieldValue) -> u64 {
+        match v {
+            FieldValue::Float(f) => f.to_bits(),
+            FieldValue::Integer(i) => fx_hash(&(1u8, i)),
+            FieldValue::Boolean(b) => fx_hash(&(2u8, b)),
+            FieldValue::Text(s) => fx_hash(&(3u8, s.as_str())),
+        }
+    }
+
+    /// Merkle-style range digests of this database's visible points, for
+    /// the router's anti-entropy repair pass: per (hour bucket, owner set)
+    /// a point count and an XOR of per-point hashes. `db_name` and the ring
+    /// parameters must match the router's placement exactly — the owner
+    /// set is derived from the same `fx_hash((db, series_key))` the write
+    /// path routes by, so two replicas are only compared over series they
+    /// both own.
+    pub fn integrity_digests(
+        &self,
+        db_name: &str,
+        ring: &HashRing,
+        replication: usize,
+    ) -> Vec<BucketDigest> {
+        self.drain_all_pending();
+        let mut groups: std::collections::BTreeMap<(i64, u64), (u64, u64)> = Default::default();
+        for shard in self.shards.iter() {
+            let shard = shard.data.read();
+            for (key, series) in shard.series.iter() {
+                let mask = owner_mask(ring, replication, fx_hash(&(db_name, key.as_str())));
+                for field in series.field_names() {
+                    let Some(col) = series.field(field) else { continue };
+                    for (ts, v) in col.points_in(i64::MIN, i64::MAX) {
+                        let slot = groups.entry((bucket_of(ts), mask)).or_insert((0, 0));
+                        slot.0 += 1;
+                        slot.1 ^= point_hash(key, field, ts, Self::field_value_bits(&v));
+                    }
+                }
+            }
+        }
+        groups
+            .into_iter()
+            .map(|((bucket_start, owners), (count, hash))| BucketDigest {
+                bucket_start,
+                owners,
+                count,
+                hash,
+            })
+            .collect()
+    }
+
+    /// Exports every visible point in `[start_ns, end_ns)` as canonical
+    /// line protocol (one field per line, explicit nanosecond timestamps).
+    /// The repair pass replays this through the normal replicated write
+    /// path; last-write-wins makes the replay idempotent.
+    pub fn export_lines(&self, start_ns: i64, end_ns: i64) -> String {
+        self.drain_all_pending();
+        let mut out = String::new();
+        for shard in self.shards.iter() {
+            let shard = shard.data.read();
+            for series in shard.series.values() {
+                for field in series.field_names() {
+                    let Some(col) = series.field(field) else { continue };
+                    let mut point = Point::new(series.measurement());
+                    for (k, v) in series.tags() {
+                        point.add_tag(k.clone(), v.clone());
+                    }
+                    for (ts, v) in col.points_in(start_ns, end_ns) {
+                        point.add_field_value(field, v);
+                        point.set_timestamp(ts);
+                        out.push_str(&point.to_line());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Storage gauges for this database (engine gauges plus a live sweep
     /// of the in-memory layer).
     pub fn storage_stats(&self) -> StorageStats {
@@ -1161,6 +1322,10 @@ impl Database {
             stats.group_commits = e.wal_group_commits;
             stats.wal_fsyncs = e.wal_fsyncs;
             stats.batched_points_per_commit = e.wal_points_per_commit;
+            stats.scrubbed_bytes = e.scrubbed_bytes;
+            stats.corrupt_frames = e.corrupt_frames;
+            stats.quarantined_segments = e.quarantined_segments;
+            stats.damaged_ranges = e.damaged_ranges;
         }
         for shard in self.shards.iter() {
             let shard = shard.data.read();
@@ -1956,6 +2121,51 @@ impl Influx {
         Ok(written)
     }
 
+    /// Runs one budgeted integrity-scrub pass over every database;
+    /// returns the aggregated outcome. Each database gets the full byte
+    /// budget (the budget bounds per-pass I/O burst, not total work).
+    pub fn scrub_storage(&self, budget_bytes: u64) -> Result<ScrubOutcome> {
+        let databases: Vec<Arc<Database>> =
+            self.inner.read().databases.values().cloned().collect();
+        let mut total = ScrubOutcome::default();
+        for db in databases {
+            let outcome = db.scrub_storage(budget_bytes)?;
+            total.scrubbed_bytes += outcome.scrubbed_bytes;
+            total.files_verified += outcome.files_verified;
+            total.corrupt_frames += outcome.corrupt_frames;
+            total.quarantined.extend(outcome.quarantined);
+            total.cycle_completed |= outcome.cycle_completed;
+        }
+        Ok(total)
+    }
+
+    /// Integrity digests of one database for the anti-entropy protocol
+    /// (see [`Database::integrity_digests`]). The caller — normally the
+    /// router's repair pass — supplies the cluster's ring geometry, which
+    /// storage nodes do not otherwise know.
+    pub fn integrity_digests(
+        &self,
+        db: &str,
+        nodes: usize,
+        replication: usize,
+        seed: u64,
+    ) -> Result<Vec<BucketDigest>> {
+        let found = self
+            .database(db)
+            .ok_or_else(|| Error::not_found(format!("database {db:?} not found")))?;
+        let ring = HashRing::new(nodes.max(1), seed);
+        Ok(found.integrity_digests(db, &ring, replication.max(1)))
+    }
+
+    /// Canonical line-protocol export of one database's visible points in
+    /// `[start_ns, end_ns)` (see [`Database::export_lines`]).
+    pub fn integrity_export(&self, db: &str, start_ns: i64, end_ns: i64) -> Result<String> {
+        let found = self
+            .database(db)
+            .ok_or_else(|| Error::not_found(format!("database {db:?} not found")))?;
+        Ok(found.export_lines(start_ns, end_ns))
+    }
+
     /// Aggregate storage gauges across all databases.
     pub fn storage_stats(&self) -> StorageStats {
         let databases: Vec<Arc<Database>> =
@@ -1987,6 +2197,8 @@ impl Influx {
         let spawned = supervisor.spawn("storage", move |ctx| {
             let tick = Duration::from_millis(200).min(cfg.flush_interval);
             let mut last_flush = std::time::Instant::now();
+            let mut last_scrub = std::time::Instant::now();
+            let scrub_enabled = cfg.scrub_interval > Duration::ZERO && cfg.scrub_rate_bytes > 0;
             while !ctx.should_stop() {
                 ctx.sleep(tick);
                 if panics
@@ -2026,6 +2238,13 @@ impl Influx {
                 }
                 if due {
                     last_flush = std::time::Instant::now();
+                }
+                // Budgeted background scrub: re-verify sealed-segment CRCs
+                // and quarantine damage so the router's repair pass can
+                // heal it from a healthy replica.
+                if scrub_enabled && last_scrub.elapsed() >= cfg.scrub_interval {
+                    let _ = ix.scrub_storage(cfg.scrub_rate_bytes);
+                    last_scrub = std::time::Instant::now();
                 }
             }
             let _ = ix.flush_storage();
@@ -2443,6 +2662,86 @@ mod tests {
             "newer generation beats older after restart"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Recursively finds segment files under `dir` whose name starts with
+    /// `prefix`.
+    fn find_segments(dir: &std::path::Path, prefix: &str) -> Vec<PathBuf> {
+        let mut out = Vec::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&d) else { continue };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".tsm"))
+                {
+                    out.push(path);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scrub_quarantines_damage_and_replica_replay_heals_it() {
+        let dir_a = tmp_dir("scrub-a");
+        let dir_b = tmp_dir("scrub-b");
+        let ix_a = persistent(&dir_a);
+        let ix_b = persistent(&dir_b);
+        // Two 2h partitions: ts 1s lands in partition 0, ts 8000s in
+        // partition 1.
+        let batch = "m,host=h1 v=1 1000000000\nm,host=h1 v=2 8000000000000";
+        for ix in [&ix_a, &ix_b] {
+            ix.write_lines("lms", batch, Default::default()).unwrap();
+            ix.flush_storage().unwrap();
+        }
+        let digest = |ix: &Influx| ix.integrity_digests("lms", 2, 2, 7).unwrap();
+        assert_eq!(digest(&ix_a), digest(&ix_b), "identical replicas must agree");
+
+        // Corrupt partition 1's segment on node A (flip a payload bit).
+        let seg = find_segments(&dir_a, "seg-1-").pop().expect("partition-1 segment");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[16] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let db_a = ix_a.database("lms").unwrap();
+        let mut quarantined = 0;
+        loop {
+            let out = db_a.scrub_storage(u64::MAX).unwrap();
+            quarantined += out.quarantined.len();
+            if out.cycle_completed {
+                break;
+            }
+        }
+        assert_eq!(quarantined, 1);
+        let stats = ix_a.storage_stats();
+        assert_eq!(stats.quarantined_segments, 1);
+        assert_eq!(stats.damaged_ranges, 1);
+        assert!(stats.corrupt_frames >= 1);
+        assert!(seg.with_extension("tsm.quarantine").exists() || !seg.exists());
+        // Reads stop serving the damaged partition but keep the healthy one.
+        let r = ix_a.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values.len(), 1, "damaged partition must not be served");
+        assert_eq!(r.series[0].values[0][1].as_f64(), Some(1.0));
+        assert_ne!(digest(&ix_a), digest(&ix_b), "loss must be visible in digests");
+
+        // Anti-entropy in miniature: replay the healthy replica's export of
+        // the damaged range through the normal write path.
+        let damaged = db_a.engine().unwrap().damaged_ranges();
+        assert_eq!(damaged.len(), 1);
+        let lines = ix_b.integrity_export("lms", damaged[0].start_ns, damaged[0].end_ns).unwrap();
+        assert!(lines.contains("v=2"), "{lines}");
+        ix_a.write_lines("lms", &lines, Default::default()).unwrap();
+        let r = ix_a.query("lms", "SELECT v FROM m").unwrap();
+        assert_eq!(r.series[0].values.len(), 2, "repair must restore the lost point");
+        assert_eq!(digest(&ix_a), digest(&ix_b), "replicas must reconverge after repair");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! | `GET /metrics?db=<db>` | sorted measurement names |
 //! | `GET /labels/<measurement>?db=<db>` | sorted tag keys of one measurement |
 //! | `GET /stats` | storage-engine gauges (WAL bytes, sealed blocks, compression ratio, …) |
+//! | `GET /integrity?db=<db>&nodes=<n>&replication=<r>&seed=<s>` | per-(hour bucket, owner set) range digests for anti-entropy repair |
+//! | `GET /integrity/export?db=<db>&start=<ns>&end=<ns>` | canonical line-protocol dump of the range, replayed by the repair pass |
 //! | `GET /health/live` | `204` while the process runs |
 //! | `GET /health/ready` | `204` when workers are healthy and storage is not degraded; `503` otherwise |
 
@@ -203,6 +205,46 @@ fn handle(influx: &Influx, req: Request) -> Response {
                 Err(e) => Response::json(404, error_json(&e.to_string())),
             }
         }
+        ("GET", "/integrity") => {
+            let Some(db) = req.query_param("db") else {
+                return Response::json(400, error_json("missing `db` parameter"));
+            };
+            let int_param = |name: &str, default: u64| {
+                req.query_param(name).and_then(|v| v.parse::<u64>().ok()).unwrap_or(default)
+            };
+            let nodes = int_param("nodes", 1) as usize;
+            let replication = int_param("replication", 1) as usize;
+            let seed = int_param("seed", 0);
+            match influx.integrity_digests(db, nodes, replication, seed) {
+                Ok(digests) => {
+                    let body = Json::obj([
+                        ("db", Json::str(db)),
+                        ("digests", lms_util::digest::digests_to_json(&digests)),
+                    ]);
+                    Response::json(200, body.to_string())
+                }
+                // Missing database is 404 for the same reason as /query:
+                // the router's repair pass reads it as "this replica holds
+                // nothing" (a zero-count divergence), not as an error.
+                Err(e) => Response::json(404, error_json(&e.to_string())),
+            }
+        }
+        ("GET", "/integrity/export") => {
+            let Some(db) = req.query_param("db") else {
+                return Response::json(400, error_json("missing `db` parameter"));
+            };
+            let (start, end) = match (parse_ns(&req, "start"), parse_ns(&req, "end")) {
+                (Ok(Some(s)), Ok(Some(e))) => (s, e),
+                (Ok(None), _) | (_, Ok(None)) => {
+                    return Response::json(400, error_json("missing `start`/`end` parameter"))
+                }
+                (Err(r), _) | (_, Err(r)) => return r,
+            };
+            match influx.integrity_export(db, start, end) {
+                Ok(lines) => Response::text(200, lines),
+                Err(e) => Response::json(404, error_json(&e.to_string())),
+            }
+        }
         ("GET", "/stats") => {
             let s = influx.storage_stats();
             let (rollup_passes, rollup_rows) = influx.rollup_counters();
@@ -224,6 +266,10 @@ fn handle(influx: &Influx, req: Request) -> Response {
                 ("wal_fsyncs", Json::Int(s.wal_fsyncs as i64)),
                 ("batched_points_per_commit", Json::Num(s.batched_points_per_commit)),
                 ("shard_buffer_depth", Json::Int(s.shard_buffer_depth as i64)),
+                ("scrubbed_bytes", Json::Int(s.scrubbed_bytes as i64)),
+                ("corrupt_frames", Json::Int(s.corrupt_frames as i64)),
+                ("quarantined_segments", Json::Int(s.quarantined_segments as i64)),
+                ("damaged_ranges", Json::Int(s.damaged_ranges as i64)),
                 ("storage_degraded", Json::Bool(s.degraded)),
                 ("workers_ready", Json::Bool(influx.workers_ready())),
             ]);
@@ -369,6 +415,51 @@ mod tests {
         assert!(json.get("wal_fsyncs").unwrap().as_i64().unwrap() >= 1, "flush rotation syncs");
         assert!(json.get("batched_points_per_commit").is_some());
         assert_eq!(json.get("shard_buffer_depth").unwrap().as_i64(), Some(0));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integrity_endpoints_round_trip() {
+        let dir = std::env::temp_dir().join(format!("lms-http-integrity-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let influx = Influx::open(
+            Clock::simulated(Timestamp::from_secs(1000)),
+            2,
+            crate::db::StorageConfig::new(&dir),
+        )
+        .unwrap();
+        let server = InfluxServer::start("127.0.0.1:0", influx.clone()).unwrap();
+        let mut c = HttpClient::connect(server.addr()).unwrap();
+        c.post_text("/write?db=lms", "cpu,hostname=h1 value=0.5 900000000000").unwrap();
+
+        let r = c.get("/integrity?db=lms&nodes=3&replication=2&seed=7").unwrap();
+        assert_eq!(r.status, 200);
+        let json = Json::parse(&r.body_str()).unwrap();
+        let digests = json.get("digests").unwrap();
+        let first = digests.idx(0).unwrap();
+        assert_eq!(first.get("count").unwrap().as_i64(), Some(1));
+        assert!(first.get("hash").unwrap().as_str().is_some());
+        // Unknown database reads as "holds nothing": 404, like /query.
+        assert_eq!(c.get("/integrity?db=ghost").unwrap().status, 404);
+        assert_eq!(c.get("/integrity").unwrap().status, 400);
+
+        let r = c.get("/integrity/export?db=lms&start=0&end=1000000000000").unwrap();
+        assert_eq!(r.status, 200);
+        let body = r.body_str().into_owned();
+        assert!(body.contains("cpu,hostname=h1 value=0.5 900000000000"), "{body}");
+        // Replaying the export is idempotent under last-write-wins.
+        assert_eq!(c.post_text("/write?db=lms", &body).unwrap().status, 204);
+        assert_eq!(influx.point_count("lms"), 1);
+        assert_eq!(c.get("/integrity/export?db=lms&start=0").unwrap().status, 400);
+
+        // The integrity gauges are visible in /stats.
+        let r = c.get("/stats").unwrap();
+        let json = Json::parse(&r.body_str()).unwrap();
+        assert_eq!(json.get("quarantined_segments").unwrap().as_i64(), Some(0));
+        assert_eq!(json.get("corrupt_frames").unwrap().as_i64(), Some(0));
+        assert_eq!(json.get("damaged_ranges").unwrap().as_i64(), Some(0));
+        assert!(json.get("scrubbed_bytes").is_some());
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -7,7 +7,8 @@
 //!            [--max-connections N] [--max-body-bytes N]
 //!            [--gmond <host:port> --gmond-interval <secs>]
 //! lms-router --cluster-node <host:port> [--cluster-node <host:port> ...]
-//!            [--replication R] [--write-quorum W] [...]
+//!            [--replication R] [--write-quorum W] [--repair-interval-secs N]
+//!            [...]
 //! ```
 //!
 //! Accepts InfluxDB-style writes on `--listen`, enriches them with job
@@ -24,7 +25,10 @@
 //! node-batches are queued or durably spooled. A node behind an open
 //! circuit breaker has its share spilled to a per-node spool as hinted
 //! handoff and replayed after recovery. Queries scatter-gather across all
-//! nodes and merge last-writer-wins, degrading to partial results.
+//! nodes and merge last-writer-wins, degrading to partial results. With
+//! `--repair-interval-secs` (and R ≥ 2) the router periodically runs an
+//! anti-entropy pass: it diffs the nodes' `/integrity` digests and replays
+//! each divergent hour from its healthiest replica through the write path.
 
 use lms_http::ServerConfig;
 use lms_mq::Publisher;
@@ -56,6 +60,7 @@ fn run() -> Result<()> {
     let mut gmond_interval = Duration::from_secs(60);
     let mut spool_dir: Option<String> = None;
     let mut coalesce_bytes: Option<usize> = None;
+    let mut repair_interval: Option<Duration> = None;
     let mut server_config = ServerConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -106,6 +111,15 @@ fn run() -> Result<()> {
                 spool_dir =
                     Some(it.next().ok_or_else(|| Error::config("--spool-dir needs a path"))?.clone())
             }
+            // Anti-entropy repair cadence; 0 (the default) disables it.
+            "--repair-interval-secs" => {
+                let s: u64 = it
+                    .next()
+                    .ok_or_else(|| Error::config("--repair-interval-secs needs seconds"))?
+                    .parse()
+                    .map_err(|_| Error::config("bad --repair-interval-secs"))?;
+                repair_interval = (s > 0).then(|| Duration::from_secs(s));
+            }
             "--coalesce-bytes" => {
                 coalesce_bytes = Some(
                     it.next()
@@ -141,7 +155,8 @@ fn run() -> Result<()> {
                      [--max-connections N] [--max-body-bytes N] \
                      [--gmond addr --gmond-interval secs]\n       \
                      lms-router --cluster-node host:port [--cluster-node ...] \
-                     [--replication R] [--write-quorum W] [...]"
+                     [--replication R] [--write-quorum W] \
+                     [--repair-interval-secs N] [...]"
                 );
                 return Ok(());
             }
@@ -196,12 +211,34 @@ fn run() -> Result<()> {
         println!("pulling gmond at {addr} every {}s", gmond_interval.as_secs());
     }
 
+    if let Some(interval) = repair_interval {
+        println!("anti-entropy repair every {}s", interval.as_secs());
+    }
+    let tick = repair_interval.map_or(gmond_interval, |r| r.min(gmond_interval));
+    let mut last_repair = std::time::Instant::now();
+    let mut last_pull = std::time::Instant::now();
     loop {
-        std::thread::sleep(gmond_interval);
+        std::thread::sleep(tick);
         if let Some(proxy) = &proxy {
-            match proxy.pull_once(&router) {
-                Ok(n) => println!("gmond: pulled {n} points"),
-                Err(e) => eprintln!("gmond pull failed: {e}"),
+            if last_pull.elapsed() >= gmond_interval {
+                last_pull = std::time::Instant::now();
+                match proxy.pull_once(&router) {
+                    Ok(n) => println!("gmond: pulled {n} points"),
+                    Err(e) => eprintln!("gmond pull failed: {e}"),
+                }
+            }
+        }
+        if let Some(interval) = repair_interval {
+            if last_repair.elapsed() >= interval {
+                last_repair = std::time::Instant::now();
+                let db = router.config().global_db.clone();
+                let o = router.run_repair_pass(&[db.as_str()]);
+                if o.divergent > 0 || o.errors > 0 {
+                    println!(
+                        "repair: {} divergent, {} repaired, {} lines, {} errors",
+                        o.divergent, o.repaired_ranges, o.lines_rewritten, o.errors
+                    );
+                }
             }
         }
         let s = router.stats();

@@ -49,6 +49,7 @@ pub struct ClusterForwarder {
     ring: HashRing,
     replication: usize,
     write_quorum: usize,
+    seed: u64,
     io_timeout: Duration,
 }
 
@@ -80,6 +81,7 @@ impl ClusterForwarder {
             ring: cluster.ring(),
             replication: cluster.replication,
             write_quorum: cluster.write_quorum,
+            seed: cluster.seed,
             io_timeout: template.io_timeout,
         })
     }
@@ -92,6 +94,11 @@ impl ClusterForwarder {
     /// The replication factor R.
     pub fn replication(&self) -> usize {
         self.replication
+    }
+
+    /// The ring seed (shared with the storage nodes for digest grouping).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Node addresses, in ring order.
@@ -209,6 +216,27 @@ impl ClusterForwarder {
     pub fn labels_node(&self, i: usize, db: &str, measurement: &str) -> Result<Vec<String>> {
         let mut client = self.client(i)?;
         client.labels(db, measurement)
+    }
+
+    /// One node's `/integrity` digests, computed against this cluster's
+    /// ring geometry (node count, replication, seed) so every node groups
+    /// series by the same owner sets the router places by.
+    pub fn integrity_node(&self, i: usize, db: &str) -> Result<Vec<lms_cluster::BucketDigest>> {
+        let mut client = self.client(i)?;
+        client.integrity(db, self.nodes.len(), self.replication, self.seed)
+    }
+
+    /// One node's `/integrity/export` of `[start, end)` ns — canonical
+    /// line protocol for replay through the write path.
+    pub fn integrity_export_node(
+        &self,
+        i: usize,
+        db: &str,
+        start: i64,
+        end: i64,
+    ) -> Result<String> {
+        let mut client = self.client(i)?;
+        client.integrity_export(db, start, end)
     }
 
     fn client(&self, i: usize) -> Result<InfluxClient> {

@@ -21,13 +21,16 @@
 //! durable, retrying delivery to one database), [`delivery`] (the cluster
 //! fabric: per-node forwarders behind a seeded rendezvous ring, quorum
 //! writes, hinted handoff, scatter-gather reads), [`breaker`] (the
-//! per-destination circuit breaker), [`router`] (the enrichment core),
-//! [`server`] (HTTP endpoints), [`proxy`] (the Ganglia gmond pull proxy).
+//! per-destination circuit breaker), [`repair`] (anti-entropy read-repair:
+//! digest diffing and divergent-range replay), [`router`] (the enrichment
+//! core), [`server`] (HTTP endpoints), [`proxy`] (the Ganglia gmond pull
+//! proxy).
 
 pub mod breaker;
 pub mod delivery;
 pub mod forward;
 pub mod proxy;
+pub mod repair;
 pub mod router;
 pub mod server;
 pub mod tagstore;
@@ -36,6 +39,7 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use delivery::{ClusterForwarder, DestinationStats};
 pub use forward::{ForwardConfig, ForwardStats, Forwarder};
 pub use lms_cluster::ClusterConfig;
+pub use repair::RepairOutcome;
 pub use router::{Router, RouterConfig, RouterStats, WriteOutcome};
 pub use server::RouterServer;
 pub use tagstore::{JobSignal, TagStore};

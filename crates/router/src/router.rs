@@ -74,6 +74,11 @@ pub struct RouterStats {
     pub quorum_failures: u64,
     /// Scatter-gather queries answered with a partial result.
     pub partial_queries: u64,
+    /// Anti-entropy repair passes completed.
+    pub repair_passes: u64,
+    /// Divergent ranges re-fetched from a healthy replica and re-written
+    /// through the write path.
+    pub repaired_ranges: u64,
     /// Aggregate forwarder statistics (summed across destinations; the
     /// breaker field reports the worst state).
     pub forward: ForwardStats,
@@ -110,6 +115,8 @@ pub struct Router {
     writes_shed: AtomicU64,
     quorum_failures: AtomicU64,
     partial_queries: AtomicU64,
+    repair_passes: AtomicU64,
+    repaired_ranges: AtomicU64,
 }
 
 impl Router {
@@ -160,6 +167,8 @@ impl Router {
             writes_shed: AtomicU64::new(0),
             quorum_failures: AtomicU64::new(0),
             partial_queries: AtomicU64::new(0),
+            repair_passes: AtomicU64::new(0),
+            repaired_ranges: AtomicU64::new(0),
         })
     }
 
@@ -494,6 +503,20 @@ impl Router {
         batch.submit(&self.delivery);
     }
 
+    /// One anti-entropy repair pass over `dbs` (see [`crate::repair`]):
+    /// per database, diff every node's `/integrity` digests and replay
+    /// each divergent hour from its elected source through the normal
+    /// replicated write path. A no-op below two nodes or two replicas.
+    pub fn run_repair_pass(&self, dbs: &[&str]) -> crate::repair::RepairOutcome {
+        let mut total = crate::repair::RepairOutcome::default();
+        for db in dbs {
+            total.add(crate::repair::repair_database(&self.delivery, db));
+        }
+        self.repair_passes.fetch_add(1, Ordering::Relaxed);
+        self.repaired_ranges.fetch_add(total.repaired_ranges, Ordering::Relaxed);
+        total
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> RouterStats {
         RouterStats {
@@ -504,6 +527,8 @@ impl Router {
             writes_shed: self.writes_shed.load(Ordering::Relaxed),
             quorum_failures: self.quorum_failures.load(Ordering::Relaxed),
             partial_queries: self.partial_queries.load(Ordering::Relaxed),
+            repair_passes: self.repair_passes.load(Ordering::Relaxed),
+            repaired_ranges: self.repaired_ranges.load(Ordering::Relaxed),
             forward: self.delivery.stats(),
             destinations: self.delivery.destination_stats(),
         }

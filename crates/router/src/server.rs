@@ -247,6 +247,8 @@ fn handle(router: &Router, req: Request) -> Response {
                     ("writes_shed", Json::from(s.writes_shed as i64)),
                     ("quorum_failures", Json::from(s.quorum_failures as i64)),
                     ("partial_queries", Json::from(s.partial_queries as i64)),
+                    ("repair_passes", Json::from(s.repair_passes as i64)),
+                    ("repaired_ranges", Json::from(s.repaired_ranges as i64)),
                     ("workers_ready", Json::Bool(router.workers_ready())),
                     ("forward_delivered", Json::from(s.forward.delivered as i64)),
                     ("forward_rejected", Json::from(s.forward.rejected as i64)),

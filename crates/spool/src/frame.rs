@@ -9,10 +9,17 @@
 //!
 //! The CRC covers the payload only; the length field is validated by bounds
 //! checks (a corrupt length either exceeds [`MAX_PAYLOAD`] or runs past the
-//! buffer, both of which read as a torn/corrupt tail). Decoding is
-//! prefix-safe: [`decode_all`] consumes frames until the first torn or
-//! corrupt one and reports how many bytes were cleanly consumed, so crash
-//! recovery can truncate a segment to its last intact record.
+//! buffer, both of which read as a torn tail). [`decode_all`] distinguishes
+//! the two failure modes:
+//!
+//! - a **torn tail** (short or length-implausible frame — a crash
+//!   mid-append) stops the scan; `clean_len` marks the last intact byte so
+//!   recovery can truncate the segment there;
+//! - a **corrupt frame** (bounds-valid length but the CRC or payload
+//!   encoding does not verify — a bit flip at rest) is counted in
+//!   `corrupt_records`, skipped by its declared length, and the scan
+//!   resynchronizes at the next frame, so one damaged record does not take
+//!   the rest of the segment with it.
 
 /// Frame header size: payload length + CRC.
 pub const HEADER_LEN: usize = 8;
@@ -62,50 +69,79 @@ pub fn encode_record(db: &str, body: &str, out: &mut Vec<u8>) {
 pub struct DecodeOutcome {
     /// Cleanly decoded records, in append order.
     pub records: Vec<Record>,
-    /// Bytes occupied by those records — everything past this offset is a
-    /// torn tail (crash mid-append) or corruption and must be discarded.
+    /// Bounds-valid frames skipped because their CRC (or payload encoding)
+    /// did not verify. Each one loses exactly its own record; the frames
+    /// around it still decode.
+    pub corrupt_records: u64,
+    /// Bytes scanned (decoded or skipped-as-corrupt) — everything past this
+    /// offset is a torn tail (crash mid-append) and must be discarded.
     pub clean_len: usize,
 }
 
-/// Decodes every intact record from `buf`, stopping at the first torn or
-/// corrupt frame.
+/// Decodes every intact record from `buf`, skipping (and counting) corrupt
+/// frames and stopping at the first torn one.
 pub fn decode_all(buf: &[u8]) -> DecodeOutcome {
-    let mut records = Vec::new();
+    let mut out = DecodeOutcome::default();
     let mut off = 0;
     loop {
-        let Some((record, next)) = decode_one(buf, off) else {
-            return DecodeOutcome { records, clean_len: off };
-        };
-        records.push(record);
-        off = next;
+        match decode_one(buf, off) {
+            Frame::Intact(record, next) => {
+                out.records.push(record);
+                off = next;
+            }
+            Frame::Corrupt(next) => {
+                out.corrupt_records += 1;
+                off = next;
+            }
+            Frame::Torn => {
+                out.clean_len = off;
+                return out;
+            }
+        }
     }
 }
 
-/// Decodes the record at `off`; `None` on a torn/corrupt frame or clean EOF.
-fn decode_one(buf: &[u8], off: usize) -> Option<(Record, usize)> {
+/// Classification of the frame at one offset.
+enum Frame {
+    /// A verified record; the scan continues at the contained offset.
+    Intact(Record, usize),
+    /// A bounds-valid frame whose CRC or payload encoding failed; the scan
+    /// resynchronizes at the contained offset (the frame's declared end).
+    Corrupt(usize),
+    /// Short or length-implausible — a torn tail (or clean EOF); stop.
+    Torn,
+}
+
+/// Decodes the frame at `off`.
+fn decode_one(buf: &[u8], off: usize) -> Frame {
     let rest = &buf[off.min(buf.len())..];
     if rest.len() < HEADER_LEN {
-        return None;
+        return Frame::Torn;
     }
     let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
     if !(2..=MAX_PAYLOAD).contains(&payload_len) || rest.len() < HEADER_LEN + payload_len {
-        return None;
+        return Frame::Torn;
     }
+    let next = off + HEADER_LEN + payload_len;
     let payload = &rest[HEADER_LEN..HEADER_LEN + payload_len];
     if crc32(payload) != crc {
-        return None;
+        return Frame::Corrupt(next);
     }
+    // CRC verified: a malformed payload here means corruption that
+    // collided with the checksum (or an encoder bug) — still one frame,
+    // still skippable.
     let db_len = u16::from_le_bytes(payload[0..2].try_into().unwrap()) as usize;
     if 2 + db_len > payload.len() {
-        return None;
+        return Frame::Corrupt(next);
     }
-    let db = std::str::from_utf8(&payload[2..2 + db_len]).ok()?;
-    let body = std::str::from_utf8(&payload[2 + db_len..]).ok()?;
-    Some((
-        Record { db: db.to_string(), body: body.to_string() },
-        off + HEADER_LEN + payload_len,
-    ))
+    let (Ok(db), Ok(body)) = (
+        std::str::from_utf8(&payload[2..2 + db_len]),
+        std::str::from_utf8(&payload[2 + db_len..]),
+    ) else {
+        return Frame::Corrupt(next);
+    };
+    Frame::Intact(Record { db: db.to_string(), body: body.to_string() }, next)
 }
 
 #[cfg(test)]
@@ -158,13 +194,28 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_crc_stops_decoding() {
-        let mut buf = encode(&[("lms", "a v=1 1"), ("lms", "b v=2 2")]);
+    fn corrupt_frame_is_skipped_and_counted() {
+        let mut buf = encode(&[("lms", "a v=1 1"), ("lms", "b v=2 2"), ("lms", "c v=3 3")]);
         let first_len = encoded_len("lms", "a v=1 1");
         buf[first_len + HEADER_LEN + 3] ^= 0xFF; // flip a payload byte of record 2
         let out = decode_all(&buf);
+        // The damaged frame loses only itself: its neighbors survive.
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[0].body, "a v=1 1");
+        assert_eq!(out.records[1].body, "c v=3 3");
+        assert_eq!(out.corrupt_records, 1);
+        assert_eq!(out.clean_len, buf.len());
+    }
+
+    #[test]
+    fn corrupt_crc_field_skips_only_its_frame() {
+        let mut buf = encode(&[("lms", "a v=1 1"), ("lms", "b v=2 2")]);
+        buf[4] ^= 0x01; // flip a CRC byte of record 1
+        let out = decode_all(&buf);
         assert_eq!(out.records.len(), 1);
-        assert_eq!(out.clean_len, first_len);
+        assert_eq!(out.records[0].body, "b v=2 2");
+        assert_eq!(out.corrupt_records, 1);
+        assert_eq!(out.clean_len, buf.len());
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!
 //! [`Spool::open`] scans the directory, decodes every segment, truncates
 //! torn tails (a crash mid-append leaves a half-written frame) and deletes
-//! empty segments. Replay progress within the head segment is *not*
+//! empty segments. A mid-segment frame that fails its CRC (a bit flip at
+//! rest) is skipped and counted in [`SpoolStats::corrupt_records`] rather
+//! than truncated: the records around it still replay, mirroring the
+//! storage engine's segment-quarantine behavior of never amplifying one
+//! damaged record into losing a whole file. Replay progress within the
+//! head segment is *not*
 //! persisted, so a crash between delivery and acknowledgement re-delivers
 //! that segment: the spool is an **at-least-once** buffer (idempotent for
 //! LMS because a re-written point overwrites the same series+timestamp).
@@ -72,8 +77,13 @@ pub struct SpoolStats {
     pub replayed: u64,
     /// Records lost to cap eviction.
     pub evicted: u64,
-    /// Bytes discarded during crash recovery (torn tails, corruption).
+    /// Bytes discarded during crash recovery (torn tails — a half-written
+    /// frame truncated away, or a tail made unscannable by corruption).
     pub torn_bytes: u64,
+    /// Mid-segment frames skipped because their CRC did not verify (a bit
+    /// flip at rest). Each skip loses one record; the records around it
+    /// keep replaying.
+    pub corrupt_records: u64,
     /// Rotation fsyncs that failed (the segment stays replayable — its
     /// frames were already flushed to the OS — but its durability across
     /// a power loss is no longer guaranteed).
@@ -103,6 +113,9 @@ struct SegMeta {
     path: PathBuf,
     bytes: u64,
     records: u64,
+    /// Corrupt frames already counted for this segment — the head decode
+    /// re-scans the file, so only *new* corruption increments the counter.
+    corrupt: u64,
 }
 
 struct Active {
@@ -130,6 +143,7 @@ struct Inner {
     replayed: u64,
     evicted: u64,
     torn_bytes: u64,
+    corrupt_records: u64,
     sync_failures: u64,
     scratch: Vec<u8>,
 }
@@ -152,12 +166,14 @@ impl Spool {
 
         let mut segments: Vec<SegMeta> = Vec::new();
         let mut torn_bytes = 0u64;
+        let mut corrupt_records = 0u64;
         for entry in std::fs::read_dir(&cfg.dir)? {
             let entry = entry?;
             let path = entry.path();
             let Some(seq) = segment_seq(&path) else { continue };
             let data = std::fs::read(&path)?;
             let out = frame::decode_all(&data);
+            corrupt_records += out.corrupt_records;
             if out.clean_len < data.len() {
                 torn_bytes += (data.len() - out.clean_len) as u64;
                 let f = OpenOptions::new().write(true).open(&path)?;
@@ -173,6 +189,7 @@ impl Spool {
                 path,
                 bytes: out.clean_len as u64,
                 records: out.records.len() as u64,
+                corrupt: out.corrupt_records,
             });
         }
         segments.sort_by_key(|s| s.seq);
@@ -189,6 +206,7 @@ impl Spool {
                 replayed: 0,
                 evicted: 0,
                 torn_bytes,
+                corrupt_records,
                 sync_failures: 0,
                 scratch: Vec::new(),
             }),
@@ -203,7 +221,10 @@ impl Spool {
             inner.next_seq += 1;
             let path = inner.cfg.dir.join(format!("{seq:016x}.seg"));
             let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            inner.active = Some(Active { meta: SegMeta { seq, path, bytes: 0, records: 0 }, file });
+            inner.active = Some(Active {
+                meta: SegMeta { seq, path, bytes: 0, records: 0, corrupt: 0 },
+                file,
+            });
         }
         let mut buf = std::mem::take(&mut inner.scratch);
         buf.clear();
@@ -280,6 +301,7 @@ impl Spool {
             replayed: inner.replayed,
             evicted: inner.evicted,
             torn_bytes: inner.torn_bytes,
+            corrupt_records: inner.corrupt_records,
             sync_failures: inner.sync_failures,
             pending: head_records + closed_records + active_records,
             segments: inner.head.is_some() as u64
@@ -327,9 +349,13 @@ impl Inner {
         let Some(mut meta) = self.closed.pop_front() else { return };
         let data = std::fs::read(&meta.path).unwrap_or_default();
         let out = frame::decode_all(&data);
-        // Decoding short means on-disk corruption since the segment was
-        // written; surface what survives and account the loss.
+        // Decoding short means on-disk damage since the segment was
+        // written; surface what survives and account the loss. Corrupt
+        // frames are counted as a delta against what this segment already
+        // reported at open, so a re-scan does not double-bill them.
         self.torn_bytes += (data.len() as u64).saturating_sub(out.clean_len as u64);
+        self.corrupt_records += out.corrupt_records.saturating_sub(meta.corrupt);
+        meta.corrupt = out.corrupt_records;
         self.evicted += meta.records.saturating_sub(out.records.len() as u64);
         meta.records = out.records.len() as u64;
         if out.records.is_empty() {
@@ -493,6 +519,41 @@ mod tests {
     }
 
     #[test]
+    fn recovery_skips_and_counts_mid_segment_corruption() {
+        let dir = tmpdir("flip");
+        let path;
+        {
+            let spool = Spool::open(SpoolConfig::new(&dir)).unwrap();
+            spool.append("db", "a v=1 1").unwrap();
+            spool.append("db", "b v=2 2").unwrap();
+            spool.append("db", "c v=3 3").unwrap();
+            let inner = spool.inner.lock().unwrap();
+            path = inner.active.as_ref().unwrap().meta.path.clone();
+        }
+        // A bit flip at rest inside the middle record's payload.
+        let mut data = std::fs::read(&path).unwrap();
+        let first_len = frame::encoded_len("db", "a v=1 1");
+        data[first_len + frame::HEADER_LEN + 3] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let spool = Spool::open(SpoolConfig::new(&dir)).unwrap();
+        let s = spool.stats();
+        assert_eq!(s.corrupt_records, 1, "{s:?}");
+        assert_eq!(s.torn_bytes, 0, "{s:?}");
+        assert_eq!(s.pending, 2, "{s:?}");
+        // The neighbors replay in order; the re-scan at head load does not
+        // double-count the already-reported corruption.
+        for body in ["a v=1 1", "c v=3 3"] {
+            let e = spool.peek().unwrap();
+            assert_eq!(e.body, body);
+            spool.ack(&e);
+        }
+        assert!(spool.is_empty());
+        assert_eq!(spool.stats().corrupt_records, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn recovery_drops_fully_corrupt_segment() {
         let dir = tmpdir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
@@ -597,32 +658,45 @@ mod tests {
             }
 
             /// A flipped byte never panics the decoder and never yields a
-            /// record that was not written (CRC catches the corruption at
-            /// or after the flipped frame).
+            /// record that was not written (the CRC bars fabrication); the
+            /// frames before the flip always survive, and a skipped frame
+            /// is always counted.
             #[test]
-            fn corrupted_byte_yields_clean_prefix(
+            fn corrupted_byte_never_fabricates_or_silently_drops(
                 records in proptest::collection::vec(record_strategy(), 1..8),
                 pos_frac in 0.0f64..1.0,
                 flip in 1u8..255,
             ) {
                 let mut buf = Vec::new();
+                let mut boundaries = vec![0usize];
                 for (db, body) in &records {
                     encode_record(db, body, &mut buf);
+                    boundaries.push(boundaries.last().unwrap() + encoded_len(db, body));
                 }
                 let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
                 buf[pos] ^= flip;
                 let out = decode_all(&buf);
                 prop_assert!(out.clean_len <= buf.len());
-                prop_assert!(out.records.len() <= records.len());
-                // Records before the corrupted frame decode untouched.
-                let mut off = 0;
-                for (rec, (db, body)) in out.records.iter().zip(&records) {
-                    let len = encoded_len(db, body);
-                    if off + len <= pos {
-                        prop_assert_eq!(&rec.db, db);
-                        prop_assert_eq!(&rec.body, body);
-                    }
-                    off += len;
+                // Frames entirely before the flip decode untouched, in order.
+                let intact = boundaries[1..].iter().filter(|&&b| b <= pos).count();
+                prop_assert!(out.records.len() >= intact);
+                for (rec, (db, body)) in out.records.iter().take(intact).zip(&records) {
+                    prop_assert_eq!(&rec.db, db);
+                    prop_assert_eq!(&rec.body, body);
+                }
+                // Every decoded record was actually written.
+                for rec in &out.records {
+                    prop_assert!(
+                        records.iter().any(|(db, body)| rec.db == *db && rec.body == *body),
+                        "fabricated record {rec:?}"
+                    );
+                }
+                // Losses are visible: every written record either decodes,
+                // is inside a counted-corrupt region, or sits past the torn
+                // point where recovery truncates (torn bytes are accounted
+                // by the caller from clean_len).
+                if out.clean_len == buf.len() && out.records.len() < records.len() {
+                    prop_assert!(out.corrupt_records > 0, "silent loss: {out:?}");
                 }
             }
 

@@ -100,6 +100,9 @@ pub struct Recovered {
     pub wal_records: Vec<WalRecord>,
     /// WAL bytes discarded as torn tails (crash mid-append).
     pub torn_wal_bytes: u64,
+    /// CRC-failed frames found while loading segment files and the WAL —
+    /// acknowledged data the disk corrupted, as opposed to torn tails.
+    pub corrupt_frames: u64,
 }
 
 /// Point-in-time storage gauges for `/stats`.
@@ -124,6 +127,54 @@ pub struct TsmStats {
     pub wal_fsyncs: u64,
     /// EWMA of points per committed WAL group.
     pub wal_points_per_commit: f64,
+    /// Bytes re-verified by the scrubber since open.
+    pub scrubbed_bytes: u64,
+    /// CRC-failed frames seen since open (load time + scrub passes).
+    pub corrupt_frames: u64,
+    /// Segment files quarantined since open.
+    pub quarantined_segments: u64,
+    /// Time ranges currently marked damaged (quarantined, awaiting
+    /// anti-entropy repair from a replica).
+    pub damaged_ranges: u64,
+}
+
+/// A per-partition time range lost to a quarantined segment. The points it
+/// covered are restored by the cluster's anti-entropy repair pass (or by a
+/// surviving overlapping generation); until then queries over the range
+/// may be missing data on this node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DamagedRange {
+    /// Time partition of the quarantined file.
+    pub partition: i64,
+    /// Partition start (inclusive, ns).
+    pub start_ns: i64,
+    /// Partition end (exclusive, ns).
+    pub end_ns: i64,
+    /// The quarantined file (post-rename).
+    pub file: PathBuf,
+}
+
+/// Outcome of quarantining one corrupt segment file.
+#[derive(Debug, Clone)]
+pub struct QuarantineReport {
+    /// Original segment path (no longer present).
+    pub original: PathBuf,
+    /// Where the file went (`<name>.quarantine`).
+    pub quarantined: PathBuf,
+    /// Sidecar report path (`<name>.quarantine.json`).
+    pub sidecar: PathBuf,
+    /// The file's time partition.
+    pub partition: i64,
+    /// Damaged range start (inclusive, ns) — the whole partition,
+    /// conservatively, since the corrupt frames' blocks are unreadable.
+    pub start_ns: i64,
+    /// Damaged range end (exclusive, ns).
+    pub end_ns: i64,
+    /// Offsets of the CRC-failed frames inside the original file.
+    pub corrupt_offsets: Vec<u64>,
+    /// Series whose blocks were still readable in the file (the corrupt
+    /// frames' series are unknown by definition).
+    pub intact_series: Vec<String>,
 }
 
 struct SegFile {
@@ -165,6 +216,14 @@ pub struct TsmEngine {
     /// timestamp, whatever cutoff the caller computed. `i64::MAX` = no
     /// floor.
     drop_floor: AtomicI64,
+    /// Bytes re-verified by scrub passes.
+    scrubbed_bytes: AtomicU64,
+    /// CRC-failed frames observed (segment load, WAL recovery, scrub).
+    corrupt_frames: AtomicU64,
+    /// Segment files quarantined since open.
+    quarantined: AtomicU64,
+    /// Time ranges lost to quarantine, pending anti-entropy repair.
+    damaged: Mutex<Vec<DamagedRange>>,
     faults: Mutex<Faults>,
 }
 
@@ -183,6 +242,40 @@ fn parse_segment_name(name: &str) -> Option<(i64, u64)> {
     let stem = name.strip_prefix("seg-")?.strip_suffix(".tsm")?;
     let (partition, seq) = stem.rsplit_once('-')?;
     Some((partition.parse().ok()?, u64::from_str_radix(seq, 16).ok()?))
+}
+
+/// `seg-<p>-<seq>.tsm` → `seg-<p>-<seq>.tsm.quarantine`. The suffix is
+/// appended (not substituted) so the original name — and therefore the
+/// partition/seq — stays recoverable, and `parse_segment_name` no longer
+/// matches, keeping the file out of every future open.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    name.push_str(".quarantine");
+    path.with_file_name(name)
+}
+
+fn sidecar_path(quarantined: &Path) -> PathBuf {
+    let mut name =
+        quarantined.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    name.push_str(".json");
+    quarantined.with_file_name(name)
+}
+
+fn quarantine_sidecar_json(report: &QuarantineReport) -> String {
+    use lms_util::json::Json;
+    Json::obj([
+        ("file", Json::str(report.original.display().to_string())),
+        ("quarantined", Json::str(report.quarantined.display().to_string())),
+        ("partition", Json::Int(report.partition)),
+        ("start_ns", Json::Int(report.start_ns)),
+        ("end_ns", Json::Int(report.end_ns)),
+        (
+            "corrupt_offsets",
+            Json::arr(report.corrupt_offsets.iter().map(|&o| Json::Int(o as i64))),
+        ),
+        ("intact_series", Json::arr(report.intact_series.iter().map(Json::str))),
+    ])
+    .to_pretty()
 }
 
 impl TsmEngine {
@@ -212,8 +305,20 @@ impl TsmEngine {
         files.sort_by_key(|f| f.seq);
 
         let mut blocks = Vec::new();
+        let mut corrupt_frames = 0u64;
         for f in &files {
-            blocks.extend(segment::read_segment(&f.path)?);
+            let scan = segment::scan_segment(&f.path)?;
+            if scan.corrupt_frames > 0 {
+                corrupt_frames += scan.corrupt_frames;
+                eprintln!(
+                    "lms-tsm: warning: {} CRC-failed frame(s) in {} at offsets {:?}; \
+                     intact blocks loaded, file left for the scrubber to quarantine",
+                    scan.corrupt_frames,
+                    f.path.display(),
+                    scan.corrupt_offsets
+                );
+            }
+            blocks.extend(scan.entries);
         }
         blocks.sort_by_key(|e| e.block.gen);
 
@@ -227,10 +332,12 @@ impl TsmEngine {
 
         let next_gen = blocks.last().map(|e| e.block.gen + 1).unwrap_or(0);
         let next_seg_seq = files.last().map(|f| f.seq + 1).unwrap_or(0);
+        corrupt_frames += wal_recovery.corrupt_frames;
         let recovered = Recovered {
             blocks,
             wal_records: wal_recovery.records,
             torn_wal_bytes: wal_recovery.torn_bytes,
+            corrupt_frames,
         };
         let engine = TsmEngine {
             cfg,
@@ -243,6 +350,10 @@ impl TsmEngine {
             recovered_records: recovered.wal_records.len() as u64,
             degraded: AtomicBool::new(false),
             drop_floor: AtomicI64::new(i64::MAX),
+            scrubbed_bytes: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(corrupt_frames),
+            quarantined: AtomicU64::new(0),
+            damaged: Mutex::new(Vec::new()),
             faults: Mutex::new(Faults {
                 segment_write_after: None,
                 skip_wal_remove: false,
@@ -423,7 +534,130 @@ impl TsmEngine {
             wal_group_commits: group.group_commits,
             wal_fsyncs: group.fsyncs,
             wal_points_per_commit: group.points_per_commit,
+            scrubbed_bytes: self.scrubbed_bytes.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            quarantined_segments: self.quarantined.load(Ordering::Relaxed),
+            damaged_ranges: self.damaged.lock().len() as u64,
         }
+    }
+
+    /// Snapshot of the registered segment files for the scrubber:
+    /// `(path, partition, bytes)`, in registration (seq) order.
+    pub fn scrub_targets(&self) -> Vec<(PathBuf, i64, u64)> {
+        self.files.lock().iter().map(|f| (f.path.clone(), f.partition, f.bytes)).collect()
+    }
+
+    /// Paths of the frozen (immutable) WAL segments, safe to CRC-verify
+    /// concurrently with appends to the active segment.
+    pub fn wal_frozen_paths(&self) -> Vec<PathBuf> {
+        self.wal.frozen_paths()
+    }
+
+    /// CRC-verifies one frozen WAL segment; returns `(bytes, corrupt_at)`.
+    pub(crate) fn verify_wal_file(&self, path: &Path) -> Result<(u64, Option<u64>)> {
+        crate::wal::verify_wal_segment(path)
+    }
+
+    /// Accounts bytes the scrubber re-verified.
+    pub fn record_scrubbed(&self, bytes: u64) {
+        self.scrubbed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Accounts CRC failures the scrubber (or a reader) observed.
+    pub fn record_corrupt_frames(&self, n: u64) {
+        if n > 0 {
+            self.corrupt_frames.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured partition width in nanoseconds.
+    pub fn partition_ns(&self) -> i64 {
+        self.cfg.partition_ns
+    }
+
+    /// Quarantines a corrupt segment file: atomically renames it to
+    /// `<name>.quarantine`, writes a `<name>.quarantine.json` sidecar
+    /// (offsets + affected time range + surviving series), unregisters the
+    /// file, and marks the partition's time range damaged. The caller then
+    /// rebuilds its in-memory state for the partition from the surviving
+    /// files ([`TsmEngine::reload_partition`]) and relies on anti-entropy
+    /// repair to restore the lost points from a replica.
+    pub fn quarantine_segment(&self, path: &Path, corrupt_offsets: &[u64]) -> Result<QuarantineReport> {
+        let _g = self.maint.lock();
+        let seg = {
+            let mut files = self.files.lock();
+            let idx = files
+                .iter()
+                .position(|f| f.path == path)
+                .ok_or_else(|| Error::invalid(format!("{}: not a registered segment", path.display())))?;
+            files.remove(idx)
+        };
+        // The corrupt frames' contents are unreadable, so the damage is
+        // bounded only by the file's partition.
+        let start_ns = seg.partition.saturating_mul(self.cfg.partition_ns);
+        let end_ns = (seg.partition + 1).saturating_mul(self.cfg.partition_ns);
+        let intact_series: Vec<String> = {
+            let mut keys: Vec<String> = segment::scan_segment(&seg.path)
+                .map(|s| s.entries.into_iter().map(|e| e.series_key).collect())
+                .unwrap_or_default();
+            keys.sort();
+            keys.dedup();
+            keys
+        };
+        let quarantined = quarantine_path(&seg.path);
+        let sidecar = sidecar_path(&quarantined);
+        fs::rename(&seg.path, &quarantined)?;
+        let report = QuarantineReport {
+            original: seg.path.clone(),
+            quarantined,
+            sidecar: sidecar.clone(),
+            partition: seg.partition,
+            start_ns,
+            end_ns,
+            corrupt_offsets: corrupt_offsets.to_vec(),
+            intact_series,
+        };
+        // Best-effort: the sidecar is forensic, the rename is the safety.
+        let _ = fs::write(&sidecar, quarantine_sidecar_json(&report));
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.damaged.lock().push(DamagedRange {
+            partition: seg.partition,
+            start_ns,
+            end_ns,
+            file: report.quarantined.clone(),
+        });
+        eprintln!(
+            "lms-tsm: warning: quarantined {} ({} corrupt frame(s), partition {} covering \
+             [{start_ns}, {end_ns}) ns); awaiting anti-entropy repair",
+            report.quarantined.display(),
+            corrupt_offsets.len(),
+            seg.partition
+        );
+        Ok(report)
+    }
+
+    /// The time ranges currently marked damaged by quarantines.
+    pub fn damaged_ranges(&self) -> Vec<DamagedRange> {
+        self.damaged.lock().clone()
+    }
+
+    /// Re-reads every surviving segment file of one partition, returning
+    /// its intact entries sorted by generation — the caller swaps these in
+    /// for the partition's previous in-memory sealed blocks after a
+    /// quarantine.
+    pub fn reload_partition(&self, partition: i64) -> Result<Vec<BlockEntry>> {
+        let paths: Vec<PathBuf> = {
+            let files = self.files.lock();
+            files.iter().filter(|f| f.partition == partition).map(|f| f.path.clone()).collect()
+        };
+        let mut blocks = Vec::new();
+        for p in &paths {
+            let scan = segment::scan_segment(p)?;
+            self.record_corrupt_frames(scan.corrupt_frames);
+            blocks.extend(scan.entries);
+        }
+        blocks.sort_by_key(|e| e.block.gen);
+        Ok(blocks)
     }
 
     /// Fsyncs the active WAL segment (graceful shutdown).

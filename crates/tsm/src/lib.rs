@@ -30,10 +30,15 @@ pub mod bits;
 pub mod block;
 pub mod encode;
 pub mod engine;
+pub mod scrub;
 pub mod segment;
 pub mod wal;
 
 pub use block::{BlockSummary, SealedBlock};
-pub use engine::{FlushSession, Recovered, RewriteSession, TsmConfig, TsmEngine, TsmStats};
-pub use segment::BlockEntry;
+pub use engine::{
+    DamagedRange, FlushSession, QuarantineReport, Recovered, RewriteSession, TsmConfig, TsmEngine,
+    TsmStats,
+};
+pub use scrub::{ScrubConfig, ScrubOutcome, Scrubber};
+pub use segment::{BlockEntry, SegmentScan};
 pub use wal::{Wal, WalConfig, WalRecord, WalRecovery};

@@ -39,8 +39,10 @@
 //! Segments are written to a `.tmp` sibling, fsynced, then atomically
 //! renamed into place — readers never observe a half-written `.tsm` file,
 //! and stray `.tmp` files from a crash are deleted on open. Reads are
-//! still prefix-safe (stop at the first corrupt frame) as defense in
-//! depth against storage-level corruption.
+//! corruption-tolerant: a frame whose CRC fails is skipped and counted
+//! (the frame length lets the scan resynchronize), so one bad sector
+//! loses one block, not the rest of the file; only a torn tail — where
+//! the framing itself is unreadable — ends the scan.
 
 use crate::block::{BlockSummary, SealedBlock};
 use crate::encode::{get_uvarint, put_uvarint, unzigzag, zigzag};
@@ -308,10 +310,36 @@ fn write_segment_impl(
     Ok(buf.len() as u64)
 }
 
-/// Reads every intact entry from a segment file. A bad magic is an error
-/// (the file is not ours); torn or corrupt frames end the scan early
-/// rather than failing, so one bad sector loses one block, not the file.
-pub fn read_segment(path: &Path) -> Result<Vec<BlockEntry>> {
+/// Result of scanning one segment file frame by frame.
+///
+/// A frame whose length header is plausible but whose CRC (or decode)
+/// fails is *skipped and counted* — the scan resynchronizes at the next
+/// frame boundary, so one bad sector loses one block, not the file's
+/// suffix. A short frame or an implausible length means the framing
+/// itself is gone; the remainder is reported as a torn tail and the scan
+/// stops.
+#[derive(Debug, Default)]
+pub struct SegmentScan {
+    /// Every entry whose frame passed CRC and decoded cleanly.
+    pub entries: Vec<BlockEntry>,
+    /// Frames with a plausible length but failed CRC or decode.
+    pub corrupt_frames: u64,
+    /// File offset of each corrupt frame header.
+    pub corrupt_offsets: Vec<u64>,
+    /// Bytes of unreadable tail (short frame / implausible length).
+    pub torn_bytes: u64,
+    /// Total file bytes examined (the whole file).
+    pub bytes_scanned: u64,
+}
+
+impl SegmentScan {
+    /// True when every frame verified clean end to end.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_frames == 0 && self.torn_bytes == 0
+    }
+}
+
+fn scan_segment_impl(path: &Path, decode: bool) -> Result<SegmentScan> {
     let buf = fs::read(path)?;
     let with_summary = if buf.len() >= MAGIC.len() && &buf[..MAGIC.len()] == MAGIC {
         true
@@ -320,28 +348,55 @@ pub fn read_segment(path: &Path) -> Result<Vec<BlockEntry>> {
     } else {
         return Err(Error::invalid(format!("{}: bad segment magic", path.display())));
     };
-    let mut entries = Vec::new();
+    let mut scan = SegmentScan { bytes_scanned: buf.len() as u64, ..SegmentScan::default() };
     let mut off = MAGIC.len();
     loop {
         let rest = &buf[off..];
         if rest.len() < HEADER_LEN {
-            return Ok(entries);
+            scan.torn_bytes = rest.len() as u64;
+            return Ok(scan);
         }
         let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
         if payload_len > MAX_PAYLOAD || rest.len() < HEADER_LEN + payload_len {
-            return Ok(entries);
+            scan.torn_bytes = rest.len() as u64;
+            return Ok(scan);
         }
         let payload = &rest[HEADER_LEN..HEADER_LEN + payload_len];
         if crc32(payload) != crc {
-            return Ok(entries);
+            scan.corrupt_frames += 1;
+            scan.corrupt_offsets.push(off as u64);
+        } else if decode {
+            match decode_entry(payload, with_summary) {
+                Some(entry) => scan.entries.push(entry),
+                None => {
+                    scan.corrupt_frames += 1;
+                    scan.corrupt_offsets.push(off as u64);
+                }
+            }
         }
-        let Some(entry) = decode_entry(payload, with_summary) else {
-            return Ok(entries);
-        };
-        entries.push(entry);
         off += HEADER_LEN + payload_len;
     }
+}
+
+/// Scans a segment file, decoding every intact entry and counting what
+/// could not be read. A bad magic is an error (the file is not ours).
+pub fn scan_segment(path: &Path) -> Result<SegmentScan> {
+    scan_segment_impl(path, true)
+}
+
+/// CRC-verifies every frame of a segment file without decoding blocks —
+/// the cheap integrity pass the scrubber runs. Counters are filled the
+/// same as [`scan_segment`]; `entries` stays empty.
+pub fn verify_segment(path: &Path) -> Result<SegmentScan> {
+    scan_segment_impl(path, false)
+}
+
+/// Reads every intact entry from a segment file, skipping (silently, at
+/// this API level) corrupt frames — callers who need the corruption
+/// counters use [`scan_segment`].
+pub fn read_segment(path: &Path) -> Result<Vec<BlockEntry>> {
+    Ok(scan_segment(path)?.entries)
 }
 
 #[cfg(test)]
@@ -400,7 +455,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_frame_ends_scan_keeping_prefix() {
+    fn corrupt_frame_is_skipped_and_counted() {
         let dir = tmp("corrupt");
         let path = dir.join("seg-0-0000000000000002.tsm");
         let entries = vec![entry("a", "f", 0, 0..10), entry("b", "f", 1, 0..10)];
@@ -409,9 +464,54 @@ mod tests {
         let n = bytes.len();
         bytes[n - 4] ^= 0xFF; // clobber the last entry's block bytes
         fs::write(&path, &bytes).unwrap();
-        let back = read_segment(&path).unwrap();
-        assert_eq!(back.len(), 1);
-        assert_eq!(back[0].series_key, "a");
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].series_key, "a");
+        assert_eq!(scan.corrupt_frames, 1);
+        assert_eq!(scan.corrupt_offsets.len(), 1);
+        assert_eq!(scan.torn_bytes, 0);
+        assert!(!scan.is_clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_frame_keeps_the_suffix() {
+        let dir = tmp("resync");
+        let path = dir.join("seg-0-0000000000000007.tsm");
+        let entries =
+            vec![entry("a", "f", 0, 0..10), entry("b", "f", 1, 0..10), entry("c", "f", 2, 0..10)];
+        write_segment(&path, &entries, None).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Locate the middle frame and flip a payload byte inside it.
+        let first_len =
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize + HEADER_LEN;
+        let mid = 8 + first_len + HEADER_LEN + 4;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.corrupt_frames, 1);
+        let keys: Vec<&str> = scan.entries.iter().map(|e| e.series_key.as_str()).collect();
+        assert_eq!(keys, ["a", "c"], "scan must resynchronize past the bad frame");
+        // verify_segment sees the same corruption without decoding.
+        let v = verify_segment(&path).unwrap();
+        assert_eq!(v.corrupt_frames, 1);
+        assert_eq!(v.corrupt_offsets, scan.corrupt_offsets);
+        assert!(v.entries.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_torn_not_corrupt() {
+        let dir = tmp("torn");
+        let path = dir.join("seg-0-0000000000000008.tsm");
+        let entries = vec![entry("a", "f", 0, 0..10), entry("b", "f", 1, 0..10)];
+        write_segment(&path, &entries, None).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.corrupt_frames, 0);
+        assert!(scan.torn_bytes > 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

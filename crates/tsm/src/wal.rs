@@ -121,6 +121,11 @@ pub struct WalRecovery {
     pub records: Vec<WalRecord>,
     /// Bytes discarded as torn tails or corruption.
     pub torn_bytes: u64,
+    /// Frames whose length header was plausible but whose CRC failed — a
+    /// torn tail from a crash mid-append is *expected* and not counted
+    /// here; a complete frame that fails its CRC means the storage
+    /// corrupted data we already acknowledged.
+    pub corrupt_frames: u64,
 }
 
 /// Group-commit gauges (monotonic counters since open).
@@ -210,31 +215,45 @@ fn encode_record(seq: u64, batch: &str, out: &mut Vec<u8>) {
 }
 
 /// Decodes intact records until the first torn/corrupt frame; returns the
-/// records and the byte offset of the clean prefix.
-fn decode_segment(buf: &[u8]) -> (Vec<WalRecord>, usize) {
+/// records, the byte offset of the clean prefix, and — when the stop was a
+/// complete frame failing its CRC rather than a short/implausible tail —
+/// the offset of that corrupt frame. Replay must stop either way (records
+/// after the bad frame may depend on ordering), but the two causes mean
+/// different things: a torn tail is an expected crash artifact, a corrupt
+/// complete frame is the disk flipping bits under acknowledged data.
+fn decode_segment(buf: &[u8]) -> (Vec<WalRecord>, usize, Option<usize>) {
     let mut records = Vec::new();
     let mut off = 0usize;
     loop {
         let rest = &buf[off..];
         if rest.len() < HEADER_LEN {
-            return (records, off);
+            return (records, off, None);
         }
         let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
         if !(8..=MAX_PAYLOAD).contains(&payload_len) || rest.len() < HEADER_LEN + payload_len {
-            return (records, off);
+            return (records, off, None);
         }
         let payload = &rest[HEADER_LEN..HEADER_LEN + payload_len];
         if crc32(payload) != crc {
-            return (records, off);
+            return (records, off, Some(off));
         }
         let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
         let Ok(batch) = std::str::from_utf8(&payload[8..]) else {
-            return (records, off);
+            return (records, off, Some(off));
         };
         records.push(WalRecord { seq, batch: batch.to_string() });
         off += HEADER_LEN + payload_len;
     }
+}
+
+/// CRC-verifies every frame of one WAL segment file without materializing
+/// records — the scrubber's cheap pass over the durable tail. Returns
+/// `(bytes_scanned, corrupt_frame_offset)`.
+pub(crate) fn verify_wal_segment(path: &Path) -> Result<(u64, Option<u64>)> {
+    let buf = fs::read(path)?;
+    let (_, _, corrupt) = decode_segment(&buf);
+    Ok((buf.len() as u64, corrupt.map(|o| o as u64)))
 }
 
 impl Wal {
@@ -259,7 +278,16 @@ impl Wal {
         for &seq in &seqs {
             let path = segment_path(&cfg.dir, seq);
             let buf = fs::read(&path)?;
-            let (records, clean_len) = decode_segment(&buf);
+            let (records, clean_len, corrupt_at) = decode_segment(&buf);
+            if let Some(off) = corrupt_at {
+                recovery.corrupt_frames += 1;
+                eprintln!(
+                    "lms-tsm: warning: WAL corruption: CRC-failed frame at {}:{off} \
+                     (not a torn tail — acknowledged data may be lost); \
+                     truncating to the clean prefix",
+                    path.display()
+                );
+            }
             if clean_len < buf.len() {
                 recovery.torn_bytes += (buf.len() - clean_len) as u64;
                 let f = OpenOptions::new().write(true).open(&path)?;
@@ -530,6 +558,14 @@ impl Wal {
         file.active_bytes + file.frozen.iter().map(|f| f.bytes).sum::<u64>()
     }
 
+    /// Paths of the frozen (immutable, pre-checkpoint) segments. The
+    /// scrubber verifies these — never the active segment, whose tail is
+    /// legitimately mid-write under group commit.
+    pub(crate) fn frozen_paths(&self) -> Vec<PathBuf> {
+        let file = self.file.lock().unwrap();
+        file.frozen.iter().map(|f| f.path.clone()).collect()
+    }
+
     /// Fsyncs the active segment (graceful-shutdown hook).
     pub fn sync(&self) -> Result<()> {
         let file = self.file.lock().unwrap();
@@ -597,6 +633,7 @@ mod tests {
         assert_eq!(rec.records.len(), 1, "second record torn, first intact");
         assert_eq!(rec.records[0].batch, "a v=1 1");
         assert!(rec.torn_bytes > 0);
+        assert_eq!(rec.corrupt_frames, 0, "a torn tail is not corruption");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -640,6 +677,7 @@ mod tests {
         assert_eq!(rec.records.len(), 1);
         assert_eq!(rec.records[0].batch, "a v=1 1");
         assert!(rec.torn_bytes > 0);
+        assert_eq!(rec.corrupt_frames, 1, "mid-file CRC failure is corruption, not a tear");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -13,16 +13,22 @@
 //! - [`config`]: an INI-style configuration parser used by the daemons,
 //! - [`rng`]: a tiny deterministic SplitMix64/XorShift generator for
 //!   simulator noise,
+//! - [`ring`]: seeded rendezvous hashing, shared by the router's placement
+//!   logic and the storage nodes' integrity digests,
+//! - [`digest`]: Merkle-style range digests and their diff, the vocabulary
+//!   of the anti-entropy repair protocol,
 //! - [`fmt`]: human-readable byte/duration/number formatting for reports,
 //! - [`supervisor`]: panic-capturing restart supervision for background
 //!   worker threads.
 
 pub mod clock;
 pub mod config;
+pub mod digest;
 pub mod error;
 pub mod fmt;
 pub mod hash;
 pub mod json;
+pub mod ring;
 pub mod rng;
 pub mod supervisor;
 

@@ -1,0 +1,183 @@
+//! Seeded rendezvous (highest-random-weight) hashing.
+//!
+//! Rendezvous hashing beats a modulo ring here for two reasons: adding or
+//! removing a node remaps only the series that gained or lost that node
+//! (minimal disruption, no virtual-node bookkeeping), and the top-R nodes
+//! of one key are exactly the R replicas — no walk around a circle, no
+//! collapsing of virtual nodes onto the same physical one. With the small
+//! node counts of a monitoring back-end (single digits), the O(N) score
+//! scan per key is cheaper than maintaining a sorted token ring.
+
+use crate::rng::XorShift64;
+
+/// A placement ring over `n` nodes, identified by index `0..n`.
+///
+/// Each node gets a salt derived from the shared seed; a key's score on a
+/// node is a mix of the key hash and that salt, and the R highest-scoring
+/// nodes own the key. Every router sharing the seed and node order computes
+/// identical placements.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    salts: Vec<u64>,
+}
+
+impl HashRing {
+    /// Builds the ring for `n` nodes from the shared `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed ^ 0xC1A5_7E2D_00D5_EEDF);
+        HashRing { salts: (0..n).map(|_| rng.next_u64()).collect() }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.salts.len()
+    }
+
+    /// True when the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.salts.is_empty()
+    }
+
+    /// The score of `key_hash` on node `i` (higher wins).
+    #[inline]
+    fn score(&self, key_hash: u64, i: usize) -> u64 {
+        // One xorshift64* round over key⊕salt: cheap, well-mixed, and
+        // stable across platforms.
+        let mut x = key_hash ^ self.salts[i];
+        x = x.max(1); // avoid the all-zero orbit
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Writes the indices of the `r` owners of `key_hash` into `out`
+    /// (cleared first), best score first. `r` is clamped to the node
+    /// count. The scratch vector keeps the per-line hot path
+    /// allocation-free.
+    pub fn owners_into(&self, key_hash: u64, r: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let r = r.min(self.salts.len());
+        for i in 0..self.salts.len() {
+            let s = self.score(key_hash, i);
+            // Insertion into a tiny descending top-R list: N and R are
+            // single digits, so this beats sorting all scores.
+            let pos = out
+                .iter()
+                .position(|&j| self.score(key_hash, j) < s)
+                .unwrap_or(out.len());
+            if pos < r {
+                out.insert(pos, i);
+                out.truncate(r);
+            }
+        }
+    }
+
+    /// The `r` owners of `key_hash`, best score first.
+    pub fn owners(&self, key_hash: u64, r: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(r);
+        self.owners_into(key_hash, r, &mut out);
+        out
+    }
+
+    /// The primary owner of `key_hash`.
+    pub fn primary(&self, key_hash: u64) -> usize {
+        debug_assert!(!self.is_empty());
+        (0..self.salts.len())
+            .max_by_key(|&i| self.score(key_hash, i))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fx_hash;
+
+    #[test]
+    fn owners_are_distinct_and_deterministic() {
+        let ring = HashRing::new(5, 42);
+        let again = HashRing::new(5, 42);
+        for k in 0..1000u64 {
+            let h = fx_hash(&k);
+            let a = ring.owners(h, 3);
+            assert_eq!(a, again.owners(h, 3));
+            assert_eq!(a.len(), 3);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "owners must be distinct: {a:?}");
+            assert!(a.iter().all(|&i| i < 5));
+            assert_eq!(a[0], ring.primary(h));
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_node_count() {
+        let ring = HashRing::new(2, 7);
+        assert_eq!(ring.owners(123, 5).len(), 2);
+        let single = HashRing::new(1, 7);
+        assert_eq!(single.owners(123, 3), vec![0]);
+    }
+
+    #[test]
+    fn different_seeds_place_differently() {
+        let a = HashRing::new(8, 1);
+        let b = HashRing::new(8, 2);
+        let moved = (0..512u64)
+            .filter(|&k| a.primary(fx_hash(&k)) != b.primary(fx_hash(&k)))
+            .count();
+        assert!(moved > 256, "seeds should reshuffle placement: {moved}/512");
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let ring = HashRing::new(4, 9);
+        let mut counts = [0usize; 4];
+        let keys = 8000;
+        for k in 0..keys as u64 {
+            counts[ring.primary(fx_hash(&format!("node{k:05}")))] += 1;
+        }
+        let expect = keys / 4;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "node {i} holds {c}/{keys} primaries: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_a_fraction() {
+        // Rendezvous property: adding a node steals ~1/(n+1) of the keys
+        // and moves nothing between the surviving nodes.
+        let small = HashRing::new(3, 11);
+        let big = HashRing::new(4, 11);
+        let keys = 6000;
+        let mut moved = 0;
+        for k in 0..keys as u64 {
+            let h = fx_hash(&k);
+            let (a, b) = (small.primary(h), big.primary(h));
+            if a != b {
+                assert_eq!(b, 3, "keys may move only to the new node");
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / keys as f64;
+        assert!(frac > 0.1 && frac < 0.45, "moved fraction {frac}");
+    }
+
+    #[test]
+    fn owner_sets_overlap_between_r_levels() {
+        // The top-R list is a prefix property: owners(h, 1) is the head of
+        // owners(h, 2), etc. Raising R must never reshuffle existing
+        // replicas.
+        let ring = HashRing::new(6, 13);
+        for k in 0..300u64 {
+            let h = fx_hash(&k);
+            let three = ring.owners(h, 3);
+            assert_eq!(&three[..2], &ring.owners(h, 2)[..]);
+            assert_eq!(&three[..1], &ring.owners(h, 1)[..]);
+        }
+    }
+}
